@@ -1,0 +1,96 @@
+//! Microbenchmarks of the statistical max implementations.
+//!
+//! The paper's core speed claim: the FASSTA approximation (dominance
+//! shortcuts plus the quadratic erf) is much cheaper than either exact
+//! Clark evaluation or discrete-PDF manipulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vartol_stats::erf::{erf, half_erf_quadratic};
+use vartol_stats::fast_max::fast_max_moments;
+use vartol_stats::{clark_max, DiscretePdf, Moments};
+
+/// Deterministic pseudo-random moment pairs spanning dominance and overlap
+/// regimes.
+fn moment_pairs(n: usize) -> Vec<(Moments, Moments)> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            let a = Moments::from_mean_std(100.0 + 400.0 * next(), 1.0 + 50.0 * next());
+            let b = Moments::from_mean_std(100.0 + 400.0 * next(), 1.0 + 50.0 * next());
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_max_ops(c: &mut Criterion) {
+    let pairs = moment_pairs(1024);
+
+    let mut group = c.benchmark_group("statistical_max");
+    group.bench_function("fast_max (paper)", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(fast_max_moments(x, y));
+            }
+        });
+    });
+    group.bench_function("clark_exact", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(clark_max(x, y).max);
+            }
+        });
+    });
+    group.bench_function("discrete_pdf_12pt", |b| {
+        let pdf_pairs: Vec<(DiscretePdf, DiscretePdf)> = pairs
+            .iter()
+            .take(64)
+            .map(|&(x, y)| {
+                (
+                    DiscretePdf::from_moments(x, 12),
+                    DiscretePdf::from_moments(y, 12),
+                )
+            })
+            .collect();
+        b.iter_batched(
+            || pdf_pairs.clone(),
+            |ps| {
+                for (x, y) in &ps {
+                    black_box(x.max_rebinned(y, 12));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("erf");
+    group.bench_function("accurate_rational", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1024 {
+                acc += erf(black_box(f64::from(i) / 128.0 - 4.0));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("quadratic (paper)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1024 {
+                acc += half_erf_quadratic(black_box(f64::from(i) / 128.0 - 4.0));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_ops);
+criterion_main!(benches);

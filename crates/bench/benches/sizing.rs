@@ -1,0 +1,67 @@
+//! End-to-end sizing benchmarks: the cost of one StatisticalGreedy run on
+//! small suite circuits, plus the deterministic baseline and the
+//! subcircuit-evaluation inner loop it amortizes (Table 1's runtime
+//! column, scaled down).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vartol_core::{MeanDelaySizer, SizerConfig, StatisticalGreedy};
+use vartol_liberty::Library;
+use vartol_netlist::generators::benchmark;
+use vartol_netlist::Subcircuit;
+use vartol_ssta::{Fassta, FullSsta, SstaConfig};
+
+fn bench_sizing(c: &mut Criterion) {
+    let lib = Library::synthetic_90nm();
+    let ssta = SstaConfig::default();
+
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    for name in ["alu2", "c432"] {
+        let n = benchmark(name, &lib).expect("known benchmark");
+        group.bench_with_input(
+            BenchmarkId::new("statistical_greedy_a3", name),
+            &n,
+            |b, n| {
+                let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+                b.iter_batched(
+                    || n.clone(),
+                    |mut n| black_box(sizer.optimize(&mut n)),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mean_baseline", name), &n, |b, n| {
+            let sizer = MeanDelaySizer::new(&lib, ssta.clone());
+            b.iter_batched(
+                || n.clone(),
+                |mut n| black_box(sizer.minimize_delay(&mut n)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    // The optimizer's hot inner loop: one subcircuit evaluation.
+    let mut group = c.benchmark_group("inner_loop");
+    let n = benchmark("c880", &lib).expect("known benchmark");
+    let full = FullSsta::new(&lib, ssta.clone()).analyze(&n);
+    let fast = Fassta::new(&lib, ssta.clone());
+    let center = n.gate_ids().nth(100).expect("large enough");
+    for depth in [1usize, 2, 3] {
+        let sub = Subcircuit::extract(&n, center, depth);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_subcircuit", depth),
+            &sub,
+            |b, sub| {
+                b.iter(|| {
+                    black_box(fast.evaluate_subcircuit(&n, sub, full.arrivals(), full.timing()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

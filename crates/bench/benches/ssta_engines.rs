@@ -1,0 +1,47 @@
+//! Benchmarks of the three timing engines over suite circuits — the
+//! motivation for the paper's nested architecture: FULLSSTA is accurate
+//! but too slow for an optimizer inner loop; FASSTA trades a little
+//! accuracy for a large speedup (experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vartol_liberty::Library;
+use vartol_netlist::generators::benchmark;
+use vartol_ssta::{Dsta, Fassta, FullSsta, SstaConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let lib = Library::synthetic_90nm();
+    let config = SstaConfig::default();
+
+    let mut group = c.benchmark_group("engines");
+    for name in ["c432", "c880", "c1908"] {
+        let n = benchmark(name, &lib).expect("known benchmark");
+        group.bench_with_input(BenchmarkId::new("dsta", name), &n, |b, n| {
+            let engine = Dsta::new(&lib, config.clone());
+            b.iter(|| black_box(engine.analyze(n).max_delay()));
+        });
+        group.bench_with_input(BenchmarkId::new("fassta", name), &n, |b, n| {
+            let engine = Fassta::new(&lib, config.clone());
+            b.iter(|| black_box(engine.analyze(n).circuit_moments()));
+        });
+        group.bench_with_input(BenchmarkId::new("fullssta", name), &n, |b, n| {
+            let engine = FullSsta::new(&lib, config.clone());
+            b.iter(|| black_box(engine.analyze(n).circuit_moments()));
+        });
+    }
+    group.finish();
+
+    // FULLSSTA cost vs sample count (the paper's 10-15 knob).
+    let mut group = c.benchmark_group("fullssta_samples");
+    let n = benchmark("c880", &lib).expect("known benchmark");
+    for samples in [8usize, 12, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            let engine = FullSsta::new(&lib, config.clone().with_pdf_samples(s));
+            b.iter(|| black_box(engine.analyze(&n).circuit_moments()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

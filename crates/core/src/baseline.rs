@@ -1,0 +1,290 @@
+//! Deterministic mean-delay sizing — the paper's comparison point.
+//!
+//! Table 1's "original" column is a circuit "obtained by optimizing ...
+//! with a goal of minimizing the mean of the longest delay. Such a circuit
+//! will typically exhibit the widest spread in performance due to high
+//! usage of smaller devices". [`MeanDelaySizer`] reproduces that starting
+//! point: greedy critical-path sizing against nominal delays, followed by
+//! an optional area-recovery pass that downsizes gates wherever the delay
+//! target allows.
+
+use std::time::Instant;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, GateKind, Netlist};
+use vartol_ssta::{Dsta, SstaConfig};
+
+/// Summary of a deterministic sizing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineReport {
+    /// Nominal longest delay before sizing.
+    pub initial_delay: f64,
+    /// Nominal longest delay after sizing.
+    pub final_delay: f64,
+    /// Area before sizing.
+    pub initial_area: f64,
+    /// Area after sizing (and recovery, if run).
+    pub final_area: f64,
+    /// Number of outer passes executed.
+    pub passes: usize,
+    /// Wall-clock time.
+    pub runtime: std::time::Duration,
+}
+
+/// Greedy deterministic mean-delay minimizer with area recovery.
+#[derive(Debug, Clone)]
+pub struct MeanDelaySizer<'l> {
+    library: &'l Library,
+    config: SstaConfig,
+    max_passes: usize,
+}
+
+impl<'l> MeanDelaySizer<'l> {
+    /// Creates a sizer over a library with the given timing configuration
+    /// (variation is irrelevant here — only nominal delays are used).
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+        Self {
+            library,
+            config,
+            max_passes: 40,
+        }
+    }
+
+    /// Caps the number of outer passes.
+    #[must_use]
+    pub fn with_max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Minimizes the nominal longest delay by greedy critical-path sizing:
+    /// each pass re-times the circuit, walks the critical path, and keeps
+    /// any single-gate resize that lowers the global longest delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn minimize_delay(&self, netlist: &mut Netlist) -> BaselineReport {
+        let start = Instant::now();
+        let engine = Dsta::new(self.library, self.config.clone());
+        let initial_area = netlist.total_area(self.library);
+        let initial_delay = engine.analyze(netlist).max_delay();
+
+        let mut best_score = Self::score(&engine.analyze(netlist), netlist);
+        let mut passes = 0;
+        for _ in 0..self.max_passes {
+            passes += 1;
+            let analysis = engine.analyze(netlist);
+            // Union of per-output critical paths: every output's longest
+            // path gets attention, not just the globally worst one.
+            let mut path: std::collections::BTreeSet<GateId> = std::collections::BTreeSet::new();
+            for &o in netlist.outputs() {
+                let mut cursor = o;
+                while !netlist.gate(cursor).is_input() {
+                    if !path.insert(cursor) {
+                        break; // already traced through here
+                    }
+                    let Some(&next) = netlist
+                        .gate(cursor)
+                        .fanins()
+                        .iter()
+                        .max_by(|a, b| analysis.arrival(**a).total_cmp(&analysis.arrival(**b)))
+                    else {
+                        break;
+                    };
+                    cursor = next;
+                }
+            }
+            let mut improved = false;
+            for g in path {
+                if self.improve_gate(netlist, g, &engine, &mut best_score) {
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        BaselineReport {
+            initial_delay,
+            final_delay: best_score.0,
+            initial_area,
+            final_area: netlist.total_area(self.library),
+            passes,
+            runtime: start.elapsed(),
+        }
+    }
+
+    /// The deterministic objective: worst output delay first, then the sum
+    /// of all output arrivals as a tie-breaker (so the longest path of
+    /// every output gets minimized, Design-Compiler style).
+    fn score(analysis: &vartol_ssta::DstaResult, netlist: &Netlist) -> (f64, f64) {
+        let total: f64 = netlist.outputs().iter().map(|&o| analysis.arrival(o)).sum();
+        (analysis.max_delay(), total)
+    }
+
+    fn better(a: (f64, f64), b: (f64, f64)) -> bool {
+        // Lexicographic with a tolerance band on the leading term.
+        if a.0 < b.0 - 1e-9 {
+            return true;
+        }
+        if a.0 > b.0 + 1e-9 {
+            return false;
+        }
+        a.1 < b.1 - 1e-9
+    }
+
+    /// Tries every size of `g`, keeping the one that minimizes the
+    /// deterministic objective. Returns true if the size changed.
+    fn improve_gate(
+        &self,
+        netlist: &mut Netlist,
+        g: GateId,
+        engine: &Dsta<'_>,
+        best_score: &mut (f64, f64),
+    ) -> bool {
+        let gate = netlist.gate(g);
+        let GateKind::Cell {
+            function,
+            size: current,
+        } = *gate.kind()
+        else {
+            return false;
+        };
+        let arity = gate.fanins().len();
+        let Some(group) = self.library.group(function, arity) else {
+            return false;
+        };
+
+        let mut best_size = current;
+        for size in 0..group.len() {
+            if size == current {
+                continue;
+            }
+            netlist.set_size(g, size);
+            let s = Self::score(&engine.analyze(netlist), netlist);
+            if Self::better(s, *best_score) {
+                *best_score = s;
+                best_size = size;
+            }
+        }
+        netlist.set_size(g, best_size);
+        best_size != current
+    }
+
+    /// Downsizes gates wherever the nominal longest delay stays within
+    /// `target_delay` — the constrained "area is recovered as far as
+    /// possible without violating a delay constraint" mode of §2.1.
+    /// Returns the number of gates downsized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    pub fn recover_area(&self, netlist: &mut Netlist, target_delay: f64) -> usize {
+        let engine = Dsta::new(self.library, self.config.clone());
+        let mut changed = 0;
+        // Visit sinks first: downstream gates shield upstream slack.
+        let ids: Vec<GateId> = netlist.gate_ids().collect();
+        for &g in ids.iter().rev() {
+            let GateKind::Cell { size: current, .. } = *netlist.gate(g).kind() else {
+                continue;
+            };
+            let mut kept = current;
+            for size in (0..current).rev() {
+                netlist.set_size(g, size);
+                if engine.analyze(netlist).max_delay() <= target_delay + 1e-9 {
+                    kept = size;
+                } else {
+                    break;
+                }
+            }
+            netlist.set_size(g, kept);
+            if kept != current {
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_netlist::generators::{parity_tree, ripple_carry_adder};
+    use vartol_ssta::FullSsta;
+
+    #[test]
+    fn reduces_nominal_delay() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig {
+            po_load: 8.0,
+            ..SstaConfig::default()
+        };
+        let mut n = ripple_carry_adder(6, &lib);
+        let report = MeanDelaySizer::new(&lib, config).minimize_delay(&mut n);
+        assert!(report.final_delay < report.initial_delay, "{report:?}");
+        assert!(report.final_area >= report.initial_area, "speed costs area");
+    }
+
+    #[test]
+    fn mean_optimized_circuit_has_wide_spread() {
+        // The paper's premise for Fig. 1: mean-optimization leaves high
+        // sigma/mu relative to what variance optimization achieves later.
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = parity_tree(16, &lib);
+        let _ = MeanDelaySizer::new(&lib, config.clone()).minimize_delay(&mut n);
+        let m = FullSsta::new(&lib, config).analyze(&n).circuit_moments();
+        assert!(m.sigma_over_mu() > 0.01, "meaningful residual variation");
+    }
+
+    #[test]
+    fn area_recovery_downsizes_under_loose_target() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let report = sizer.minimize_delay(&mut n);
+        let area_fast = n.total_area(&lib);
+
+        // A very loose target lets recovery shrink everything back.
+        let engine = Dsta::new(&lib, config);
+        let changed = sizer.recover_area(&mut n, report.final_delay * 10.0);
+        let area_recovered = n.total_area(&lib);
+        if area_fast > report.initial_area {
+            assert!(changed > 0, "something to recover");
+            assert!(area_recovered < area_fast);
+        }
+        assert!(engine.analyze(&n).max_delay() <= report.final_delay * 10.0);
+    }
+
+    #[test]
+    fn area_recovery_respects_tight_target() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig {
+            po_load: 8.0,
+            ..SstaConfig::default()
+        };
+        let mut n = ripple_carry_adder(4, &lib);
+        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let report = sizer.minimize_delay(&mut n);
+        let _ = sizer.recover_area(&mut n, report.final_delay);
+        let engine = Dsta::new(&lib, config);
+        assert!(
+            engine.analyze(&n).max_delay() <= report.final_delay + 1e-6,
+            "recovery never violates the delay target"
+        );
+    }
+
+    #[test]
+    fn pass_cap_respected() {
+        let lib = Library::synthetic_90nm();
+        let mut n = parity_tree(8, &lib);
+        let report = MeanDelaySizer::new(&lib, SstaConfig::default())
+            .with_max_passes(1)
+            .minimize_delay(&mut n);
+        assert_eq!(report.passes, 1);
+    }
+}

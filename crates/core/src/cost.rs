@@ -1,0 +1,85 @@
+//! The optimizer's objective function (paper eq. 7).
+
+use vartol_stats::Moments;
+
+/// The weighted cost of one output: `Cost(Oᵢ) = μᵢ + α·σᵢ` (eq. 7).
+/// Higher `alpha` places more emphasis on variance reduction.
+///
+/// # Example
+///
+/// ```
+/// use vartol_core::moments_cost;
+/// use vartol_stats::Moments;
+///
+/// let m = Moments::from_mean_std(100.0, 10.0);
+/// assert_eq!(moments_cost(m, 3.0), 130.0);
+/// assert_eq!(moments_cost(m, 9.0), 190.0);
+/// ```
+#[must_use]
+pub fn moments_cost(m: Moments, alpha: f64) -> f64 {
+    m.mean + alpha * m.std()
+}
+
+/// The cost of a subcircuit: the maximum of [`moments_cost`] over its
+/// outputs ("The cost of the subcircuit is given by the maximum of
+/// Cost(Oᵢ) across all outputs", §4.5).
+///
+/// # Panics
+///
+/// Panics if `outputs` is empty.
+#[must_use]
+pub fn subcircuit_cost(outputs: &[Moments], alpha: f64) -> f64 {
+    assert!(!outputs.is_empty(), "a subcircuit has at least one output");
+    outputs
+        .iter()
+        .map(|&m| moments_cost(m, alpha))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_linear_in_sigma() {
+        let m = Moments::from_mean_std(50.0, 5.0);
+        assert!((moments_cost(m, 0.0) - 50.0).abs() < 1e-12);
+        assert!((moments_cost(m, 1.0) - 55.0).abs() < 1e-12);
+        assert!((moments_cost(m, 2.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_mean() {
+        let m = Moments::from_mean_std(123.0, 456.0);
+        assert_eq!(moments_cost(m, 0.0), 123.0);
+    }
+
+    #[test]
+    fn subcircuit_takes_worst_output() {
+        let outs = vec![
+            Moments::from_mean_std(100.0, 1.0), // cost 103
+            Moments::from_mean_std(90.0, 10.0), // cost 120 <- worst at alpha 3
+            Moments::from_mean_std(95.0, 2.0),  // cost 101
+        ];
+        assert!((subcircuit_cost(&outs, 3.0) - 120.0).abs() < 1e-12);
+        // At alpha 0 the first output dominates instead.
+        assert!((subcircuit_cost(&outs, 0.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_changes_the_winner() {
+        // The crossover that motivates the weighted objective: a low-mean
+        // high-sigma output overtakes a high-mean low-sigma one as alpha
+        // grows.
+        let steady = Moments::from_mean_std(110.0, 1.0);
+        let jittery = Moments::from_mean_std(100.0, 5.0);
+        assert!(moments_cost(steady, 1.0) > moments_cost(jittery, 1.0));
+        assert!(moments_cost(steady, 4.0) < moments_cost(jittery, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_subcircuit_panics() {
+        let _ = subcircuit_cost(&[], 3.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The StatisticalGreedy sizing algorithm (paper Fig. 2).
+
+use crate::config::SizerConfig;
+use crate::cost::{moments_cost, subcircuit_cost};
+use crate::report::{OptimizationReport, PassStats};
+use std::time::Instant;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, GateKind, Netlist, Subcircuit};
+use vartol_ssta::{Fassta, FullSsta, WnssTracer};
+
+/// The paper's statistically-aware gain-based gate sizer.
+///
+/// Each outer pass runs the accurate engine (FULLSSTA), traces the WNSS
+/// path, and lets every gate on it bid for a new size by scoring all its
+/// library alternatives with the fast engine (FASSTA) over a local
+/// subcircuit; scheduled resizes are committed together. Passes that fail
+/// to improve the global cost `μ + α·σ` are rolled back, and the algorithm
+/// stops when a pass schedules nothing or the pass budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::parity_tree;
+/// use vartol_core::{SizerConfig, StatisticalGreedy};
+///
+/// let lib = Library::synthetic_90nm();
+/// let mut n = parity_tree(16, &lib);
+/// let report = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0)).optimize(&mut n);
+/// assert!(report.final_moments().std() <= report.initial_moments().std());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StatisticalGreedy<'l> {
+    library: &'l Library,
+    config: SizerConfig,
+}
+
+impl<'l> StatisticalGreedy<'l> {
+    /// Creates a sizer over a library with the given configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SizerConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SizerConfig {
+        &self.config
+    }
+
+    /// Optimizes the netlist in place and reports the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn optimize(&self, netlist: &mut Netlist) -> OptimizationReport {
+        let start = Instant::now();
+        let alpha = self.config.alpha;
+        let full_engine = FullSsta::new(self.library, self.config.ssta.clone());
+        let fast_engine = Fassta::new(self.library, self.config.ssta.clone());
+        let tracer = WnssTracer::new(self.config.ssta.variation.mu_sigma_coupling());
+
+        let mut passes: Vec<PassStats> = Vec::new();
+
+        let initial_analysis = full_engine.analyze(netlist);
+        let initial = initial_analysis.circuit_moments();
+        let initial_area = netlist.total_area(self.library);
+
+        // Best state seen so far (global-cost guard).
+        let mut best_cost = moments_cost(initial, alpha);
+        let mut best_sizes = netlist.sizes();
+        let mut analysis = initial_analysis;
+
+        for pass in 0..self.config.max_passes {
+            let circuit = analysis.circuit_moments();
+            let cost = moments_cost(circuit, alpha);
+            let area = netlist.total_area(self.library);
+
+            let path = match self.config.path_selection {
+                crate::config::PathSelection::WorstOutput => {
+                    tracer.trace(netlist, analysis.arrivals())
+                }
+                crate::config::PathSelection::AllOutputs => {
+                    tracer.trace_all(netlist, analysis.arrivals())
+                }
+            };
+            let mut scheduled: Vec<(GateId, usize)> = Vec::new();
+            for &g in &path {
+                if let Some((best_size, current)) = self.best_size_for(
+                    netlist,
+                    g,
+                    analysis.arrivals(),
+                    analysis.timing(),
+                    &fast_engine,
+                ) {
+                    if best_size != current {
+                        scheduled.push((g, best_size));
+                    }
+                }
+            }
+
+            if scheduled.is_empty() {
+                passes.push(PassStats {
+                    pass,
+                    circuit,
+                    cost,
+                    area,
+                    resized: 0,
+                });
+                break;
+            }
+
+            // Commit the whole schedule (the paper's "Resize scheduled
+            // gates"), validated against the global cost. If the batch
+            // overshoots — each gate bid in a stale context — fall back to
+            // sequential commits, keeping only individually beneficial
+            // resizes. This keeps the outer loop monotone in μ + α·σ.
+            for &(g, s) in &scheduled {
+                netlist.set_size(g, s);
+            }
+            analysis = full_engine.analyze(netlist);
+            let batch_cost = moments_cost(analysis.circuit_moments(), alpha);
+
+            let mut kept = scheduled.len();
+            if self.accepts(batch_cost, best_cost, analysis.circuit_moments().mean) {
+                best_cost = batch_cost;
+                best_sizes = netlist.sizes();
+            } else {
+                netlist.restore_sizes(&best_sizes);
+                kept = 0;
+                for &(g, s) in &scheduled {
+                    let previous = netlist.gate(g).size().expect("scheduled gates are cells");
+                    netlist.set_size(g, s);
+                    let candidate = full_engine.analyze(netlist);
+                    let candidate_moments = candidate.circuit_moments();
+                    let candidate_cost = moments_cost(candidate_moments, alpha);
+                    if self.accepts(candidate_cost, best_cost, candidate_moments.mean) {
+                        best_cost = candidate_cost;
+                        best_sizes = netlist.sizes();
+                        kept += 1;
+                    } else {
+                        netlist.set_size(g, previous);
+                    }
+                }
+                analysis = full_engine.analyze(netlist);
+            }
+
+            passes.push(PassStats {
+                pass,
+                circuit,
+                cost,
+                area,
+                resized: kept,
+            });
+            if kept == 0 {
+                break;
+            }
+        }
+
+        // Ensure the netlist carries the best state.
+        netlist.restore_sizes(&best_sizes);
+        let final_analysis = full_engine.analyze(netlist);
+        OptimizationReport::new(
+            alpha,
+            initial,
+            final_analysis.circuit_moments(),
+            initial_area,
+            netlist.total_area(self.library),
+            passes,
+            start.elapsed(),
+        )
+    }
+
+    /// Whether a candidate global state is kept: the cost must improve by
+    /// the configured margin and the mean must respect the delay budget
+    /// (constrained mode, §2.1).
+    fn accepts(&self, candidate_cost: f64, best_cost: f64, candidate_mean: f64) -> bool {
+        candidate_cost < best_cost * (1.0 - self.config.min_improvement)
+            && self
+                .config
+                .max_mean_delay
+                .is_none_or(|budget| candidate_mean <= budget)
+    }
+
+    /// Statistical area recovery: downsizes gates (sinks first) wherever
+    /// the global cost `μ + α·σ` stays within `cost_budget` — the
+    /// statistical counterpart of the deterministic
+    /// [`MeanDelaySizer::recover_area`](crate::MeanDelaySizer::recover_area).
+    /// Returns the number of gates downsized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    pub fn recover_area(&self, netlist: &mut Netlist, cost_budget: f64) -> usize {
+        let full_engine = FullSsta::new(self.library, self.config.ssta.clone());
+        let alpha = self.config.alpha;
+        let mut changed = 0;
+        let ids: Vec<GateId> = netlist.gate_ids().collect();
+        for &g in ids.iter().rev() {
+            let GateKind::Cell { size: current, .. } = *netlist.gate(g).kind() else {
+                continue;
+            };
+            let mut kept = current;
+            for size in (0..current).rev() {
+                netlist.set_size(g, size);
+                let m = full_engine.analyze(netlist).circuit_moments();
+                if moments_cost(m, alpha) <= cost_budget + 1e-9 {
+                    kept = size;
+                } else {
+                    break;
+                }
+            }
+            netlist.set_size(g, kept);
+            if kept != current {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Evaluates every library size of `g` over its subcircuit with the
+    /// fast engine; returns `(best_size, current_size)`, or `None` if the
+    /// gate has no alternatives.
+    fn best_size_for(
+        &self,
+        netlist: &mut Netlist,
+        g: GateId,
+        boundary: &[vartol_stats::Moments],
+        timing: &vartol_ssta::CircuitTiming,
+        fast_engine: &Fassta<'_>,
+    ) -> Option<(usize, usize)> {
+        let gate = netlist.gate(g);
+        let GateKind::Cell {
+            function,
+            size: current,
+        } = *gate.kind()
+        else {
+            return None;
+        };
+        let arity = gate.fanins().len();
+        let group_len = self.library.group(function, arity)?.len();
+        if group_len <= 1 {
+            return None;
+        }
+
+        let sub = Subcircuit::extract(netlist, g, self.config.subcircuit_depth);
+        let alpha = self.config.alpha;
+
+        let mut best_size = current;
+        let mut best_cost = {
+            let outs = fast_engine.evaluate_subcircuit(netlist, &sub, boundary, timing);
+            subcircuit_cost(&outs, alpha)
+        };
+        for size in 0..group_len {
+            if size == current {
+                continue;
+            }
+            netlist.set_size(g, size);
+            let outs = fast_engine.evaluate_subcircuit(netlist, &sub, boundary, timing);
+            let cost = subcircuit_cost(&outs, alpha);
+            if cost < best_cost - f64::EPSILON * best_cost.abs() {
+                best_cost = cost;
+                best_size = size;
+            }
+        }
+        netlist.set_size(g, current); // trial state rolled back
+        Some((best_size, current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_netlist::generators::{benchmark, parity_tree, ripple_carry_adder};
+    use vartol_ssta::SstaConfig;
+
+    #[test]
+    fn reduces_sigma_on_adder() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(8, &lib);
+        let report = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0)).optimize(&mut n);
+        assert!(
+            report.delta_sigma_pct() < -5.0,
+            "expected meaningful sigma reduction, got {:+.1}%",
+            report.delta_sigma_pct()
+        );
+        assert!(report.delta_area_pct() > 0.0, "variance costs area");
+    }
+
+    #[test]
+    fn higher_alpha_cuts_more_sigma() {
+        // Paper flow: start from a mean-optimized circuit, then compare
+        // operating points. Greedy noise allows a small tolerance.
+        let lib = Library::synthetic_90nm();
+        let mut base = benchmark("c432", &lib).expect("known");
+        let _ = crate::baseline::MeanDelaySizer::new(&lib, SizerConfig::default().ssta)
+            .minimize_delay(&mut base);
+        let mut n3 = base.clone();
+        let mut n9 = base;
+        let r3 = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0)).optimize(&mut n3);
+        let r9 = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(9.0)).optimize(&mut n9);
+        assert!(
+            r3.delta_sigma_pct() < -10.0,
+            "alpha 3 cuts sigma: {:+.1}%",
+            r3.delta_sigma_pct()
+        );
+        assert!(
+            r9.delta_sigma_pct() < -10.0,
+            "alpha 9 cuts sigma: {:+.1}%",
+            r9.delta_sigma_pct()
+        );
+        assert!(
+            r9.final_moments().std() <= r3.final_moments().std() * 1.10,
+            "alpha 9 should reduce sigma at least as much (within greedy noise): {} vs {}",
+            r9.final_moments().std(),
+            r3.final_moments().std()
+        );
+    }
+
+    #[test]
+    fn report_history_is_monotone_in_cost() {
+        let lib = Library::synthetic_90nm();
+        let mut n = parity_tree(32, &lib);
+        let report = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0)).optimize(&mut n);
+        let costs: Vec<f64> = report.passes().iter().map(|p| p.cost).collect();
+        for w in costs.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.000_001,
+                "global cost must not increase across kept passes: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn netlist_state_matches_reported_final_moments() {
+        let lib = Library::synthetic_90nm();
+        let config = SizerConfig::with_alpha(3.0);
+        let mut n = ripple_carry_adder(6, &lib);
+        let report = StatisticalGreedy::new(&lib, config.clone()).optimize(&mut n);
+        let check = FullSsta::new(&lib, config.ssta)
+            .analyze(&n)
+            .circuit_moments();
+        assert!((check.mean - report.final_moments().mean).abs() < 1e-9);
+        assert!((check.var - report.final_moments().var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_pass_budget_is_identity() {
+        let lib = Library::synthetic_90nm();
+        let mut n = parity_tree(8, &lib);
+        let sizes_before = n.sizes();
+        let config = SizerConfig::with_alpha(3.0).with_max_passes(0);
+        let report = StatisticalGreedy::new(&lib, config).optimize(&mut n);
+        assert_eq!(n.sizes(), sizes_before);
+        assert_eq!(report.initial_moments(), report.final_moments());
+        assert!(report.passes().is_empty());
+    }
+
+    #[test]
+    fn alpha_zero_still_terminates_and_never_worsens_cost() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(4, &lib);
+        let report = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(0.0)).optimize(&mut n);
+        // Pure mean optimization through the statistical machinery.
+        assert!(report.final_moments().mean <= report.initial_moments().mean * 1.000_001);
+    }
+
+    #[test]
+    fn delay_budget_is_respected() {
+        let lib = Library::synthetic_90nm();
+        let base = ripple_carry_adder(8, &lib);
+
+        // Unconstrained run for reference.
+        let mut free = base.clone();
+        let r_free = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(9.0)).optimize(&mut free);
+
+        // Budget pinned at the initial mean: the optimizer may not slow
+        // the circuit at all.
+        let budget = r_free.initial_moments().mean;
+        let mut tight = base;
+        let config = SizerConfig::with_alpha(9.0).with_max_mean_delay(budget);
+        let r_tight = StatisticalGreedy::new(&lib, config).optimize(&mut tight);
+        assert!(
+            r_tight.final_moments().mean <= budget + 1e-9,
+            "mean {} must respect budget {budget}",
+            r_tight.final_moments().mean
+        );
+        assert!(r_tight.final_moments().std() <= r_tight.initial_moments().std() * 1.000_001);
+    }
+
+    #[test]
+    fn statistical_area_recovery_shrinks_area_within_budget() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(6, &lib);
+        let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+        let report = sizer.optimize(&mut n);
+        let area_opt = n.total_area(&lib);
+
+        // Allow 5% cost slack: some upsized gates should come back down.
+        let budget = report.final_moments().cost(3.0) * 1.05;
+        let changed = sizer.recover_area(&mut n, budget);
+        let area_recovered = n.total_area(&lib);
+        assert!(area_recovered <= area_opt);
+        // The cost budget is honored after recovery.
+        let check = FullSsta::new(&lib, SizerConfig::default().ssta).analyze(&n);
+        assert!(check.circuit_moments().cost(3.0) <= budget + 1e-6);
+        let _ = changed;
+    }
+
+    #[test]
+    fn respects_pdf_sample_setting() {
+        let lib = Library::synthetic_90nm();
+        let mut n = parity_tree(8, &lib);
+        let config =
+            SizerConfig::with_alpha(3.0).with_ssta(SstaConfig::default().with_pdf_samples(10));
+        let report = StatisticalGreedy::new(&lib, config).optimize(&mut n);
+        assert!(report.final_moments().std() <= report.initial_moments().std() * 1.000_001);
+    }
+}

@@ -1,0 +1,58 @@
+//! # vartol-core
+//!
+//! The paper's primary contribution: **StatisticalGreedy**, a gain-based
+//! gate sizing algorithm that reduces the performance *variance* of a
+//! technology-mapped circuit under process variation (Neiroukh & Song,
+//! DATE 2005, §4).
+//!
+//! The algorithm (paper Fig. 2):
+//!
+//! ```text
+//! repeat {
+//!     FULLSSTA                       // accurate outer analysis
+//!     trace critical (WNSS) path
+//!     foreach g on WNSS path {
+//!         extract subcircuit S around g (2 levels of fanin/fanout)
+//!         foreach size I of g {
+//!             evaluate Cost(S) with FASSTA    // fast inner engine
+//!             keep the best size
+//!         }
+//!         schedule g for resizing if a better size was found
+//!     }
+//!     resize scheduled gates
+//! } until constraints met or no further improvement
+//! ```
+//!
+//! with the subcircuit cost (eq. 7) `Cost(Oᵢ) = μᵢ + α·σᵢ` maximized over
+//! the subcircuit outputs. The weight `α` is the user's μ/σ tradeoff knob:
+//! the paper reports results at α = 3 and α = 9, and Fig. 4 sweeps it.
+//!
+//! The crate also provides the deterministic [`baseline::MeanDelaySizer`]
+//! that produces the paper's "original" comparison point (a circuit sized
+//! to minimize nominal delay), plus its area-recovery pass.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_liberty::Library;
+//! use vartol_netlist::generators::ripple_carry_adder;
+//! use vartol_core::{SizerConfig, StatisticalGreedy};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let mut netlist = ripple_carry_adder(8, &lib);
+//! let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+//! let report = sizer.optimize(&mut netlist);
+//! assert!(report.final_moments().std() <= report.initial_moments().std());
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod cost;
+pub mod greedy;
+pub mod report;
+
+pub use baseline::MeanDelaySizer;
+pub use config::{PathSelection, SizerConfig};
+pub use cost::{moments_cost, subcircuit_cost};
+pub use greedy::StatisticalGreedy;
+pub use report::{OptimizationReport, PassStats};

@@ -1,0 +1,220 @@
+//! Optimization result reporting — the quantities in the paper's Table 1.
+
+use std::time::Duration;
+use vartol_stats::Moments;
+
+/// Per-pass progress of the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PassStats {
+    /// Outer-iteration index (0-based).
+    pub pass: usize,
+    /// Circuit moments at the *start* of the pass (FULLSSTA).
+    pub circuit: Moments,
+    /// Global cost `μ + α·σ` at the start of the pass.
+    pub cost: f64,
+    /// Total area at the start of the pass.
+    pub area: f64,
+    /// Number of gates rescheduled to a new size in this pass.
+    pub resized: usize,
+}
+
+/// Summary of one optimization run: the before/after circuit statistics
+/// and area, plus per-pass history — everything needed to print one row of
+/// the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OptimizationReport {
+    alpha: f64,
+    initial: Moments,
+    final_moments: Moments,
+    initial_area: f64,
+    final_area: f64,
+    passes: Vec<PassStats>,
+    #[serde(skip)]
+    runtime: Duration,
+}
+
+impl OptimizationReport {
+    /// Assembles a report.
+    #[must_use]
+    pub fn new(
+        alpha: f64,
+        initial: Moments,
+        final_moments: Moments,
+        initial_area: f64,
+        final_area: f64,
+        passes: Vec<PassStats>,
+        runtime: Duration,
+    ) -> Self {
+        Self {
+            alpha,
+            initial,
+            final_moments,
+            initial_area,
+            final_area,
+            passes,
+            runtime,
+        }
+    }
+
+    /// The σ weight the run used.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Circuit moments before optimization.
+    #[must_use]
+    pub fn initial_moments(&self) -> Moments {
+        self.initial
+    }
+
+    /// Circuit moments after optimization.
+    #[must_use]
+    pub fn final_moments(&self) -> Moments {
+        self.final_moments
+    }
+
+    /// Total area before optimization.
+    #[must_use]
+    pub fn initial_area(&self) -> f64 {
+        self.initial_area
+    }
+
+    /// Total area after optimization.
+    #[must_use]
+    pub fn final_area(&self) -> f64 {
+        self.final_area
+    }
+
+    /// Per-pass history.
+    #[must_use]
+    pub fn passes(&self) -> &[PassStats] {
+        &self.passes
+    }
+
+    /// Wall-clock optimization time.
+    #[must_use]
+    pub fn runtime(&self) -> Duration {
+        self.runtime
+    }
+
+    /// Percent change in mean delay (Table 1's `Δμ %`; positive = slower).
+    #[must_use]
+    pub fn delta_mean_pct(&self) -> f64 {
+        100.0 * (self.final_moments.mean - self.initial.mean) / self.initial.mean
+    }
+
+    /// Percent change in standard deviation (Table 1's `Δσ %`;
+    /// negative = variance reduced).
+    #[must_use]
+    pub fn delta_sigma_pct(&self) -> f64 {
+        let s0 = self.initial.std();
+        if s0 == 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.final_moments.std() - s0) / s0
+    }
+
+    /// Percent change in area (Table 1's `ΔA %`).
+    #[must_use]
+    pub fn delta_area_pct(&self) -> f64 {
+        100.0 * (self.final_area - self.initial_area) / self.initial_area
+    }
+
+    /// σ/μ before optimization (Table 1's "original" column).
+    #[must_use]
+    pub fn sigma_over_mu_before(&self) -> f64 {
+        self.initial.sigma_over_mu()
+    }
+
+    /// σ/μ after optimization.
+    #[must_use]
+    pub fn sigma_over_mu_after(&self) -> f64 {
+        self.final_moments.sigma_over_mu()
+    }
+}
+
+impl std::fmt::Display for OptimizationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "α={}: μ {:+.1}%, σ {:+.1}%, σ/μ {:.4} → {:.4}, area {:+.1}%, {} passes, {:.2?}",
+            self.alpha,
+            self.delta_mean_pct(),
+            self.delta_sigma_pct(),
+            self.sigma_over_mu_before(),
+            self.sigma_over_mu_after(),
+            self.delta_area_pct(),
+            self.passes.len(),
+            self.runtime
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OptimizationReport {
+        OptimizationReport::new(
+            3.0,
+            Moments::from_mean_std(100.0, 10.0),
+            Moments::from_mean_std(104.0, 4.0),
+            1000.0,
+            1150.0,
+            vec![PassStats {
+                pass: 0,
+                circuit: Moments::from_mean_std(100.0, 10.0),
+                cost: 130.0,
+                area: 1000.0,
+                resized: 12,
+            }],
+            Duration::from_millis(250),
+        )
+    }
+
+    #[test]
+    fn percent_changes() {
+        let r = sample();
+        assert!((r.delta_mean_pct() - 4.0).abs() < 1e-12);
+        assert!((r.delta_sigma_pct() + 60.0).abs() < 1e-12);
+        assert!((r.delta_area_pct() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_over_mu_columns() {
+        let r = sample();
+        assert!((r.sigma_over_mu_before() - 0.1).abs() < 1e-12);
+        assert!((r.sigma_over_mu_after() - 4.0 / 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let r = sample();
+        assert_eq!(r.alpha(), 3.0);
+        assert_eq!(r.passes().len(), 1);
+        assert_eq!(r.passes()[0].resized, 12);
+        assert_eq!(r.runtime(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn zero_initial_sigma_is_handled() {
+        let r = OptimizationReport::new(
+            3.0,
+            Moments::deterministic(100.0),
+            Moments::deterministic(100.0),
+            10.0,
+            10.0,
+            vec![],
+            Duration::ZERO,
+        );
+        assert_eq!(r.delta_sigma_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("α=3"));
+        assert!(s.contains("area"));
+    }
+}

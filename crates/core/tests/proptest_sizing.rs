@@ -1,0 +1,76 @@
+//! Property-based tests of the optimizers over random circuits.
+
+use proptest::prelude::*;
+use vartol_core::{MeanDelaySizer, SizerConfig, StatisticalGreedy};
+use vartol_liberty::Library;
+use vartol_netlist::generators::{random_dag, RandomDagConfig};
+use vartol_ssta::{Dsta, SstaConfig};
+
+fn dag_config() -> impl Strategy<Value = (RandomDagConfig, u64)> {
+    (2usize..8, 10usize..60, 3usize..20, any::<u64>()).prop_map(|(inputs, gates, window, seed)| {
+        (
+            RandomDagConfig {
+                inputs,
+                gates,
+                window,
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn statistical_greedy_never_worsens_cost(
+        (cfg, seed) in dag_config(),
+        alpha in 0.0f64..12.0,
+    ) {
+        let lib = Library::synthetic_90nm();
+        let mut n = random_dag(cfg, seed, &lib);
+        let config = SizerConfig::with_alpha(alpha);
+        let report = StatisticalGreedy::new(&lib, config).optimize(&mut n);
+        let before = report.initial_moments().cost(alpha);
+        let after = report.final_moments().cost(alpha);
+        prop_assert!(after <= before * (1.0 + 1e-9), "cost {before} -> {after}");
+        // The netlist always stays library-valid.
+        prop_assert!(n.validate_against_library(&lib).is_ok());
+    }
+
+    #[test]
+    fn pass_history_cost_monotone((cfg, seed) in dag_config()) {
+        let lib = Library::synthetic_90nm();
+        let mut n = random_dag(cfg, seed, &lib);
+        let report = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0)).optimize(&mut n);
+        let costs: Vec<f64> = report.passes().iter().map(|p| p.cost).collect();
+        for w in costs.windows(2) {
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-9), "history {costs:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_never_worsens_delay((cfg, seed) in dag_config()) {
+        let lib = Library::synthetic_90nm();
+        let mut n = random_dag(cfg, seed, &lib);
+        let config = SstaConfig::default();
+        let report = MeanDelaySizer::new(&lib, config.clone()).minimize_delay(&mut n);
+        prop_assert!(report.final_delay <= report.initial_delay * (1.0 + 1e-9));
+        // The reported final delay matches the netlist state.
+        let check = Dsta::new(&lib, config).analyze(&n).max_delay();
+        prop_assert!((check - report.final_delay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_recovery_respects_constraint((cfg, seed) in dag_config(), slack in 1.0f64..1.5) {
+        let lib = Library::synthetic_90nm();
+        let mut n = random_dag(cfg, seed, &lib);
+        let config = SstaConfig::default();
+        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let report = sizer.minimize_delay(&mut n);
+        let target = report.final_delay * slack;
+        let _ = sizer.recover_area(&mut n, target);
+        let after = Dsta::new(&lib, config).analyze(&n).max_delay();
+        prop_assert!(after <= target + 1e-6, "{after} vs target {target}");
+    }
+}

@@ -1,0 +1,241 @@
+//! A single library cell: one logic function at one drive strength.
+
+use crate::function::LogicFunction;
+use crate::nldm::LookupTable2d;
+
+/// One standard cell: a logic function at a specific drive strength, with
+/// its timing tables, area, and input capacitance.
+///
+/// Delays are in picoseconds; capacitance in normalized "unit loads" where
+/// the X1 inverter input pin is 1.0; area in normalized units where the X1
+/// inverter is 1.0.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+///
+/// let lib = Library::synthetic_90nm();
+/// let inv = lib.cell_by_name("NOT_X1").expect("X1 inverter exists");
+/// // Delay grows with output load.
+/// assert!(inv.delay(20.0, 8.0) > inv.delay(20.0, 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Cell {
+    name: String,
+    function: LogicFunction,
+    arity: usize,
+    drive_index: usize,
+    drive: f64,
+    area: f64,
+    input_cap: f64,
+    delay_table: LookupTable2d,
+    slew_table: LookupTable2d,
+}
+
+impl Cell {
+    /// Assembles a cell from its components. Intended for library builders;
+    /// most users obtain cells from [`crate::Library`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is unsupported by the function, or if `drive`,
+    /// `area`, or `input_cap` are not strictly positive.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: String,
+        function: LogicFunction,
+        arity: usize,
+        drive_index: usize,
+        drive: f64,
+        area: f64,
+        input_cap: f64,
+        delay_table: LookupTable2d,
+        slew_table: LookupTable2d,
+    ) -> Self {
+        assert!(
+            function.supports_arity(arity),
+            "{function:?} does not support arity {arity}"
+        );
+        assert!(drive > 0.0, "drive strength must be positive");
+        assert!(area > 0.0, "area must be positive");
+        assert!(input_cap > 0.0, "input capacitance must be positive");
+        Self {
+            name,
+            function,
+            arity,
+            drive_index,
+            drive,
+            area,
+            input_cap,
+            delay_table,
+            slew_table,
+        }
+    }
+
+    /// The cell name, e.g. `NAND2_X4`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The boolean function.
+    #[must_use]
+    pub fn function(&self) -> LogicFunction {
+        self.function
+    }
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Zero-based index of this cell within its size ladder (0 = smallest).
+    #[must_use]
+    pub fn drive_index(&self) -> usize {
+        self.drive_index
+    }
+
+    /// The drive-strength multiplier (X1 = 1.0).
+    #[must_use]
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+
+    /// Cell area in normalized units.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Capacitance presented by each input pin, in unit loads.
+    #[must_use]
+    pub fn input_cap(&self) -> f64 {
+        self.input_cap
+    }
+
+    /// Nominal pin-to-output delay (ps) for the given input slew (ps) and
+    /// output load (unit loads), from the NLDM table.
+    #[must_use]
+    pub fn delay(&self, input_slew: f64, load: f64) -> f64 {
+        self.delay_table.lookup(input_slew, load)
+    }
+
+    /// Output slew (ps) for the given input slew and output load.
+    #[must_use]
+    pub fn output_slew(&self, input_slew: f64, load: f64) -> f64 {
+        self.slew_table.lookup(input_slew, load)
+    }
+
+    /// Evaluates the cell's boolean function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity, "input count must match arity");
+        self.function.eval(inputs)
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (area {:.2}, cap {:.2})",
+            self.name, self.area, self.input_cap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(c: f64) -> LookupTable2d {
+        LookupTable2d::from_fn(vec![10.0, 40.0], vec![1.0, 16.0], move |s, l| {
+            c + 0.1 * s + l
+        })
+    }
+
+    fn cell() -> Cell {
+        Cell::new(
+            "NAND2_X2".into(),
+            LogicFunction::Nand,
+            2,
+            1,
+            2.0,
+            2.5,
+            1.3,
+            table(5.0),
+            table(2.0),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let c = cell();
+        assert_eq!(c.name(), "NAND2_X2");
+        assert_eq!(c.function(), LogicFunction::Nand);
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.drive_index(), 1);
+        assert_eq!(c.drive(), 2.0);
+        assert_eq!(c.area(), 2.5);
+        assert_eq!(c.input_cap(), 1.3);
+    }
+
+    #[test]
+    fn delay_and_slew_lookups() {
+        let c = cell();
+        assert!((c.delay(10.0, 1.0) - 7.0).abs() < 1e-12);
+        assert!((c.output_slew(10.0, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_uses_function() {
+        let c = cell();
+        assert!(!c.eval(&[true, true]));
+        assert!(c.eval(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input count must match arity")]
+    fn eval_wrong_arity_panics() {
+        let _ = cell().eval(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support arity")]
+    fn bad_arity_panics() {
+        let _ = Cell::new(
+            "INV_X1".into(),
+            LogicFunction::Inv,
+            2,
+            0,
+            1.0,
+            1.0,
+            1.0,
+            table(1.0),
+            table(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drive strength must be positive")]
+    fn zero_drive_panics() {
+        let _ = Cell::new(
+            "INV_X0".into(),
+            LogicFunction::Inv,
+            1,
+            0,
+            0.0,
+            1.0,
+            1.0,
+            table(1.0),
+            table(1.0),
+        );
+    }
+}

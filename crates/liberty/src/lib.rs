@@ -1,0 +1,50 @@
+//! # vartol-liberty
+//!
+//! A synthetic lookup-table (NLDM-style) standard-cell library with discrete
+//! drive strengths, playing the role of the "industrial 90nm lookup-table
+//! based standard cell library with 6-8 sizes per gate type" used in the
+//! DATE'05 paper's evaluation (§5).
+//!
+//! The library exposes exactly what statistical gate sizing consumes:
+//!
+//! * per-cell **delay** as a function of input slew and output load,
+//!   interpolated from 2-D tables ([`nldm::LookupTable2d`]),
+//! * per-cell **area** and **input capacitance** (bigger drives cost area
+//!   and load their fanins harder — the effect the paper points out when
+//!   explaining why upsizing near outputs slows predecessor gates),
+//! * a discrete ladder of **drive strengths** per logic function
+//!   ([`CellGroup`]), the optimizer's decision space,
+//! * a **process-variation model** ([`variation::VariationModel`]) adding
+//!   the paper's two components to each nominal delay: one proportional to
+//!   the delay through the gate (shrinking with device size) and one random
+//!   unsystematic source.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_liberty::{Library, LogicFunction};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let group = lib.group(LogicFunction::Nand, 2).expect("NAND2 exists");
+//! assert!(group.len() >= 6, "paper: 6-8 sizes per gate type");
+//!
+//! // Bigger drives are faster under load but present more input cap.
+//! let small = group.cell(0);
+//! let big = group.cell(group.len() - 1);
+//! let load = 8.0;
+//! assert!(big.delay(20.0, load) < small.delay(20.0, load));
+//! assert!(big.input_cap() > small.input_cap());
+//! assert!(big.area() > small.area());
+//! ```
+
+pub mod cell;
+pub mod function;
+pub mod library;
+pub mod nldm;
+pub mod variation;
+
+pub use cell::Cell;
+pub use function::LogicFunction;
+pub use library::{CellGroup, Library};
+pub use nldm::LookupTable2d;
+pub use variation::VariationModel;

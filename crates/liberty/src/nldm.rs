@@ -1,0 +1,206 @@
+//! Two-dimensional lookup tables with bilinear interpolation — the
+//! non-linear delay model (NLDM) representation used by lookup-table based
+//! standard-cell libraries like the one in the paper's evaluation.
+
+/// A 2-D lookup table indexed by input slew (rows) and output load
+/// (columns), with bilinear interpolation inside the grid and clamped
+/// linear extrapolation outside it.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::LookupTable2d;
+///
+/// let t = LookupTable2d::from_fn(
+///     vec![10.0, 20.0],
+///     vec![1.0, 2.0],
+///     |slew, load| slew + load,
+/// );
+/// assert!((t.lookup(15.0, 1.5) - 16.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LookupTable2d {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// `values[i][j]` = value at `slew_axis[i]`, `load_axis[j]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl LookupTable2d {
+    /// Creates a table from explicit axes and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing, or if the
+    /// value grid does not match the axis dimensions.
+    #[must_use]
+    pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
+        assert!(!slew_axis.is_empty(), "slew axis must be non-empty");
+        assert!(!load_axis.is_empty(), "load axis must be non-empty");
+        assert!(
+            slew_axis.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_axis.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        assert_eq!(
+            values.len(),
+            slew_axis.len(),
+            "row count must match slew axis"
+        );
+        for row in &values {
+            assert_eq!(
+                row.len(),
+                load_axis.len(),
+                "column count must match load axis"
+            );
+        }
+        Self {
+            slew_axis,
+            load_axis,
+            values,
+        }
+    }
+
+    /// Creates a table by sampling `f(slew, load)` on the given axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same axis conditions as [`LookupTable2d::new`].
+    #[must_use]
+    pub fn from_fn<F: Fn(f64, f64) -> f64>(slew_axis: Vec<f64>, load_axis: Vec<f64>, f: F) -> Self {
+        let values = slew_axis
+            .iter()
+            .map(|&s| load_axis.iter().map(|&l| f(s, l)).collect())
+            .collect();
+        Self::new(slew_axis, load_axis, values)
+    }
+
+    /// The slew (row) axis.
+    #[must_use]
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The load (column) axis.
+    #[must_use]
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// Bilinear interpolation at `(slew, load)`, with linear extrapolation
+    /// using the boundary segment slope outside the grid. With a single
+    /// axis point in a dimension, that dimension is treated as constant.
+    #[must_use]
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (i0, i1, ts) = Self::bracket(&self.slew_axis, slew);
+        let (j0, j1, tl) = Self::bracket(&self.load_axis, load);
+        let v00 = self.values[i0][j0];
+        let v01 = self.values[i0][j1];
+        let v10 = self.values[i1][j0];
+        let v11 = self.values[i1][j1];
+        let v0 = v00 + (v01 - v00) * tl;
+        let v1 = v10 + (v11 - v10) * tl;
+        v0 + (v1 - v0) * ts
+    }
+
+    /// Finds the bracketing indices and the interpolation parameter for `x`
+    /// on `axis`. The parameter may lie outside `[0,1]` for extrapolation.
+    fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+        let n = axis.len();
+        if n == 1 {
+            return (0, 0, 0.0);
+        }
+        // Index of the segment [i, i+1] to use: interior segment containing
+        // x, or the first/last segment for extrapolation.
+        let seg = match axis.iter().position(|&a| x < a) {
+            Some(0) => 0,
+            Some(i) => i - 1,
+            None => n - 2,
+        };
+        let (a, b) = (axis[seg], axis[seg + 1]);
+        (seg, seg + 1, (x - a) / (b - a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_table() -> LookupTable2d {
+        LookupTable2d::from_fn(
+            vec![5.0, 10.0, 20.0, 40.0],
+            vec![1.0, 2.0, 4.0, 8.0, 16.0],
+            |s, l| 3.0 + 0.2 * s + 1.5 * l,
+        )
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let t = linear_table();
+        for &s in t.slew_axis().to_vec().iter() {
+            for &l in t.load_axis().to_vec().iter() {
+                assert!((t.lookup(s, l) - (3.0 + 0.2 * s + 1.5 * l)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_reproduces_linear_functions_everywhere() {
+        let t = linear_table();
+        for &(s, l) in &[(7.3, 1.4), (12.0, 5.5), (33.0, 12.0), (5.0, 16.0)] {
+            assert!(
+                (t.lookup(s, l) - (3.0 + 0.2 * s + 1.5 * l)).abs() < 1e-9,
+                "at ({s},{l})"
+            );
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_linear_continuation() {
+        let t = linear_table();
+        // Outside the grid on both ends.
+        for &(s, l) in &[(1.0, 0.5), (60.0, 32.0), (1.0, 32.0), (60.0, 0.5)] {
+            assert!(
+                (t.lookup(s, l) - (3.0 + 0.2 * s + 1.5 * l)).abs() < 1e-9,
+                "at ({s},{l})"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_surface_interpolates_between_grid() {
+        let t = LookupTable2d::from_fn(vec![0.0, 10.0], vec![0.0, 10.0], |s, l| s * l);
+        // Bilinear on product function is exact for this 2x2 grid.
+        assert!((t.lookup(5.0, 5.0) - 25.0).abs() < 1e-12);
+        assert!((t.lookup(2.0, 8.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_axis_is_constant() {
+        let t = LookupTable2d::new(vec![10.0], vec![1.0, 2.0], vec![vec![7.0, 9.0]]);
+        assert!((t.lookup(999.0, 1.5) - 8.0).abs() < 1e-12);
+        let t2 = LookupTable2d::new(vec![1.0, 2.0], vec![10.0], vec![vec![7.0], vec![9.0]]);
+        assert!((t2.lookup(1.5, -3.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_axis_panics() {
+        let _ = LookupTable2d::new(vec![2.0, 1.0], vec![1.0], vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn wrong_rows_panics() {
+        let _ = LookupTable2d::new(vec![1.0, 2.0], vec![1.0], vec![vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn wrong_cols_panics() {
+        let _ = LookupTable2d::new(vec![1.0], vec![1.0, 2.0], vec![vec![0.0]]);
+    }
+}

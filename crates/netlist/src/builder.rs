@@ -1,0 +1,235 @@
+//! Safe incremental construction of netlists.
+
+use crate::error::NetlistError;
+use crate::graph::{Gate, GateId, GateKind, Netlist};
+use std::collections::HashMap;
+use vartol_liberty::LogicFunction;
+
+/// Builds a [`Netlist`] node by node.
+///
+/// Because a gate can only reference [`GateId`]s already handed out, the
+/// resulting node order is topological by construction and cycles are
+/// impossible. [`build`](NetlistBuilder::build) validates names, arities,
+/// and the presence of inputs and outputs.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::LogicFunction;
+/// use vartol_netlist::NetlistBuilder;
+///
+/// # fn main() -> Result<(), vartol_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("mux");
+/// let s = b.input("sel");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let ns = b.gate("ns", LogicFunction::Inv, &[s]);
+/// let t0 = b.gate("t0", LogicFunction::And, &[a, s]);
+/// let t1 = b.gate("t1", LogicFunction::And, &[c, ns]);
+/// let y = b.gate("y", LogicFunction::Or, &[t0, t1]);
+/// b.mark_output(y);
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.gate_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<Gate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    name_index: HashMap<String, GateId>,
+    errors: Vec<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new netlist with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            name_index: HashMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, name: String, kind: GateKind, fanins: Vec<GateId>) -> GateId {
+        let id = GateId::new(self.nodes.len());
+        if self.name_index.insert(name.clone(), id).is_some() {
+            self.errors.push(NetlistError::DuplicateName(name.clone()));
+        }
+        for &f in &fanins {
+            self.nodes[f.index()].push_fanout(id);
+        }
+        self.nodes.push(Gate::new(name, kind, fanins));
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> GateId {
+        let id = self.add_node(name.into(), GateKind::Input, Vec::new());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate at the smallest library size. The arity is the number of
+    /// fanins; arity validity is checked at [`build`](NetlistBuilder::build).
+    pub fn gate(
+        &mut self,
+        name: impl Into<String>,
+        function: LogicFunction,
+        fanins: &[GateId],
+    ) -> GateId {
+        let name = name.into();
+        if !function.supports_arity(fanins.len()) {
+            self.errors.push(NetlistError::BadArity {
+                gate: name.clone(),
+                function,
+                arity: fanins.len(),
+            });
+        }
+        self.add_node(name, GateKind::Cell { function, size: 0 }, fanins.to_vec())
+    }
+
+    /// Marks a node as a primary output. Marking the same node twice is
+    /// idempotent.
+    pub fn mark_output(&mut self, id: GateId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accumulated construction error, or
+    /// [`NetlistError::NoInputs`] / [`NetlistError::NoOutputs`] if the
+    /// netlist is degenerate.
+    pub fn build(mut self) -> Result<Netlist, NetlistError> {
+        if let Some(e) = self.errors.drain(..).next() {
+            return Err(e);
+        }
+        if self.inputs.is_empty() {
+            return Err(NetlistError::NoInputs);
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        Ok(Netlist::from_parts(
+            self.name,
+            self.nodes,
+            self.inputs,
+            self.outputs,
+            self.name_index,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_netlist() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", LogicFunction::Inv, &[a]);
+        b.mark_output(g);
+        let n = b.build().expect("valid");
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("x");
+        let g = b.gate("x", LogicFunction::Inv, &[a]);
+        b.mark_output(g);
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::DuplicateName("x".into())
+        );
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.gate("g", LogicFunction::Inv, &[a, c]);
+        b.mark_output(g);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::BadArity { arity: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_outputs_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let _ = b.gate("g", LogicFunction::Inv, &[a]);
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn missing_inputs_rejected() {
+        let b = NetlistBuilder::new("t");
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoInputs);
+    }
+
+    #[test]
+    fn mark_output_idempotent() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", LogicFunction::Inv, &[a]);
+        b.mark_output(g);
+        b.mark_output(g);
+        let n = b.build().expect("valid");
+        assert_eq!(n.output_count(), 1);
+    }
+
+    #[test]
+    fn inputs_can_be_outputs_via_buffer() {
+        // Feedthrough: model as a buffer gate (inputs themselves are not
+        // markable as outputs in .bench terms, but the graph allows it).
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", LogicFunction::Buf, &[a]);
+        b.mark_output(g);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn node_count_tracks_additions() {
+        let mut b = NetlistBuilder::new("t");
+        assert_eq!(b.node_count(), 0);
+        let a = b.input("a");
+        assert_eq!(b.node_count(), 1);
+        let _ = b.gate("g", LogicFunction::Inv, &[a]);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn fanout_multiplicity_preserved() {
+        // A gate using the same signal on two pins records it twice.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", LogicFunction::Nand, &[a, a]);
+        b.mark_output(g);
+        let n = b.build().expect("valid");
+        assert_eq!(n.gate(a).fanouts().len(), 2);
+        assert_eq!(n.gate(g).fanins(), &[a, a]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ripple-carry adders and adder/comparator datapaths (c7552 analogue).
+
+use super::blocks::{emit_ripple_adder, emit_tree};
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Generates a `width`-bit ripple-carry adder.
+///
+/// Inputs (little-endian): `a0..a{w-1}`, `b0..b{w-1}`, `cin`.
+/// Outputs: `s0..s{w-1}` (sum) and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or the netlist fails library validation.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::ripple_carry_adder;
+/// use vartol_netlist::sim::{simulate, u64_to_bits, bits_to_u64};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = ripple_carry_adder(8, &lib);
+/// let mut inputs = u64_to_bits(100, 8);
+/// inputs.extend(u64_to_bits(57, 8));
+/// inputs.push(false); // cin
+/// let out = simulate(&n, &inputs);
+/// assert_eq!(bits_to_u64(&out), 157);
+/// ```
+#[must_use]
+pub fn ripple_carry_adder(width: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("rca{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let (sums, cout) = emit_ripple_adder(&mut b, "add", &a, &x, cin, true);
+    for s in &sums {
+        b.mark_output(*s);
+    }
+    b.mark_output(cout);
+    finish(b, library)
+}
+
+/// Generates a c7552-style datapath: `copies` independent slices, each a
+/// `width`-bit adder feeding an equality comparator against the third
+/// operand plus a parity check of the sum.
+///
+/// Per slice inputs: `a`, `b` (added), `c` (compared against the sum).
+/// Per slice outputs: sum bits, carry-out, `eq` (sum == c), `par` (parity
+/// of the sum).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `copies == 0`.
+#[must_use]
+pub fn adder_comparator_datapath(width: usize, copies: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "datapath width must be positive");
+    assert!(copies > 0, "need at least one slice");
+    let mut b = NetlistBuilder::new(format!("datapath{width}x{copies}"));
+    for k in 0..copies {
+        let a: Vec<GateId> = (0..width).map(|i| b.input(format!("u{k}_a{i}"))).collect();
+        let x: Vec<GateId> = (0..width).map(|i| b.input(format!("u{k}_b{i}"))).collect();
+        let c: Vec<GateId> = (0..width).map(|i| b.input(format!("u{k}_c{i}"))).collect();
+        let cin = b.input(format!("u{k}_cin"));
+
+        let (sums, cout) = emit_ripple_adder(&mut b, &format!("u{k}_add"), &a, &x, cin, true);
+
+        // Equality: XNOR each sum bit with c, AND-reduce.
+        let eq_bits: Vec<GateId> = sums
+            .iter()
+            .zip(&c)
+            .enumerate()
+            .map(|(i, (&s, &ci))| b.gate(format!("u{k}_eq{i}"), LogicFunction::Xnor, &[s, ci]))
+            .collect();
+        let eq = emit_tree(&mut b, &format!("u{k}_eqt"), LogicFunction::And, &eq_bits);
+
+        // Parity of the sum.
+        let par = emit_tree(&mut b, &format!("u{k}_part"), LogicFunction::Xor, &sums);
+
+        for s in &sums {
+            b.mark_output(*s);
+        }
+        b.mark_output(cout);
+        b.mark_output(eq);
+        b.mark_output(par);
+    }
+    finish(b, library)
+}
+
+fn finish(b: NetlistBuilder, library: &Library) -> Netlist {
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_to_u64, simulate, u64_to_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn add_inputs(a: u64, b: u64, cin: bool, w: usize) -> Vec<bool> {
+        let mut v = u64_to_bits(a, w);
+        v.extend(u64_to_bits(b, w));
+        v.push(cin);
+        v
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(4, &lib);
+        for a in 0u64..16 {
+            for b2 in 0u64..16 {
+                for cin in [false, true] {
+                    let out = simulate(&n, &add_inputs(a, b2, cin, 4));
+                    let want = a + b2 + u64::from(cin);
+                    assert_eq!(bits_to_u64(&out), want, "{a}+{b2}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_random_16bit() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(16, &lib);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..=u64::from(u16::MAX));
+            let b2 = rng.gen_range(0..=u64::from(u16::MAX));
+            let out = simulate(&n, &add_inputs(a, b2, false, 16));
+            assert_eq!(bits_to_u64(&out), a + b2);
+        }
+    }
+
+    #[test]
+    fn adder_structure() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        assert_eq!(n.input_count(), 17);
+        assert_eq!(n.output_count(), 9);
+        assert_eq!(n.gate_count(), 5 * 8, "expanded FA is 5 gates per bit");
+        assert!(n.depth() >= 8, "carry ripples");
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn datapath_slices_are_independent_and_correct() {
+        let lib = Library::synthetic_90nm();
+        let w = 6;
+        let n = adder_comparator_datapath(w, 2, &lib);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let mut inputs = Vec::new();
+            let mut wants = Vec::new();
+            for _ in 0..2 {
+                let a = rng.gen_range(0..(1u64 << w));
+                let b2 = rng.gen_range(0..(1u64 << w));
+                // Half the time force the comparison to match.
+                let c = if rng.gen() {
+                    (a + b2) & ((1 << w) - 1)
+                } else {
+                    rng.gen_range(0..(1u64 << w))
+                };
+                inputs.extend(u64_to_bits(a, w));
+                inputs.extend(u64_to_bits(b2, w));
+                inputs.extend(u64_to_bits(c, w));
+                inputs.push(false);
+                let sum = a + b2;
+                let low = sum & ((1 << w) - 1);
+                wants.push((low, sum >> w == 1, low == c, (low.count_ones() % 2) == 1));
+            }
+            let out = simulate(&n, &inputs);
+            let per = w + 3;
+            for (k, (low, cout, eq, par)) in wants.iter().enumerate() {
+                let o = &out[k * per..(k + 1) * per];
+                assert_eq!(bits_to_u64(&o[..w]), *low);
+                assert_eq!(o[w], *cout);
+                assert_eq!(o[w + 1], *eq);
+                assert_eq!(o[w + 2], *par);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adder width must be positive")]
+    fn zero_width_panics() {
+        let _ = ripple_carry_adder(0, &Library::synthetic_90nm());
+    }
+}

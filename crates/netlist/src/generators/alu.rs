@@ -1,0 +1,384 @@
+//! ALU generators — analogues of the paper's `alu1`-`alu3` circuits and
+//! of the ALU-based ISCAS circuits (c880, c3540, c5315).
+
+use super::blocks::{emit_mux2, emit_ripple_adder, emit_tree};
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// The operation encoding of the generated ALU: `(op1, op0)` selects one of
+/// four functions of the operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// `(0,0)` — `a + b + cin`.
+    Add,
+    /// `(0,1)` — bitwise AND.
+    And,
+    /// `(1,0)` — bitwise OR.
+    Or,
+    /// `(1,1)` — bitwise XOR.
+    Xor,
+}
+
+impl AluOp {
+    /// The `(op1, op0)` control bits for this operation.
+    #[must_use]
+    pub fn control_bits(self) -> (bool, bool) {
+        match self {
+            Self::Add => (false, false),
+            Self::And => (false, true),
+            Self::Or => (true, false),
+            Self::Xor => (true, true),
+        }
+    }
+
+    /// Golden-model evaluation on `width`-bit operands (result truncated
+    /// to `width` bits; `Add` includes `cin`).
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64, cin: bool, width: usize) -> u64 {
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        (match self {
+            Self::Add => a.wrapping_add(b).wrapping_add(u64::from(cin)),
+            Self::And => a & b,
+            Self::Or => a | b,
+            Self::Xor => a ^ b,
+        }) & mask
+    }
+}
+
+/// Emits the ALU core into `b` under `prefix`; returns the result bits and
+/// the adder's carry-out.
+fn emit_alu_core(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    a: &[GateId],
+    x: &[GateId],
+    cin: GateId,
+    op0: GateId,
+    op1: GateId,
+) -> (Vec<GateId>, GateId) {
+    let width = a.len();
+    let nop0 = b.gate(format!("{prefix}_nop0"), LogicFunction::Inv, &[op0]);
+    let nop1 = b.gate(format!("{prefix}_nop1"), LogicFunction::Inv, &[op1]);
+
+    let (add_bits, cout) = emit_ripple_adder(b, &format!("{prefix}_add"), a, x, cin, true);
+
+    let mut result = Vec::with_capacity(width);
+    for i in 0..width {
+        let and_i = b.gate(
+            format!("{prefix}_and{i}"),
+            LogicFunction::And,
+            &[a[i], x[i]],
+        );
+        let or_i = b.gate(format!("{prefix}_or{i}"), LogicFunction::Or, &[a[i], x[i]]);
+        let xor_i = b.gate(
+            format!("{prefix}_xor{i}"),
+            LogicFunction::Xor,
+            &[a[i], x[i]],
+        );
+        // op1 = 0: add/and by op0; op1 = 1: or/xor by op0.
+        let lo = emit_mux2(
+            b,
+            &format!("{prefix}_mlo{i}"),
+            and_i,
+            add_bits[i],
+            op0,
+            nop0,
+        );
+        let hi = emit_mux2(b, &format!("{prefix}_mhi{i}"), xor_i, or_i, op0, nop0);
+        result.push(emit_mux2(b, &format!("{prefix}_mr{i}"), hi, lo, op1, nop1));
+    }
+    (result, cout)
+}
+
+/// Generates a `width`-bit 4-function ALU (add/and/or/xor).
+///
+/// Inputs: `a0..`, `b0..`, `cin`, `op0`, `op1`. Outputs: `r0..r{w-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::{alu, AluOp};
+/// use vartol_netlist::sim::{simulate, u64_to_bits, bits_to_u64};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = alu(4, &lib);
+/// let mut inputs = u64_to_bits(9, 4);
+/// inputs.extend(u64_to_bits(5, 4));
+/// inputs.push(false); // cin
+/// let (op1, op0) = AluOp::Xor.control_bits();
+/// inputs.push(op0);
+/// inputs.push(op1);
+/// let out = simulate(&n, &inputs);
+/// assert_eq!(bits_to_u64(&out[..4]), 9 ^ 5);
+/// ```
+#[must_use]
+pub fn alu(width: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "alu width must be positive");
+    let mut b = NetlistBuilder::new(format!("alu{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let op0 = b.input("op0");
+    let op1 = b.input("op1");
+
+    let (result, cout) = emit_alu_core(&mut b, "u", &a, &x, cin, op0, op1);
+    for r in &result {
+        b.mark_output(*r);
+    }
+    b.mark_output(cout);
+    finish(b, library)
+}
+
+/// Generates an ALU with status flags — the c880/c3540-style "ALU and
+/// control" analogue. Adds to [`alu`]:
+///
+/// * `zero` — NOR-reduction of the result,
+/// * `par` — parity of the result,
+/// * `agtb` — magnitude comparison `a > b` (independent comparator).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn alu_with_flags(width: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "alu width must be positive");
+    let mut b = NetlistBuilder::new(format!("aluf{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let op0 = b.input("op0");
+    let op1 = b.input("op1");
+
+    let (result, cout) = emit_alu_core(&mut b, "u", &a, &x, cin, op0, op1);
+
+    // zero = !(r0 | r1 | ...): OR-tree then inverter.
+    let any = emit_tree(&mut b, "zt", LogicFunction::Or, &result);
+    let zero = b.gate("zero", LogicFunction::Inv, &[any]);
+
+    let par = emit_tree(&mut b, "pt", LogicFunction::Xor, &result);
+
+    // a > b via MSB-first ripple: g = g | (e & a_i & !b_i); e = e & (a_i==b_i).
+    let mut gt: Option<GateId> = None;
+    let mut eq: Option<GateId> = None;
+    for i in (0..width).rev() {
+        let nb = b.gate(format!("c_nb{i}"), LogicFunction::Inv, &[x[i]]);
+        let here = b.gate(format!("c_h{i}"), LogicFunction::And, &[a[i], nb]);
+        let eq_i = b.gate(format!("c_eq{i}"), LogicFunction::Xnor, &[a[i], x[i]]);
+        gt = Some(match (gt, eq) {
+            (None, None) => here,
+            (Some(g), Some(e)) => {
+                let masked = b.gate(format!("c_m{i}"), LogicFunction::And, &[e, here]);
+                b.gate(format!("c_g{i}"), LogicFunction::Or, &[g, masked])
+            }
+            _ => unreachable!("gt and eq evolve together"),
+        });
+        eq = Some(match eq {
+            None => eq_i,
+            Some(e) => b.gate(format!("c_e{i}"), LogicFunction::And, &[e, eq_i]),
+        });
+    }
+
+    for r in &result {
+        b.mark_output(*r);
+    }
+    b.mark_output(cout);
+    b.mark_output(zero);
+    b.mark_output(par);
+    b.mark_output(gt.expect("width > 0"));
+    finish(b, library)
+}
+
+/// Generates `copies` independent ALU-with-flags slices in one netlist —
+/// the c2670/c3540/c5315 analogue (the larger ISCAS ALU circuits contain
+/// several ALU/selector blocks rather than one very wide adder, which keeps
+/// their depth moderate).
+///
+/// Slice `k` uses input/output names prefixed with `k`; each slice has its
+/// own operands, carry-in, and opcode.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `copies == 0`.
+#[must_use]
+pub fn alu_array(width: usize, copies: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "alu width must be positive");
+    assert!(copies > 0, "need at least one slice");
+    let mut b = NetlistBuilder::new(format!("aluarr{width}x{copies}"));
+    for k in 0..copies {
+        let a: Vec<GateId> = (0..width).map(|i| b.input(format!("u{k}_a{i}"))).collect();
+        let x: Vec<GateId> = (0..width).map(|i| b.input(format!("u{k}_b{i}"))).collect();
+        let cin = b.input(format!("u{k}_cin"));
+        let op0 = b.input(format!("u{k}_op0"));
+        let op1 = b.input(format!("u{k}_op1"));
+
+        let (result, cout) = emit_alu_core(&mut b, &format!("u{k}"), &a, &x, cin, op0, op1);
+
+        let any = emit_tree(&mut b, &format!("u{k}_zt"), LogicFunction::Or, &result);
+        let zero = b.gate(format!("u{k}_zero"), LogicFunction::Inv, &[any]);
+        let par = emit_tree(&mut b, &format!("u{k}_pt"), LogicFunction::Xor, &result);
+
+        for r in &result {
+            b.mark_output(*r);
+        }
+        b.mark_output(cout);
+        b.mark_output(zero);
+        b.mark_output(par);
+    }
+    finish(b, library)
+}
+
+fn finish(b: NetlistBuilder, library: &Library) -> Netlist {
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_to_u64, simulate, u64_to_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn alu_inputs(a: u64, b: u64, cin: bool, op: AluOp, w: usize) -> Vec<bool> {
+        let mut v = u64_to_bits(a, w);
+        v.extend(u64_to_bits(b, w));
+        v.push(cin);
+        let (op1, op0) = op.control_bits();
+        v.push(op0);
+        v.push(op1);
+        v
+    }
+
+    const OPS: [AluOp; 4] = [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor];
+
+    #[test]
+    fn alu_exhaustive_3bit_all_ops() {
+        let lib = Library::synthetic_90nm();
+        let n = alu(3, &lib);
+        for a in 0u64..8 {
+            for b2 in 0u64..8 {
+                for cin in [false, true] {
+                    for op in OPS {
+                        let out = simulate(&n, &alu_inputs(a, b2, cin, op, 3));
+                        let want = op.apply(a, b2, cin, 3);
+                        assert_eq!(bits_to_u64(&out[..3]), want, "{op:?} {a},{b2},{cin}");
+                        if op == AluOp::Add {
+                            let full = a + b2 + u64::from(cin);
+                            assert_eq!(out[3], full >> 3 == 1, "carry {a}+{b2}+{cin}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_random_12bit() {
+        let lib = Library::synthetic_90nm();
+        let n = alu(12, &lib);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..(1u64 << 12));
+            let b2 = rng.gen_range(0..(1u64 << 12));
+            let op = OPS[rng.gen_range(0..4)];
+            let out = simulate(&n, &alu_inputs(a, b2, false, op, 12));
+            assert_eq!(bits_to_u64(&out[..12]), op.apply(a, b2, false, 12));
+        }
+    }
+
+    #[test]
+    fn flags_alu_status_bits() {
+        let lib = Library::synthetic_90nm();
+        let w = 6;
+        let n = alu_with_flags(w, &lib);
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..(1u64 << w));
+            let b2 = rng.gen_range(0..(1u64 << w));
+            let op = OPS[rng.gen_range(0..4)];
+            let out = simulate(&n, &alu_inputs(a, b2, false, op, w));
+            let r = op.apply(a, b2, false, w);
+            assert_eq!(bits_to_u64(&out[..w]), r, "{op:?}");
+            // outputs: result, cout, zero, par, agtb
+            assert_eq!(out[w + 1], r == 0, "zero flag for {op:?} {a},{b2}");
+            assert_eq!(out[w + 2], r.count_ones() % 2 == 1, "parity flag");
+            assert_eq!(out[w + 3], a > b2, "a>b flag {a} {b2}");
+        }
+    }
+
+    #[test]
+    fn zero_and_xor_of_equal_operands() {
+        let lib = Library::synthetic_90nm();
+        let n = alu_with_flags(4, &lib);
+        let out = simulate(&n, &alu_inputs(9, 9, false, AluOp::Xor, 4));
+        assert_eq!(bits_to_u64(&out[..4]), 0);
+        assert!(out[5], "zero flag set");
+        assert!(!out[7], "a>b false for equal operands");
+    }
+
+    #[test]
+    fn alu_gate_counts_scale_linearly() {
+        let lib = Library::synthetic_90nm();
+        let n9 = alu(9, &lib);
+        let n14 = alu(14, &lib);
+        // 17 gates per bit + 2 shared inverters.
+        assert_eq!(n9.gate_count(), 17 * 9 + 2);
+        assert_eq!(n14.gate_count(), 17 * 14 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alu width must be positive")]
+    fn zero_width_panics() {
+        let _ = alu(0, &Library::synthetic_90nm());
+    }
+
+    #[test]
+    fn alu_array_slices_compute_independently() {
+        let lib = Library::synthetic_90nm();
+        let w = 5;
+        let n = alu_array(w, 3, &lib);
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..100 {
+            let mut inputs = Vec::new();
+            let mut wants = Vec::new();
+            for _ in 0..3 {
+                let a = rng.gen_range(0..(1u64 << w));
+                let b2 = rng.gen_range(0..(1u64 << w));
+                let op = OPS[rng.gen_range(0..4)];
+                inputs.extend(alu_inputs(a, b2, false, op, w));
+                let r = op.apply(a, b2, false, w);
+                wants.push((r, r == 0, r.count_ones() % 2 == 1));
+            }
+            let out = simulate(&n, &inputs);
+            let per = w + 3; // result, cout, zero, par
+            for (k, (r, z, p)) in wants.iter().enumerate() {
+                let o = &out[k * per..(k + 1) * per];
+                assert_eq!(bits_to_u64(&o[..w]), *r);
+                assert_eq!(o[w + 1], *z, "zero flag slice {k}");
+                assert_eq!(o[w + 2], *p, "parity flag slice {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_array_depth_stays_moderate() {
+        // The point of slicing: 4x24 is much shallower than 1x96.
+        let lib = Library::synthetic_90nm();
+        let sliced = alu_array(24, 4, &lib);
+        let wide = alu_with_flags(96, &lib);
+        assert!(sliced.depth() < wide.depth() / 2);
+        assert!(sliced.gate_count() > wide.gate_count() / 2);
+    }
+}

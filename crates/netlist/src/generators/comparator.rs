@@ -1,0 +1,132 @@
+//! Magnitude comparators.
+
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Generates a `width`-bit unsigned magnitude comparator.
+///
+/// Inputs (little-endian): `a0..`, `b0..`. Outputs: `gt` (a > b),
+/// `eq` (a == b), `lt` (a < b).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::magnitude_comparator;
+/// use vartol_netlist::sim::{simulate, u64_to_bits};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = magnitude_comparator(4, &lib);
+/// let mut inputs = u64_to_bits(9, 4);
+/// inputs.extend(u64_to_bits(5, 4));
+/// assert_eq!(simulate(&n, &inputs), vec![true, false, false]); // gt, eq, lt
+/// ```
+#[must_use]
+pub fn magnitude_comparator(width: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "comparator width must be positive");
+    let mut b = NetlistBuilder::new(format!("cmp{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+
+    // MSB-first ripple: gt = gt | (eq_so_far & a_i & !b_i); eq &= (a_i == b_i).
+    let mut gt: Option<GateId> = None;
+    let mut eq: Option<GateId> = None;
+    for i in (0..width).rev() {
+        let nb = b.gate(format!("nb{i}"), LogicFunction::Inv, &[x[i]]);
+        let here = b.gate(format!("h{i}"), LogicFunction::And, &[a[i], nb]);
+        let eq_i = b.gate(format!("eqb{i}"), LogicFunction::Xnor, &[a[i], x[i]]);
+        gt = Some(match (gt, eq) {
+            (None, None) => here,
+            (Some(g), Some(e)) => {
+                let masked = b.gate(format!("mk{i}"), LogicFunction::And, &[e, here]);
+                b.gate(format!("gt{i}"), LogicFunction::Or, &[g, masked])
+            }
+            _ => unreachable!("gt and eq evolve together"),
+        });
+        eq = Some(match eq {
+            None => eq_i,
+            Some(e) => b.gate(format!("eq{i}"), LogicFunction::And, &[e, eq_i]),
+        });
+    }
+    let gt = gt.expect("width > 0");
+    let eq = eq.expect("width > 0");
+    let lt = b.gate("lt", LogicFunction::Nor, &[gt, eq]);
+
+    b.mark_output(gt);
+    b.mark_output(eq);
+    b.mark_output(lt);
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, u64_to_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(n: &Netlist, a: u64, b: u64, w: usize) -> (bool, bool, bool) {
+        let mut inputs = u64_to_bits(a, w);
+        inputs.extend(u64_to_bits(b, w));
+        let out = simulate(n, &inputs);
+        (out[0], out[1], out[2])
+    }
+
+    #[test]
+    fn exhaustive_4bit() {
+        let lib = Library::synthetic_90nm();
+        let n = magnitude_comparator(4, &lib);
+        for a in 0u64..16 {
+            for b2 in 0u64..16 {
+                let (gt, eq, lt) = run(&n, a, b2, 4);
+                assert_eq!(gt, a > b2, "{a} > {b2}");
+                assert_eq!(eq, a == b2, "{a} == {b2}");
+                assert_eq!(lt, a < b2, "{a} < {b2}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_16bit() {
+        let lib = Library::synthetic_90nm();
+        let n = magnitude_comparator(16, &lib);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..300 {
+            let a = rng.gen_range(0..=u64::from(u16::MAX));
+            let b2 = if rng.gen_bool(0.2) {
+                a
+            } else {
+                rng.gen_range(0..=u64::from(u16::MAX))
+            };
+            let (gt, eq, lt) = run(&n, a, b2, 16);
+            assert_eq!((gt, eq, lt), (a > b2, a == b2, a < b2));
+        }
+    }
+
+    #[test]
+    fn exactly_one_output_set() {
+        let lib = Library::synthetic_90nm();
+        let n = magnitude_comparator(8, &lib);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let a = rng.gen_range(0..256u64);
+            let b2 = rng.gen_range(0..256u64);
+            let (gt, eq, lt) = run(&n, a, b2, 8);
+            assert_eq!(u8::from(gt) + u8::from(eq) + u8::from(lt), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "comparator width must be positive")]
+    fn zero_width_panics() {
+        let _ = magnitude_comparator(0, &Library::synthetic_90nm());
+    }
+}

@@ -1,0 +1,219 @@
+//! Unsigned array multiplier — the c6288 analogue (c6288 is a 16×16
+//! multiplier and the deepest circuit in the paper's table, which is why it
+//! shows the smallest σ/μ and the least optimization headroom).
+
+use super::blocks::{emit_full_adder, emit_half_adder};
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Generates a `width`×`width` unsigned array multiplier.
+///
+/// Inputs (little-endian): `a0..a{w-1}`, `b0..b{w-1}`.
+/// Outputs: product bits `p0..p{2w-1}` (the top bit only when `width > 1`).
+///
+/// Construction: the w² partial products `a_i ∧ b_j` are reduced column by
+/// column with full/half adders (carry-save counter reduction), exactly
+/// conserving the arithmetic value, so correctness holds by construction.
+/// In the top column, carries are provably always 0 (a set carry would
+/// imply a product of at least `2^2w`), so bits there are combined with
+/// XORs and no dead carry gates are emitted.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 31` (the simulation-facing golden
+/// model multiplies in `u64`).
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::array_multiplier;
+/// use vartol_netlist::sim::{simulate, u64_to_bits, bits_to_u64};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = array_multiplier(4, &lib);
+/// let mut inputs = u64_to_bits(13, 4);
+/// inputs.extend(u64_to_bits(11, 4));
+/// assert_eq!(bits_to_u64(&simulate(&n, &inputs)), 143);
+/// ```
+#[must_use]
+pub fn array_multiplier(width: usize, library: &Library) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    assert!(width <= 31, "multiplier width limited to 31 bits");
+    let mut b = NetlistBuilder::new(format!("mul{width}x{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+
+    // Partial products bucketed by column weight.
+    let mut cols: Vec<Vec<GateId>> = vec![Vec::new(); 2 * width];
+    for i in 0..width {
+        for j in 0..width {
+            let pp = b.gate(format!("pp_{i}_{j}"), LogicFunction::And, &[a[i], x[j]]);
+            cols[i + j].push(pp);
+        }
+    }
+
+    // Column-wise reduction, LSB to MSB. Full adders consume three bits of
+    // a column into one sum bit (same column) and one carry (next column);
+    // half adders likewise for pairs. Each column ends with exactly one bit.
+    let (mut fa, mut ha, mut tx) = (0usize, 0usize, 0usize);
+    for k in 0..2 * width {
+        let mut bits = std::mem::take(&mut cols[k]);
+        let top = k == 2 * width - 1;
+        while bits.len() >= 3 {
+            let c0 = bits.remove(0);
+            let c1 = bits.remove(0);
+            let c2 = bits.remove(0);
+            if top {
+                // Carries out of the top column are provably 0: XOR only.
+                let x1 = b.gate(format!("tx{tx}_a"), LogicFunction::Xor, &[c0, c1]);
+                let s = b.gate(format!("tx{tx}_b"), LogicFunction::Xor, &[x1, c2]);
+                tx += 1;
+                bits.push(s);
+            } else {
+                let (s, c) = emit_full_adder(&mut b, &format!("fa{fa}"), c0, c1, c2, true);
+                fa += 1;
+                bits.push(s);
+                cols[k + 1].push(c);
+            }
+        }
+        if bits.len() == 2 {
+            let c0 = bits.remove(0);
+            let c1 = bits.remove(0);
+            if top {
+                let s = b.gate(format!("tx{tx}_a"), LogicFunction::Xor, &[c0, c1]);
+                tx += 1;
+                bits.push(s);
+            } else {
+                let (s, c) = emit_half_adder(&mut b, &format!("ha{ha}"), c0, c1);
+                ha += 1;
+                bits.push(s);
+                cols[k + 1].push(c);
+            }
+        }
+        if let Some(bit) = bits.pop() {
+            b.mark_output(bit);
+        }
+        debug_assert!(bits.is_empty(), "column fully reduced");
+    }
+
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_to_u64, simulate, u64_to_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mul_inputs(a: u64, b: u64, w: usize) -> Vec<bool> {
+        let mut v = u64_to_bits(a, w);
+        v.extend(u64_to_bits(b, w));
+        v
+    }
+
+    fn product(n: &Netlist, a: u64, b: u64, w: usize) -> u64 {
+        bits_to_u64(&simulate(n, &mul_inputs(a, b, w)))
+    }
+
+    #[test]
+    fn exhaustive_3bit() {
+        let lib = Library::synthetic_90nm();
+        let n = array_multiplier(3, &lib);
+        for a in 0u64..8 {
+            for b2 in 0u64..8 {
+                assert_eq!(product(&n, a, b2, 3), a * b2, "{a}*{b2}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_4bit() {
+        let lib = Library::synthetic_90nm();
+        let n = array_multiplier(4, &lib);
+        for a in 0u64..16 {
+            for b2 in 0u64..16 {
+                assert_eq!(product(&n, a, b2, 4), a * b2);
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_multiplier_is_an_and() {
+        let lib = Library::synthetic_90nm();
+        let n = array_multiplier(1, &lib);
+        assert_eq!(n.gate_count(), 1);
+        for a in 0u64..2 {
+            for b2 in 0u64..2 {
+                assert_eq!(product(&n, a, b2, 1), a * b2);
+            }
+        }
+    }
+
+    #[test]
+    fn random_8bit() {
+        let lib = Library::synthetic_90nm();
+        let n = array_multiplier(8, &lib);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..300 {
+            let a = rng.gen_range(0..256u64);
+            let b2 = rng.gen_range(0..256u64);
+            assert_eq!(product(&n, a, b2, 8), a * b2);
+        }
+    }
+
+    #[test]
+    fn random_16bit_spot_checks() {
+        let lib = Library::synthetic_90nm();
+        let n = array_multiplier(16, &lib);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..25 {
+            let a = rng.gen_range(0..=u64::from(u16::MAX));
+            let b2 = rng.gen_range(0..=u64::from(u16::MAX));
+            assert_eq!(product(&n, a, b2, 16), a * b2);
+        }
+        for (a, b2) in [(0, 0), (0xffff, 0xffff), (1, 0xffff), (0x8000, 2)] {
+            assert_eq!(product(&n, a, b2, 16), a * b2);
+        }
+    }
+
+    #[test]
+    fn gate_count_scales_quadratically() {
+        let lib = Library::synthetic_90nm();
+        let n16 = array_multiplier(16, &lib);
+        // ~6w^2: w^2 ANDs + 5 gates per FA (~w^2 - 2w FAs) + HA/XOR edges.
+        let got = n16.gate_count();
+        assert!((1200..2200).contains(&got), "w=16 gate count {got}");
+    }
+
+    #[test]
+    fn multiplier_is_deep() {
+        let lib = Library::synthetic_90nm();
+        let small = array_multiplier(4, &lib);
+        let big = array_multiplier(16, &lib);
+        assert!(big.depth() > small.depth());
+        assert!(
+            big.depth() >= 30,
+            "16x16 carry chains are long, got {}",
+            big.depth()
+        );
+        assert!(big.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier width must be positive")]
+    fn zero_width_panics() {
+        let _ = array_multiplier(0, &Library::synthetic_90nm());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 31 bits")]
+    fn oversized_width_panics() {
+        let _ = array_multiplier(32, &Library::synthetic_90nm());
+    }
+}

@@ -1,0 +1,70 @@
+//! Balanced XOR parity trees.
+
+use super::blocks::emit_tree;
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Generates a `width`-input odd-parity tree (output = XOR of all inputs).
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::parity_tree;
+/// use vartol_netlist::sim::simulate;
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = parity_tree(8, &lib);
+/// let v = [true, false, true, true, false, false, false, false];
+/// assert_eq!(simulate(&n, &v), vec![true]); // three ones -> odd
+/// ```
+#[must_use]
+pub fn parity_tree(width: usize, library: &Library) -> Netlist {
+    assert!(width >= 2, "parity tree needs at least two inputs");
+    let mut b = NetlistBuilder::new(format!("parity{width}"));
+    let leaves: Vec<GateId> = (0..width).map(|i| b.input(format!("d{i}"))).collect();
+    let root = emit_tree(&mut b, "x", LogicFunction::Xor, &leaves);
+    b.mark_output(root);
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    #[test]
+    fn exhaustive_small_widths() {
+        let lib = Library::synthetic_90nm();
+        for w in 2..=6 {
+            let n = parity_tree(w, &lib);
+            for pattern in 0u64..(1 << w) {
+                let bits: Vec<bool> = (0..w).map(|i| (pattern >> i) & 1 == 1).collect();
+                let want = pattern.count_ones() % 2 == 1;
+                assert_eq!(simulate(&n, &bits), vec![want], "w={w} pattern={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_logarithmic_depth() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(32, &lib);
+        assert_eq!(n.gate_count(), 31, "w-1 XOR2 gates");
+        assert_eq!(n.depth(), 5, "balanced tree of 32 leaves");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn width_one_panics() {
+        let _ = parity_tree(1, &Library::synthetic_90nm());
+    }
+}

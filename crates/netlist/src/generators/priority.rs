@@ -1,0 +1,212 @@
+//! Priority interrupt controller — the c432 analogue (c432 is a 27-channel
+//! interrupt controller with priority resolution and encoding).
+
+use super::blocks::emit_tree;
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Golden model of [`priority_interrupt_controller`]: given request and
+/// enable lines, returns `(grant_index, any)` where `grant_index` is the
+/// lowest-numbered active channel (request AND enable), if any.
+#[must_use]
+pub fn priority_golden_model(requests: &[bool], enables: &[bool]) -> (Option<usize>, bool) {
+    let idx = requests.iter().zip(enables).position(|(&r, &e)| r && e);
+    (idx, idx.is_some())
+}
+
+/// Generates an `channels`-channel priority interrupt controller.
+///
+/// Inputs: `r0..r{n-1}` (requests), `e0..e{n-1}` (enables).
+/// Outputs: `enc0..enc{k-1}` (binary index of the granted channel,
+/// little-endian), `any` (some channel granted), and the one-hot grants
+/// `g0..g{n-1}`.
+///
+/// Channel 0 has the highest priority, matching the ISCAS c432 convention
+/// of resolving the lowest-numbered active interrupt.
+///
+/// # Panics
+///
+/// Panics if `channels < 2`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::priority_interrupt_controller;
+/// use vartol_netlist::sim::{simulate, bits_to_u64};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = priority_interrupt_controller(4, &lib);
+/// // requests: channels 1 and 3; enables: all.
+/// let inputs = [false, true, false, true, true, true, true, true];
+/// let out = simulate(&n, &inputs);
+/// assert_eq!(bits_to_u64(&out[..2]), 1, "channel 1 wins");
+/// assert!(out[2], "any");
+/// ```
+#[must_use]
+pub fn priority_interrupt_controller(channels: usize, library: &Library) -> Netlist {
+    assert!(channels >= 2, "need at least two channels");
+    let k = (usize::BITS - (channels - 1).leading_zeros()) as usize;
+
+    let mut b = NetlistBuilder::new(format!("pic{channels}"));
+    let requests: Vec<GateId> = (0..channels).map(|i| b.input(format!("r{i}"))).collect();
+    let enables: Vec<GateId> = (0..channels).map(|i| b.input(format!("e{i}"))).collect();
+
+    // active_i = r_i & e_i
+    let active: Vec<GateId> = (0..channels)
+        .map(|i| {
+            b.gate(
+                format!("act{i}"),
+                LogicFunction::And,
+                &[requests[i], enables[i]],
+            )
+        })
+        .collect();
+
+    // Prefix "blocked" chain: blocked_i = active_0 | ... | active_{i-1}.
+    // grant_0 = active_0; grant_i = active_i & !blocked_i.
+    let mut grants = Vec::with_capacity(channels);
+    grants.push(active[0]);
+    let mut blocked = active[0];
+    #[allow(clippy::needless_range_loop)] // index used for names and slices alike
+    for i in 1..channels {
+        let nb = b.gate(format!("nb{i}"), LogicFunction::Inv, &[blocked]);
+        grants.push(b.gate(format!("g{i}"), LogicFunction::And, &[active[i], nb]));
+        if i + 1 < channels {
+            blocked = b.gate(format!("blk{i}"), LogicFunction::Or, &[blocked, active[i]]);
+        }
+    }
+
+    // Binary encoder: enc_j = OR of grants whose index has bit j set.
+    let mut enc = Vec::with_capacity(k);
+    for j in 0..k {
+        let members: Vec<GateId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> j & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        // Bit j of index 0 is never set, so members is non-empty for all j
+        // (channels >= 2 guarantees index 1 exists).
+        enc.push(emit_tree(
+            &mut b,
+            &format!("enc{j}"),
+            LogicFunction::Or,
+            &members,
+        ));
+    }
+
+    let any = emit_tree(&mut b, "any", LogicFunction::Or, &grants);
+
+    for e in &enc {
+        b.mark_output(*e);
+    }
+    b.mark_output(any);
+    for g in &grants {
+        b.mark_output(*g);
+    }
+
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_to_u64, simulate};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(n: &Netlist, r: &[bool], e: &[bool]) -> (u64, bool, Vec<bool>) {
+        let channels = r.len();
+        let k = (usize::BITS - (channels - 1).leading_zeros()) as usize;
+        let mut inputs = r.to_vec();
+        inputs.extend_from_slice(e);
+        let out = simulate(n, &inputs);
+        (
+            bits_to_u64(&out[..k]),
+            out[k],
+            out[k + 1..k + 1 + channels].to_vec(),
+        )
+    }
+
+    #[test]
+    fn exhaustive_4_channels() {
+        let lib = Library::synthetic_90nm();
+        let n = priority_interrupt_controller(4, &lib);
+        for rp in 0u64..16 {
+            for ep in 0u64..16 {
+                let r: Vec<bool> = (0..4).map(|i| rp >> i & 1 == 1).collect();
+                let e: Vec<bool> = (0..4).map(|i| ep >> i & 1 == 1).collect();
+                let (enc, any, grants) = run(&n, &r, &e);
+                let (want_idx, want_any) = priority_golden_model(&r, &e);
+                assert_eq!(any, want_any, "r={rp:b} e={ep:b}");
+                match want_idx {
+                    Some(i) => {
+                        assert_eq!(enc as usize, i, "encoder r={rp:b} e={ep:b}");
+                        let mut expected = vec![false; 4];
+                        expected[i] = true;
+                        assert_eq!(grants, expected, "one-hot grants");
+                    }
+                    None => {
+                        assert_eq!(enc, 0);
+                        assert!(grants.iter().all(|&g| !g));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_27_channels_like_c432() {
+        let lib = Library::synthetic_90nm();
+        let n = priority_interrupt_controller(27, &lib);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let r: Vec<bool> = (0..27).map(|_| rng.gen_bool(0.2)).collect();
+            let e: Vec<bool> = (0..27).map(|_| rng.gen_bool(0.8)).collect();
+            let (enc, any, _) = run(&n, &r, &e);
+            let (want_idx, want_any) = priority_golden_model(&r, &e);
+            assert_eq!(any, want_any);
+            if let Some(i) = want_idx {
+                assert_eq!(enc as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_zero_has_highest_priority() {
+        let lib = Library::synthetic_90nm();
+        let n = priority_interrupt_controller(8, &lib);
+        let r = vec![true; 8];
+        let e = vec![true; 8];
+        let (enc, any, grants) = run(&n, &r, &e);
+        assert_eq!(enc, 0);
+        assert!(any);
+        assert!(grants[0]);
+        assert!(grants[1..].iter().all(|&g| !g));
+    }
+
+    #[test]
+    fn disabled_channel_is_skipped() {
+        let lib = Library::synthetic_90nm();
+        let n = priority_interrupt_controller(8, &lib);
+        let mut r = vec![false; 8];
+        r[2] = true;
+        r[5] = true;
+        let mut e = vec![true; 8];
+        e[2] = false; // mask off channel 2
+        let (enc, any, _) = run(&n, &r, &e);
+        assert!(any);
+        assert_eq!(enc, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two channels")]
+    fn one_channel_panics() {
+        let _ = priority_interrupt_controller(1, &Library::synthetic_90nm());
+    }
+}

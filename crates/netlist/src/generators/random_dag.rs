@@ -1,0 +1,178 @@
+//! Seeded random circuit generation, used by property tests to exercise
+//! timing and sizing code on arbitrary (but reproducible) topologies.
+
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Parameters of [`random_dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDagConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of cell gates.
+    pub gates: usize,
+    /// Locality window: fanins are drawn from the most recent `window`
+    /// nodes, which controls depth (small window = deep circuit).
+    pub window: usize,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self {
+            inputs: 8,
+            gates: 100,
+            window: 24,
+        }
+    }
+}
+
+/// Functions drawn for random gates (2-input subset plus inverters).
+const CANDIDATES: [(LogicFunction, usize); 8] = [
+    (LogicFunction::Inv, 1),
+    (LogicFunction::Nand, 2),
+    (LogicFunction::Nor, 2),
+    (LogicFunction::And, 2),
+    (LogicFunction::Or, 2),
+    (LogicFunction::Xor, 2),
+    (LogicFunction::Xnor, 2),
+    (LogicFunction::Nand, 3),
+];
+
+/// Generates a pseudorandom combinational DAG. Deterministic for a given
+/// `(config, seed)` pair. All sink nodes (no fanout) are marked as primary
+/// outputs, so no logic dangles.
+///
+/// # Panics
+///
+/// Panics if `config.inputs == 0`, `config.gates == 0`, or
+/// `config.window == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::{random_dag, RandomDagConfig};
+///
+/// let lib = Library::synthetic_90nm();
+/// let cfg = RandomDagConfig { inputs: 6, gates: 50, window: 12 };
+/// let a = random_dag(cfg, 42, &lib);
+/// let b = random_dag(cfg, 42, &lib);
+/// assert_eq!(a.gate_count(), 50);
+/// assert_eq!(a, b, "same seed, same circuit");
+/// ```
+#[must_use]
+pub fn random_dag(config: RandomDagConfig, seed: u64, library: &Library) -> Netlist {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.gates > 0, "need at least one gate");
+    assert!(config.window > 0, "window must be positive");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("rand{}g{}s{seed}", config.gates, config.inputs));
+    let mut nodes: Vec<GateId> = (0..config.inputs)
+        .map(|i| b.input(format!("i{i}")))
+        .collect();
+    // Track which nodes get consumed so every sink can be marked as a
+    // primary output (no dangling logic).
+    let mut consumed = vec![false; config.inputs + config.gates];
+    for g in 0..config.gates {
+        let (function, arity) = CANDIDATES[rng.gen_range(0..CANDIDATES.len())];
+        let lo = nodes.len().saturating_sub(config.window);
+        let fanins: Vec<GateId> = (0..arity)
+            .map(|_| nodes[rng.gen_range(lo..nodes.len())])
+            .collect();
+        for f in &fanins {
+            consumed[f.index()] = true;
+        }
+        nodes.push(b.gate(format!("g{g}"), function, &fanins));
+    }
+    for (i, &node) in nodes.iter().enumerate().skip(config.inputs) {
+        if !consumed[i] {
+            b.mark_output(node);
+        }
+    }
+
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lib = Library::synthetic_90nm();
+        let cfg = RandomDagConfig::default();
+        assert_eq!(random_dag(cfg, 7, &lib), random_dag(cfg, 7, &lib));
+        assert_ne!(random_dag(cfg, 7, &lib), random_dag(cfg, 8, &lib));
+    }
+
+    #[test]
+    fn respects_config_counts() {
+        let lib = Library::synthetic_90nm();
+        let cfg = RandomDagConfig {
+            inputs: 5,
+            gates: 77,
+            window: 10,
+        };
+        let n = random_dag(cfg, 1, &lib);
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.gate_count(), 77);
+        assert!(n.output_count() >= 1);
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn all_sinks_are_outputs() {
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(RandomDagConfig::default(), 3, &lib);
+        for id in n.gate_ids() {
+            if n.gate(id).fanouts().is_empty() {
+                assert!(n.is_output(id), "dangling gate {}", n.gate(id).name());
+            }
+        }
+    }
+
+    #[test]
+    fn small_window_is_deeper_than_large_window() {
+        let lib = Library::synthetic_90nm();
+        let deep = random_dag(
+            RandomDagConfig {
+                inputs: 4,
+                gates: 200,
+                window: 3,
+            },
+            9,
+            &lib,
+        );
+        let wide = random_dag(
+            RandomDagConfig {
+                inputs: 4,
+                gates: 200,
+                window: 150,
+            },
+            9,
+            &lib,
+        );
+        assert!(deep.depth() > wide.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = random_dag(
+            RandomDagConfig {
+                inputs: 1,
+                gates: 1,
+                window: 0,
+            },
+            0,
+            &Library::synthetic_90nm(),
+        );
+    }
+}

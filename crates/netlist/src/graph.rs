@@ -1,0 +1,582 @@
+//! The netlist graph: gates, connectivity, and size state.
+
+use crate::error::NetlistError;
+use std::collections::HashMap;
+use vartol_liberty::{Library, LogicFunction};
+
+/// Identifier of a node (primary input or gate) within one [`Netlist`].
+///
+/// Ids are dense indices assigned in construction order, which is also a
+/// topological order (a gate can only reference previously created nodes).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from a dense index previously obtained via
+    /// [`GateId::index`]. The index must refer to the same netlist it came
+    /// from; analysis code uses this to address parallel per-node vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self::new(index)
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("netlists are limited to u32 nodes"))
+    }
+}
+
+impl std::fmt::Display for GateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is: a primary input or a library gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum GateKind {
+    /// A primary input; carries no delay of its own.
+    Input,
+    /// A combinational gate mapped to a library cell family.
+    Cell {
+        /// The boolean function.
+        function: LogicFunction,
+        /// The current size index into the library's
+        /// [`CellGroup`](vartol_liberty::CellGroup) (0 = smallest drive).
+        size: usize,
+    },
+}
+
+/// One node of the netlist.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Gate {
+    name: String,
+    kind: GateKind,
+    fanins: Vec<GateId>,
+    fanouts: Vec<GateId>,
+}
+
+impl Gate {
+    /// The node's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node kind (input or cell).
+    #[must_use]
+    pub fn kind(&self) -> &GateKind {
+        &self.kind
+    }
+
+    /// True for primary inputs.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, GateKind::Input)
+    }
+
+    /// The logic function, if this node is a cell.
+    #[must_use]
+    pub fn function(&self) -> Option<LogicFunction> {
+        match self.kind {
+            GateKind::Input => None,
+            GateKind::Cell { function, .. } => Some(function),
+        }
+    }
+
+    /// The current size index, if this node is a cell.
+    #[must_use]
+    pub fn size(&self) -> Option<usize> {
+        match self.kind {
+            GateKind::Input => None,
+            GateKind::Cell { size, .. } => Some(size),
+        }
+    }
+
+    /// Driving nodes, in pin order.
+    #[must_use]
+    pub fn fanins(&self) -> &[GateId] {
+        &self.fanins
+    }
+
+    /// Driven nodes (a node appears once per sink pin it drives).
+    #[must_use]
+    pub fn fanouts(&self) -> &[GateId] {
+        &self.fanouts
+    }
+}
+
+/// A combinational gate-level netlist.
+///
+/// Nodes are stored in a topological order (guaranteed by the builder), so
+/// timing propagation is a single forward scan over [`Netlist::node_ids`].
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::{Library, LogicFunction};
+/// use vartol_netlist::NetlistBuilder;
+///
+/// let lib = Library::synthetic_90nm();
+/// let mut b = NetlistBuilder::new("inv_chain");
+/// let a = b.input("a");
+/// let g1 = b.gate("g1", LogicFunction::Inv, &[a]);
+/// let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+/// b.mark_output(g2);
+/// let mut n = b.build().expect("valid");
+///
+/// assert_eq!(n.depth(), 2);
+/// let before = n.total_area(&lib);
+/// n.set_size(g1, 3);
+/// assert!(n.total_area(&lib) > before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Gate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    name_index: HashMap<String, GateId>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Gate>,
+        inputs: Vec<GateId>,
+        outputs: Vec<GateId>,
+        name_index: HashMap<String, GateId>,
+    ) -> Self {
+        Self {
+            name,
+            nodes,
+            inputs,
+            outputs,
+            name_index,
+        }
+    }
+
+    /// The netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the netlist (builder output), e.g. to label a generated
+    /// circuit with its benchmark-suite name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Total node count (primary inputs + gates).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of cell gates (excluding primary inputs).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes.iter().filter(|g| !g.is_input()).count()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary input ids.
+    #[must_use]
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary output ids.
+    #[must_use]
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Whether `id` is marked as a primary output.
+    #[must_use]
+    pub fn is_output(&self, id: GateId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// The node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn gate_by_name(&self, name: &str) -> Option<GateId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// All node ids in topological order (inputs before the gates they
+    /// feed; every gate after all of its fanins).
+    pub fn node_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.nodes.len()).map(GateId::new)
+    }
+
+    /// Ids of cell gates only, topological order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.node_ids().filter(|&id| !self.gate(id).is_input())
+    }
+
+    /// Sets the size index of a cell gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input.
+    pub fn set_size(&mut self, id: GateId, size: usize) {
+        match &mut self.nodes[id.index()].kind {
+            GateKind::Input => panic!("cannot size a primary input"),
+            GateKind::Cell { size: s, .. } => *s = size,
+        }
+    }
+
+    /// Snapshot of all gate sizes (entries for input nodes are 0).
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.nodes.iter().map(|g| g.size().unwrap_or(0)).collect()
+    }
+
+    /// Restores a snapshot taken with [`Netlist::sizes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes.len() != self.node_count()`.
+    pub fn restore_sizes(&mut self, sizes: &[usize]) {
+        assert_eq!(
+            sizes.len(),
+            self.nodes.len(),
+            "size snapshot length mismatch"
+        );
+        for (node, &s) in self.nodes.iter_mut().zip(sizes) {
+            if let GateKind::Cell { size, .. } = &mut node.kind {
+                *size = s;
+            }
+        }
+    }
+
+    /// Resets every gate to the smallest size.
+    pub fn reset_sizes(&mut self) {
+        for node in &mut self.nodes {
+            if let GateKind::Cell { size, .. } = &mut node.kind {
+                *size = 0;
+            }
+        }
+    }
+
+    /// The library cell currently implementing gate `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is an input or the library lacks the cell (use
+    /// [`Netlist::validate_against_library`] first for a `Result`).
+    #[must_use]
+    pub fn cell<'l>(&self, id: GateId, library: &'l Library) -> &'l vartol_liberty::Cell {
+        let g = self.gate(id);
+        match g.kind() {
+            GateKind::Input => panic!("primary input {} has no cell", g.name()),
+            GateKind::Cell { function, size } => library
+                .cell(*function, g.fanins().len(), *size)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "library has no cell {function}/{} size {size} for gate {}",
+                        g.fanins().len(),
+                        g.name()
+                    )
+                }),
+        }
+    }
+
+    /// Total cell area under the given library.
+    #[must_use]
+    pub fn total_area(&self, library: &Library) -> f64 {
+        self.gate_ids()
+            .map(|id| self.cell(id, library).area())
+            .sum()
+    }
+
+    /// Checks that every gate maps to an existing library cell group and
+    /// that its current size index is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingCell`] for the first offending gate.
+    pub fn validate_against_library(&self, library: &Library) -> Result<(), NetlistError> {
+        for id in self.gate_ids() {
+            let g = self.gate(id);
+            let (function, size) = match g.kind() {
+                GateKind::Input => continue,
+                GateKind::Cell { function, size } => (*function, *size),
+            };
+            let arity = g.fanins().len();
+            match library.group(function, arity) {
+                Some(group) if size < group.len() => {}
+                _ => {
+                    return Err(NetlistError::MissingCell {
+                        gate: g.name().to_owned(),
+                        function,
+                        arity,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Topological level of every node: inputs at level 0, each gate one
+    /// more than its deepest fanin.
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.nodes.len()];
+        for id in self.node_ids() {
+            let g = self.gate(id);
+            if !g.is_input() {
+                levels[id.index()] = g
+                    .fanins()
+                    .iter()
+                    .map(|f| levels[f.index()] + 1)
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        levels
+    }
+
+    /// Logic depth: the maximum level over all nodes.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels().into_iter().max().unwrap_or(0)
+    }
+
+    /// Structural invariants: fanins precede their gate (topological
+    /// order), fanin/fanout lists are mutually consistent, inputs have no
+    /// fanins, and arities are legal. Cheap enough for debug assertions in
+    /// tests; builders already guarantee all of this.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), NetlistError> {
+        for id in self.node_ids() {
+            let g = self.gate(id);
+            match g.kind() {
+                GateKind::Input => {
+                    if !g.fanins().is_empty() {
+                        return Err(NetlistError::Cycle(g.name().to_owned()));
+                    }
+                }
+                GateKind::Cell { function, .. } => {
+                    if !function.supports_arity(g.fanins().len()) {
+                        return Err(NetlistError::BadArity {
+                            gate: g.name().to_owned(),
+                            function: *function,
+                            arity: g.fanins().len(),
+                        });
+                    }
+                }
+            }
+            for &f in g.fanins() {
+                if f.index() >= id.index() {
+                    return Err(NetlistError::Cycle(g.name().to_owned()));
+                }
+                if !self.gate(f).fanouts().contains(&id) {
+                    return Err(NetlistError::UnknownSignal(g.name().to_owned()));
+                }
+            }
+            for &f in g.fanouts() {
+                if !self.gate(f).fanins().contains(&id) {
+                    return Err(NetlistError::UnknownSignal(g.name().to_owned()));
+                }
+            }
+        }
+        if self.inputs.is_empty() {
+            return Err(NetlistError::NoInputs);
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Netlist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {} inputs, {} outputs, depth {}",
+            self.name,
+            self.gate_count(),
+            self.input_count(),
+            self.output_count(),
+            self.depth()
+        )
+    }
+}
+
+impl Gate {
+    pub(crate) fn new(name: String, kind: GateKind, fanins: Vec<GateId>) -> Self {
+        Self {
+            name,
+            kind,
+            fanins,
+            fanouts: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_fanout(&mut self, id: GateId) {
+        self.fanouts.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use vartol_liberty::Library;
+
+    fn tiny() -> (Netlist, GateId, GateId, GateId) {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.gate("g1", LogicFunction::Nand, &[a, c]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+        b.mark_output(g2);
+        (b.build().expect("valid"), a, g1, g2)
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let (n, a, g1, g2) = tiny();
+        assert_eq!(n.node_count(), 4);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.gate_by_name("g1"), Some(g1));
+        assert_eq!(n.gate_by_name("nope"), None);
+        assert!(n.gate(a).is_input());
+        assert!(!n.gate(g2).is_input());
+        assert!(n.is_output(g2));
+        assert!(!n.is_output(g1));
+    }
+
+    #[test]
+    fn fanin_fanout_consistency() {
+        let (n, a, g1, g2) = tiny();
+        assert_eq!(n.gate(g1).fanins().len(), 2);
+        assert_eq!(n.gate(g1).fanouts(), &[g2]);
+        assert!(n.gate(a).fanouts().contains(&g1));
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (n, a, g1, g2) = tiny();
+        let levels = n.levels();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[g1.index()], 1);
+        assert_eq!(levels[g2.index()], 2);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn size_snapshot_round_trip() {
+        let (mut n, _, g1, g2) = tiny();
+        n.set_size(g1, 3);
+        n.set_size(g2, 2);
+        let snap = n.sizes();
+        n.reset_sizes();
+        assert_eq!(n.gate(g1).size(), Some(0));
+        n.restore_sizes(&snap);
+        assert_eq!(n.gate(g1).size(), Some(3));
+        assert_eq!(n.gate(g2).size(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot size a primary input")]
+    fn sizing_input_panics() {
+        let (mut n, a, _, _) = tiny();
+        n.set_size(a, 1);
+    }
+
+    #[test]
+    fn area_grows_with_size() {
+        let lib = Library::synthetic_90nm();
+        let (mut n, _, g1, _) = tiny();
+        let a0 = n.total_area(&lib);
+        n.set_size(g1, 4);
+        assert!(n.total_area(&lib) > a0);
+    }
+
+    #[test]
+    fn library_validation() {
+        let lib = Library::synthetic_90nm();
+        let (mut n, _, g1, _) = tiny();
+        assert!(n.validate_against_library(&lib).is_ok());
+        n.set_size(g1, 999);
+        assert!(matches!(
+            n.validate_against_library(&lib),
+            Err(NetlistError::MissingCell { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_lookup_tracks_size() {
+        let lib = Library::synthetic_90nm();
+        let (mut n, _, g1, _) = tiny();
+        assert_eq!(n.cell(g1, &lib).drive_index(), 0);
+        n.set_size(g1, 2);
+        assert_eq!(n.cell(g1, &lib).drive_index(), 2);
+        assert_eq!(n.cell(g1, &lib).function(), LogicFunction::Nand);
+    }
+
+    #[test]
+    fn gate_ids_excludes_inputs() {
+        let (n, _, _, _) = tiny();
+        assert_eq!(n.gate_ids().count(), 2);
+        assert!(n.gate_ids().all(|id| !n.gate(id).is_input()));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (n, _, _, _) = tiny();
+        let s = n.to_string();
+        assert!(s.contains("tiny") && s.contains("2 gates"));
+    }
+
+    #[test]
+    fn gate_id_display() {
+        assert_eq!(GateId::new(5).to_string(), "n5");
+        assert_eq!(GateId::new(5).index(), 5);
+    }
+}

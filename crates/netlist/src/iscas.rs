@@ -1,0 +1,391 @@
+//! Reader and writer for the ISCAS-85 `.bench` netlist format.
+//!
+//! The format the original benchmark suite (c432 … c7552) ships in:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! The parser is two-pass (declarations may appear in any order), performs
+//! Kahn-style topological insertion, and reports cycles and undefined
+//! signals with line-level context. The writer emits gates in topological
+//! order so round-trips are stable.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::graph::{GateId, GateKind, Netlist};
+use std::collections::HashMap;
+use vartol_liberty::LogicFunction;
+
+/// One parsed `.bench` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Statement {
+    Input(String),
+    Output(String),
+    Gate {
+        name: String,
+        function: LogicFunction,
+        fanins: Vec<String>,
+    },
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnknownSignal`] for references to undefined signals,
+/// [`NetlistError::Cycle`] for combinational loops, and the usual
+/// degenerate-netlist errors.
+///
+/// # Example
+///
+/// ```
+/// use vartol_netlist::iscas::{parse_bench, write_bench};
+///
+/// # fn main() -> Result<(), vartol_netlist::NetlistError> {
+/// let text = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// t = NAND(a, b)
+/// y = NOT(t)
+/// ";
+/// let n = parse_bench(text, "tiny")?;
+/// assert_eq!(n.gate_count(), 2);
+/// let round_trip = parse_bench(&write_bench(&n), "tiny2")?;
+/// assert_eq!(round_trip.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
+    let statements = tokenize(text)?;
+
+    // Collect definitions.
+    let mut defs: HashMap<&str, usize> = HashMap::new(); // signal -> statement idx
+    let mut outputs: Vec<&str> = Vec::new();
+    for (i, s) in statements.iter().enumerate() {
+        match s {
+            Statement::Input(n) | Statement::Gate { name: n, .. } => {
+                if defs.insert(n.as_str(), i).is_some() {
+                    return Err(NetlistError::DuplicateName(n.clone()));
+                }
+            }
+            Statement::Output(n) => outputs.push(n.as_str()),
+        }
+    }
+
+    // Kahn-style topological emission into the builder.
+    let mut b = NetlistBuilder::new(name);
+    let mut ids: HashMap<&str, GateId> = HashMap::new();
+    let mut emitted = vec![false; statements.len()];
+    let mut progress = true;
+    let mut remaining = statements
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !matches!(s, Statement::Output(_)))
+        .count();
+
+    while remaining > 0 && progress {
+        progress = false;
+        for (i, s) in statements.iter().enumerate() {
+            if emitted[i] {
+                continue;
+            }
+            match s {
+                Statement::Output(_) => {}
+                Statement::Input(n) => {
+                    ids.insert(n.as_str(), b.input(n.clone()));
+                    emitted[i] = true;
+                    remaining -= 1;
+                    progress = true;
+                }
+                Statement::Gate {
+                    name,
+                    function,
+                    fanins,
+                } => {
+                    // Check all fanins defined & already emitted.
+                    let mut ready = true;
+                    for f in fanins {
+                        match defs.get(f.as_str()) {
+                            None => return Err(NetlistError::UnknownSignal(f.clone())),
+                            Some(&def_idx) => {
+                                if !emitted[def_idx] {
+                                    ready = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if ready {
+                        let fanin_ids: Vec<GateId> =
+                            fanins.iter().map(|f| ids[f.as_str()]).collect();
+                        ids.insert(name.as_str(), b.gate(name.clone(), *function, &fanin_ids));
+                        emitted[i] = true;
+                        remaining -= 1;
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+    if remaining > 0 {
+        // Some gate never became ready: combinational cycle.
+        let stuck = statements
+            .iter()
+            .enumerate()
+            .find(|&(i, s)| !emitted[i] && matches!(s, Statement::Gate { .. }))
+            .map(|(_, s)| match s {
+                Statement::Gate { name, .. } => name.clone(),
+                _ => unreachable!("filtered to gates"),
+            })
+            .unwrap_or_default();
+        return Err(NetlistError::Cycle(stuck));
+    }
+
+    for o in outputs {
+        match ids.get(o) {
+            Some(&id) => b.mark_output(id),
+            None => return Err(NetlistError::UnknownSignal(o.to_owned())),
+        }
+    }
+    b.build()
+}
+
+fn tokenize(text: &str) -> Result<Vec<Statement>, NetlistError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| NetlistError::Parse {
+            line: lineno + 1,
+            message,
+        };
+
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            out.push(Statement::Input(rest.to_owned()));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            out.push(Statement::Output(rest.to_owned()));
+        } else if let Some(eq) = line.find('=') {
+            let name = line[..eq].trim();
+            if name.is_empty() {
+                return Err(err("missing signal name before `=`".into()));
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("expected `FUNC(...)` after `=`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err("missing closing parenthesis".into()));
+            }
+            let func_name = rhs[..open].trim();
+            let function = LogicFunction::parse_short_name(func_name)
+                .ok_or_else(|| err(format!("unknown gate type `{func_name}`")))?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanins: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if fanins.is_empty() {
+                return Err(err("gate with no inputs".into()));
+            }
+            out.push(Statement::Gate {
+                name: name.to_owned(),
+                function,
+                fanins,
+            });
+        } else {
+            return Err(err(format!("unrecognized statement `{line}`")));
+        }
+    }
+    Ok(out)
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a netlist to `.bench` text (topological gate order).
+///
+/// Sizes are not representable in `.bench`; the written file describes
+/// topology and functions only.
+#[must_use]
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("# {}\n", netlist.name()));
+    for &i in netlist.inputs() {
+        s.push_str(&format!("INPUT({})\n", netlist.gate(i).name()));
+    }
+    for &o in netlist.outputs() {
+        s.push_str(&format!("OUTPUT({})\n", netlist.gate(o).name()));
+    }
+    for id in netlist.gate_ids() {
+        let g = netlist.gate(id);
+        let GateKind::Cell { function, .. } = g.kind() else {
+            continue;
+        };
+        let fanins: Vec<&str> = g.fanins().iter().map(|&f| netlist.gate(f).name()).collect();
+        s.push_str(&format!(
+            "{} = {}({})\n",
+            g.name(),
+            function.short_name(),
+            fanins.join(", ")
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# c17-style sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_c17_shape() {
+        let n = parse_bench(SAMPLE, "c17").expect("valid");
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.output_count(), 2);
+        assert_eq!(n.gate_count(), 6);
+        assert_eq!(n.depth(), 3);
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn out_of_order_definitions_accepted() {
+        let text = "\
+OUTPUT(y)
+y = NOT(t)
+t = NAND(a, b)
+INPUT(a)
+INPUT(b)
+";
+        let n = parse_bench(text, "ooo").expect("valid");
+        assert_eq!(n.gate_count(), 2);
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n1 = parse_bench(SAMPLE, "c17").expect("valid");
+        let text = write_bench(&n1);
+        let n2 = parse_bench(&text, "c17rt").expect("valid");
+        assert_eq!(n1.gate_count(), n2.gate_count());
+        assert_eq!(n1.input_count(), n2.input_count());
+        assert_eq!(n1.output_count(), n2.output_count());
+        assert_eq!(n1.depth(), n2.depth());
+        // Same gate names with same fanin names.
+        for id in n1.gate_ids() {
+            let g1 = n1.gate(id);
+            let id2 = n2.gate_by_name(g1.name()).expect("same names");
+            let g2 = n2.gate(id2);
+            let f1: Vec<&str> = g1.fanins().iter().map(|&f| n1.gate(f).name()).collect();
+            let f2: Vec<&str> = g2.fanins().iter().map(|&f| n2.gate(f).name()).collect();
+            assert_eq!(f1, f2, "fanins of {}", g1.name());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n";
+        assert!(parse_bench(text, "c").is_ok());
+    }
+
+    #[test]
+    fn unknown_gate_type_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let e = parse_bench(text, "c").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n";
+        assert_eq!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::UnknownSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let text = "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n";
+        assert_eq!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::UnknownSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+p = NAND(a, q)
+q = NAND(a, p)
+y = NOT(p)
+";
+        assert!(matches!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::Cycle(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+        assert_eq!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::DuplicateName("y".into())
+        );
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_line_numbers() {
+        for (text, line) in [
+            ("INPUT(a)\nwat\n", 2),
+            ("INPUT(a)\ny = NOT(a\n", 2),
+            ("INPUT(a)\n= NOT(a)\n", 2),
+            ("INPUT(a)\ny = NOT()\n", 2),
+        ] {
+            match parse_bench(text, "c").unwrap_err() {
+                NetlistError::Parse { line: l, .. } => assert_eq!(l, line, "for {text:?}"),
+                other => panic!("expected parse error for {text:?}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inv_and_not_both_accepted() {
+        let text = "INPUT(a)\nOUTPUT(y)\nt = INV(a)\ny = not(t)\n";
+        let n = parse_bench(text, "c").expect("valid");
+        assert_eq!(n.gate_count(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Boolean simulation of netlists.
+//!
+//! Used throughout the test suite to prove that generated circuits compute
+//! their intended function (adders add, multipliers multiply, parity trees
+//! count ones) — the functional ground truth behind the timing work.
+
+use crate::graph::{GateKind, Netlist};
+use rand::Rng;
+
+/// Evaluates the netlist on one input assignment.
+///
+/// `inputs[i]` is the value of `netlist.inputs()[i]`. Returns one value per
+/// primary output, in `netlist.outputs()` order.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != netlist.input_count()`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::LogicFunction;
+/// use vartol_netlist::{NetlistBuilder, sim::simulate};
+///
+/// let mut b = NetlistBuilder::new("and");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let y = b.gate("y", LogicFunction::And, &[a, c]);
+/// b.mark_output(y);
+/// let n = b.build().expect("valid");
+/// assert_eq!(simulate(&n, &[true, true]), vec![true]);
+/// assert_eq!(simulate(&n, &[true, false]), vec![false]);
+/// ```
+#[must_use]
+pub fn simulate(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let values = node_values(netlist, inputs);
+    netlist
+        .outputs()
+        .iter()
+        .map(|&o| values[o.index()])
+        .collect()
+}
+
+/// Evaluates the netlist and returns the value of **every** node, indexed
+/// by [`crate::GateId::index`]. Useful for debugging and for tests that
+/// inspect internal signals.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != netlist.input_count()`.
+#[must_use]
+pub fn node_values(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    assert_eq!(
+        inputs.len(),
+        netlist.input_count(),
+        "expected {} input values, got {}",
+        netlist.input_count(),
+        inputs.len()
+    );
+    let mut values = vec![false; netlist.node_count()];
+    for (&id, &v) in netlist.inputs().iter().zip(inputs) {
+        values[id.index()] = v;
+    }
+    let mut scratch: Vec<bool> = Vec::with_capacity(4);
+    for id in netlist.node_ids() {
+        let g = netlist.gate(id);
+        if let GateKind::Cell { function, .. } = g.kind() {
+            scratch.clear();
+            scratch.extend(g.fanins().iter().map(|f| values[f.index()]));
+            values[id.index()] = function.eval(&scratch);
+        }
+    }
+    values
+}
+
+/// Interprets a little-endian slice of bits as an unsigned integer.
+#[must_use]
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Produces the `width` low bits of `value`, little-endian.
+#[must_use]
+pub fn u64_to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Draws a uniformly random input vector for the netlist.
+pub fn random_inputs<R: Rng + ?Sized>(netlist: &Netlist, rng: &mut R) -> Vec<bool> {
+    (0..netlist.input_count()).map(|_| rng.gen()).collect()
+}
+
+/// Checks functional equivalence of two netlists on `n` random vectors
+/// (they must have identical input/output counts). Returns the first
+/// counterexample input vector, or `None` if all vectors agree.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ in size.
+pub fn random_equivalence_check<R: Rng + ?Sized>(
+    a: &Netlist,
+    b: &Netlist,
+    n: usize,
+    rng: &mut R,
+) -> Option<Vec<bool>> {
+    assert_eq!(a.input_count(), b.input_count(), "input counts differ");
+    assert_eq!(a.output_count(), b.output_count(), "output counts differ");
+    for _ in 0..n {
+        let v = random_inputs(a, rng);
+        if simulate(a, &v) != simulate(b, &v) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vartol_liberty::LogicFunction;
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("cin");
+        let s = b.gate("s", LogicFunction::Xor, &[a, x, c]);
+        let co = b.gate("co", LogicFunction::Maj3, &[a, x, c]);
+        b.mark_output(s);
+        b.mark_output(co);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let n = full_adder();
+        for a in [false, true] {
+            for x in [false, true] {
+                for c in [false, true] {
+                    let out = simulate(&n, &[a, x, c]);
+                    let total = u8::from(a) + u8::from(x) + u8::from(c);
+                    assert_eq!(out[0], total & 1 == 1, "sum for {a}{x}{c}");
+                    assert_eq!(out[1], total >= 2, "carry for {a}{x}{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_values_exposes_internals() {
+        let n = full_adder();
+        let vals = node_values(&n, &[true, true, false]);
+        let s = n.gate_by_name("s").expect("s exists");
+        let co = n.gate_by_name("co").expect("co exists");
+        assert!(!vals[s.index()]);
+        assert!(vals[co.index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 input values")]
+    fn wrong_input_count_panics() {
+        let _ = simulate(&full_adder(), &[true]);
+    }
+
+    #[test]
+    fn bit_conversions_round_trip() {
+        for v in [0u64, 1, 5, 255, 256, 0xdead] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v, 16)), v & 0xffff);
+        }
+        assert_eq!(u64_to_bits(5, 4), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn equivalence_check_detects_differences() {
+        let n1 = full_adder();
+        // A broken "full adder" with OR instead of XOR.
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("cin");
+        let s = b.gate("s", LogicFunction::Or, &[a, x, c]);
+        let co = b.gate("co", LogicFunction::Maj3, &[a, x, c]);
+        b.mark_output(s);
+        b.mark_output(co);
+        let n2 = b.build().expect("valid");
+
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_equivalence_check(&n1, &n2, 64, &mut rng).is_some());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(random_equivalence_check(&n1, &n1.clone(), 64, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Summary statistics of a netlist's structure.
+
+use crate::graph::Netlist;
+use vartol_liberty::Library;
+
+/// Structural and physical summary of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::{generators::ripple_carry_adder, NetlistStats};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = ripple_carry_adder(8, &lib);
+/// let s = NetlistStats::compute(&n, &lib);
+/// assert_eq!(s.input_count, 17); // 2*8 operand bits + carry-in
+/// assert!(s.depth >= 8, "carry must ripple through every bit");
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetlistStats {
+    /// Netlist name.
+    pub name: String,
+    /// Number of cell gates.
+    pub gate_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Logic depth in gate levels.
+    pub depth: usize,
+    /// Largest fanout of any node.
+    pub max_fanout: usize,
+    /// Mean fanin over cell gates.
+    pub avg_fanin: f64,
+    /// Total cell area under the given library.
+    pub area: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist under a library.
+    #[must_use]
+    pub fn compute(netlist: &Netlist, library: &Library) -> Self {
+        let gate_count = netlist.gate_count();
+        let total_fanin: usize = netlist
+            .gate_ids()
+            .map(|id| netlist.gate(id).fanins().len())
+            .sum();
+        let max_fanout = netlist
+            .node_ids()
+            .map(|id| netlist.gate(id).fanouts().len())
+            .max()
+            .unwrap_or(0);
+        Self {
+            name: netlist.name().to_owned(),
+            gate_count,
+            input_count: netlist.input_count(),
+            output_count: netlist.output_count(),
+            depth: netlist.depth(),
+            max_fanout,
+            avg_fanin: if gate_count == 0 {
+                0.0
+            } else {
+                total_fanin as f64 / gate_count as f64
+            },
+            area: netlist.total_area(library),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {} PIs, {} POs, depth {}, max fanout {}, area {:.1}",
+            self.name,
+            self.gate_count,
+            self.input_count,
+            self.output_count,
+            self.depth,
+            self.max_fanout,
+            self.area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use vartol_liberty::LogicFunction;
+
+    #[test]
+    fn stats_of_tiny_netlist() {
+        let lib = Library::synthetic_90nm();
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.gate("g1", LogicFunction::Nand, &[a, c]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+        let g3 = b.gate("g3", LogicFunction::Inv, &[g1]);
+        b.mark_output(g2);
+        b.mark_output(g3);
+        let n = b.build().expect("valid");
+        let s = NetlistStats::compute(&n, &lib);
+        assert_eq!(s.gate_count, 3);
+        assert_eq!(s.input_count, 2);
+        assert_eq!(s.output_count, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_fanout, 2, "g1 drives both inverters");
+        assert!((s.avg_fanin - 4.0 / 3.0).abs() < 1e-12);
+        assert!(s.area > 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let lib = Library::synthetic_90nm();
+        let mut b = NetlistBuilder::new("disp");
+        let a = b.input("a");
+        let g = b.gate("g", LogicFunction::Inv, &[a]);
+        b.mark_output(g);
+        let n = b.build().expect("valid");
+        let s = NetlistStats::compute(&n, &lib).to_string();
+        assert!(s.contains("disp") && s.contains("1 gates"));
+    }
+}

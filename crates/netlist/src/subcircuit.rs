@@ -1,0 +1,278 @@
+//! Extraction of the local subcircuit around a gate (§4.5 of the paper).
+//!
+//! For every gate evaluated for resizing, the optimizer extracts the
+//! k-level transitive fanin and fanout cone around it ("we have found that
+//! using two levels of transitive fanins and fanouts is sufficiently
+//! accurate without being too costly to evaluate"), then scores candidate
+//! sizes by running the fast timing engine over just this region.
+
+use crate::graph::{GateId, Netlist};
+use std::collections::BTreeSet;
+
+/// A contiguous region of a netlist around a center gate.
+///
+/// * `members` — the cell gates inside the region, in topological order;
+/// * `boundary_inputs` — nodes *outside* the region (or primary inputs)
+///   that drive a member: their arrival statistics are the evaluation's
+///   boundary conditions;
+/// * `local_outputs` — members whose value leaves the region (they drive a
+///   non-member or are primary outputs): the evaluation's cost is the max
+///   over these.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::{Library, LogicFunction};
+/// use vartol_netlist::{NetlistBuilder, Subcircuit};
+///
+/// let mut b = NetlistBuilder::new("chain");
+/// let a = b.input("a");
+/// let g1 = b.gate("g1", LogicFunction::Inv, &[a]);
+/// let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+/// let g3 = b.gate("g3", LogicFunction::Inv, &[g2]);
+/// let g4 = b.gate("g4", LogicFunction::Inv, &[g3]);
+/// let g5 = b.gate("g5", LogicFunction::Inv, &[g4]);
+/// b.mark_output(g5);
+/// let n = b.build().expect("valid");
+///
+/// let sub = Subcircuit::extract(&n, g3, 1);
+/// assert_eq!(sub.members(), &[g2, g3, g4]);
+/// assert_eq!(sub.boundary_inputs(), &[g1]);
+/// assert_eq!(sub.local_outputs(), &[g4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subcircuit {
+    center: GateId,
+    depth: usize,
+    members: Vec<GateId>,
+    boundary_inputs: Vec<GateId>,
+    local_outputs: Vec<GateId>,
+}
+
+impl Subcircuit {
+    /// Extracts the `depth`-level transitive fanin/fanout cone around
+    /// `center`. With `depth = 0` the region is just the center gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is a primary input.
+    #[must_use]
+    pub fn extract(netlist: &Netlist, center: GateId, depth: usize) -> Self {
+        assert!(
+            !netlist.gate(center).is_input(),
+            "cannot extract a subcircuit around primary input {}",
+            netlist.gate(center).name()
+        );
+
+        // BTreeSet keeps members sorted by id == topological order.
+        let mut members: BTreeSet<GateId> = BTreeSet::new();
+        members.insert(center);
+
+        // Walk fanins `depth` levels (cells only).
+        let mut frontier = vec![center];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &f in netlist.gate(g).fanins() {
+                    if !netlist.gate(f).is_input() && members.insert(f) {
+                        next.push(f);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // Walk fanouts `depth` levels.
+        let mut frontier = vec![center];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &f in netlist.gate(g).fanouts() {
+                    if members.insert(f) {
+                        next.push(f);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // Boundary inputs: any non-member driving a member.
+        let mut boundary: BTreeSet<GateId> = BTreeSet::new();
+        for &m in &members {
+            for &f in netlist.gate(m).fanins() {
+                if !members.contains(&f) {
+                    boundary.insert(f);
+                }
+            }
+        }
+
+        // Local outputs: members that drive a non-member or are POs.
+        let mut local_outputs: Vec<GateId> = Vec::new();
+        for &m in &members {
+            let escapes = netlist.is_output(m)
+                || netlist
+                    .gate(m)
+                    .fanouts()
+                    .iter()
+                    .any(|f| !members.contains(f));
+            if escapes {
+                local_outputs.push(m);
+            }
+        }
+
+        Self {
+            center,
+            depth,
+            members: members.into_iter().collect(),
+            boundary_inputs: boundary.into_iter().collect(),
+            local_outputs,
+        }
+    }
+
+    /// The gate the region was grown around.
+    #[must_use]
+    pub fn center(&self) -> GateId {
+        self.center
+    }
+
+    /// The extraction depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Member cell gates, topological order.
+    #[must_use]
+    pub fn members(&self) -> &[GateId] {
+        &self.members
+    }
+
+    /// Whether `id` is a member of the region.
+    #[must_use]
+    pub fn contains(&self, id: GateId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// Non-member nodes (gates or primary inputs) driving the region.
+    #[must_use]
+    pub fn boundary_inputs(&self) -> &[GateId] {
+        &self.boundary_inputs
+    }
+
+    /// Members whose output leaves the region.
+    #[must_use]
+    pub fn local_outputs(&self) -> &[GateId] {
+        &self.local_outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::generators::ripple_carry_adder;
+    use vartol_liberty::{Library, LogicFunction};
+
+    fn chain(len: usize) -> (Netlist, Vec<GateId>) {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut ids = Vec::new();
+        let mut prev = a;
+        for i in 0..len {
+            prev = b.gate(format!("g{i}"), LogicFunction::Inv, &[prev]);
+            ids.push(prev);
+        }
+        b.mark_output(prev);
+        (b.build().expect("valid"), ids)
+    }
+
+    #[test]
+    fn depth_zero_is_center_only() {
+        let (n, ids) = chain(5);
+        let sub = Subcircuit::extract(&n, ids[2], 0);
+        assert_eq!(sub.members(), &[ids[2]]);
+        assert_eq!(sub.boundary_inputs(), &[ids[1]]);
+        assert_eq!(sub.local_outputs(), &[ids[2]]);
+    }
+
+    #[test]
+    fn depth_two_spans_five_gates_on_a_chain() {
+        let (n, ids) = chain(9);
+        let sub = Subcircuit::extract(&n, ids[4], 2);
+        assert_eq!(sub.members(), &ids[2..=6]);
+        assert_eq!(sub.boundary_inputs(), &[ids[1]]);
+        assert_eq!(sub.local_outputs(), &[ids[6]]);
+        assert_eq!(sub.depth(), 2);
+        assert_eq!(sub.center(), ids[4]);
+    }
+
+    #[test]
+    fn cone_clips_at_primary_inputs_and_outputs() {
+        let (n, ids) = chain(3);
+        let sub = Subcircuit::extract(&n, ids[0], 2);
+        // Fanin side stops at the PI, which becomes a boundary input; the
+        // fanout side reaches the PO.
+        assert_eq!(sub.members(), &ids[0..=2]);
+        assert_eq!(sub.boundary_inputs(), n.inputs());
+        assert_eq!(sub.local_outputs(), &[ids[2]]);
+    }
+
+    #[test]
+    fn po_members_are_local_outputs_even_without_external_fanout() {
+        let (n, ids) = chain(4);
+        let sub = Subcircuit::extract(&n, ids[3], 1);
+        assert!(sub.local_outputs().contains(&ids[3]));
+    }
+
+    #[test]
+    fn members_topologically_ordered_and_contains_works() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let some_gate = n.gate_ids().nth(10).expect("enough gates");
+        let sub = Subcircuit::extract(&n, some_gate, 2);
+        assert!(sub.members().windows(2).all(|w| w[0] < w[1]));
+        for &m in sub.members() {
+            assert!(sub.contains(m));
+        }
+        assert!(sub.contains(some_gate));
+        // No member is a primary input.
+        assert!(sub.members().iter().all(|&m| !n.gate(m).is_input()));
+        // Boundary inputs are disjoint from members.
+        assert!(sub.boundary_inputs().iter().all(|b| !sub.contains(*b)));
+    }
+
+    #[test]
+    fn reconvergent_fanout_included_once() {
+        let mut b = NetlistBuilder::new("reconv");
+        let a = b.input("a");
+        let s = b.gate("s", LogicFunction::Inv, &[a]);
+        let p = b.gate("p", LogicFunction::Inv, &[s]);
+        let q = b.gate("q", LogicFunction::Inv, &[s]);
+        let m = b.gate("m", LogicFunction::Nand, &[p, q]);
+        b.mark_output(m);
+        let n = b.build().expect("valid");
+        let sub = Subcircuit::extract(&n, s, 2);
+        assert_eq!(sub.members().len(), 4, "s, p, q, m each exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extract a subcircuit around primary input")]
+    fn extracting_around_input_panics() {
+        let (n, _) = chain(2);
+        let pi = n.inputs()[0];
+        let _ = Subcircuit::extract(&n, pi, 1);
+    }
+
+    #[test]
+    fn boundary_includes_primary_inputs_feeding_members() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(4, &lib);
+        // First gate is fed by PIs.
+        let first = n.gate_ids().next().expect("has gates");
+        let sub = Subcircuit::extract(&n, first, 1);
+        assert!(
+            sub.boundary_inputs().iter().any(|&b| n.gate(b).is_input()),
+            "PIs feeding the region are boundary inputs"
+        );
+    }
+}

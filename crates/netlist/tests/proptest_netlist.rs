@@ -1,0 +1,134 @@
+//! Property-based tests of netlist invariants over random DAGs.
+
+use proptest::prelude::*;
+use vartol_liberty::Library;
+use vartol_netlist::generators::{random_dag, RandomDagConfig};
+use vartol_netlist::iscas::{parse_bench, write_bench};
+use vartol_netlist::sim::{random_inputs, simulate};
+use vartol_netlist::Subcircuit;
+
+fn dag_config() -> impl Strategy<Value = (RandomDagConfig, u64)> {
+    (2usize..12, 5usize..120, 2usize..40, any::<u64>()).prop_map(|(inputs, gates, window, seed)| {
+        (
+            RandomDagConfig {
+                inputs,
+                gates,
+                window,
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_satisfy_invariants((cfg, seed) in dag_config()) {
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(cfg, seed, &lib);
+        prop_assert!(n.check_invariants().is_ok());
+        prop_assert!(n.validate_against_library(&lib).is_ok());
+        prop_assert_eq!(n.gate_count(), cfg.gates);
+        prop_assert_eq!(n.input_count(), cfg.inputs);
+        prop_assert!(n.depth() <= cfg.gates);
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_function((cfg, seed) in dag_config()) {
+        let lib = Library::synthetic_90nm();
+        let n1 = random_dag(cfg, seed, &lib);
+        let text = write_bench(&n1);
+        let n2 = parse_bench(&text, "rt").expect("round trip parses");
+        prop_assert_eq!(n1.gate_count(), n2.gate_count());
+        prop_assert_eq!(n1.output_count(), n2.output_count());
+        // Functional equivalence on a few random vectors. Output order may
+        // differ between writers/parsers, so compare by output name.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        use rand::SeedableRng;
+        for _ in 0..8 {
+            let v = random_inputs(&n1, &mut rng);
+            let o1 = simulate(&n1, &v);
+            let o2 = simulate(&n2, &v);
+            for (k, &out_id) in n1.outputs().iter().enumerate() {
+                let name = n1.gate(out_id).name();
+                let id2 = n2.gate_by_name(name).expect("same names");
+                let pos2 = n2.outputs().iter().position(|&o| o == id2).expect("marked");
+                prop_assert_eq!(o1[k], o2[pos2], "output {}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn subcircuit_extraction_invariants((cfg, seed) in dag_config(), depth in 0usize..4) {
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(cfg, seed, &lib);
+        let center = n.gate_ids().next().expect("at least one gate");
+        let sub = Subcircuit::extract(&n, center, depth);
+        // Center always a member; members sorted (= topological).
+        prop_assert!(sub.contains(center));
+        prop_assert!(sub.members().windows(2).all(|w| w[0] < w[1]));
+        // Boundary disjoint from members; all edges into the region come
+        // from members or boundary.
+        for &m in sub.members() {
+            prop_assert!(!n.gate(m).is_input());
+            for &f in n.gate(m).fanins() {
+                prop_assert!(sub.contains(f) || sub.boundary_inputs().contains(&f));
+            }
+        }
+        // Every local output is a member.
+        for &o in sub.local_outputs() {
+            prop_assert!(sub.contains(o));
+        }
+        // Monotone in depth: deeper extraction includes shallower members.
+        if depth > 0 {
+            let smaller = Subcircuit::extract(&n, center, depth - 1);
+            for &m in smaller.members() {
+                prop_assert!(sub.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn size_snapshots_round_trip((cfg, seed) in dag_config(), bump in 0usize..5) {
+        let lib = Library::synthetic_90nm();
+        let mut n = random_dag(cfg, seed, &lib);
+        let original = n.sizes();
+        // Apply a bounded bump to every gate (clamped to its group).
+        let ids: Vec<_> = n.gate_ids().collect();
+        for id in &ids {
+            let g = n.gate(*id);
+            let group = lib
+                .group(g.function().expect("cell"), g.fanins().len())
+                .expect("validated");
+            n.set_size(*id, bump.min(group.len() - 1));
+        }
+        prop_assert!(n.validate_against_library(&lib).is_ok());
+        let bumped = n.sizes();
+        n.restore_sizes(&original);
+        prop_assert_eq!(n.sizes(), original);
+        n.restore_sizes(&bumped);
+        prop_assert_eq!(n.sizes(), bumped);
+    }
+
+    #[test]
+    fn sizes_do_not_change_function((cfg, seed) in dag_config()) {
+        let lib = Library::synthetic_90nm();
+        let n0 = random_dag(cfg, seed, &lib);
+        let mut n1 = n0.clone();
+        let ids: Vec<_> = n1.gate_ids().collect();
+        for id in ids {
+            let g = n1.gate(id);
+            let group = lib
+                .group(g.function().expect("cell"), g.fanins().len())
+                .expect("validated");
+            n1.set_size(id, group.len() - 1);
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let v = random_inputs(&n0, &mut rng);
+            prop_assert_eq!(simulate(&n0, &v), simulate(&n1, &v));
+        }
+    }
+}

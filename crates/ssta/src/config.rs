@@ -1,0 +1,135 @@
+//! Shared configuration for the timing engines.
+
+use vartol_liberty::VariationModel;
+
+/// How FULLSSTA treats correlation between arrival times at a max.
+///
+/// The paper's outer engine (after Liou et al.) assumes independence but
+/// notes that correlations due to reconvergent paths can be tracked "using
+/// Principal Component Analysis [17] or other methods as long as runtime
+/// is managed appropriately" (§4.3). On deeply reconvergent circuits (the
+/// c6288 multiplier) the independence assumption compounds badly: the mean
+/// inflates and the bounded discrete supports make the max of thousands of
+/// pseudo-independent arrivals collapse toward a point mass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CorrelationMode {
+    /// Treat all arrivals as independent (the paper's baseline engine).
+    Independent,
+    /// Track shared path variance in per-level buckets and evaluate maxima
+    /// with Clark's correlated formulas — the "other methods" hook: each
+    /// node carries the variance it accumulated at every topological
+    /// level; the correlation of two arrivals is estimated from the
+    /// overlap (bucket-wise minimum) of their contribution vectors.
+    LevelBuckets,
+}
+
+/// Configuration shared by all timing engines.
+///
+/// # Example
+///
+/// ```
+/// use vartol_ssta::SstaConfig;
+///
+/// let config = SstaConfig::default().with_pdf_samples(15);
+/// assert_eq!(config.pdf_samples, 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SstaConfig {
+    /// Discrete-PDF support points in FULLSSTA. The paper uses 10–15
+    /// "as a reasonable tradeoff between accuracy and speed".
+    pub pdf_samples: usize,
+    /// The two-component process-variation model applied to every gate.
+    pub variation: VariationModel,
+    /// Transition time (ps) assumed at primary inputs.
+    pub input_slew: f64,
+    /// Capacitive load (unit loads) on every primary output pin.
+    pub po_load: f64,
+    /// Extra wire capacitance charged per fanout pin (0 = the paper's
+    /// "we ignore interconnect delay").
+    pub wire_cap_per_fanout: f64,
+    /// Reconvergence-correlation handling in FULLSSTA.
+    pub correlation: CorrelationMode,
+}
+
+impl SstaConfig {
+    /// Sets the discrete-PDF sample count (FULLSSTA accuracy knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_pdf_samples(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one pdf sample");
+        self.pdf_samples = n;
+        self
+    }
+
+    /// Sets the variation model.
+    #[must_use]
+    pub fn with_variation(mut self, variation: VariationModel) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Sets the correlation handling mode.
+    #[must_use]
+    pub fn with_correlation(mut self, mode: CorrelationMode) -> Self {
+        self.correlation = mode;
+        self
+    }
+
+    /// A deterministic configuration (no process variation), under which
+    /// every statistical engine degenerates to plain STA.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self::default().with_variation(VariationModel::none())
+    }
+}
+
+impl Default for SstaConfig {
+    fn default() -> Self {
+        Self {
+            pdf_samples: 12,
+            variation: VariationModel::default(),
+            input_slew: 20.0,
+            po_load: 2.0,
+            wire_cap_per_fanout: 0.0,
+            correlation: CorrelationMode::LevelBuckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_in_paper_range() {
+        let c = SstaConfig::default();
+        assert!((10..=15).contains(&c.pdf_samples));
+        assert!(c.input_slew > 0.0);
+        assert!(c.po_load > 0.0);
+        assert_eq!(c.wire_cap_per_fanout, 0.0, "paper ignores interconnect");
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SstaConfig::default()
+            .with_pdf_samples(10)
+            .with_variation(VariationModel::new(0.1, 0.5, 1.0));
+        assert_eq!(c.pdf_samples, 10);
+        assert_eq!(c.variation.k_prop, 0.1);
+    }
+
+    #[test]
+    fn deterministic_config_has_no_variation() {
+        let c = SstaConfig::deterministic();
+        assert_eq!(c.variation, VariationModel::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pdf sample")]
+    fn zero_samples_panics() {
+        let _ = SstaConfig::default().with_pdf_samples(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Statistical gate criticality.
+//!
+//! The probability that a gate lies on *the* critical path of a
+//! manufactured die. Hashimoto & Onodera (ISPD'00 — the paper's reference
+//! [5]) optimize using such criticalities; the paper contrasts its
+//! WNSS-path approach against them but both views are useful: criticality
+//! is the natural per-gate "how much does this gate matter" metric, and it
+//! complements the single-path tracer when reporting results.
+//!
+//! Computation: backward propagation of path probability. A primary
+//! output's criticality is the probability it realizes the circuit max;
+//! a node's criticality is the sum over its fanouts of the fanout's
+//! criticality times the probability this node supplies the fanout's
+//! latest input. Win probabilities come from Clark tightness values over
+//! the stored arrival moments (independence across siblings assumed, as in
+//! the fast engine).
+
+use crate::config::SstaConfig;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::clark::clark_max;
+use vartol_stats::Moments;
+
+/// Per-node criticality: the probability of lying on the statistically
+/// critical path.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::ripple_carry_adder;
+/// use vartol_ssta::{Criticality, FullSsta, SstaConfig};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = ripple_carry_adder(8, &lib);
+/// let config = SstaConfig::default();
+/// let analysis = FullSsta::new(&lib, config.clone()).analyze(&n);
+/// let crit = Criticality::compute(&n, &lib, &config, analysis.arrivals());
+/// // Probabilities are well-formed.
+/// for id in n.node_ids() {
+///     assert!((0.0..=1.0 + 1e-9).contains(&crit.of(id)));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criticality {
+    values: Vec<f64>,
+}
+
+impl Criticality {
+    /// Computes criticalities from stored arrival moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != netlist.node_count()`.
+    #[must_use]
+    pub fn compute(
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        arrivals: &[Moments],
+    ) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            netlist.node_count(),
+            "arrival vector must cover every node"
+        );
+        let _ = (library, config); // reserved for arc-delay-aware refinement
+        let n = netlist.node_count();
+        let mut crit = vec![0.0f64; n];
+
+        // Seed: each primary output wins the circuit max with its win
+        // probability among all outputs.
+        let output_arrivals: Vec<Moments> =
+            netlist.outputs().iter().map(|&o| arrivals[o.index()]).collect();
+        for (k, &o) in netlist.outputs().iter().enumerate() {
+            crit[o.index()] += win_probability(&output_arrivals, k);
+        }
+
+        // Backward: distribute each gate's criticality over its fanins.
+        let ids: Vec<GateId> = netlist.node_ids().collect();
+        for &id in ids.iter().rev() {
+            let g = netlist.gate(id);
+            if g.is_input() || crit[id.index()] == 0.0 {
+                continue;
+            }
+            let fanin_arrivals: Vec<Moments> =
+                g.fanins().iter().map(|f| arrivals[f.index()]).collect();
+            for (k, &f) in g.fanins().iter().enumerate() {
+                crit[f.index()] += crit[id.index()] * win_probability(&fanin_arrivals, k);
+            }
+        }
+
+        Self { values: crit }
+    }
+
+    /// The criticality of one node.
+    #[must_use]
+    pub fn of(&self, id: GateId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// All criticalities, indexed by [`GateId::index`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Nodes sorted by descending criticality — an alternative
+    /// optimization frontier to the WNSS path.
+    #[must_use]
+    pub fn ranking(&self) -> Vec<GateId> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| self.values[b].total_cmp(&self.values[a]));
+        idx.into_iter().map(GateId::from_index).collect()
+    }
+}
+
+/// Probability that `inputs[k]` is the largest of `inputs` (independent
+/// normals): fold everything else with Clark, then take the tightness of
+/// the pairwise max against the candidate. Exact for two inputs.
+fn win_probability(inputs: &[Moments], k: usize) -> f64 {
+    if inputs.len() == 1 {
+        return 1.0;
+    }
+    let mut others: Option<Moments> = None;
+    for (i, &m) in inputs.iter().enumerate() {
+        if i == k {
+            continue;
+        }
+        others = Some(match others {
+            None => m,
+            Some(acc) => clark_max(acc, m).max,
+        });
+    }
+    let others = others.expect("at least one other input");
+    clark_max(inputs[k], others).tightness_a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullssta::FullSsta;
+    use vartol_liberty::LogicFunction;
+    use vartol_netlist::generators::ripple_carry_adder;
+    use vartol_netlist::NetlistBuilder;
+
+    fn criticality_of(netlist: &Netlist) -> Criticality {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let analysis = FullSsta::new(&lib, config.clone()).analyze(netlist);
+        Criticality::compute(netlist, &lib, &config, analysis.arrivals())
+    }
+
+    #[test]
+    fn chain_is_fully_critical() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        b.mark_output(g1);
+        let n = b.build().expect("valid");
+        let c = criticality_of(&n);
+        assert!((c.of(g0) - 1.0).abs() < 1e-9);
+        assert!((c.of(g1) - 1.0).abs() < 1e-9);
+        assert!((c.of(a) - 1.0).abs() < 1e-9, "the PI feeds the only path");
+    }
+
+    #[test]
+    fn symmetric_fork_splits_criticality() {
+        let mut b = NetlistBuilder::new("fork");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let g1 = b.gate("g1", LogicFunction::Inv, &[i1]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[i2]);
+        let join = b.gate("join", LogicFunction::Nand, &[g1, g2]);
+        b.mark_output(join);
+        let n = b.build().expect("valid");
+        let c = criticality_of(&n);
+        assert!((c.of(join) - 1.0).abs() < 1e-9);
+        // Identical branches: each wins with probability one half.
+        assert!((c.of(g1) - 0.5).abs() < 0.05, "got {}", c.of(g1));
+        assert!((c.of(g2) - 0.5).abs() < 0.05, "got {}", c.of(g2));
+        assert!((c.of(g1) + c.of(g2) - 1.0).abs() < 1e-9, "probability conserved");
+    }
+
+    #[test]
+    fn dominant_branch_takes_all() {
+        // One branch is three gates deep, the other one gate: the deep
+        // branch arrives much later and absorbs the criticality.
+        let mut b = NetlistBuilder::new("skew");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let d1 = b.gate("d1", LogicFunction::Inv, &[i1]);
+        let d2 = b.gate("d2", LogicFunction::Inv, &[d1]);
+        let d3 = b.gate("d3", LogicFunction::Inv, &[d2]);
+        let s1 = b.gate("s1", LogicFunction::Inv, &[i2]);
+        let join = b.gate("join", LogicFunction::Nand, &[d3, s1]);
+        b.mark_output(join);
+        let n = b.build().expect("valid");
+        let c = criticality_of(&n);
+        assert!(c.of(d3) > 0.9, "deep branch critical: {}", c.of(d3));
+        assert!(c.of(s1) < 0.1, "shallow branch not: {}", c.of(s1));
+    }
+
+    #[test]
+    fn criticality_conserved_across_levels_of_a_tree() {
+        // In a balanced XOR tree every level's criticalities sum to 1.
+        let lib = Library::synthetic_90nm();
+        let n = vartol_netlist::generators::parity_tree(16, &lib);
+        let c = criticality_of(&n);
+        let levels = n.levels();
+        let depth = n.depth();
+        for level in 1..=depth {
+            let total: f64 = n
+                .gate_ids()
+                .filter(|id| levels[id.index()] == level)
+                .map(|id| c.of(id))
+                .sum();
+            assert!(
+                (total - 1.0).abs() < 0.05,
+                "level {level} criticality sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_puts_critical_gates_first() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let c = criticality_of(&n);
+        let ranking = c.ranking();
+        // Ranking is sorted by descending criticality.
+        for w in ranking.windows(2) {
+            assert!(c.of(w[0]) >= c.of(w[1]));
+        }
+        // The top-ranked node is meaningfully critical.
+        assert!(c.of(ranking[0]) > 0.5);
+    }
+}

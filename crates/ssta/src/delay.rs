@@ -1,0 +1,283 @@
+//! The shared electrical layer: loads, slews, and per-gate random delays.
+//!
+//! Every timing engine consumes the same [`CircuitTiming`] snapshot:
+//!
+//! * **load** of a node — the sum of the input capacitance of every sink
+//!   pin it drives, plus the configured primary-output pin load and
+//!   optional per-fanout wire capacitance;
+//! * **slew** — nominal transition times propagated forward (the worst
+//!   fanin slew drives each cell's NLDM slew table);
+//! * **nominal delay** — the cell's NLDM delay at (input slew, load);
+//! * **delay moments** — the nominal delay widened into a random variable
+//!   by the library's variation model (proportional component shrinking
+//!   with drive strength, plus the random floor).
+
+use crate::config::SstaConfig;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist, Subcircuit};
+use vartol_stats::Moments;
+
+/// A per-node electrical/timing snapshot of a netlist at its current sizes.
+///
+/// Vectors are indexed by [`GateId::index`]; entries for primary inputs are
+/// zero except for `slews` (the configured input slew).
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::ripple_carry_adder;
+/// use vartol_ssta::{CircuitTiming, SstaConfig};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = ripple_carry_adder(4, &lib);
+/// let t = CircuitTiming::compute(&n, &lib, &SstaConfig::default());
+/// for id in n.gate_ids() {
+///     assert!(t.nominal_delay(id) > 0.0);
+///     assert!(t.delay_moments(id).var > 0.0, "every gate varies");
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitTiming {
+    loads: Vec<f64>,
+    slews: Vec<f64>,
+    nominal_delays: Vec<f64>,
+    delay_moments: Vec<Moments>,
+}
+
+impl CircuitTiming {
+    /// Computes loads, slews, and delays for the netlist's current sizes.
+    #[must_use]
+    pub fn compute(netlist: &Netlist, library: &Library, config: &SstaConfig) -> Self {
+        let n = netlist.node_count();
+        let mut loads = vec![0.0f64; n];
+        let mut slews = vec![0.0f64; n];
+        let mut nominal_delays = vec![0.0f64; n];
+        let mut delay_moments = vec![Moments::zero(); n];
+
+        // Loads first (independent of order).
+        for id in netlist.node_ids() {
+            loads[id.index()] = Self::load_of(netlist, library, config, id);
+        }
+
+        // Slews and delays in topological order.
+        for id in netlist.node_ids() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                slews[id.index()] = config.input_slew;
+                continue;
+            }
+            let cell = netlist.cell(id, library);
+            let in_slew = g
+                .fanins()
+                .iter()
+                .map(|f| slews[f.index()])
+                .fold(0.0f64, f64::max);
+            let load = loads[id.index()];
+            let d = cell.delay(in_slew, load).max(0.0);
+            slews[id.index()] = cell.output_slew(in_slew, load).max(0.0);
+            nominal_delays[id.index()] = d;
+            delay_moments[id.index()] = config.variation.delay_moments(d, cell.drive());
+        }
+
+        Self {
+            loads,
+            slews,
+            nominal_delays,
+            delay_moments,
+        }
+    }
+
+    fn load_of(netlist: &Netlist, library: &Library, config: &SstaConfig, id: GateId) -> f64 {
+        let g = netlist.gate(id);
+        let mut load = 0.0;
+        for &sink in g.fanouts() {
+            load += netlist.cell(sink, library).input_cap() + config.wire_cap_per_fanout;
+        }
+        if netlist.is_output(id) {
+            load += config.po_load;
+        }
+        load
+    }
+
+    /// Capacitive load driven by node `id`.
+    #[must_use]
+    pub fn load(&self, id: GateId) -> f64 {
+        self.loads[id.index()]
+    }
+
+    /// Nominal output transition time at node `id`.
+    #[must_use]
+    pub fn slew(&self, id: GateId) -> f64 {
+        self.slews[id.index()]
+    }
+
+    /// Nominal delay through gate `id` (0 for primary inputs).
+    #[must_use]
+    pub fn nominal_delay(&self, id: GateId) -> f64 {
+        self.nominal_delays[id.index()]
+    }
+
+    /// Random-variable delay of gate `id` (zero moments for inputs).
+    #[must_use]
+    pub fn delay_moments(&self, id: GateId) -> Moments {
+        self.delay_moments[id.index()]
+    }
+
+    /// Recomputes load, slew, and delay for the members of a subcircuit
+    /// against the netlist's *current* sizes, returning delay moments keyed
+    /// by position in `sub.members()`.
+    ///
+    /// Loads and slews of member gates are refreshed (a resized member
+    /// loads its fanins harder, changing their delays and output slews);
+    /// boundary nodes keep the slews of this snapshot. Members are visited
+    /// in topological order, so refreshed slews propagate inside the
+    /// region.
+    #[must_use]
+    pub fn member_delays(
+        &self,
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        sub: &Subcircuit,
+    ) -> Vec<Moments> {
+        use std::collections::HashMap;
+        let mut fresh_slews: HashMap<vartol_netlist::GateId, f64> =
+            HashMap::with_capacity(sub.members().len());
+        sub.members()
+            .iter()
+            .map(|&m| {
+                let g = netlist.gate(m);
+                let cell = netlist.cell(m, library);
+                let in_slew = g
+                    .fanins()
+                    .iter()
+                    .map(|f| fresh_slews.get(f).copied().unwrap_or(self.slews[f.index()]))
+                    .fold(0.0f64, f64::max);
+                let load = Self::load_of(netlist, library, config, m);
+                let d = cell.delay(in_slew, load).max(0.0);
+                fresh_slews.insert(m, cell.output_slew(in_slew, load).max(0.0));
+                config.variation.delay_moments(d, cell.drive())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_liberty::LogicFunction;
+    use vartol_netlist::NetlistBuilder;
+
+    fn chain3() -> (Netlist, Vec<GateId>) {
+        let mut b = NetlistBuilder::new("chain3");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+        b.mark_output(g2);
+        (b.build().expect("valid"), vec![a, g0, g1, g2])
+    }
+
+    #[test]
+    fn loads_sum_sink_caps_and_po_load() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let (n, ids) = chain3();
+        let t = CircuitTiming::compute(&n, &lib, &config);
+        let x1_cap = lib.cell_by_name("NOT_X1").expect("inv").input_cap();
+        assert!(
+            (t.load(ids[0]) - x1_cap).abs() < 1e-12,
+            "PI drives one X1 inverter"
+        );
+        assert!((t.load(ids[1]) - x1_cap).abs() < 1e-12);
+        assert!(
+            (t.load(ids[3]) - config.po_load).abs() < 1e-12,
+            "PO load only"
+        );
+    }
+
+    #[test]
+    fn upsizing_a_sink_raises_driver_load_and_delay() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let (mut n, ids) = chain3();
+        let t0 = CircuitTiming::compute(&n, &lib, &config);
+        n.set_size(ids[2], 5); // upsize g1: loads g0 harder
+        let t1 = CircuitTiming::compute(&n, &lib, &config);
+        assert!(t1.load(ids[1]) > t0.load(ids[1]));
+        assert!(t1.nominal_delay(ids[1]) > t0.nominal_delay(ids[1]));
+        // And g1 itself got faster (same load, more drive).
+        assert!(t1.nominal_delay(ids[2]) < t0.nominal_delay(ids[2]));
+    }
+
+    #[test]
+    fn upsizing_shrinks_own_sigma() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let (mut n, ids) = chain3();
+        let t0 = CircuitTiming::compute(&n, &lib, &config);
+        let s0 = t0.delay_moments(ids[2]).std();
+        n.set_size(ids[2], 5);
+        let t1 = CircuitTiming::compute(&n, &lib, &config);
+        let s1 = t1.delay_moments(ids[2]).std();
+        assert!(s1 < s0, "bigger drive, less variation: {s1} < {s0}");
+    }
+
+    #[test]
+    fn input_nodes_have_zero_delay_and_config_slew() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let (n, ids) = chain3();
+        let t = CircuitTiming::compute(&n, &lib, &config);
+        assert_eq!(t.nominal_delay(ids[0]), 0.0);
+        assert_eq!(t.delay_moments(ids[0]), Moments::zero());
+        assert_eq!(t.slew(ids[0]), config.input_slew);
+    }
+
+    #[test]
+    fn deterministic_config_gives_zero_variance() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::deterministic();
+        let (n, ids) = chain3();
+        let t = CircuitTiming::compute(&n, &lib, &config);
+        assert_eq!(t.delay_moments(ids[1]).var, 0.0);
+        assert!(t.nominal_delay(ids[1]) > 0.0);
+    }
+
+    #[test]
+    fn member_delays_match_full_recompute_after_resize() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let (mut n, ids) = chain3();
+        let t0 = CircuitTiming::compute(&n, &lib, &config);
+        let sub = Subcircuit::extract(&n, ids[2], 1); // members g0,g1,g2... depth1 around g1-index
+        n.set_size(ids[2], 4);
+        let overlay = t0.member_delays(&n, &lib, &config, &sub);
+        let t1 = CircuitTiming::compute(&n, &lib, &config);
+        for (pos, &m) in sub.members().iter().enumerate() {
+            let want = t1.delay_moments(m);
+            let got = overlay[pos];
+            // Slews differ slightly (overlay uses stale boundary slews);
+            // means must agree within a small tolerance.
+            assert!(
+                (got.mean - want.mean).abs() < 0.15 * want.mean.max(1.0),
+                "member {pos}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_cap_adds_per_fanout() {
+        let lib = Library::synthetic_90nm();
+        let (n, ids) = chain3();
+        let base = SstaConfig::default();
+        let wired = SstaConfig {
+            wire_cap_per_fanout: 0.5,
+            ..base.clone()
+        };
+        let t0 = CircuitTiming::compute(&n, &lib, &base);
+        let t1 = CircuitTiming::compute(&n, &lib, &wired);
+        assert!((t1.load(ids[1]) - t0.load(ids[1]) - 0.5).abs() < 1e-12);
+    }
+}

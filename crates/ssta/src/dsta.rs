@@ -1,0 +1,251 @@
+//! Deterministic static timing analysis (nominal delays only).
+//!
+//! The classical engine underlying the mean-delay baseline optimizer: the
+//! "original" column of the paper's Table 1 is a circuit "obtained by
+//! optimizing ... with a goal of minimizing the mean of the longest delay",
+//! which is exactly deterministic STA-driven sizing.
+
+use crate::config::SstaConfig;
+use crate::delay::CircuitTiming;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+
+/// Deterministic static timing engine.
+#[derive(Debug, Clone)]
+pub struct Dsta<'l> {
+    library: &'l Library,
+    config: SstaConfig,
+}
+
+/// Result of a deterministic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DstaResult {
+    arrivals: Vec<f64>,
+    max_delay: f64,
+    worst_output: GateId,
+    timing: CircuitTiming,
+}
+
+impl<'l> Dsta<'l> {
+    /// Creates an engine over a library with the given configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// Runs nominal longest-path analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn analyze(&self, netlist: &Netlist) -> DstaResult {
+        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
+        let mut arrivals = vec![0.0f64; netlist.node_count()];
+        for id in netlist.node_ids() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                continue;
+            }
+            let worst_in = g
+                .fanins()
+                .iter()
+                .map(|f| arrivals[f.index()])
+                .fold(0.0f64, f64::max);
+            arrivals[id.index()] = worst_in + timing.nominal_delay(id);
+        }
+        let (&worst_output, max_delay) = netlist
+            .outputs()
+            .iter()
+            .map(|o| (o, arrivals[o.index()]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("netlists have at least one output");
+        DstaResult {
+            arrivals,
+            max_delay,
+            worst_output,
+            timing,
+        }
+    }
+}
+
+impl DstaResult {
+    /// Nominal arrival time at a node.
+    #[must_use]
+    pub fn arrival(&self, id: GateId) -> f64 {
+        self.arrivals[id.index()]
+    }
+
+    /// The circuit's nominal longest delay.
+    #[must_use]
+    pub fn max_delay(&self) -> f64 {
+        self.max_delay
+    }
+
+    /// The output pin realizing the longest delay.
+    #[must_use]
+    pub fn worst_output(&self) -> GateId {
+        self.worst_output
+    }
+
+    /// The electrical snapshot the analysis used.
+    #[must_use]
+    pub fn timing(&self) -> &CircuitTiming {
+        &self.timing
+    }
+
+    /// Traces the deterministic critical (worst-slack) path from the worst
+    /// output back to a primary input, returned input-first. Contains cell
+    /// gates only.
+    #[must_use]
+    pub fn critical_path(&self, netlist: &Netlist) -> Vec<GateId> {
+        let mut path = Vec::new();
+        let mut cursor = self.worst_output;
+        loop {
+            let g = netlist.gate(cursor);
+            if g.is_input() {
+                break;
+            }
+            path.push(cursor);
+            let Some(&next) = g
+                .fanins()
+                .iter()
+                .max_by(|a, b| self.arrivals[a.index()].total_cmp(&self.arrivals[b.index()]))
+            else {
+                break;
+            };
+            cursor = next;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Slack of every node against a required time `t_req` at all outputs
+    /// (required times propagate backward as `min` over fanouts).
+    #[must_use]
+    pub fn slacks(&self, netlist: &Netlist, t_req: f64) -> Vec<f64> {
+        let mut required = vec![f64::INFINITY; netlist.node_count()];
+        for &o in netlist.outputs() {
+            required[o.index()] = t_req;
+        }
+        // Reverse topological order.
+        let ids: Vec<GateId> = netlist.node_ids().collect();
+        for &id in ids.iter().rev() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                continue;
+            }
+            let req_here = required[id.index()];
+            let req_at_fanin = req_here - self.timing.nominal_delay(id);
+            for &f in g.fanins() {
+                if req_at_fanin < required[f.index()] {
+                    required[f.index()] = req_at_fanin;
+                }
+            }
+        }
+        (0..netlist.node_count())
+            .map(|i| required[i] - self.arrivals[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_liberty::LogicFunction;
+    use vartol_netlist::generators::ripple_carry_adder;
+    use vartol_netlist::NetlistBuilder;
+
+    fn engine(lib: &Library) -> Dsta<'_> {
+        Dsta::new(lib, SstaConfig::default())
+    }
+
+    #[test]
+    fn arrivals_accumulate_along_chain() {
+        let lib = Library::synthetic_90nm();
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        b.mark_output(g1);
+        let n = b.build().expect("valid");
+        let r = engine(&lib).analyze(&n);
+        assert!(r.arrival(g0) > 0.0);
+        assert!(r.arrival(g1) > r.arrival(g0));
+        assert_eq!(r.max_delay(), r.arrival(g1));
+        assert_eq!(r.worst_output(), g1);
+    }
+
+    #[test]
+    fn critical_path_is_connected_and_input_first() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let r = engine(&lib).analyze(&n);
+        let path = r.critical_path(&n);
+        assert!(!path.is_empty());
+        // Consecutive path elements are fanin->fanout related.
+        for w in path.windows(2) {
+            assert!(n.gate(w[1]).fanins().contains(&w[0]));
+        }
+        // Last element is the worst output.
+        assert_eq!(*path.last().expect("non-empty"), r.worst_output());
+        // First element is fed by at least one primary input.
+        assert!(n
+            .gate(path[0])
+            .fanins()
+            .iter()
+            .any(|&f| n.gate(f).is_input()));
+    }
+
+    #[test]
+    fn carry_chain_dominates_adder_delay() {
+        let lib = Library::synthetic_90nm();
+        let n4 = ripple_carry_adder(4, &lib);
+        let n16 = ripple_carry_adder(16, &lib);
+        let d4 = engine(&lib).analyze(&n4).max_delay();
+        let d16 = engine(&lib).analyze(&n16).max_delay();
+        assert!(
+            d16 > 2.0 * d4,
+            "16-bit carry chain much longer: {d16} vs {d4}"
+        );
+    }
+
+    #[test]
+    fn slacks_zero_on_critical_path_at_exact_requirement() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(6, &lib);
+        let r = engine(&lib).analyze(&n);
+        let slacks = r.slacks(&n, r.max_delay());
+        let path = r.critical_path(&n);
+        for &g in &path {
+            assert!(slacks[g.index()].abs() < 1e-9, "critical gate slack ~0");
+        }
+        // All slacks non-negative at the exact requirement.
+        for id in n.node_ids() {
+            assert!(slacks[id.index()] >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn upsizing_the_output_driver_under_heavy_load_reduces_delay() {
+        // Uniformly upsizing a whole path does not help (the next stage's
+        // input cap scales along — logical effort), but upsizing the driver
+        // of a heavy fixed load does: the classic sizing win.
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig {
+            po_load: 16.0,
+            ..SstaConfig::default()
+        };
+        let mut b = NetlistBuilder::new("drv");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        b.mark_output(g1);
+        let mut n = b.build().expect("valid");
+
+        let d0 = Dsta::new(&lib, config.clone()).analyze(&n).max_delay();
+        n.set_size(g1, 6); // X8 inverter
+        let d1 = Dsta::new(&lib, config).analyze(&n).max_delay();
+        assert!(d1 < d0, "upsized driver: {d1} < {d0}");
+    }
+}

@@ -1,0 +1,273 @@
+//! FASSTA — the fast inner statistical timing engine (§4.3).
+//!
+//! Where FULLSSTA propagates full discrete PDFs, FASSTA propagates only
+//! `(mean, variance)` pairs: sums are exact on moments, maxima use the
+//! paper's approximation (dominance shortcuts at ±2.6σ of the gap, Clark
+//! with the quadratic erf otherwise). *"The FASSTA engine relies on the
+//! point values for means and variances of delays calculated in FULLSSTA
+//! rather than the complete discrete pdf representations."*
+//!
+//! Two modes:
+//!
+//! * [`Fassta::analyze`] — whole-circuit moment propagation (used for
+//!   engine-comparison experiments);
+//! * [`Fassta::evaluate_subcircuit`] — the optimizer's inner loop: evaluate
+//!   one extracted region against boundary arrivals stored by FULLSSTA,
+//!   with member delays recomputed for the netlist's *current* sizes.
+
+use crate::config::SstaConfig;
+use crate::delay::CircuitTiming;
+use std::collections::HashMap;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist, Subcircuit};
+use vartol_stats::fast_max::fast_max_moments;
+use vartol_stats::Moments;
+
+/// The fast moment-propagation engine.
+#[derive(Debug, Clone)]
+pub struct Fassta<'l> {
+    library: &'l Library,
+    config: SstaConfig,
+}
+
+/// Result of a whole-circuit FASSTA analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FasstaResult {
+    arrivals: Vec<Moments>,
+    circuit: Moments,
+    timing: CircuitTiming,
+}
+
+impl<'l> Fassta<'l> {
+    /// Creates an engine over a library with the given configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// Whole-circuit moment propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn analyze(&self, netlist: &Netlist) -> FasstaResult {
+        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
+        let mut arrivals = vec![Moments::zero(); netlist.node_count()];
+        for id in netlist.node_ids() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                continue;
+            }
+            let mut arrival = Moments::zero();
+            let mut first = true;
+            for &f in g.fanins() {
+                let fa = arrivals[f.index()];
+                arrival = if first {
+                    fa
+                } else {
+                    fast_max_moments(arrival, fa)
+                };
+                first = false;
+            }
+            arrivals[id.index()] = arrival + timing.delay_moments(id);
+        }
+        let circuit = netlist
+            .outputs()
+            .iter()
+            .map(|o| arrivals[o.index()])
+            .reduce(fast_max_moments)
+            .expect("netlists have at least one output");
+        FasstaResult {
+            arrivals,
+            circuit,
+            timing,
+        }
+    }
+
+    /// Evaluates one subcircuit against stored boundary arrivals.
+    ///
+    /// `boundary_arrivals[f.index()]` must hold the arrival moments of
+    /// every boundary input `f` (typically FULLSSTA's stored node stats);
+    /// `base_timing` supplies boundary slews. Member loads and delays are
+    /// recomputed from the netlist's current sizes, so the caller can trial
+    /// a size assignment by mutating the netlist before calling.
+    ///
+    /// Returns the arrival moments at each of the subcircuit's local
+    /// outputs, ordered as [`Subcircuit::local_outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn evaluate_subcircuit(
+        &self,
+        netlist: &Netlist,
+        sub: &Subcircuit,
+        boundary_arrivals: &[Moments],
+        base_timing: &CircuitTiming,
+    ) -> Vec<Moments> {
+        let member_delays = base_timing.member_delays(netlist, self.library, &self.config, sub);
+
+        // Arrival overlay for members only.
+        let mut local: HashMap<GateId, Moments> = HashMap::with_capacity(sub.members().len());
+        for (pos, &m) in sub.members().iter().enumerate() {
+            let g = netlist.gate(m);
+            let mut arrival = Moments::zero();
+            let mut first = true;
+            for &f in g.fanins() {
+                let fa = local
+                    .get(&f)
+                    .copied()
+                    .unwrap_or_else(|| boundary_arrivals[f.index()]);
+                arrival = if first {
+                    fa
+                } else {
+                    fast_max_moments(arrival, fa)
+                };
+                first = false;
+            }
+            local.insert(m, arrival + member_delays[pos]);
+        }
+
+        sub.local_outputs().iter().map(|o| local[o]).collect()
+    }
+}
+
+impl FasstaResult {
+    /// Arrival moments at a node.
+    #[must_use]
+    pub fn arrival(&self, id: GateId) -> Moments {
+        self.arrivals[id.index()]
+    }
+
+    /// All arrival moments, indexed by [`GateId::index`].
+    #[must_use]
+    pub fn arrivals(&self) -> &[Moments] {
+        &self.arrivals
+    }
+
+    /// Moments of the circuit output RV (max over primary outputs).
+    #[must_use]
+    pub fn circuit_moments(&self) -> Moments {
+        self.circuit
+    }
+
+    /// The electrical snapshot the analysis used.
+    #[must_use]
+    pub fn timing(&self) -> &CircuitTiming {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullssta::FullSsta;
+    use vartol_netlist::generators::{alu, benchmark, magnitude_comparator, ripple_carry_adder};
+
+    #[test]
+    fn tracks_fullssta_on_suite_circuits() {
+        // FASSTA deliberately ignores reconvergence correlation (§4.3:
+        // "this approach emphasizes speed while retaining a reasonable
+        // degree of accuracy for small subcircuits"), so whole-circuit
+        // agreement with the correlation-aware FULLSSTA is loose: the
+        // independence assumption inflates the mean and deflates sigma.
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        for name in ["c432", "c880"] {
+            let n = benchmark(name, &lib).expect("known");
+            let full = FullSsta::new(&lib, config.clone())
+                .analyze(&n)
+                .circuit_moments();
+            let fast = Fassta::new(&lib, config.clone())
+                .analyze(&n)
+                .circuit_moments();
+            assert!(
+                (full.mean - fast.mean).abs() / full.mean < 0.12,
+                "{name} mean: full {} vs fast {}",
+                full.mean,
+                fast.mean
+            );
+            assert!(
+                (full.std() - fast.std()).abs() / full.std() < 0.60,
+                "{name} sigma: full {} vs fast {}",
+                full.std(),
+                fast.std()
+            );
+        }
+    }
+
+    #[test]
+    fn subcircuit_evaluation_matches_full_when_nothing_changes() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = alu(6, &lib);
+        let engine = Fassta::new(&lib, config.clone());
+        let full = FullSsta::new(&lib, config).analyze(&n);
+
+        let center = n.gate_ids().nth(20).expect("enough gates");
+        let sub = Subcircuit::extract(&n, center, 2);
+        let got = engine.evaluate_subcircuit(&n, &sub, full.arrivals(), full.timing());
+        for (o, m) in sub.local_outputs().iter().zip(&got) {
+            let want = full.arrival(*o);
+            assert!(
+                (m.mean - want.mean).abs() / want.mean.max(1.0) < 0.1,
+                "output {o}: {m} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn subcircuit_sees_size_changes() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(8, &lib);
+        let engine = Fassta::new(&lib, config.clone());
+        let full = FullSsta::new(&lib, config).analyze(&n);
+
+        // Take a gate in the middle of the carry chain.
+        let center = n.gate_by_name("add_fa4_c").expect("carry gate exists");
+        let sub = Subcircuit::extract(&n, center, 2);
+        let before = engine.evaluate_subcircuit(&n, &sub, full.arrivals(), full.timing());
+
+        n.set_size(center, 5);
+        let after = engine.evaluate_subcircuit(&n, &sub, full.arrivals(), full.timing());
+
+        // The resized gate's sigma contribution shrinks; at least one local
+        // output must see a strictly different arrival.
+        assert!(
+            before
+                .iter()
+                .zip(&after)
+                .any(|(b, a)| (b.mean - a.mean).abs() > 1e-9 || (b.var - a.var).abs() > 1e-9),
+            "resizing must be visible to the inner engine"
+        );
+    }
+
+    #[test]
+    fn comparator_outputs_reduce_via_fast_max() {
+        let lib = Library::synthetic_90nm();
+        let n = magnitude_comparator(8, &lib);
+        let r = Fassta::new(&lib, SstaConfig::default()).analyze(&n);
+        let worst = n
+            .outputs()
+            .iter()
+            .map(|&o| r.arrival(o).mean)
+            .fold(0.0f64, f64::max);
+        assert!(r.circuit_moments().mean >= worst - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_mode_matches_exactly() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::deterministic();
+        let n = ripple_carry_adder(6, &lib);
+        let fast = Fassta::new(&lib, config.clone()).analyze(&n);
+        let full = FullSsta::new(&lib, config).analyze(&n);
+        assert!(
+            (fast.circuit_moments().mean - full.circuit_moments().mean).abs() < 1e-6,
+            "no variation -> both engines are plain STA"
+        );
+    }
+}

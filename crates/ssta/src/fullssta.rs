@@ -1,0 +1,357 @@
+//! FULLSSTA — the accurate outer statistical timing engine (§4.2).
+//!
+//! Based on the discrete-PDF propagation of Liou et al. (DAC'01, the
+//! paper's reference [15]): every arrival time is a discretized PDF at a
+//! user-controlled sampling rate (10–15 points), propagated with `sum`
+//! (convolution) and `max` (CDF product) and re-discretized after each
+//! operation. Besides the PDFs, the engine stores the mean and variance at
+//! every node — exactly what the paper prescribes: *"In addition to
+//! propagating pdfs, we also calculate the mean and variance at every node
+//! and store these values for use in the fast timing engine (FASSTA)."*
+
+use crate::config::{CorrelationMode, SstaConfig};
+use crate::delay::CircuitTiming;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::clark::clark_max_correlated;
+use vartol_stats::{DiscretePdf, Moments};
+
+/// The accurate discrete-PDF statistical timing engine.
+#[derive(Debug, Clone)]
+pub struct FullSsta<'l> {
+    library: &'l Library,
+    config: SstaConfig,
+}
+
+/// Result of a FULLSSTA analysis: per-node arrival PDFs and moments, plus
+/// the circuit-level output distribution `RV_O = max over outputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullSstaResult {
+    arrivals: Vec<Moments>,
+    pdfs: Vec<DiscretePdf>,
+    circuit_pdf: DiscretePdf,
+    timing: CircuitTiming,
+}
+
+impl<'l> FullSsta<'l> {
+    /// Creates an engine over a library with the given configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// Propagates arrival PDFs through the netlist.
+    ///
+    /// With [`CorrelationMode::LevelBuckets`] each node also carries a
+    /// vector of per-level variance contributions; the correlation of two
+    /// arrivals at a max is estimated from the bucket-wise overlap of
+    /// those vectors (shared path prefixes accumulate identical bucket
+    /// entries), the max *moments* come from Clark's correlated formulas,
+    /// and the independent CDF-product shape is moment-corrected to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn analyze(&self, netlist: &Netlist) -> FullSstaResult {
+        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
+        let n = self.config.pdf_samples;
+        let track = self.config.correlation == CorrelationMode::LevelBuckets;
+
+        let levels = netlist.levels();
+        let buckets = levels.iter().max().copied().unwrap_or(0) + 1;
+        let zero = DiscretePdf::deterministic(0.0);
+        let mut pdfs: Vec<DiscretePdf> = vec![zero.clone(); netlist.node_count()];
+        // Per-level variance contribution vectors (empty when not tracked).
+        let mut contribs: Vec<Vec<f64>> = if track {
+            vec![vec![0.0; buckets]; netlist.node_count()]
+        } else {
+            Vec::new()
+        };
+
+        for id in netlist.node_ids() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                continue;
+            }
+            // Max of fanin arrivals (deterministic zero for PI-only fanin).
+            let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
+            for &f in g.fanins() {
+                let fp = &pdfs[f.index()];
+                let fv = if track {
+                    contribs[f.index()].clone()
+                } else {
+                    Vec::new()
+                };
+                acc = Some(match acc {
+                    None => (fp.clone(), fv),
+                    Some((apdf, av)) => Self::correlated_max(&apdf, av, fp, &fv, n, track),
+                });
+            }
+            let (arrival, mut v) = acc.unwrap_or_else(|| {
+                (
+                    zero.clone(),
+                    if track {
+                        vec![0.0; buckets]
+                    } else {
+                        Vec::new()
+                    },
+                )
+            });
+            let delay_m = timing.delay_moments(id);
+            let delay = DiscretePdf::from_moments(delay_m, n);
+            pdfs[id.index()] = arrival.add_rebinned(&delay, n);
+            if track {
+                v[levels[id.index()]] += delay_m.var;
+                contribs[id.index()] = v;
+            }
+        }
+
+        // Circuit output RV: max over all primary outputs, with the same
+        // correlation handling.
+        let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
+        for &o in netlist.outputs() {
+            let op = &pdfs[o.index()];
+            let ov = if track {
+                contribs[o.index()].clone()
+            } else {
+                Vec::new()
+            };
+            acc = Some(match acc {
+                None => (op.clone(), ov),
+                Some((apdf, av)) => Self::correlated_max(&apdf, av, op, &ov, n, track),
+            });
+        }
+        let circuit_pdf = acc.expect("netlists have at least one output").0;
+
+        let arrivals = pdfs.iter().map(DiscretePdf::moments).collect();
+        FullSstaResult {
+            arrivals,
+            pdfs,
+            circuit_pdf,
+            timing,
+        }
+    }
+
+    /// One pairwise max with optional correlation handling; returns the
+    /// result PDF and the blended contribution vector.
+    fn correlated_max(
+        a: &DiscretePdf,
+        av: Vec<f64>,
+        b: &DiscretePdf,
+        bv: &[f64],
+        n: usize,
+        track: bool,
+    ) -> (DiscretePdf, Vec<f64>) {
+        if !track {
+            return (a.max_rebinned(b, n), av);
+        }
+        let ma = a.moments();
+        let mb = b.moments();
+        let rho = Self::overlap_correlation(&av, bv, ma.var, mb.var);
+        let cm = clark_max_correlated(ma, mb, rho);
+        let shape = a.max(b);
+        let pdf = shape.with_moments(cm.max, n).rebin(n);
+        let t = cm.tightness_a;
+        let v = av
+            .iter()
+            .zip(bv)
+            .map(|(x, y)| t * x + (1.0 - t) * y)
+            .collect();
+        (pdf, v)
+    }
+
+    /// Correlation estimate from shared per-level variance: the bucket-wise
+    /// minimum approximates the variance of the common path prefix.
+    fn overlap_correlation(av: &[f64], bv: &[f64], var_a: f64, var_b: f64) -> f64 {
+        if var_a <= 1e-12 || var_b <= 1e-12 {
+            return 0.0;
+        }
+        let shared: f64 = av.iter().zip(bv).map(|(x, y)| x.min(*y)).sum();
+        (shared / (var_a * var_b).sqrt()).clamp(0.0, 1.0)
+    }
+}
+
+impl FullSstaResult {
+    /// Stored arrival moments at a node (the FASSTA boundary data).
+    #[must_use]
+    pub fn arrival(&self, id: GateId) -> Moments {
+        self.arrivals[id.index()]
+    }
+
+    /// All stored arrival moments, indexed by [`GateId::index`].
+    #[must_use]
+    pub fn arrivals(&self) -> &[Moments] {
+        &self.arrivals
+    }
+
+    /// The full arrival PDF at a node.
+    #[must_use]
+    pub fn arrival_pdf(&self, id: GateId) -> &DiscretePdf {
+        &self.pdfs[id.index()]
+    }
+
+    /// The circuit-level output distribution `RV_O` (max over outputs).
+    #[must_use]
+    pub fn circuit_pdf(&self) -> &DiscretePdf {
+        &self.circuit_pdf
+    }
+
+    /// Mean and variance of `RV_O` — the quantity the optimization
+    /// problem in §3 minimizes.
+    #[must_use]
+    pub fn circuit_moments(&self) -> Moments {
+        self.circuit_pdf.moments()
+    }
+
+    /// The electrical snapshot the analysis used.
+    #[must_use]
+    pub fn timing(&self) -> &CircuitTiming {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsta::Dsta;
+    use vartol_liberty::LogicFunction;
+    use vartol_netlist::generators::{parity_tree, ripple_carry_adder};
+    use vartol_netlist::NetlistBuilder;
+
+    #[test]
+    fn chain_accumulates_mean_and_variance() {
+        let lib = Library::synthetic_90nm();
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let mut prev = a;
+        for i in 0..8 {
+            prev = b.gate(format!("g{i}"), LogicFunction::Inv, &[prev]);
+        }
+        b.mark_output(prev);
+        let n = b.build().expect("valid");
+        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        let m = r.circuit_moments();
+        assert!(m.mean > 0.0);
+        assert!(m.var > 0.0);
+        // Variance of a pure chain = sum of arc variances (no max ops).
+        let want_var: f64 = n
+            .gate_ids()
+            .map(|id| r.timing().delay_moments(id).var)
+            .sum();
+        assert!(
+            (m.var - want_var).abs() < 0.1 * want_var,
+            "{} vs {want_var}",
+            m.var
+        );
+    }
+
+    #[test]
+    fn mean_tracks_deterministic_sta() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let config = SstaConfig::default();
+        let stat = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let det = Dsta::new(&lib, config).analyze(&n);
+        // Statistical mean >= deterministic longest path (max of RVs
+        // exceeds max of means) but within a few sigma of it.
+        let m = stat.circuit_moments();
+        assert!(m.mean >= det.max_delay() - 1e-9);
+        assert!(m.mean < det.max_delay() + 4.0 * m.std());
+    }
+
+    #[test]
+    fn deterministic_variation_degenerates_to_dsta() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(6, &lib);
+        let config = SstaConfig::deterministic();
+        let stat = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let det = Dsta::new(&lib, config).analyze(&n);
+        let m = stat.circuit_moments();
+        assert!((m.mean - det.max_delay()).abs() < 1e-6);
+        assert!(m.std() < 1e-9);
+    }
+
+    #[test]
+    fn parity_tree_has_balanced_arrivals() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(16, &lib);
+        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        // Single output; its arrival is the circuit RV.
+        let o = n.outputs()[0];
+        assert_eq!(r.arrival(o), r.circuit_moments());
+    }
+
+    #[test]
+    fn sigma_over_mu_falls_with_depth() {
+        // The paper's observation: "the number of gates along a timing path
+        // is inversely proportional to the variance along that path".
+        let lib = Library::synthetic_90nm();
+        let engine = FullSsta::new(&lib, SstaConfig::default());
+        let chain = |len: usize| {
+            let mut b = NetlistBuilder::new("c");
+            let a = b.input("a");
+            let mut prev = a;
+            for i in 0..len {
+                prev = b.gate(format!("g{i}"), LogicFunction::Inv, &[prev]);
+            }
+            b.mark_output(prev);
+            engine
+                .analyze(&b.build().expect("valid"))
+                .circuit_moments()
+                .sigma_over_mu()
+        };
+        let short = chain(4);
+        let long = chain(32);
+        assert!(
+            long < short,
+            "deeper chain has smaller sigma/mu: {long} < {short}"
+        );
+    }
+
+    #[test]
+    fn upsizing_reduces_circuit_sigma() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(4, &lib);
+        let engine = FullSsta::new(&lib, SstaConfig::default());
+        let before = engine.analyze(&n).circuit_moments();
+        // Upsize everything to near max.
+        let ids: Vec<_> = n.gate_ids().collect();
+        for id in ids {
+            n.set_size(id, 4);
+        }
+        let after = engine.analyze(&n).circuit_moments();
+        assert!(
+            after.std() < before.std(),
+            "{} < {}",
+            after.std(),
+            before.std()
+        );
+    }
+
+    #[test]
+    fn more_samples_refine_but_do_not_upend_the_estimate() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let coarse = FullSsta::new(&lib, SstaConfig::default().with_pdf_samples(8))
+            .analyze(&n)
+            .circuit_moments();
+        let fine = FullSsta::new(&lib, SstaConfig::default().with_pdf_samples(30))
+            .analyze(&n)
+            .circuit_moments();
+        assert!((coarse.mean - fine.mean).abs() / fine.mean < 0.02);
+        assert!((coarse.std() - fine.std()).abs() / fine.std() < 0.25);
+    }
+
+    #[test]
+    fn pdf_bounded_support_and_mass() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(4, &lib);
+        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        let pdf = r.circuit_pdf();
+        assert!(pdf.len() <= SstaConfig::default().pdf_samples);
+        let total: f64 = pdf.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pdf.min_value() > 0.0, "arrivals are positive");
+    }
+}

@@ -1,0 +1,62 @@
+//! # vartol-ssta
+//!
+//! Timing engines for statistical gate sizing, mirroring the paper's nested
+//! architecture (§4):
+//!
+//! * [`dsta::Dsta`] — deterministic static timing (nominal delays only),
+//!   used by the mean-delay baseline optimizer and as a sanity anchor.
+//! * [`fullssta::FullSsta`] — the accurate outer engine: discrete-PDF
+//!   propagation (after Liou et al., DAC'01) at 10–15 samples per PDF,
+//!   storing mean/variance at every node for the fast engine to consume.
+//! * [`fassta::Fassta`] — the fast inner engine: moment-only propagation
+//!   with the paper's max approximation (dominance shortcuts + quadratic
+//!   erf), evaluating whole circuits or extracted subcircuits against
+//!   stored boundary statistics.
+//! * [`wnss`] — the Worst Negative Statistical Slack path tracer (§4.4):
+//!   walks back from the statistically-worst output choosing the dominant
+//!   input by the dominance test or finite-difference variance sensitivity.
+//! * [`montecarlo`] — sampling-based golden timing reference.
+//!
+//! All engines share the electrical model in [`delay`]: NLDM table delays
+//! driven by fanout loads and nominal slews, widened into random variables
+//! by the library's [`VariationModel`](vartol_liberty::VariationModel).
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_liberty::Library;
+//! use vartol_netlist::generators::ripple_carry_adder;
+//! use vartol_ssta::{FullSsta, Fassta, SstaConfig};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let netlist = ripple_carry_adder(8, &lib);
+//! let config = SstaConfig::default();
+//!
+//! let full = FullSsta::new(&lib, config.clone()).analyze(&netlist);
+//! let fast = Fassta::new(&lib, config).analyze(&netlist);
+//!
+//! // The fast engine tracks the accurate one closely.
+//! let a = full.circuit_moments();
+//! let b = fast.circuit_moments();
+//! assert!((a.mean - b.mean).abs() / a.mean < 0.05);
+//! ```
+
+pub mod config;
+pub mod criticality;
+pub mod delay;
+pub mod dsta;
+pub mod fassta;
+pub mod fullssta;
+pub mod montecarlo;
+pub mod slack;
+pub mod wnss;
+
+pub use config::{CorrelationMode, SstaConfig};
+pub use criticality::Criticality;
+pub use delay::CircuitTiming;
+pub use dsta::{Dsta, DstaResult};
+pub use fassta::{Fassta, FasstaResult};
+pub use fullssta::{FullSsta, FullSstaResult};
+pub use montecarlo::{MonteCarloResult, MonteCarloTimer};
+pub use slack::StatisticalSlacks;
+pub use wnss::WnssTracer;

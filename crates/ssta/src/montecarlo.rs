@@ -1,0 +1,220 @@
+//! Monte-Carlo circuit timing — the golden reference for both statistical
+//! engines.
+//!
+//! Samples every gate delay independently from its `N(nominal, σ²)` model,
+//! runs deterministic longest-path analysis per sample, and summarizes the
+//! empirical distribution of the circuit delay. Slow but assumption-free
+//! (no normal-approximation of maxima, no discretization), so FULLSSTA and
+//! FASSTA are validated against it in tests and the accuracy ablation.
+
+use crate::config::SstaConfig;
+use crate::delay::CircuitTiming;
+use rand::Rng;
+use vartol_liberty::Library;
+use vartol_netlist::Netlist;
+use vartol_stats::montecarlo::summarize;
+use vartol_stats::normal::standard_normal_sample;
+use vartol_stats::Moments;
+
+/// Monte-Carlo timing engine.
+#[derive(Debug, Clone)]
+pub struct MonteCarloTimer<'l> {
+    library: &'l Library,
+    config: SstaConfig,
+}
+
+/// Empirical circuit-delay distribution from sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResult {
+    samples: Vec<f64>,
+    moments: Moments,
+}
+
+impl<'l> MonteCarloTimer<'l> {
+    /// Creates an engine over a library with the given configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// Samples the circuit delay distribution `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the netlist references cells missing from the
+    /// library.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        netlist: &Netlist,
+        n: usize,
+        rng: &mut R,
+    ) -> MonteCarloResult {
+        assert!(n >= 2, "need at least two samples");
+        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
+        let node_count = netlist.node_count();
+        let mut arrivals = vec![0.0f64; node_count];
+        let mut samples = Vec::with_capacity(n);
+
+        for _ in 0..n {
+            arrivals.fill(0.0);
+            let mut worst = 0.0f64;
+            for id in netlist.node_ids() {
+                let g = netlist.gate(id);
+                if g.is_input() {
+                    continue;
+                }
+                let m = timing.delay_moments(id);
+                let delay = (m.mean + m.std() * standard_normal_sample(rng)).max(0.0);
+                let arr_in = g
+                    .fanins()
+                    .iter()
+                    .map(|f| arrivals[f.index()])
+                    .fold(0.0f64, f64::max);
+                arrivals[id.index()] = arr_in + delay;
+            }
+            for &o in netlist.outputs() {
+                worst = worst.max(arrivals[o.index()]);
+            }
+            samples.push(worst);
+        }
+
+        let s = summarize(&samples);
+        MonteCarloResult {
+            samples,
+            moments: s.moments(),
+        }
+    }
+}
+
+impl MonteCarloResult {
+    /// Empirical mean/variance of the circuit delay.
+    #[must_use]
+    pub fn moments(&self) -> Moments {
+        self.moments
+    }
+
+    /// The raw delay samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Empirical `p`-quantile of the delay distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    /// Fraction of samples not exceeding a period `t` — parametric yield at
+    /// clock period `t`, the quantity Fig. 1 of the paper reasons about.
+    #[must_use]
+    pub fn yield_at(&self, t: f64) -> f64 {
+        let ok = self.samples.iter().filter(|&&s| s <= t).count();
+        ok as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fassta::Fassta;
+    use crate::fullssta::FullSsta;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vartol_netlist::generators::{parity_tree, ripple_carry_adder};
+
+    #[test]
+    fn engines_agree_with_monte_carlo() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(8, &lib);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mc = MonteCarloTimer::new(&lib, config.clone())
+            .sample(&n, 20_000, &mut rng)
+            .moments();
+        let full = FullSsta::new(&lib, config.clone())
+            .analyze(&n)
+            .circuit_moments();
+        let fast = Fassta::new(&lib, config).analyze(&n).circuit_moments();
+
+        // FULLSSTA (correlation-aware) is held to tighter tolerances than
+        // FASSTA, whose independence assumption biases the mean up and the
+        // sigma down by design.
+        assert!(
+            (full.mean - mc.mean).abs() / mc.mean < 0.03,
+            "full mean {} vs MC {}",
+            full.mean,
+            mc.mean
+        );
+        assert!(
+            (fast.mean - mc.mean).abs() / mc.mean < 0.08,
+            "fast mean {} vs MC {}",
+            fast.mean,
+            mc.mean
+        );
+        assert!(
+            (full.std() - mc.std()).abs() / mc.std() < 0.25,
+            "full sigma {} vs MC {}",
+            full.std(),
+            mc.std()
+        );
+        assert!(
+            (fast.std() - mc.std()).abs() / mc.std() < 0.40,
+            "fast sigma {} vs MC {}",
+            fast.std(),
+            mc.std()
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(16, &lib);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mc = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 2_000, &mut rng);
+        assert!(mc.quantile(0.05) < mc.quantile(0.5));
+        assert!(mc.quantile(0.5) < mc.quantile(0.99));
+    }
+
+    #[test]
+    fn yield_monotone_in_period() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(8, &lib);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mc = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 2_000, &mut rng);
+        let m = mc.moments();
+        assert!(mc.yield_at(m.mean - 3.0 * m.std()) < 0.1);
+        assert!(mc.yield_at(m.mean + 3.0 * m.std()) > 0.95);
+        assert!(mc.yield_at(m.mean) > 0.3 && mc.yield_at(m.mean) < 0.7);
+    }
+
+    #[test]
+    fn deterministic_variation_gives_constant_samples() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(8, &lib);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mc = MonteCarloTimer::new(&lib, SstaConfig::deterministic()).sample(&n, 100, &mut rng);
+        assert!(mc.moments().std() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two samples")]
+    fn single_sample_panics() {
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(4, &lib);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 1, &mut rng);
+    }
+}

@@ -1,0 +1,260 @@
+//! Statistical required times and slacks.
+//!
+//! The paper names its central object the *Worst Negative Statistical
+//! Slack* path "analogous to traditional worst negative slack (WNS)
+//! paths". This module supplies the full slack picture behind that name:
+//! required times propagate **backward** through the circuit with the
+//! statistical `min` (the dual of the forward `max`), and the slack of a
+//! node is the random variable `required − arrival`.
+//!
+//! With a deterministic timing target `T` at every output, a node's slack
+//! moments expose both the mean margin and how uncertain that margin is —
+//! the two quantities the `μ + α·σ` objective trades.
+
+use crate::config::SstaConfig;
+use crate::delay::CircuitTiming;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::clark::clark_min;
+use vartol_stats::Moments;
+
+/// Statistical slack analysis of one netlist at one required time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticalSlacks {
+    required: Vec<Moments>,
+    slacks: Vec<Moments>,
+}
+
+impl StatisticalSlacks {
+    /// Computes statistical required times and slacks.
+    ///
+    /// `arrivals` are forward arrival moments indexed by
+    /// [`GateId::index`] (e.g. [`crate::FullSstaResult::arrivals`]);
+    /// `t_req` is the required time imposed on every primary output.
+    /// Required times propagate backward: the requirement at a node is the
+    /// statistical `min` over its fanouts of (fanout requirement − fanout
+    /// delay). Slack = required − arrival, treating the two as independent
+    /// (their variances add) — pessimistic on common paths, like
+    /// deterministic slack is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != netlist.node_count()` or the netlist
+    /// references cells missing from the library.
+    #[must_use]
+    pub fn compute(
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        arrivals: &[Moments],
+        t_req: f64,
+    ) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            netlist.node_count(),
+            "arrival vector must cover every node"
+        );
+        let timing = CircuitTiming::compute(netlist, library, config);
+        Self::compute_with_timing(netlist, &timing, arrivals, t_req)
+    }
+
+    /// Like [`StatisticalSlacks::compute`] but reusing an existing
+    /// electrical snapshot.
+    #[must_use]
+    pub fn compute_with_timing(
+        netlist: &Netlist,
+        timing: &CircuitTiming,
+        arrivals: &[Moments],
+        t_req: f64,
+    ) -> Self {
+        let n = netlist.node_count();
+        let mut required: Vec<Option<Moments>> = vec![None; n];
+        for &o in netlist.outputs() {
+            required[o.index()] = Some(Moments::deterministic(t_req));
+        }
+
+        // Reverse topological order: node ids descend along fanin edges.
+        let ids: Vec<GateId> = netlist.node_ids().collect();
+        for &id in ids.iter().rev() {
+            let g = netlist.gate(id);
+            if g.is_input() {
+                continue;
+            }
+            // Requirement this gate imposes on each of its fanins:
+            // its own requirement minus its (random) delay.
+            let Some(req_here) = required[id.index()] else {
+                continue; // dead logic that reaches no output
+            };
+            let delay = timing.delay_moments(id);
+            let req_at_fanin = Moments::new(req_here.mean - delay.mean, req_here.var + delay.var);
+            for &f in g.fanins() {
+                required[f.index()] = Some(match required[f.index()] {
+                    None => req_at_fanin,
+                    Some(existing) => clark_min(existing, req_at_fanin),
+                });
+            }
+        }
+
+        let required: Vec<Moments> = required
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Moments::deterministic(f64::INFINITY.min(1e18))))
+            .collect();
+        let slacks = required
+            .iter()
+            .zip(arrivals)
+            .map(|(r, a)| Moments::new(r.mean - a.mean, r.var + a.var))
+            .collect();
+        Self { required, slacks }
+    }
+
+    /// Statistical required time at a node.
+    #[must_use]
+    pub fn required(&self, id: GateId) -> Moments {
+        self.required[id.index()]
+    }
+
+    /// Statistical slack (required − arrival) at a node.
+    #[must_use]
+    pub fn slack(&self, id: GateId) -> Moments {
+        self.slacks[id.index()]
+    }
+
+    /// All slacks, indexed by [`GateId::index`].
+    #[must_use]
+    pub fn slacks(&self) -> &[Moments] {
+        &self.slacks
+    }
+
+    /// The worst negative statistical slack under weight `alpha`: the
+    /// minimum over nodes of `μ_slack − α·σ_slack`. Negative values mean
+    /// the circuit misses the target with appreciable probability.
+    #[must_use]
+    pub fn worst_statistical_slack(&self, alpha: f64) -> f64 {
+        self.slacks
+            .iter()
+            .map(|s| s.mean - alpha * s.std())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The node realizing [`StatisticalSlacks::worst_statistical_slack`].
+    #[must_use]
+    pub fn worst_node(&self, alpha: f64) -> GateId {
+        let (idx, _) = self
+            .slacks
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (a.mean - alpha * a.std()).total_cmp(&(b.mean - alpha * b.std()))
+            })
+            .expect("netlists are non-empty");
+        GateId::from_index(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullssta::FullSsta;
+    use vartol_liberty::LogicFunction;
+    use vartol_netlist::generators::ripple_carry_adder;
+    use vartol_netlist::NetlistBuilder;
+
+    fn analyzed(netlist: &Netlist) -> (Vec<Moments>, CircuitTiming, f64) {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, config).analyze(netlist);
+        let worst = r.circuit_moments();
+        (
+            r.arrivals().to_vec(),
+            r.timing().clone(),
+            worst.mean + 3.0 * worst.std(),
+        )
+    }
+
+    #[test]
+    fn chain_slack_decreases_toward_the_middle() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[g1]);
+        b.mark_output(g2);
+        let n = b.build().expect("valid");
+        let (arrivals, timing, t) = analyzed(&n);
+        let s = StatisticalSlacks::compute_with_timing(&n, &timing, &arrivals, t);
+        // On a single chain, slack *mean* is identical everywhere (same
+        // path); variance differs. All slacks positive at a generous T.
+        for g in [g0, g1, g2] {
+            assert!(s.slack(g).mean > 0.0, "gate {g}");
+        }
+        assert!((s.slack(g0).mean - s.slack(g2).mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tight_target_gives_negative_worst_slack() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(6, &lib);
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let m = r.circuit_moments();
+        // Target below the mean: the worst statistical slack must be
+        // negative at any alpha >= 0.
+        let s = StatisticalSlacks::compute(&n, &lib, &config, r.arrivals(), m.mean - 2.0 * m.std());
+        assert!(s.worst_statistical_slack(0.0) < 0.0);
+        assert!(s.worst_statistical_slack(3.0) < s.worst_statistical_slack(0.0));
+    }
+
+    #[test]
+    fn generous_target_gives_positive_slack_everywhere() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(6, &lib);
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let m = r.circuit_moments();
+        let s = StatisticalSlacks::compute(&n, &lib, &config, r.arrivals(), m.mean + 6.0 * m.std());
+        for id in n.gate_ids() {
+            assert!(s.slack(id).mean > 0.0, "gate {}", n.gate(id).name());
+        }
+        assert!(s.worst_statistical_slack(3.0) > 0.0);
+    }
+
+    #[test]
+    fn required_time_decreases_upstream() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
+        let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
+        b.mark_output(g1);
+        let n = b.build().expect("valid");
+        let (arrivals, timing, t) = analyzed(&n);
+        let s = StatisticalSlacks::compute_with_timing(&n, &timing, &arrivals, t);
+        assert!(s.required(g0).mean < s.required(g1).mean);
+        assert_eq!(s.required(g1).mean, t);
+        // Requirement uncertainty grows upstream (delays subtracted as RVs).
+        assert!(s.required(g0).var > s.required(g1).var);
+    }
+
+    #[test]
+    fn worst_node_is_on_a_long_path() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let m = r.circuit_moments();
+        let s = StatisticalSlacks::compute(&n, &lib, &config, r.arrivals(), m.mean);
+        let worst = s.worst_node(3.0);
+        let worst_slack = s.slack(worst);
+        for id in n.node_ids() {
+            let sl = s.slack(id);
+            assert!(worst_slack.mean - 3.0 * worst_slack.std() <= sl.mean - 3.0 * sl.std() + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival vector must cover every node")]
+    fn wrong_arrival_length_panics() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(4, &lib);
+        let _ = StatisticalSlacks::compute(&n, &lib, &SstaConfig::default(), &[], 100.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Worst Negative Statistical Slack (WNSS) path tracing (§4.4).
+//!
+//! The statistical analogue of critical-path extraction: starting from the
+//! statistically-worst primary output, walk backward; at each gate compare
+//! the fanin arrivals **pair-wise**:
+//!
+//! 1. if a dominance shortcut (eq. 5/6) applies — the normalized mean gap
+//!    exceeds 2.6 — the higher-mean input clearly controls the output;
+//! 2. otherwise compare forward finite-difference sensitivities
+//!    `∂Var(max)/∂μ` with the coupled update `Δσ = c·Δμ`, where `c` is the
+//!    variation model's proportional coefficient.
+//!
+//! The traced path is the optimization frontier for one StatisticalGreedy
+//! iteration.
+
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::sensitivity::{rank_inputs, InputChoice};
+use vartol_stats::Moments;
+
+/// Traces WNSS paths over stored arrival statistics.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::ripple_carry_adder;
+/// use vartol_ssta::{FullSsta, SstaConfig, WnssTracer};
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = ripple_carry_adder(8, &lib);
+/// let config = SstaConfig::default();
+/// let result = FullSsta::new(&lib, config.clone()).analyze(&n);
+/// let tracer = WnssTracer::new(config.variation.mu_sigma_coupling());
+/// let path = tracer.trace(&n, result.arrivals());
+/// assert!(!path.is_empty());
+/// // The path ends at a primary output.
+/// assert!(n.is_output(*path.last().unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WnssTracer {
+    /// The linear μ→σ coupling constant `c` used in the sensitivity
+    /// comparison (the paper sets it "equal to those assumed to relate mean
+    /// delay through a gate to its variance").
+    coupling: f64,
+}
+
+impl WnssTracer {
+    /// Creates a tracer with the given μ→σ coupling constant.
+    #[must_use]
+    pub fn new(coupling: f64) -> Self {
+        Self { coupling }
+    }
+
+    /// The coupling constant.
+    #[must_use]
+    pub fn coupling(&self) -> f64 {
+        self.coupling
+    }
+
+    /// Picks the statistically-worst primary output by pairwise ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no outputs (builders prevent this).
+    #[must_use]
+    pub fn worst_output(&self, netlist: &Netlist, arrivals: &[Moments]) -> GateId {
+        let mut outputs = netlist.outputs().iter().copied();
+        let first = outputs.next().expect("netlists have at least one output");
+        outputs.fold(first, |best, cand| {
+            match rank_inputs(
+                arrivals[best.index()],
+                arrivals[cand.index()],
+                self.coupling,
+            ) {
+                InputChoice::First => best,
+                InputChoice::Second => cand,
+            }
+        })
+    }
+
+    /// Traces the WNSS path from the worst output back to the primary
+    /// inputs. Returns cell gates only, ordered input-first (the order the
+    /// optimizer visits them).
+    ///
+    /// `arrivals` is indexed by [`GateId::index`] — typically
+    /// [`FullSstaResult::arrivals`](crate::FullSstaResult::arrivals).
+    #[must_use]
+    pub fn trace(&self, netlist: &Netlist, arrivals: &[Moments]) -> Vec<GateId> {
+        let start = self.worst_output(netlist, arrivals);
+        self.trace_from(netlist, arrivals, start)
+    }
+
+    /// Traces one WNSS path per primary output and returns the union of
+    /// their gates, deduplicated, in topological order — the "statistical
+    /// critical paths" (plural) the paper's optimizer works along. Outputs
+    /// with low arrival cost still contribute a path; gates shared between
+    /// paths appear once.
+    #[must_use]
+    pub fn trace_all(&self, netlist: &Netlist, arrivals: &[Moments]) -> Vec<GateId> {
+        let mut gates: std::collections::BTreeSet<GateId> = std::collections::BTreeSet::new();
+        for &o in netlist.outputs() {
+            gates.extend(self.trace_from(netlist, arrivals, o));
+        }
+        gates.into_iter().collect()
+    }
+
+    /// Traces the WNSS path ending at a specific node.
+    #[must_use]
+    pub fn trace_from(
+        &self,
+        netlist: &Netlist,
+        arrivals: &[Moments],
+        output: GateId,
+    ) -> Vec<GateId> {
+        let mut path = Vec::new();
+        let mut cursor = output;
+        loop {
+            let g = netlist.gate(cursor);
+            if g.is_input() {
+                break;
+            }
+            path.push(cursor);
+            let mut fanins = g.fanins().iter().copied();
+            let Some(first) = fanins.next() else { break };
+            let dominant = fanins.fold(first, |best, cand| {
+                match rank_inputs(
+                    arrivals[best.index()],
+                    arrivals[cand.index()],
+                    self.coupling,
+                ) {
+                    InputChoice::First => best,
+                    InputChoice::Second => cand,
+                }
+            });
+            cursor = dominant;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SstaConfig;
+    use crate::fullssta::FullSsta;
+    use vartol_liberty::{Library, LogicFunction};
+    use vartol_netlist::generators::benchmark;
+    use vartol_netlist::NetlistBuilder;
+    use vartol_stats::Moments;
+
+    /// Builds the paper's Fig. 3 topology: two 2-gate branches whose
+    /// arrival statistics at node X's inputs are (320,27) and (310,45);
+    /// a side branch (190,41) merges below. We reproduce the *decision
+    /// structure* with explicit arrival stats rather than delays.
+    #[test]
+    fn figure3_trace_follows_higher_variance_branch() {
+        let mut b = NetlistBuilder::new("fig3");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let i3 = b.input("i3");
+        let g1 = b.gate("g1", LogicFunction::Buf, &[i1]); // arrival (320, 27)
+        let g2 = b.gate("g2", LogicFunction::Buf, &[i2]); // arrival (310, 45)
+        let g3 = b.gate("g3", LogicFunction::Buf, &[i3]); // arrival (190, 41)
+        let g2b = b.gate("g2b", LogicFunction::Nand, &[g2, g3]); // (357, 32) pre-X
+        let x = b.gate("x", LogicFunction::Nand, &[g1, g2b]);
+        b.mark_output(x);
+        let n = b.build().expect("valid");
+
+        // Hand-planted arrival statistics from the figure.
+        let mut arrivals = vec![Moments::zero(); n.node_count()];
+        arrivals[g1.index()] = Moments::from_mean_std(320.0, 27.0);
+        arrivals[g2.index()] = Moments::from_mean_std(310.0, 45.0);
+        arrivals[g3.index()] = Moments::from_mean_std(190.0, 41.0);
+        arrivals[g2b.index()] = Moments::from_mean_std(357.0, 32.0);
+        arrivals[x.index()] = Moments::from_mean_std(392.0, 35.0);
+
+        let tracer = WnssTracer::new(0.05);
+        let path = tracer.trace_from(&n, &arrivals, x);
+
+        // From X: inputs are g1 (320,27) vs g2b (357,32): dominance gap =
+        // (357-320)/sqrt(27^2+32^2) = 0.88 < 2.6, sensitivities favor g2b
+        // (higher mean AND higher sigma). From g2b: g2 (310,45) dominates
+        // g3 (190,41) by eq. (5). The shaded WNSS path is x <- g2b <- g2.
+        assert_eq!(path, vec![g2, g2b, x]);
+    }
+
+    #[test]
+    fn path_is_structurally_connected() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        for name in ["c432", "c880", "alu2"] {
+            let n = benchmark(name, &lib).expect("known");
+            let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+            let tracer = WnssTracer::new(config.variation.mu_sigma_coupling());
+            let path = tracer.trace(&n, r.arrivals());
+            assert!(!path.is_empty(), "{name}");
+            for w in path.windows(2) {
+                assert!(
+                    n.gate(w[1]).fanins().contains(&w[0]),
+                    "{name}: path must follow fanin edges"
+                );
+            }
+            assert!(n.is_output(*path.last().expect("non-empty")), "{name}");
+            assert!(
+                n.gate(path[0])
+                    .fanins()
+                    .iter()
+                    .any(|&f| n.gate(f).is_input()),
+                "{name}: path starts at the inputs"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_output_prefers_high_cost_arrivals() {
+        let mut b = NetlistBuilder::new("two_outs");
+        let i1 = b.input("i1");
+        let slow = b.gate("slow", LogicFunction::Buf, &[i1]);
+        let fast = b.gate("fast", LogicFunction::Buf, &[i1]);
+        b.mark_output(slow);
+        b.mark_output(fast);
+        let n = b.build().expect("valid");
+        let mut arrivals = vec![Moments::zero(); n.node_count()];
+        arrivals[slow.index()] = Moments::from_mean_std(500.0, 10.0);
+        arrivals[fast.index()] = Moments::from_mean_std(100.0, 10.0);
+        assert_eq!(WnssTracer::new(0.05).worst_output(&n, &arrivals), slow);
+    }
+
+    #[test]
+    fn close_race_picks_higher_variance_output() {
+        // Two outputs with near-equal means: the wider one matters more
+        // (the paper: "a circuit may have multiple outputs with close mean
+        // delays but different variances").
+        let mut b = NetlistBuilder::new("race");
+        let i1 = b.input("i1");
+        let narrow = b.gate("narrow", LogicFunction::Buf, &[i1]);
+        let wide = b.gate("wide", LogicFunction::Buf, &[i1]);
+        b.mark_output(narrow);
+        b.mark_output(wide);
+        let n = b.build().expect("valid");
+        let mut arrivals = vec![Moments::zero(); n.node_count()];
+        arrivals[narrow.index()] = Moments::from_mean_std(300.0, 5.0);
+        arrivals[wide.index()] = Moments::from_mean_std(300.0, 40.0);
+        assert_eq!(WnssTracer::new(0.05).worst_output(&n, &arrivals), wide);
+    }
+
+    #[test]
+    fn wnss_can_differ_from_deterministic_critical_path() {
+        // A fork where the lower-mean branch has much higher variance: the
+        // deterministic tracer follows the mean, the WNSS tracer can follow
+        // the variance when means are close.
+        let mut b = NetlistBuilder::new("fork");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let meanish = b.gate("meanish", LogicFunction::Buf, &[i1]);
+        let wide = b.gate("wide", LogicFunction::Buf, &[i2]);
+        let join = b.gate("join", LogicFunction::Nand, &[meanish, wide]);
+        b.mark_output(join);
+        let n = b.build().expect("valid");
+        let mut arrivals = vec![Moments::zero(); n.node_count()];
+        arrivals[meanish.index()] = Moments::from_mean_std(305.0, 5.0);
+        arrivals[wide.index()] = Moments::from_mean_std(300.0, 50.0);
+        arrivals[join.index()] = Moments::from_mean_std(330.0, 40.0);
+
+        let path = WnssTracer::new(0.05).trace_from(&n, &arrivals, join);
+        assert_eq!(
+            path,
+            vec![wide, join],
+            "variance-driven choice despite the lower mean"
+        );
+    }
+}

@@ -1,0 +1,679 @@
+//! Discretized probability density functions and the `sum`/`max` operations
+//! of the accurate SSTA engine (FULLSSTA).
+//!
+//! Following Liou et al. (DAC'01, the paper's reference [15] and the basis of
+//! its FULLSSTA component), arrival-time distributions are discretized at a
+//! user-controlled sampling rate — the paper uses 10–15 samples per PDF as a
+//! speed/accuracy tradeoff. Propagation needs two operations:
+//!
+//! * **sum** — convolution of independent PDFs (arrival + arc delay),
+//! * **max** — for independent arrivals, the CDF of the max is the product
+//!   of the input CDFs.
+//!
+//! After every operation the support is re-discretized ("rebinned") back to
+//! the configured sample count so cost stays bounded along arbitrarily deep
+//! circuits.
+
+use crate::moments::Moments;
+use crate::normal::Normal;
+
+/// Default number of support points per PDF; the paper's recommended range
+/// is 10–15 ("a reasonable tradeoff between accuracy and speed").
+pub const DEFAULT_SAMPLES: usize = 12;
+
+/// How many standard deviations of support to cover when discretizing a
+/// normal distribution.
+const SUPPORT_SIGMAS: f64 = 4.0;
+
+/// A discrete probability distribution: sorted support points with
+/// associated probability masses summing to 1.
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::DiscretePdf;
+///
+/// let a = DiscretePdf::from_normal(100.0, 10.0, 15);
+/// let b = DiscretePdf::from_normal(95.0, 20.0, 15);
+/// let arrival = a.max(&b).rebin(15);
+/// assert!(arrival.mean() > 100.0);
+/// assert!(arrival.std() < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiscretePdf {
+    /// Support values, strictly increasing.
+    values: Vec<f64>,
+    /// Probability mass at each support value; sums to 1.
+    probs: Vec<f64>,
+}
+
+impl DiscretePdf {
+    /// Creates a PDF from raw `(value, probability)` pairs.
+    ///
+    /// Pairs are sorted by value, duplicate values merged, and probabilities
+    /// normalized to sum to 1. Zero-probability points are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, any probability is negative, the total
+    /// mass is zero, or any value is non-finite.
+    #[must_use]
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            !points.is_empty(),
+            "a discrete pdf needs at least one point"
+        );
+        let mut pts: Vec<(f64, f64)> = points;
+        for &(v, p) in &pts {
+            assert!(v.is_finite(), "support value must be finite, got {v}");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probability must be finite and non-negative, got {p}"
+            );
+        }
+        pts.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+        let mut values = Vec::with_capacity(pts.len());
+        let mut probs = Vec::with_capacity(pts.len());
+        for (v, p) in pts {
+            if p == 0.0 {
+                continue;
+            }
+            if let Some(last) = values.last() {
+                if v - last == 0.0 {
+                    *probs.last_mut().expect("probs parallel to values") += p;
+                    continue;
+                }
+            }
+            values.push(v);
+            probs.push(p);
+        }
+        assert!(
+            !values.is_empty(),
+            "total probability mass must be positive"
+        );
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "total probability mass must be positive");
+        for p in &mut probs {
+            *p /= total;
+        }
+        Self { values, probs }
+    }
+
+    /// A deterministic distribution: all mass on one value.
+    #[must_use]
+    pub fn deterministic(value: f64) -> Self {
+        Self::from_points(vec![(value, 1.0)])
+    }
+
+    /// Discretizes `N(mean, sigma²)` into `n` equal-width bins spanning
+    /// ±4σ, each bin represented by its midpoint with the bin's exact
+    /// normal probability mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `sigma < 0`.
+    #[must_use]
+    pub fn from_normal(mean: f64, sigma: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one sample point");
+        if sigma == 0.0 {
+            return Self::deterministic(mean);
+        }
+        let dist = Normal::new(mean, sigma);
+        let lo = mean - SUPPORT_SIGMAS * sigma;
+        let hi = mean + SUPPORT_SIGMAS * sigma;
+        let width = (hi - lo) / n as f64;
+        let mut points = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = lo + i as f64 * width;
+            let b = a + width;
+            let mass = dist.cdf(b) - dist.cdf(a);
+            points.push((0.5 * (a + b), mass));
+        }
+        Self::from_points(points)
+    }
+
+    /// Discretizes a normal given as [`Moments`].
+    #[must_use]
+    pub fn from_moments(m: Moments, n: usize) -> Self {
+        Self::from_normal(m.mean, m.std(), n)
+    }
+
+    /// The support values (strictly increasing).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The probability masses (parallel to [`values`](Self::values)).
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of support points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the distribution is a single point mass.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.values.len() == 1
+    }
+
+    /// Always false: a valid PDF has at least one point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values
+            .iter()
+            .zip(&self.probs)
+            .map(|(v, p)| v * p)
+            .sum()
+    }
+
+    /// Variance of the distribution.
+    #[must_use]
+    pub fn var(&self) -> f64 {
+        let m = self.mean();
+        let v: f64 = self
+            .values
+            .iter()
+            .zip(&self.probs)
+            .map(|(v, p)| (v - m) * (v - m) * p)
+            .sum();
+        v.max(0.0)
+    }
+
+    /// Standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.var().sqrt()
+    }
+
+    /// First two moments as a [`Moments`] value.
+    #[must_use]
+    pub fn moments(&self) -> Moments {
+        Moments::new(self.mean(), self.var())
+    }
+
+    /// Smallest support value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest support value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        *self.values.last().expect("non-empty by construction")
+    }
+
+    /// `P(X ≤ x)` (right-continuous step function).
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for (v, p) in self.values.iter().zip(&self.probs) {
+            if *v <= x {
+                acc += p;
+            } else {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// Smallest support value `x` with `P(X ≤ x) ≥ p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
+        let mut acc = 0.0;
+        for (v, q) in self.values.iter().zip(&self.probs) {
+            acc += q;
+            if acc >= p {
+                return *v;
+            }
+        }
+        self.max_value()
+    }
+
+    /// Shifts the distribution by a constant.
+    #[must_use]
+    pub fn shift(&self, delta: f64) -> Self {
+        Self {
+            values: self.values.iter().map(|v| v + delta).collect(),
+            probs: self.probs.clone(),
+        }
+    }
+
+    /// Scales the underlying random variable by a positive constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0` (a non-positive scale would reverse or collapse
+    /// the support ordering).
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Self {
+        assert!(k > 0.0, "scale factor must be positive, got {k}");
+        Self {
+            values: self.values.iter().map(|v| v * k).collect(),
+            probs: self.probs.clone(),
+        }
+    }
+
+    /// Sum of independent random variables (full discrete convolution).
+    ///
+    /// The result has up to `self.len() * other.len()` points; callers in
+    /// propagation loops should [`rebin`](Self::rebin) afterwards.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let mut points = Vec::with_capacity(self.len() * other.len());
+        for (va, pa) in self.values.iter().zip(&self.probs) {
+            for (vb, pb) in other.values.iter().zip(&other.probs) {
+                points.push((va + vb, pa * pb));
+            }
+        }
+        Self::from_points(points)
+    }
+
+    /// Max of independent random variables via CDF multiplication:
+    /// `F_max(x) = F_A(x) · F_B(x)` evaluated on the merged support.
+    #[must_use]
+    pub fn max(&self, other: &Self) -> Self {
+        // Merged, deduplicated support.
+        let mut support: Vec<f64> = self
+            .values
+            .iter()
+            .chain(other.values.iter())
+            .copied()
+            .collect();
+        support.sort_by(f64::total_cmp);
+        support.dedup();
+
+        // Running CDFs over the merged support, then difference to masses.
+        let mut points = Vec::with_capacity(support.len());
+        let mut prev = 0.0;
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let (mut fa, mut fb) = (0.0f64, 0.0f64);
+        for &x in &support {
+            while ia < self.len() && self.values[ia] <= x {
+                fa += self.probs[ia];
+                ia += 1;
+            }
+            while ib < other.len() && other.values[ib] <= x {
+                fb += other.probs[ib];
+                ib += 1;
+            }
+            let f = (fa * fb).min(1.0);
+            let mass = f - prev;
+            if mass > 0.0 {
+                points.push((x, mass));
+            }
+            prev = f;
+        }
+        Self::from_points(points)
+    }
+
+    /// Re-discretizes onto at most `n` equal-width bins spanning the current
+    /// support. Each bin is represented by its conditional mean, then the
+    /// support is rescaled about the overall mean so the **first two moments
+    /// are preserved exactly** — without this correction, the within-bin
+    /// variance discarded at every propagation step compounds into a large
+    /// systematic sigma underestimate on deep circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn rebin(&self, n: usize) -> Self {
+        assert!(n > 0, "need at least one bin");
+        if self.len() <= n {
+            return self.clone();
+        }
+        let lo = self.min_value();
+        let hi = self.max_value();
+        if hi - lo <= 0.0 {
+            return Self::deterministic(lo);
+        }
+        let target_mean = self.mean();
+        let target_var = self.var();
+
+        let width = (hi - lo) / n as f64;
+        let mut mass = vec![0.0f64; n];
+        let mut weighted = vec![0.0f64; n];
+        for (v, p) in self.values.iter().zip(&self.probs) {
+            let idx = (((v - lo) / width) as usize).min(n - 1);
+            mass[idx] += p;
+            weighted[idx] += p * v;
+        }
+        let coarse = Self::from_points(
+            mass.iter()
+                .zip(&weighted)
+                .filter(|(m, _)| **m > 0.0)
+                .map(|(m, w)| (w / m, *m))
+                .collect(),
+        );
+
+        // Variance correction: stretch the support about the mean.
+        let got_var = coarse.var();
+        if got_var <= 0.0 || target_var <= 0.0 {
+            return coarse;
+        }
+        let k = (target_var / got_var).sqrt();
+        Self {
+            values: coarse
+                .values
+                .iter()
+                .map(|v| target_mean + k * (v - target_mean))
+                .collect(),
+            probs: coarse.probs,
+        }
+    }
+
+    /// Affinely rescales the support so the distribution matches `target`
+    /// moments exactly, keeping the (normalized) shape. Used by
+    /// correlation-aware propagation: the *shape* of a max comes from the
+    /// independent CDF product while the *moments* come from Clark's
+    /// correlated formulas.
+    ///
+    /// Falls back to a discretized normal with `fallback_samples` points
+    /// when this distribution is (numerically) a point mass but the target
+    /// has spread.
+    #[must_use]
+    pub fn with_moments(&self, target: Moments, fallback_samples: usize) -> Self {
+        let v0 = self.var();
+        if target.var <= 0.0 {
+            return Self::deterministic(target.mean);
+        }
+        if v0 <= 0.0 {
+            return Self::from_moments(target, fallback_samples);
+        }
+        let m0 = self.mean();
+        let k = (target.var / v0).sqrt();
+        Self {
+            values: self
+                .values
+                .iter()
+                .map(|x| target.mean + k * (x - m0))
+                .collect(),
+            probs: self.probs.clone(),
+        }
+    }
+
+    /// Convenience: `add` followed by `rebin(n)`.
+    #[must_use]
+    pub fn add_rebinned(&self, other: &Self, n: usize) -> Self {
+        self.add(other).rebin(n)
+    }
+
+    /// Convenience: `max` followed by `rebin(n)`.
+    #[must_use]
+    pub fn max_rebinned(&self, other: &Self, n: usize) -> Self {
+        self.max(other).rebin(n)
+    }
+}
+
+impl std::fmt::Display for DiscretePdf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DiscretePdf({} pts, μ={:.4}, σ={:.4})",
+            self.len(),
+            self.mean(),
+            self.std()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clark::clark_max;
+
+    #[test]
+    fn from_points_normalizes() {
+        let pdf = DiscretePdf::from_points(vec![(1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(pdf.probs(), &[0.5, 0.5]);
+        assert!((pdf.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_points_sorts_and_merges() {
+        let pdf = DiscretePdf::from_points(vec![(2.0, 0.25), (1.0, 0.5), (2.0, 0.25)]);
+        assert_eq!(pdf.values(), &[1.0, 2.0]);
+        assert_eq!(pdf.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_points_drops_zero_mass() {
+        let pdf = DiscretePdf::from_points(vec![(1.0, 0.0), (2.0, 1.0)]);
+        assert_eq!(pdf.len(), 1);
+        assert!(pdf.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panics() {
+        let _ = DiscretePdf::from_points(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be finite and non-negative")]
+    fn negative_probability_panics() {
+        let _ = DiscretePdf::from_points(vec![(1.0, -0.5), (2.0, 1.5)]);
+    }
+
+    #[test]
+    fn normal_discretization_preserves_moments() {
+        for &(m, s) in &[(0.0, 1.0), (100.0, 10.0), (320.0, 27.0)] {
+            for &n in &[10usize, 12, 15, 50] {
+                let pdf = DiscretePdf::from_normal(m, s, n);
+                assert!((pdf.mean() - m).abs() < 0.02 * s + 1e-9, "mean n={n}");
+                // Discretization slightly shrinks sigma (±4σ truncation).
+                assert!(
+                    (pdf.std() - s).abs() < 0.08 * s + 1e-9,
+                    "std n={n}: {}",
+                    pdf.std()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_pdf() {
+        let pdf = DiscretePdf::deterministic(5.0);
+        assert!(pdf.is_deterministic());
+        assert_eq!(pdf.mean(), 5.0);
+        assert_eq!(pdf.var(), 0.0);
+        assert_eq!(pdf.cdf(4.9), 0.0);
+        assert_eq!(pdf.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn zero_sigma_normal_is_deterministic() {
+        let pdf = DiscretePdf::from_normal(3.0, 0.0, 15);
+        assert!(pdf.is_deterministic());
+        assert_eq!(pdf.mean(), 3.0);
+    }
+
+    #[test]
+    fn add_means_and_variances() {
+        let a = DiscretePdf::from_normal(100.0, 10.0, 15);
+        let b = DiscretePdf::from_normal(50.0, 5.0, 15);
+        let c = a.add(&b);
+        assert!((c.mean() - 150.0).abs() < 0.1);
+        let want_var = a.var() + b.var();
+        assert!((c.var() - want_var).abs() < 0.01 * want_var);
+    }
+
+    #[test]
+    fn add_with_deterministic_is_shift() {
+        let a = DiscretePdf::from_normal(10.0, 2.0, 12);
+        let c = a.add(&DiscretePdf::deterministic(5.0));
+        assert!((c.mean() - (a.mean() + 5.0)).abs() < 1e-9);
+        assert!((c.var() - a.var()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_matches_clark_for_normals() {
+        let am = Moments::from_mean_std(320.0, 27.0);
+        let bm = Moments::from_mean_std(310.0, 45.0);
+        let a = DiscretePdf::from_moments(am, 60);
+        let b = DiscretePdf::from_moments(bm, 60);
+        let got = a.max(&b);
+        let want = clark_max(am, bm).max;
+        assert!(
+            (got.mean() - want.mean).abs() < 1.0,
+            "mean {} vs {}",
+            got.mean(),
+            want.mean
+        );
+        assert!(
+            (got.std() - want.std()).abs() < 1.5,
+            "std {} vs {}",
+            got.std(),
+            want.std()
+        );
+    }
+
+    #[test]
+    fn max_with_dominated_input_is_identity_like() {
+        let a = DiscretePdf::from_normal(1000.0, 5.0, 15);
+        let b = DiscretePdf::from_normal(0.0, 5.0, 15);
+        let c = a.max(&b);
+        assert!((c.mean() - a.mean()).abs() < 1e-6);
+        assert!((c.std() - a.std()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_is_commutative() {
+        let a = DiscretePdf::from_normal(10.0, 2.0, 12);
+        let b = DiscretePdf::from_normal(11.0, 3.0, 12);
+        let ab = a.max(&b);
+        let ba = b.max(&a);
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert!((ab.var() - ba.var()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let pdf = DiscretePdf::from_normal(0.0, 1.0, 15);
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let f = pdf.cdf(f64::from(i) / 10.0);
+            assert!(f >= prev && (0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert!((pdf.cdf(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_consistent_with_cdf() {
+        let pdf = DiscretePdf::from_normal(50.0, 10.0, 30);
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            let q = pdf.quantile(p);
+            assert!(pdf.cdf(q) >= p - 1e-12);
+        }
+        assert_eq!(pdf.quantile(0.0), pdf.min_value());
+        assert_eq!(pdf.quantile(1.0), pdf.max_value());
+    }
+
+    #[test]
+    fn shift_and_scale() {
+        let pdf = DiscretePdf::from_normal(10.0, 2.0, 12);
+        let s = pdf.shift(5.0);
+        assert!((s.mean() - 15.0).abs() < 0.05);
+        assert!((s.var() - pdf.var()).abs() < 1e-12);
+        let k = pdf.scale(3.0);
+        assert!((k.mean() - 30.0).abs() < 0.15);
+        assert!((k.var() - 9.0 * pdf.var()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn scale_rejects_nonpositive() {
+        let _ = DiscretePdf::deterministic(1.0).scale(0.0);
+    }
+
+    #[test]
+    fn rebin_preserves_mean_and_roughly_variance() {
+        let a = DiscretePdf::from_normal(100.0, 10.0, 40);
+        let b = DiscretePdf::from_normal(95.0, 12.0, 40);
+        let big = a.add(&b); // 1600 points
+        let small = big.rebin(12);
+        assert!(small.len() <= 12);
+        assert!(
+            (small.mean() - big.mean()).abs() < 1e-9,
+            "rebin preserves mean exactly"
+        );
+        assert!((small.std() - big.std()).abs() < 0.05 * big.std());
+    }
+
+    #[test]
+    fn rebin_noop_when_already_small() {
+        let pdf = DiscretePdf::from_normal(0.0, 1.0, 8);
+        assert_eq!(pdf.rebin(12), pdf);
+    }
+
+    #[test]
+    fn deep_propagation_stays_bounded_and_sane() {
+        // Chain of 64 sums, rebinned at 12 points each step: variance should
+        // grow linearly (independent sums), mean exactly linearly.
+        let arc = DiscretePdf::from_normal(10.0, 1.0, 12);
+        let mut acc = DiscretePdf::deterministic(0.0);
+        for _ in 0..64 {
+            acc = acc.add_rebinned(&arc, 12);
+            assert!(acc.len() <= 12);
+        }
+        assert!((acc.mean() - 640.0).abs() < 1.0);
+        let want_std = (64.0f64 * arc.var()).sqrt();
+        assert!(
+            (acc.std() - want_std).abs() < 0.15 * want_std,
+            "std {} vs {want_std}",
+            acc.std()
+        );
+    }
+
+    #[test]
+    fn with_moments_matches_target_exactly() {
+        let pdf = DiscretePdf::from_normal(10.0, 2.0, 15);
+        let target = Moments::from_mean_std(50.0, 7.0);
+        let out = pdf.with_moments(target, 15);
+        assert!((out.mean() - 50.0).abs() < 1e-9);
+        assert!((out.std() - 7.0).abs() < 1e-9);
+        assert_eq!(out.len(), pdf.len(), "shape preserved");
+    }
+
+    #[test]
+    fn with_moments_degenerate_cases() {
+        let point = DiscretePdf::deterministic(3.0);
+        let spread = point.with_moments(Moments::from_mean_std(5.0, 2.0), 12);
+        assert!((spread.mean() - 5.0).abs() < 0.05);
+        assert!(spread.len() > 1, "fallback produces a real distribution");
+
+        let pdf = DiscretePdf::from_normal(0.0, 1.0, 12);
+        let collapsed = pdf.with_moments(Moments::deterministic(9.0), 12);
+        assert!(collapsed.is_deterministic());
+        assert_eq!(collapsed.mean(), 9.0);
+    }
+
+    #[test]
+    fn display_mentions_moments() {
+        let s = DiscretePdf::from_normal(1.0, 1.0, 10).to_string();
+        assert!(s.contains("μ=") && s.contains("pts"));
+    }
+}

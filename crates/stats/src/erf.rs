@@ -1,0 +1,321 @@
+//! The error function: an accurate rational approximation and the paper's
+//! fast quadratic approximation.
+//!
+//! Statistical timing needs the standard normal CDF
+//! `Φ(x) = ½(1 + erf(x/√2))` inside Clark's max formulas. Evaluating `erf`
+//! accurately is comparatively expensive, so the paper (§4.3) substitutes a
+//! *quadratic* approximation of `½·erf(x/√2) = Φ(x) − ½` taken from the CRC
+//! Concise Encyclopedia of Mathematics:
+//!
+//! ```text
+//! ½·erf(x/√2) ≈  0.1·x·(4.4 − x)   for 0   ≤ x ≤ 2.2
+//!                0.49              for 2.2 <  x ≤ 2.6
+//!                0.50              for        x > 2.6
+//! ```
+//!
+//! extended to negative arguments by oddness. The approximation is accurate
+//! to two decimal places and **saturates at 2.6**, which is exactly the
+//! paper's dominance threshold: when `(μA − μB)/a ≥ 2.6` the statistical max
+//! collapses to the dominant input (equations 5 and 6).
+
+/// The point at which the quadratic approximation saturates to exactly ½,
+/// i.e. where `Φ(x)` is treated as exactly 1. This is the paper's dominance
+/// threshold used in equations (5) and (6).
+pub const SATURATION: f64 = 2.6;
+
+/// Accurate error function via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (maximum absolute error ≈ 1.5e-7).
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::erf::erf;
+/// assert!((erf(0.0)).abs() < 1e-12);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    // erf is odd; compute on |x| and restore the sign. The polynomial does
+    // not evaluate to exactly 0 at the origin, so pin it for exact oddness.
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(x)` computed from the accurate [`erf`].
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::erf::phi_cdf;
+/// assert!((phi_cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((phi_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn phi_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal density `φ(x) = exp(−x²/2)/√(2π)`.
+#[must_use]
+pub fn phi_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// The paper's quadratic approximation of `½·erf(x/√2) = Φ(x) − ½`,
+/// accurate to two decimal places (§4.3, citing CRC [23]).
+///
+/// Odd in `x`; saturates to exactly ±0.5 beyond |x| = [`SATURATION`].
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::erf::{half_erf_quadratic, phi_cdf};
+/// // within 0.011 of the exact value everywhere
+/// for i in -60..=60 {
+///     let x = f64::from(i) / 10.0;
+///     let exact = phi_cdf(x) - 0.5;
+///     assert!((half_erf_quadratic(x) - exact).abs() < 0.011);
+/// }
+/// ```
+#[must_use]
+pub fn half_erf_quadratic(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let v = if x <= 2.2 {
+        0.1 * x * (4.4 - x)
+    } else if x <= SATURATION {
+        0.49
+    } else {
+        0.5
+    };
+    sign * v
+}
+
+/// Fast standard normal CDF using the paper's quadratic approximation:
+/// `Φ(x) ≈ ½ + half_erf_quadratic(x)`.
+///
+/// Returns exactly `1.0` for `x > 2.6` and exactly `0.0` for `x < −2.6`,
+/// which is what makes the dominance shortcuts of equations (5)/(6) exact
+/// under this approximation.
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::erf::phi_cdf_quadratic;
+/// assert_eq!(phi_cdf_quadratic(3.0), 1.0);
+/// assert_eq!(phi_cdf_quadratic(-3.0), 0.0);
+/// assert!((phi_cdf_quadratic(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn phi_cdf_quadratic(x: f64) -> f64 {
+    0.5 + half_erf_quadratic(x)
+}
+
+/// Inverse standard normal CDF (quantile function) via the Acklam rational
+/// approximation (relative error below 1.15e-9 over the open unit interval).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::erf::{phi_cdf, phi_inv};
+/// for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+///     assert!((phi_cdf(phi_inv(p)) - p).abs() < 1e-6);
+/// }
+/// ```
+#[must_use]
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (1.5, 0.966_105_146_5),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for i in 0..100 {
+            let x = f64::from(i) * 0.07;
+            assert_eq!(erf(-x), -erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = erf(-6.0);
+        for i in -59..=60 {
+            let v = erf(f64::from(i) / 10.0);
+            assert!(v >= prev, "erf must be nondecreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn phi_cdf_symmetry() {
+        for i in 0..=40 {
+            let x = f64::from(i) / 10.0;
+            assert!((phi_cdf(x) + phi_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_pdf_integrates_to_one() {
+        // Trapezoid over [-8, 8].
+        let n = 4000;
+        let h = 16.0 / f64::from(n);
+        let mut s = 0.0;
+        for i in 0..=n {
+            let x = -8.0 + f64::from(i) * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            s += w * phi_pdf(x);
+        }
+        assert!((s * h - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_accurate_to_two_decimals() {
+        // The paper claims two-decimal accuracy; verify |err| < 0.011 on a
+        // dense grid over the whole real line (beyond ±2.6 it is constant).
+        let mut worst = 0.0f64;
+        for i in -1000..=1000 {
+            let x = f64::from(i) / 100.0;
+            let exact = phi_cdf(x) - 0.5;
+            let err = (half_erf_quadratic(x) - exact).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst < 0.011, "worst error {worst}");
+    }
+
+    #[test]
+    fn quadratic_is_odd() {
+        for i in 0..=300 {
+            let x = f64::from(i) / 100.0;
+            assert_eq!(half_erf_quadratic(-x), -half_erf_quadratic(x));
+        }
+    }
+
+    #[test]
+    fn quadratic_saturates_beyond_threshold() {
+        assert_eq!(half_erf_quadratic(2.600_001), 0.5);
+        assert_eq!(half_erf_quadratic(100.0), 0.5);
+        assert_eq!(half_erf_quadratic(-100.0), -0.5);
+        assert_eq!(phi_cdf_quadratic(2.61), 1.0);
+        assert_eq!(phi_cdf_quadratic(-2.61), 0.0);
+    }
+
+    #[test]
+    fn quadratic_piecewise_boundaries() {
+        // Continuity is approximate at 2.2 (0.484 vs 0.49) by design; just
+        // check the segments return the documented constants.
+        assert!((half_erf_quadratic(2.3) - 0.49).abs() < 1e-12);
+        assert!((half_erf_quadratic(2.6) - 0.49).abs() < 1e-12);
+        assert!((half_erf_quadratic(1.0) - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_inv_round_trips() {
+        for i in 1..100 {
+            let p = f64::from(i) / 100.0;
+            let x = phi_inv(p);
+            assert!((phi_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn phi_inv_median_is_zero() {
+        assert!(phi_inv(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn phi_inv_rejects_zero() {
+        let _ = phi_inv(0.0);
+    }
+
+    #[test]
+    fn phi_inv_tails() {
+        assert!(phi_inv(1e-6) < -4.7);
+        assert!(phi_inv(1.0 - 1e-6) > 4.7);
+    }
+}

@@ -1,0 +1,223 @@
+//! First two moments of a random variable.
+//!
+//! [`Moments`] is the currency of the fast inner timing engine (FASSTA in the
+//! paper): instead of propagating full distributions, only `(mean, variance)`
+//! pairs flow through the circuit. Addition of independent random variables
+//! is exact on moments; the statistical `max` requires the approximations in
+//! [`crate::clark`] / [`crate::fast_max`].
+
+use std::ops::Add;
+
+/// The first two moments — mean and variance — of a random variable.
+///
+/// Variance is stored (not standard deviation) because variances of
+/// independent random variables add exactly under summation.
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::Moments;
+///
+/// let gate = Moments::new(100.0, 25.0);
+/// let wire = Moments::new(10.0, 4.0);
+/// let total = gate + wire;
+/// assert_eq!(total.mean, 110.0);
+/// assert_eq!(total.var, 29.0);
+/// assert!((total.std() - 29.0f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Moments {
+    /// Expected value (first moment).
+    pub mean: f64,
+    /// Variance (second central moment). Must be non-negative.
+    pub var: f64,
+}
+
+impl Moments {
+    /// Creates moments from a mean and a variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is negative or either argument is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, var: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        assert!(
+            var.is_finite() && var >= 0.0,
+            "variance must be finite and non-negative, got {var}"
+        );
+        Self { mean, var }
+    }
+
+    /// Creates moments from a mean and a *standard deviation*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or either argument is non-finite.
+    #[must_use]
+    pub fn from_mean_std(mean: f64, std: f64) -> Self {
+        assert!(
+            std >= 0.0,
+            "standard deviation must be non-negative, got {std}"
+        );
+        Self::new(mean, std * std)
+    }
+
+    /// A deterministic (zero-variance) value.
+    #[must_use]
+    pub fn deterministic(value: f64) -> Self {
+        Self::new(value, 0.0)
+    }
+
+    /// The additive identity: zero mean, zero variance.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            mean: 0.0,
+            var: 0.0,
+        }
+    }
+
+    /// Standard deviation, `sqrt(var)`.
+    #[must_use]
+    pub fn std(self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// The coefficient of variation `σ/μ`, the paper's Table 1 headline
+    /// metric. Returns `f64::INFINITY` for a zero mean with non-zero sigma
+    /// and `0.0` when both are zero.
+    #[must_use]
+    pub fn sigma_over_mu(self) -> f64 {
+        let s = self.std();
+        if s == 0.0 {
+            0.0
+        } else {
+            s / self.mean
+        }
+    }
+
+    /// Scales the underlying random variable by a constant `k`
+    /// (mean scales by `k`, variance by `k²`).
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.mean * k, self.var * k * k)
+    }
+
+    /// Shifts the underlying random variable by a constant.
+    #[must_use]
+    pub fn shift(self, delta: f64) -> Self {
+        Self::new(self.mean + delta, self.var)
+    }
+
+    /// The weighted cost `μ + α·σ` used by the paper's subcircuit objective
+    /// (equation 7): higher `alpha` emphasizes variance reduction.
+    #[must_use]
+    pub fn cost(self, alpha: f64) -> f64 {
+        self.mean + alpha * self.std()
+    }
+}
+
+impl Add for Moments {
+    type Output = Self;
+
+    /// Sum of *independent* random variables: means and variances add.
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.mean + rhs.mean, self.var + rhs.var)
+    }
+}
+
+impl std::iter::Sum for Moments {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), Add::add)
+    }
+}
+
+impl std::fmt::Display for Moments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(μ={:.4}, σ={:.4})", self.mean, self.std())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_stores_fields() {
+        let m = Moments::new(5.0, 9.0);
+        assert_eq!(m.mean, 5.0);
+        assert_eq!(m.var, 9.0);
+        assert_eq!(m.std(), 3.0);
+    }
+
+    #[test]
+    fn from_mean_std_squares() {
+        let m = Moments::from_mean_std(10.0, 4.0);
+        assert_eq!(m.var, 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be finite and non-negative")]
+    fn negative_variance_panics() {
+        let _ = Moments::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be finite")]
+    fn nan_mean_panics() {
+        let _ = Moments::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn deterministic_has_zero_variance() {
+        let m = Moments::deterministic(42.0);
+        assert_eq!(m.var, 0.0);
+        assert_eq!(m.std(), 0.0);
+        assert_eq!(m.sigma_over_mu(), 0.0);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = Moments::new(1.0, 2.0);
+        let b = Moments::new(3.0, 4.0);
+        assert_eq!(a + b, Moments::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Moments = (1..=4).map(|i| Moments::new(f64::from(i), 1.0)).sum();
+        assert_eq!(total, Moments::new(10.0, 4.0));
+    }
+
+    #[test]
+    fn scale_squares_variance() {
+        let m = Moments::new(2.0, 3.0).scale(2.0);
+        assert_eq!(m, Moments::new(4.0, 12.0));
+    }
+
+    #[test]
+    fn shift_preserves_variance() {
+        let m = Moments::new(2.0, 3.0).shift(5.0);
+        assert_eq!(m, Moments::new(7.0, 3.0));
+    }
+
+    #[test]
+    fn cost_weights_sigma() {
+        let m = Moments::from_mean_std(100.0, 10.0);
+        assert!((m.cost(3.0) - 130.0).abs() < 1e-12);
+        assert!((m.cost(9.0) - 190.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_over_mu_matches_definition() {
+        let m = Moments::from_mean_std(200.0, 20.0);
+        assert!((m.sigma_over_mu() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Moments::new(1.0, 1.0).to_string();
+        assert!(s.contains("μ=") && s.contains("σ="));
+    }
+}

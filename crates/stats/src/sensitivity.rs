@@ -1,0 +1,178 @@
+//! Finite-difference sensitivities of `Var(max(A, B))` for WNSS tracing.
+//!
+//! §4.4 of the paper: to decide which input of a gate contributes most to
+//! the variance at its output, compare `∂Var(max)/∂μ_A` against
+//! `∂Var(max)/∂μ_B`. Differentiating Clark's variance expression directly
+//! yields complex formulas, so the paper approximates with a **forward
+//! finite difference**:
+//!
+//! ```text
+//! ∂Var/∂μ_A ≈ [ f(μA + h, σA + g, μB, σB) − f(μA, σA, μB, σB) ] / h
+//! ```
+//!
+//! where `h` is on the order of 1% of the mean, and `g = c·h` is a linear
+//! correction coupling σ to μ ("one cannot expect to change one value
+//! without the other being impacted"); `c` equals the coefficient relating
+//! mean gate delay to its variation.
+
+use crate::clark::clark_max;
+use crate::fast_max::{normalized_gap, DOMINANCE_THRESHOLD};
+use crate::moments::Moments;
+
+/// Relative step used for the forward difference: the paper uses "values for
+/// h of the order of 1% of the mean".
+pub const DEFAULT_RELATIVE_STEP: f64 = 0.01;
+
+/// Forward finite-difference estimate of `∂Var(max(A,B))/∂μ_A`, with the
+/// paper's coupled update `σA ← σA + c·h`.
+///
+/// `h` is the absolute perturbation of the mean; `c` the μ→σ coupling.
+///
+/// # Panics
+///
+/// Panics if `h <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::{Moments, sensitivity::dvar_dmu};
+///
+/// let a = Moments::from_mean_std(100.0, 10.0);
+/// let b = Moments::from_mean_std(100.0, 30.0);
+/// // Raising the mean of the low-sigma input pulls the max toward a
+/// // narrower distribution, so variance falls.
+/// assert!(dvar_dmu(a, b, 1.0, 0.0) < 0.0);
+/// ```
+#[must_use]
+pub fn dvar_dmu(a: Moments, b: Moments, h: f64, c: f64) -> f64 {
+    assert!(h > 0.0, "finite-difference step must be positive, got {h}");
+    let base = clark_max(a, b).max.var;
+    let sigma_bumped = (a.std() + c * h).max(0.0);
+    let bumped = Moments::from_mean_std(a.mean + h, sigma_bumped);
+    let moved = clark_max(bumped, b).max.var;
+    (moved - base) / h
+}
+
+/// Which of a gate's two fanin arrivals has the dominant influence on the
+/// output statistics — the pairwise decision rule of §4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputChoice {
+    /// The first input dominates.
+    First,
+    /// The second input dominates.
+    Second,
+}
+
+/// The paper's pairwise input-ranking rule:
+///
+/// 1. If a dominance shortcut (eq. 5/6) applies, pick the input with the
+///    higher mean — it clearly controls the output.
+/// 2. Otherwise compare finite-difference variance sensitivities
+///    `|∂Var/∂μ|` and pick the input with the larger influence.
+///
+/// `c` is the linear μ→σ coupling constant; the step is
+/// [`DEFAULT_RELATIVE_STEP`] of the larger input mean (with a floor for
+/// near-zero means).
+///
+/// # Example
+///
+/// ```
+/// use vartol_stats::{Moments, sensitivity::{rank_inputs, InputChoice}};
+///
+/// // From the paper's Fig. 3: (357, 32) vs (190, 41) — the gap exceeds
+/// // 2.6 sigma, so the higher-mean input wins by dominance.
+/// let a = Moments::from_mean_std(357.0, 32.0);
+/// let b = Moments::from_mean_std(190.0, 41.0);
+/// assert_eq!(rank_inputs(a, b, 0.05), InputChoice::First);
+/// ```
+#[must_use]
+pub fn rank_inputs(a: Moments, b: Moments, c: f64) -> InputChoice {
+    let alpha = normalized_gap(a, b);
+    if alpha >= DOMINANCE_THRESHOLD {
+        return InputChoice::First;
+    }
+    if alpha <= -DOMINANCE_THRESHOLD {
+        return InputChoice::Second;
+    }
+
+    let scale = a.mean.abs().max(b.mean.abs()).max(1.0);
+    let h = DEFAULT_RELATIVE_STEP * scale;
+    let sa = dvar_dmu(a, b, h, c).abs();
+    let sb = dvar_dmu(b, a, h, c).abs();
+    if sa >= sb {
+        InputChoice::First
+    } else {
+        InputChoice::Second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_pairs_pick_higher_mean() {
+        let hi = Moments::from_mean_std(500.0, 10.0);
+        let lo = Moments::from_mean_std(100.0, 10.0);
+        assert_eq!(rank_inputs(hi, lo, 0.05), InputChoice::First);
+        assert_eq!(rank_inputs(lo, hi, 0.05), InputChoice::Second);
+    }
+
+    #[test]
+    fn close_race_prefers_higher_variance_influence() {
+        // Equal means: the wider input drives the output variance.
+        let narrow = Moments::from_mean_std(100.0, 5.0);
+        let wide = Moments::from_mean_std(100.0, 30.0);
+        assert_eq!(rank_inputs(wide, narrow, 0.0), InputChoice::First);
+        assert_eq!(rank_inputs(narrow, wide, 0.0), InputChoice::Second);
+    }
+
+    #[test]
+    fn finite_difference_approximates_analytic_sign() {
+        // When A's mean rises toward dominance and sigma_A < sigma_B, the
+        // variance of the max decreases toward sigma_A^2... from above or
+        // below depending on the region; just check consistency between a
+        // small and a smaller step (the derivative estimate is stable).
+        let a = Moments::from_mean_std(100.0, 10.0);
+        let b = Moments::from_mean_std(105.0, 20.0);
+        let d1 = dvar_dmu(a, b, 1.0, 0.0);
+        let d2 = dvar_dmu(a, b, 0.1, 0.0);
+        assert!(
+            (d1 - d2).abs() < 0.1 * d2.abs().max(1.0),
+            "step stability: {d1} vs {d2}"
+        );
+    }
+
+    #[test]
+    fn coupling_term_changes_sensitivity() {
+        let a = Moments::from_mean_std(100.0, 10.0);
+        let b = Moments::from_mean_std(100.0, 10.0);
+        let without = dvar_dmu(a, b, 1.0, 0.0);
+        let with = dvar_dmu(a, b, 1.0, 0.5);
+        // The sigma bump adds variance, so the coupled derivative is larger.
+        assert!(with > without);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite-difference step must be positive")]
+    fn zero_step_panics() {
+        let a = Moments::from_mean_std(1.0, 1.0);
+        let _ = dvar_dmu(a, a, 0.0, 0.0);
+    }
+
+    #[test]
+    fn figure_three_style_decision() {
+        // Paper Fig. 3 inputs into node X: (320,27) and (310,45) are a close
+        // race — neither dominates — and the wider (310,45) input is the one
+        // the shaded WNSS path goes through. Our sensitivity rule should
+        // agree that the second input has more variance influence.
+        let a = Moments::from_mean_std(320.0, 27.0);
+        let b = Moments::from_mean_std(310.0, 45.0);
+        let gap = normalized_gap(a, b);
+        assert!(
+            gap.abs() < DOMINANCE_THRESHOLD,
+            "close race as in the paper"
+        );
+        assert_eq!(rank_inputs(a, b, 0.05), InputChoice::Second);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the statistical toolkit's invariants.
+
+use proptest::prelude::*;
+use vartol_stats::clark::{clark_max, clark_max_correlated};
+use vartol_stats::erf::{erf, half_erf_quadratic, phi_cdf, phi_inv};
+use vartol_stats::fast_max::{fast_max_moments, fast_max_with_dominance, Dominance};
+use vartol_stats::{DiscretePdf, Moments};
+
+fn moment_strategy() -> impl Strategy<Value = Moments> {
+    ((-1000.0f64..1000.0), (0.0f64..100.0))
+        .prop_map(|(mean, std)| Moments::from_mean_std(mean, std))
+}
+
+proptest! {
+    #[test]
+    fn erf_odd_and_bounded(x in -20.0f64..20.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(phi_cdf(lo) <= phi_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn quadratic_erf_two_decimal_claim(x in -10.0f64..10.0) {
+        let exact = phi_cdf(x) - 0.5;
+        prop_assert!((half_erf_quadratic(x) - exact).abs() < 0.011);
+    }
+
+    #[test]
+    fn phi_inv_round_trip(p in 0.001f64..0.999) {
+        prop_assert!((phi_cdf(phi_inv(p)) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clark_mean_dominates_inputs(a in moment_strategy(), b in moment_strategy()) {
+        let m = clark_max(a, b).max;
+        prop_assert!(m.mean >= a.mean.max(b.mean) - 1e-6);
+        prop_assert!(m.var >= -1e-12);
+    }
+
+    #[test]
+    fn clark_symmetric(a in moment_strategy(), b in moment_strategy()) {
+        let ab = clark_max(a, b);
+        let ba = clark_max(b, a);
+        prop_assert!((ab.max.mean - ba.max.mean).abs() < 1e-7 * (1.0 + ab.max.mean.abs()));
+        prop_assert!((ab.max.var - ba.max.var).abs() < 1e-6 * (1.0 + ab.max.var));
+        prop_assert!((ab.tightness_a + ba.tightness_a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clark_monotone_in_mean_shift(
+        a in moment_strategy(),
+        b in moment_strategy(),
+        shift in 0.0f64..100.0,
+    ) {
+        let base = clark_max(a, b).max;
+        let shifted = clark_max(a.shift(shift), b).max;
+        prop_assert!(shifted.mean >= base.mean - 1e-9);
+    }
+
+    #[test]
+    fn clark_correlated_variance_bounded(
+        a in moment_strategy(),
+        b in moment_strategy(),
+        rho in -1.0f64..1.0,
+    ) {
+        let m = clark_max_correlated(a, b, rho).max;
+        // Var(max) never exceeds the larger input variance plus the gap
+        // variance (a loose but always-valid bound).
+        let bound = a.var.max(b.var) + (a.mean - b.mean).powi(2) + 1e-9;
+        prop_assert!(m.var <= bound + 1e-6 * bound);
+    }
+
+    #[test]
+    fn fast_max_classification_consistent(a in moment_strategy(), b in moment_strategy()) {
+        let r = fast_max_with_dominance(a, b);
+        match r.dominance {
+            Dominance::First => prop_assert_eq!(r.max, a),
+            Dominance::Second => prop_assert_eq!(r.max, b),
+            Dominance::Neither => {
+                prop_assert!(r.max.mean >= a.mean.min(b.mean) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_max_tracks_clark_in_overlap(
+        mean_a in -100.0f64..100.0,
+        mean_b in -100.0f64..100.0,
+        sa in 1.0f64..50.0,
+        sb in 1.0f64..50.0,
+    ) {
+        let a = Moments::from_mean_std(mean_a, sa);
+        let b = Moments::from_mean_std(mean_b, sb);
+        let fast = fast_max_moments(a, b);
+        let exact = clark_max(a, b).max;
+        let scale = exact.std().max(1.0);
+        // Within the dominance region the error is the truncated tail; in
+        // the overlap region the quadratic CDF is within 0.011. Either way
+        // the approximation stays within a few sigma-units.
+        prop_assert!((fast.mean - exact.mean).abs() / scale < 0.5);
+    }
+
+    #[test]
+    fn moments_sum_commutative_associative(
+        a in moment_strategy(),
+        b in moment_strategy(),
+        c in moment_strategy(),
+    ) {
+        let left = (a + b) + c;
+        let right = a + (b + c);
+        prop_assert!((left.mean - right.mean).abs() < 1e-9);
+        prop_assert!((left.var - right.var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_from_normal_preserves_moments(
+        mean in -500.0f64..500.0,
+        sigma in 0.01f64..50.0,
+        n in 8usize..40,
+    ) {
+        let pdf = DiscretePdf::from_normal(mean, sigma, n);
+        prop_assert!((pdf.mean() - mean).abs() < 0.05 * sigma + 1e-9);
+        prop_assert!((pdf.std() - sigma).abs() < 0.10 * sigma + 1e-9);
+    }
+
+    #[test]
+    fn pdf_add_moments_exact(
+        ma in -100.0f64..100.0,
+        sa in 0.1f64..20.0,
+        mb in -100.0f64..100.0,
+        sb in 0.1f64..20.0,
+    ) {
+        let a = DiscretePdf::from_normal(ma, sa, 12);
+        let b = DiscretePdf::from_normal(mb, sb, 12);
+        let c = a.add(&b);
+        prop_assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-6);
+        prop_assert!((c.var() - (a.var() + b.var())).abs() < 1e-6 * (1.0 + c.var()));
+    }
+
+    #[test]
+    fn pdf_max_stochastically_dominates_inputs(
+        ma in -100.0f64..100.0,
+        sa in 0.1f64..20.0,
+        mb in -100.0f64..100.0,
+        sb in 0.1f64..20.0,
+        x in -200.0f64..200.0,
+    ) {
+        let a = DiscretePdf::from_normal(ma, sa, 12);
+        let b = DiscretePdf::from_normal(mb, sb, 12);
+        let m = a.max(&b);
+        // F_max(x) = F_a(x) * F_b(x) <= min(F_a, F_b)
+        prop_assert!(m.cdf(x) <= a.cdf(x).min(b.cdf(x)) + 1e-9);
+    }
+
+    #[test]
+    fn pdf_rebin_preserves_first_two_moments(
+        ma in -100.0f64..100.0,
+        sa in 0.5f64..20.0,
+        n in 4usize..16,
+    ) {
+        let big = DiscretePdf::from_normal(ma, sa, 64);
+        let small = big.rebin(n);
+        prop_assert!(small.len() <= n);
+        prop_assert!((small.mean() - big.mean()).abs() < 1e-9);
+        prop_assert!((small.var() - big.var()).abs() < 1e-9 * (1.0 + big.var()));
+    }
+
+    #[test]
+    fn pdf_quantile_cdf_consistency(
+        ma in -100.0f64..100.0,
+        sa in 0.5f64..20.0,
+        p in 0.01f64..0.99,
+    ) {
+        let pdf = DiscretePdf::from_normal(ma, sa, 20);
+        let q = pdf.quantile(p);
+        prop_assert!(pdf.cdf(q) >= p - 1e-12);
+    }
+
+    #[test]
+    fn with_moments_hits_target(
+        src in moment_strategy().prop_filter("spread", |m| m.var > 1e-6),
+        dst in moment_strategy().prop_filter("spread", |m| m.var > 1e-6),
+    ) {
+        let pdf = DiscretePdf::from_moments(src, 12);
+        let out = pdf.with_moments(dst, 12);
+        prop_assert!((out.mean() - dst.mean).abs() < 1e-6 * (1.0 + dst.mean.abs()));
+        prop_assert!((out.var() - dst.var).abs() < 1e-6 * (1.0 + dst.var));
+    }
+}

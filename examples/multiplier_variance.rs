@@ -1,0 +1,59 @@
+//! Depth and variance: why the paper's 16x16 multiplier (c6288) is the
+//! hardest circuit to improve.
+//!
+//! The number of gates along a timing path is inversely proportional to
+//! the *relative* variance along it (independent contributions average
+//! out), so deep circuits start with a low sigma/mu and leave little for
+//! the optimizer — exactly the paper's observation about c6288.
+//!
+//! Run with: `cargo run --release --example multiplier_variance`
+
+use vartol::core::{SizerConfig, StatisticalGreedy};
+use vartol::liberty::Library;
+use vartol::netlist::generators::{array_multiplier, parity_tree};
+use vartol::ssta::{FullSsta, SstaConfig};
+
+fn main() {
+    let library = Library::synthetic_90nm();
+    let engine = FullSsta::new(&library, SstaConfig::default());
+
+    println!(
+        "{:>22} {:>7} {:>7} {:>10}",
+        "circuit", "gates", "depth", "sigma/mu"
+    );
+    let mut circuits = vec![
+        ("parity tree (shallow)", parity_tree(16, &library)),
+        ("4x4 multiplier", array_multiplier(4, &library)),
+        ("8x8 multiplier", array_multiplier(8, &library)),
+        ("12x12 multiplier", array_multiplier(12, &library)),
+        ("16x16 multiplier", array_multiplier(16, &library)),
+    ];
+    for (label, n) in &circuits {
+        let m = engine.analyze(n).circuit_moments();
+        println!(
+            "{label:>22} {:>7} {:>7} {:>10.4}",
+            n.gate_count(),
+            n.depth(),
+            m.sigma_over_mu()
+        );
+    }
+
+    // Optimize the shallowest and the deepest at the same alpha and compare
+    // the improvement headroom.
+    println!();
+    let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(9.0));
+    let shallow = sizer.optimize(&mut circuits[0].1);
+    let deep = sizer.optimize(&mut circuits[4].1);
+    println!(
+        "shallow circuit: sigma {:+.1}% for area {:+.1}%",
+        shallow.delta_sigma_pct(),
+        shallow.delta_area_pct()
+    );
+    println!(
+        "deep multiplier: sigma {:+.1}% for area {:+.1}%",
+        deep.delta_sigma_pct(),
+        deep.delta_area_pct()
+    );
+    println!();
+    println!("paper: c6288 shows the lowest improvement due to its already low sigma/mu ratio");
+}

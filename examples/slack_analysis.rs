@@ -1,0 +1,71 @@
+//! Statistical slack analysis and delay-constrained variance optimization.
+//!
+//! Shows the machinery behind the paper's "worst negative statistical
+//! slack" terminology: required times propagate backward with the
+//! statistical min, slack is a random variable per node, and the optimizer
+//! can be run in the constrained mode of §2.1 (improve variance without
+//! exceeding a mean-delay budget, then recover area).
+//!
+//! Run with: `cargo run --release --example slack_analysis`
+
+use vartol::core::{SizerConfig, StatisticalGreedy};
+use vartol::liberty::Library;
+use vartol::netlist::generators::alu_with_flags;
+use vartol::ssta::{FullSsta, SstaConfig, StatisticalSlacks};
+
+fn main() {
+    let library = Library::synthetic_90nm();
+    let config = SstaConfig::default();
+    let mut netlist = alu_with_flags(8, &library);
+
+    // Forward arrivals, then backward statistical required times against a
+    // target of mean + 2 sigma.
+    let analysis = FullSsta::new(&library, config.clone()).analyze(&netlist);
+    let m = analysis.circuit_moments();
+    let target = m.mean + 2.0 * m.std();
+    println!("circuit: {netlist}");
+    println!(
+        "delay: mu = {:.1} ps, sigma = {:.2} ps, target T = {target:.1} ps",
+        m.mean,
+        m.std()
+    );
+
+    let slacks =
+        StatisticalSlacks::compute(&netlist, &library, &config, analysis.arrivals(), target);
+    println!();
+    println!(
+        "worst statistical slack (alpha=3): {:.2} ps",
+        slacks.worst_statistical_slack(3.0)
+    );
+    let worst = slacks.worst_node(3.0);
+    let ws = slacks.slack(worst);
+    println!(
+        "worst node: {}  slack mu = {:.1} ps, sigma = {:.2} ps",
+        netlist.gate(worst).name(),
+        ws.mean,
+        ws.std()
+    );
+
+    // Constrained optimization: cut variance without slowing the mean past
+    // its current value, then recover area within a 2% cost budget.
+    let budget = m.mean;
+    let sizer_config = SizerConfig::with_alpha(9.0)
+        .with_ssta(config.clone())
+        .with_max_mean_delay(budget);
+    let sizer = StatisticalGreedy::new(&library, sizer_config);
+    let report = sizer.optimize(&mut netlist);
+    println!();
+    println!("constrained optimization (mean budget {budget:.1} ps):");
+    println!("  {report}");
+    assert!(report.final_moments().mean <= budget + 1e-9);
+
+    let recovered = sizer.recover_area(&mut netlist, report.final_moments().cost(9.0) * 1.02);
+    let after = FullSsta::new(&library, config)
+        .analyze(&netlist)
+        .circuit_moments();
+    println!(
+        "  area recovery: {recovered} gates downsized; final mu = {:.1} ps, sigma = {:.2} ps",
+        after.mean,
+        after.std()
+    );
+}

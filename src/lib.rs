@@ -1,0 +1,52 @@
+//! # vartol — statistical gate sizing for process-variation tolerance
+//!
+//! Umbrella crate re-exporting the full `vartol` workspace: a Rust
+//! reproduction of *"Improving the Process-Variation Tolerance of Digital
+//! Circuits Using Gate Sizing and Statistical Techniques"* (Neiroukh & Song,
+//! DATE 2005).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! * [`stats`] — random-variable toolkit: [`stats::Moments`], Clark's max,
+//!   the paper's fast max approximation, discrete PDFs, Monte Carlo.
+//! * [`liberty`] — a synthetic 90nm lookup-table standard-cell library with
+//!   6–8 sizes per gate type and a proportional + random variation model.
+//! * [`netlist`] — gate-level combinational netlists, an ISCAS-85 `.bench`
+//!   parser, and structural generators for the paper's benchmark suite.
+//! * [`ssta`] — timing engines: deterministic STA, the accurate discrete-PDF
+//!   engine (FULLSSTA), the fast moment engine (FASSTA), WNSS path tracing,
+//!   and Monte-Carlo reference timing.
+//! * [`core`] — the paper's contribution: the `StatisticalGreedy` sizer with
+//!   the weighted `μ + α·σ` objective, plus deterministic baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vartol::liberty::Library;
+//! use vartol::netlist::generators::ripple_carry_adder;
+//! use vartol::ssta::{FullSsta, SstaConfig};
+//! use vartol::core::{StatisticalGreedy, SizerConfig};
+//!
+//! # fn main() {
+//! let library = Library::synthetic_90nm();
+//! let mut netlist = ripple_carry_adder(8, &library);
+//!
+//! // Analyze the variation before optimization.
+//! let config = SstaConfig::default();
+//! let before = FullSsta::new(&library, config.clone()).analyze(&netlist);
+//!
+//! // Optimize for variance with alpha = 3.
+//! let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(3.0));
+//! let report = sizer.optimize(&mut netlist);
+//!
+//! let after = FullSsta::new(&library, config).analyze(&netlist);
+//! assert!(after.circuit_moments().std() <= before.circuit_moments().std());
+//! # let _ = report;
+//! # }
+//! ```
+
+pub use vartol_core as core;
+pub use vartol_liberty as liberty;
+pub use vartol_netlist as netlist;
+pub use vartol_ssta as ssta;
+pub use vartol_stats as stats;
