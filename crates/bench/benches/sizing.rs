@@ -32,7 +32,7 @@ fn bench_sizing(c: &mut Criterion) {
             },
         );
         group.bench_with_input(BenchmarkId::new("mean_baseline", name), &n, |b, n| {
-            let sizer = MeanDelaySizer::new(&lib, ssta.clone());
+            let sizer = MeanDelaySizer::new(&lib, &ssta);
             b.iter_batched(
                 || n.clone(),
                 |mut n| black_box(sizer.minimize_delay(&mut n)),
@@ -45,8 +45,8 @@ fn bench_sizing(c: &mut Criterion) {
     // The optimizer's hot inner loop: one subcircuit evaluation.
     let mut group = c.benchmark_group("inner_loop");
     let n = benchmark("c880", &lib).expect("known benchmark");
-    let full = FullSsta::new(&lib, ssta.clone()).analyze(&n);
-    let fast = Fassta::new(&lib, ssta.clone());
+    let full = FullSsta::new(&lib, &ssta).analyze(&n);
+    let fast = Fassta::new(&lib, &ssta);
     let center = n.gate_ids().nth(100).expect("large enough");
     for depth in [1usize, 2, 3] {
         let sub = Subcircuit::extract(&n, center, depth);

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vartol_liberty::Library;
 use vartol_netlist::generators::benchmark;
-use vartol_ssta::{Dsta, Fassta, FullSsta, SstaConfig};
+use vartol_ssta::{Dsta, EngineKind, Fassta, FullSsta, SstaConfig, TimingSession};
 
 fn bench_engines(c: &mut Criterion) {
     let lib = Library::synthetic_90nm();
@@ -17,16 +17,46 @@ fn bench_engines(c: &mut Criterion) {
     for name in ["c432", "c880", "c1908"] {
         let n = benchmark(name, &lib).expect("known benchmark");
         group.bench_with_input(BenchmarkId::new("dsta", name), &n, |b, n| {
-            let engine = Dsta::new(&lib, config.clone());
+            let engine = Dsta::new(&lib, &config);
             b.iter(|| black_box(engine.analyze(n).max_delay()));
         });
         group.bench_with_input(BenchmarkId::new("fassta", name), &n, |b, n| {
-            let engine = Fassta::new(&lib, config.clone());
+            let engine = Fassta::new(&lib, &config);
             b.iter(|| black_box(engine.analyze(n).circuit_moments()));
         });
         group.bench_with_input(BenchmarkId::new("fullssta", name), &n, |b, n| {
-            let engine = FullSsta::new(&lib, config.clone());
+            let engine = FullSsta::new(&lib, &config);
             b.iter(|| black_box(engine.analyze(n).circuit_moments()));
+        });
+    }
+    group.finish();
+
+    // The session's incremental value proposition: a single-gate resize
+    // re-analyzed through the cone vs a from-scratch FULLSSTA pass.
+    let mut group = c.benchmark_group("incremental_resize");
+    for name in ["c880", "c1908"] {
+        let base = benchmark(name, &lib).expect("known benchmark");
+        let gate = base.gate_ids().last().expect("gates");
+        group.bench_with_input(BenchmarkId::new("session_cone", name), &base, |b, base| {
+            let mut n = base.clone();
+            let mut session =
+                TimingSession::with_kind(&lib, config.clone(), &mut n, EngineKind::FullSsta);
+            let mut size = 0usize;
+            b.iter(|| {
+                size = (size + 1) % 4;
+                session.resize(gate, size);
+                black_box(session.refresh())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", name), &base, |b, base| {
+            let mut n = base.clone();
+            let engine = FullSsta::new(&lib, &config);
+            let mut size = 0usize;
+            b.iter(|| {
+                size = (size + 1) % 4;
+                n.set_size(gate, size);
+                black_box(engine.analyze(&n).circuit_moments())
+            });
         });
     }
     group.finish();
@@ -36,7 +66,8 @@ fn bench_engines(c: &mut Criterion) {
     let n = benchmark("c880", &lib).expect("known benchmark");
     for samples in [8usize, 12, 15, 30] {
         group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
-            let engine = FullSsta::new(&lib, config.clone().with_pdf_samples(s));
+            let sampled = config.clone().with_pdf_samples(s);
+            let engine = FullSsta::new(&lib, &sampled);
             b.iter(|| black_box(engine.analyze(&n).circuit_moments()));
         });
     }

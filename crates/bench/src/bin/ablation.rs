@@ -119,7 +119,7 @@ fn ablate_fast_max() {
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
     let n = original_circuit("c880", &lib, &ssta);
-    let full = FullSsta::new(&lib, ssta).analyze(&n);
+    let full = FullSsta::new(&lib, &ssta).analyze(&n);
     let mut stats = DominanceStats::new();
     for id in n.gate_ids() {
         let fanins = n.gate(id).fanins();
@@ -146,19 +146,15 @@ fn ablate_engines() {
     let mut rng = StdRng::seed_from_u64(7);
     for name in ["c432", "c880", "c1908"] {
         let n = original_circuit(name, &lib, &ssta);
-        let mc = MonteCarloTimer::new(&lib, ssta.clone())
+        let mc = MonteCarloTimer::new(&lib, &ssta)
             .sample(&n, 10_000, &mut rng)
             .moments();
 
         let t0 = Instant::now();
-        let full = FullSsta::new(&lib, ssta.clone())
-            .analyze(&n)
-            .circuit_moments();
+        let full = FullSsta::new(&lib, &ssta).analyze(&n).circuit_moments();
         let t_full = t0.elapsed();
         let t0 = Instant::now();
-        let fast = Fassta::new(&lib, ssta.clone())
-            .analyze(&n)
-            .circuit_moments();
+        let fast = Fassta::new(&lib, &ssta).analyze(&n).circuit_moments();
         let t_fast = t0.elapsed();
 
         println!("{name}:");
@@ -185,7 +181,8 @@ fn ablate_engines() {
 fn ablate_depth() {
     println!("== E8: path depth vs sigma/mu ==");
     let lib = Library::synthetic_90nm();
-    let engine = FullSsta::new(&lib, SstaConfig::default());
+    let config = SstaConfig::default();
+    let engine = FullSsta::new(&lib, &config);
     println!("{:>6} {:>10}", "depth", "sigma/mu");
     for len in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut b = NetlistBuilder::new(format!("chain{len}"));
@@ -237,7 +234,7 @@ fn ablate_pdf_samples() {
     let base = SstaConfig::default();
     let n = original_circuit("c880", &lib, &base);
     let mut rng = StdRng::seed_from_u64(11);
-    let mc = MonteCarloTimer::new(&lib, base.clone())
+    let mc = MonteCarloTimer::new(&lib, &base)
         .sample(&n, 10_000, &mut rng)
         .moments();
     println!(
@@ -252,7 +249,7 @@ fn ablate_pdf_samples() {
     for samples in [4usize, 8, 10, 12, 15, 20, 30] {
         let config = base.clone().with_pdf_samples(samples);
         let t0 = Instant::now();
-        let m = FullSsta::new(&lib, config).analyze(&n).circuit_moments();
+        let m = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
         println!(
             "{samples:>8} {:>10.1} {:>10.2} {:>12.2?}",
             m.mean,

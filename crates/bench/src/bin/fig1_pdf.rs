@@ -34,14 +34,18 @@ fn main() {
     println!("# opt2 = alpha 9: {r2}");
     println!();
 
-    let engine = FullSsta::new(&lib, fine);
+    let engine = FullSsta::new(&lib, &fine);
     let mut series = Vec::new();
     for (label, netlist) in [
         ("original (mean-optimized)", &original),
         ("optimization 1 (alpha = 3)", &opt1),
         ("optimization 2 (alpha = 9)", &opt2),
     ] {
-        let pdf = engine.analyze(netlist).circuit_pdf().clone();
+        let pdf = engine
+            .analyze(netlist)
+            .circuit_pdf()
+            .expect("fullssta computes a circuit pdf")
+            .clone();
         let m = pdf.moments();
         println!(
             "{}",
@@ -58,7 +62,7 @@ fn main() {
     // The figure's yield reading: pick the period T where opt1 starts
     // winning over the original, and report Monte-Carlo yield at T.
     let mut rng = StdRng::seed_from_u64(1);
-    let mc_engine = MonteCarloTimer::new(&lib, ssta);
+    let mc_engine = MonteCarloTimer::new(&lib, &ssta);
     let original_mc = mc_engine.sample(&original, 20_000, &mut rng);
     let t = original_mc.moments().mean;
     println!("yield at period T = original mean ({t:.1} ps):");

@@ -15,7 +15,7 @@ fn main() {
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
     let original = original_circuit(&name, &lib, &ssta);
-    let base = FullSsta::new(&lib, ssta.clone())
+    let base = FullSsta::new(&lib, &ssta)
         .analyze(&original)
         .circuit_moments();
 

@@ -91,10 +91,10 @@ pub fn run_table1_row(
     let gates = original.gate_count();
 
     let t0 = Instant::now();
-    let _ = MeanDelaySizer::new(library, ssta.clone()).minimize_delay(&mut original);
+    let _ = MeanDelaySizer::new(library, ssta).minimize_delay(&mut original);
     let baseline_runtime_s = t0.elapsed().as_secs_f64();
 
-    let original_sigma_over_mu = FullSsta::new(library, ssta.clone())
+    let original_sigma_over_mu = FullSsta::new(library, ssta)
         .analyze(&original)
         .circuit_moments()
         .sigma_over_mu();
@@ -127,7 +127,7 @@ pub fn run_table1_row(
 #[must_use]
 pub fn original_circuit(name: &str, library: &Library, ssta: &SstaConfig) -> Netlist {
     let mut n = benchmark(name, library).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    let _ = MeanDelaySizer::new(library, ssta.clone()).minimize_delay(&mut n);
+    let _ = MeanDelaySizer::new(library, ssta).minimize_delay(&mut n);
     n
 }
 

@@ -6,12 +6,13 @@
 //! usage of smaller devices". [`MeanDelaySizer`] reproduces that starting
 //! point: greedy critical-path sizing against nominal delays, followed by
 //! an optional area-recovery pass that downsizes gates wherever the delay
-//! target allows.
+//! target allows. Both run on a deterministic [`TimingSession`], so every
+//! size trial re-times only the affected fanout cone.
 
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist};
-use vartol_ssta::{Dsta, SstaConfig};
+use vartol_ssta::{EngineKind, SstaConfig, TimingSession};
 
 /// Summary of a deterministic sizing run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,10 +43,10 @@ impl<'l> MeanDelaySizer<'l> {
     /// Creates a sizer over a library with the given timing configuration
     /// (variation is irrelevant here — only nominal delays are used).
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+    pub fn new(library: &'l Library, config: &SstaConfig) -> Self {
         Self {
             library,
-            config,
+            config: config.clone(),
             max_passes: 40,
         }
     }
@@ -67,29 +68,36 @@ impl<'l> MeanDelaySizer<'l> {
     #[must_use]
     pub fn minimize_delay(&self, netlist: &mut Netlist) -> BaselineReport {
         let start = Instant::now();
-        let engine = Dsta::new(self.library, self.config.clone());
         let initial_area = netlist.total_area(self.library);
-        let initial_delay = engine.analyze(netlist).max_delay();
+        let mut session =
+            TimingSession::with_kind(self.library, self.config.clone(), netlist, EngineKind::Dsta);
+        let initial_delay = session.circuit_moments().mean;
 
-        let mut best_score = Self::score(&engine.analyze(netlist), netlist);
+        let mut best_score = Self::score(&mut session);
         let mut passes = 0;
         for _ in 0..self.max_passes {
             passes += 1;
-            let analysis = engine.analyze(netlist);
             // Union of per-output critical paths: every output's longest
             // path gets attention, not just the globally worst one.
             let mut path: std::collections::BTreeSet<GateId> = std::collections::BTreeSet::new();
-            for &o in netlist.outputs() {
+            for &o in session.netlist().outputs() {
                 let mut cursor = o;
-                while !netlist.gate(cursor).is_input() {
+                while !session.netlist().gate(cursor).is_input() {
                     if !path.insert(cursor) {
                         break; // already traced through here
                     }
-                    let Some(&next) = netlist
-                        .gate(cursor)
-                        .fanins()
-                        .iter()
-                        .max_by(|a, b| analysis.arrival(**a).total_cmp(&analysis.arrival(**b)))
+                    let Some(&next) =
+                        session
+                            .netlist()
+                            .gate(cursor)
+                            .fanins()
+                            .iter()
+                            .max_by(|a, b| {
+                                session
+                                    .arrival(**a)
+                                    .mean
+                                    .total_cmp(&session.arrival(**b).mean)
+                            })
                     else {
                         break;
                     };
@@ -98,7 +106,7 @@ impl<'l> MeanDelaySizer<'l> {
             }
             let mut improved = false;
             for g in path {
-                if self.improve_gate(netlist, g, &engine, &mut best_score) {
+                if self.improve_gate(&mut session, g, &mut best_score) {
                     improved = true;
                 }
             }
@@ -107,11 +115,12 @@ impl<'l> MeanDelaySizer<'l> {
             }
         }
 
+        let final_area = session.total_area();
         BaselineReport {
             initial_delay,
             final_delay: best_score.0,
             initial_area,
-            final_area: netlist.total_area(self.library),
+            final_area,
             passes,
             runtime: start.elapsed(),
         }
@@ -119,10 +128,17 @@ impl<'l> MeanDelaySizer<'l> {
 
     /// The deterministic objective: worst output delay first, then the sum
     /// of all output arrivals as a tie-breaker (so the longest path of
-    /// every output gets minimized, Design-Compiler style).
-    fn score(analysis: &vartol_ssta::DstaResult, netlist: &Netlist) -> (f64, f64) {
-        let total: f64 = netlist.outputs().iter().map(|&o| analysis.arrival(o)).sum();
-        (analysis.max_delay(), total)
+    /// every output gets minimized, Design-Compiler style). Refreshes the
+    /// session (incremental) before reading.
+    fn score(session: &mut TimingSession<'_, '_>) -> (f64, f64) {
+        session.refresh();
+        let total: f64 = session
+            .netlist()
+            .outputs()
+            .iter()
+            .map(|&o| session.arrival(o).mean)
+            .sum();
+        (session.circuit_moments().mean, total)
     }
 
     fn better(a: (f64, f64), b: (f64, f64)) -> bool {
@@ -140,12 +156,11 @@ impl<'l> MeanDelaySizer<'l> {
     /// deterministic objective. Returns true if the size changed.
     fn improve_gate(
         &self,
-        netlist: &mut Netlist,
+        session: &mut TimingSession<'_, '_>,
         g: GateId,
-        engine: &Dsta<'_>,
         best_score: &mut (f64, f64),
     ) -> bool {
-        let gate = netlist.gate(g);
+        let gate = session.netlist().gate(g);
         let GateKind::Cell {
             function,
             size: current,
@@ -163,44 +178,47 @@ impl<'l> MeanDelaySizer<'l> {
             if size == current {
                 continue;
             }
-            netlist.set_size(g, size);
-            let s = Self::score(&engine.analyze(netlist), netlist);
+            session.resize(g, size);
+            let s = Self::score(session);
             if Self::better(s, *best_score) {
                 *best_score = s;
                 best_size = size;
             }
         }
-        netlist.set_size(g, best_size);
+        session.resize(g, best_size);
+        session.refresh();
         best_size != current
     }
 
     /// Downsizes gates wherever the nominal longest delay stays within
     /// `target_delay` — the constrained "area is recovered as far as
-    /// possible without violating a delay constraint" mode of §2.1.
-    /// Returns the number of gates downsized.
+    /// possible without violating a delay constraint" mode of §2.1, each
+    /// trial re-timed incrementally. Returns the number of gates downsized.
     ///
     /// # Panics
     ///
     /// Panics if the netlist references cells missing from the library.
     pub fn recover_area(&self, netlist: &mut Netlist, target_delay: f64) -> usize {
-        let engine = Dsta::new(self.library, self.config.clone());
+        let mut session =
+            TimingSession::with_kind(self.library, self.config.clone(), netlist, EngineKind::Dsta);
         let mut changed = 0;
         // Visit sinks first: downstream gates shield upstream slack.
-        let ids: Vec<GateId> = netlist.gate_ids().collect();
+        let ids: Vec<GateId> = session.netlist().gate_ids().collect();
         for &g in ids.iter().rev() {
-            let GateKind::Cell { size: current, .. } = *netlist.gate(g).kind() else {
+            let GateKind::Cell { size: current, .. } = *session.netlist().gate(g).kind() else {
                 continue;
             };
             let mut kept = current;
             for size in (0..current).rev() {
-                netlist.set_size(g, size);
-                if engine.analyze(netlist).max_delay() <= target_delay + 1e-9 {
+                session.resize(g, size);
+                if session.refresh().mean <= target_delay + 1e-9 {
                     kept = size;
                 } else {
                     break;
                 }
             }
-            netlist.set_size(g, kept);
+            session.resize(g, kept);
+            session.refresh();
             if kept != current {
                 changed += 1;
             }
@@ -213,7 +231,7 @@ impl<'l> MeanDelaySizer<'l> {
 mod tests {
     use super::*;
     use vartol_netlist::generators::{parity_tree, ripple_carry_adder};
-    use vartol_ssta::FullSsta;
+    use vartol_ssta::{Dsta, FullSsta};
 
     #[test]
     fn reduces_nominal_delay() {
@@ -223,9 +241,19 @@ mod tests {
             ..SstaConfig::default()
         };
         let mut n = ripple_carry_adder(6, &lib);
-        let report = MeanDelaySizer::new(&lib, config).minimize_delay(&mut n);
+        let report = MeanDelaySizer::new(&lib, &config).minimize_delay(&mut n);
         assert!(report.final_delay < report.initial_delay, "{report:?}");
         assert!(report.final_area >= report.initial_area, "speed costs area");
+    }
+
+    #[test]
+    fn reported_final_delay_matches_netlist_state() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let report = MeanDelaySizer::new(&lib, &config).minimize_delay(&mut n);
+        let check = Dsta::new(&lib, &config).analyze(&n).max_delay();
+        assert!((check - report.final_delay).abs() < 1e-9);
     }
 
     #[test]
@@ -235,8 +263,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         let mut n = parity_tree(16, &lib);
-        let _ = MeanDelaySizer::new(&lib, config.clone()).minimize_delay(&mut n);
-        let m = FullSsta::new(&lib, config).analyze(&n).circuit_moments();
+        let _ = MeanDelaySizer::new(&lib, &config).minimize_delay(&mut n);
+        let m = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
         assert!(m.sigma_over_mu() > 0.01, "meaningful residual variation");
     }
 
@@ -245,12 +273,12 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         let mut n = ripple_carry_adder(6, &lib);
-        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let sizer = MeanDelaySizer::new(&lib, &config);
         let report = sizer.minimize_delay(&mut n);
         let area_fast = n.total_area(&lib);
 
         // A very loose target lets recovery shrink everything back.
-        let engine = Dsta::new(&lib, config);
+        let engine = Dsta::new(&lib, &config);
         let changed = sizer.recover_area(&mut n, report.final_delay * 10.0);
         let area_recovered = n.total_area(&lib);
         if area_fast > report.initial_area {
@@ -268,10 +296,10 @@ mod tests {
             ..SstaConfig::default()
         };
         let mut n = ripple_carry_adder(4, &lib);
-        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let sizer = MeanDelaySizer::new(&lib, &config);
         let report = sizer.minimize_delay(&mut n);
         let _ = sizer.recover_area(&mut n, report.final_delay);
-        let engine = Dsta::new(&lib, config);
+        let engine = Dsta::new(&lib, &config);
         assert!(
             engine.analyze(&n).max_delay() <= report.final_delay + 1e-6,
             "recovery never violates the delay target"
@@ -282,7 +310,7 @@ mod tests {
     fn pass_cap_respected() {
         let lib = Library::synthetic_90nm();
         let mut n = parity_tree(8, &lib);
-        let report = MeanDelaySizer::new(&lib, SstaConfig::default())
+        let report = MeanDelaySizer::new(&lib, &SstaConfig::default())
             .with_max_passes(1)
             .minimize_delay(&mut n);
         assert_eq!(report.passes, 1);

@@ -6,7 +6,7 @@ use crate::report::{OptimizationReport, PassStats};
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist, Subcircuit};
-use vartol_ssta::{Fassta, FullSsta, WnssTracer};
+use vartol_ssta::{EngineKind, Fassta, TimingSession, WnssTracer};
 
 /// The paper's statistically-aware gain-based gate sizer.
 ///
@@ -16,6 +16,12 @@ use vartol_ssta::{Fassta, FullSsta, WnssTracer};
 /// subcircuit; scheduled resizes are committed together. Passes that fail
 /// to improve the global cost `μ + α·σ` are rolled back, and the algorithm
 /// stops when a pass schedules nothing or the pass budget is exhausted.
+///
+/// The accurate engine runs inside a [`TimingSession`], so batch commits,
+/// rollbacks, and per-candidate validations are **incremental**: only the
+/// fanout cone of the gates that actually changed is re-analyzed, instead
+/// of the whole netlist — the asymptotic win that makes deep circuits
+/// tractable.
 ///
 /// # Example
 ///
@@ -57,43 +63,46 @@ impl<'l> StatisticalGreedy<'l> {
     pub fn optimize(&self, netlist: &mut Netlist) -> OptimizationReport {
         let start = Instant::now();
         let alpha = self.config.alpha;
-        let full_engine = FullSsta::new(self.library, self.config.ssta.clone());
-        let fast_engine = Fassta::new(self.library, self.config.ssta.clone());
+        let fast_engine = Fassta::new(self.library, &self.config.ssta);
         let tracer = WnssTracer::new(self.config.ssta.variation.mu_sigma_coupling());
 
-        let mut passes: Vec<PassStats> = Vec::new();
+        // The accurate outer engine lives in an incremental session: the
+        // initial build is the only from-scratch FULLSSTA pass; every
+        // subsequent commit, rollback, and candidate validation refreshes
+        // only the affected fanout cone.
+        let mut session = TimingSession::with_kind(
+            self.library,
+            self.config.ssta.clone(),
+            netlist,
+            EngineKind::FullSsta,
+        );
 
-        let initial_analysis = full_engine.analyze(netlist);
-        let initial = initial_analysis.circuit_moments();
-        let initial_area = netlist.total_area(self.library);
+        let mut passes: Vec<PassStats> = Vec::new();
+        let initial = session.circuit_moments();
+        let initial_area = session.total_area();
 
         // Best state seen so far (global-cost guard).
         let mut best_cost = moments_cost(initial, alpha);
-        let mut best_sizes = netlist.sizes();
-        let mut analysis = initial_analysis;
+        let mut best_sizes = session.sizes();
 
         for pass in 0..self.config.max_passes {
-            let circuit = analysis.circuit_moments();
+            let circuit = session.circuit_moments();
             let cost = moments_cost(circuit, alpha);
-            let area = netlist.total_area(self.library);
+            let area = session.total_area();
 
             let path = match self.config.path_selection {
                 crate::config::PathSelection::WorstOutput => {
-                    tracer.trace(netlist, analysis.arrivals())
+                    tracer.trace(session.netlist(), session.arrivals())
                 }
                 crate::config::PathSelection::AllOutputs => {
-                    tracer.trace_all(netlist, analysis.arrivals())
+                    tracer.trace_all(session.netlist(), session.arrivals())
                 }
             };
             let mut scheduled: Vec<(GateId, usize)> = Vec::new();
             for &g in &path {
-                if let Some((best_size, current)) = self.best_size_for(
-                    netlist,
-                    g,
-                    analysis.arrivals(),
-                    analysis.timing(),
-                    &fast_engine,
-                ) {
+                if let Some((best_size, current)) =
+                    self.best_size_for(&mut session, g, &fast_engine)
+                {
                     if best_size != current {
                         scheduled.push((g, best_size));
                     }
@@ -117,33 +126,36 @@ impl<'l> StatisticalGreedy<'l> {
             // sequential commits, keeping only individually beneficial
             // resizes. This keeps the outer loop monotone in μ + α·σ.
             for &(g, s) in &scheduled {
-                netlist.set_size(g, s);
+                session.resize(g, s);
             }
-            analysis = full_engine.analyze(netlist);
-            let batch_cost = moments_cost(analysis.circuit_moments(), alpha);
+            let batch_moments = session.refresh();
+            let batch_cost = moments_cost(batch_moments, alpha);
 
             let mut kept = scheduled.len();
-            if self.accepts(batch_cost, best_cost, analysis.circuit_moments().mean) {
+            if self.accepts(batch_cost, best_cost, batch_moments.mean) {
                 best_cost = batch_cost;
-                best_sizes = netlist.sizes();
+                best_sizes = session.sizes();
             } else {
-                netlist.restore_sizes(&best_sizes);
+                session.restore_sizes(&best_sizes);
                 kept = 0;
                 for &(g, s) in &scheduled {
-                    let previous = netlist.gate(g).size().expect("scheduled gates are cells");
-                    netlist.set_size(g, s);
-                    let candidate = full_engine.analyze(netlist);
-                    let candidate_moments = candidate.circuit_moments();
+                    let previous = session
+                        .netlist()
+                        .gate(g)
+                        .size()
+                        .expect("scheduled gates are cells");
+                    session.resize(g, s);
+                    let candidate_moments = session.refresh();
                     let candidate_cost = moments_cost(candidate_moments, alpha);
                     if self.accepts(candidate_cost, best_cost, candidate_moments.mean) {
                         best_cost = candidate_cost;
-                        best_sizes = netlist.sizes();
+                        best_sizes = session.sizes();
                         kept += 1;
                     } else {
-                        netlist.set_size(g, previous);
+                        session.resize(g, previous);
                     }
                 }
-                analysis = full_engine.analyze(netlist);
+                session.refresh();
             }
 
             passes.push(PassStats {
@@ -159,14 +171,15 @@ impl<'l> StatisticalGreedy<'l> {
         }
 
         // Ensure the netlist carries the best state.
-        netlist.restore_sizes(&best_sizes);
-        let final_analysis = full_engine.analyze(netlist);
+        session.restore_sizes(&best_sizes);
+        let final_moments = session.refresh();
+        let final_area = session.total_area();
         OptimizationReport::new(
             alpha,
             initial,
-            final_analysis.circuit_moments(),
+            final_moments,
             initial_area,
-            netlist.total_area(self.library),
+            final_area,
             passes,
             start.elapsed(),
         )
@@ -187,31 +200,38 @@ impl<'l> StatisticalGreedy<'l> {
     /// the global cost `μ + α·σ` stays within `cost_budget` — the
     /// statistical counterpart of the deterministic
     /// [`MeanDelaySizer::recover_area`](crate::MeanDelaySizer::recover_area).
+    /// Every trial is an incremental cone refresh, not a full re-analysis.
     /// Returns the number of gates downsized.
     ///
     /// # Panics
     ///
     /// Panics if the netlist references cells missing from the library.
     pub fn recover_area(&self, netlist: &mut Netlist, cost_budget: f64) -> usize {
-        let full_engine = FullSsta::new(self.library, self.config.ssta.clone());
         let alpha = self.config.alpha;
+        let mut session = TimingSession::with_kind(
+            self.library,
+            self.config.ssta.clone(),
+            netlist,
+            EngineKind::FullSsta,
+        );
         let mut changed = 0;
-        let ids: Vec<GateId> = netlist.gate_ids().collect();
+        let ids: Vec<GateId> = session.netlist().gate_ids().collect();
         for &g in ids.iter().rev() {
-            let GateKind::Cell { size: current, .. } = *netlist.gate(g).kind() else {
+            let GateKind::Cell { size: current, .. } = *session.netlist().gate(g).kind() else {
                 continue;
             };
             let mut kept = current;
             for size in (0..current).rev() {
-                netlist.set_size(g, size);
-                let m = full_engine.analyze(netlist).circuit_moments();
+                session.resize(g, size);
+                let m = session.refresh();
                 if moments_cost(m, alpha) <= cost_budget + 1e-9 {
                     kept = size;
                 } else {
                     break;
                 }
             }
-            netlist.set_size(g, kept);
+            session.resize(g, kept);
+            session.refresh();
             if kept != current {
                 changed += 1;
             }
@@ -220,17 +240,18 @@ impl<'l> StatisticalGreedy<'l> {
     }
 
     /// Evaluates every library size of `g` over its subcircuit with the
-    /// fast engine; returns `(best_size, current_size)`, or `None` if the
-    /// gate has no alternatives.
+    /// fast engine against the session's stored (pass-start) boundary
+    /// statistics; returns `(best_size, current_size)`, or `None` if the
+    /// gate has no alternatives. Trials mutate sizes through the session
+    /// without refreshing, so the boundary stays frozen (§4.3) and the
+    /// rollback cancels all pending work.
     fn best_size_for(
         &self,
-        netlist: &mut Netlist,
+        session: &mut TimingSession<'_, '_>,
         g: GateId,
-        boundary: &[vartol_stats::Moments],
-        timing: &vartol_ssta::CircuitTiming,
         fast_engine: &Fassta<'_>,
     ) -> Option<(usize, usize)> {
-        let gate = netlist.gate(g);
+        let gate = session.netlist().gate(g);
         let GateKind::Cell {
             function,
             size: current,
@@ -244,27 +265,37 @@ impl<'l> StatisticalGreedy<'l> {
             return None;
         }
 
-        let sub = Subcircuit::extract(netlist, g, self.config.subcircuit_depth);
+        let sub = Subcircuit::extract(session.netlist(), g, self.config.subcircuit_depth);
         let alpha = self.config.alpha;
 
         let mut best_size = current;
         let mut best_cost = {
-            let outs = fast_engine.evaluate_subcircuit(netlist, &sub, boundary, timing);
+            let outs = fast_engine.evaluate_subcircuit(
+                session.netlist(),
+                &sub,
+                session.arrivals(),
+                session.timing(),
+            );
             subcircuit_cost(&outs, alpha)
         };
         for size in 0..group_len {
             if size == current {
                 continue;
             }
-            netlist.set_size(g, size);
-            let outs = fast_engine.evaluate_subcircuit(netlist, &sub, boundary, timing);
+            session.resize(g, size);
+            let outs = fast_engine.evaluate_subcircuit(
+                session.netlist(),
+                &sub,
+                session.arrivals(),
+                session.timing(),
+            );
             let cost = subcircuit_cost(&outs, alpha);
             if cost < best_cost - f64::EPSILON * best_cost.abs() {
                 best_cost = cost;
                 best_size = size;
             }
         }
-        netlist.set_size(g, current); // trial state rolled back
+        session.resize(g, current); // trial state rolled back
         Some((best_size, current))
     }
 }
@@ -273,7 +304,7 @@ impl<'l> StatisticalGreedy<'l> {
 mod tests {
     use super::*;
     use vartol_netlist::generators::{benchmark, parity_tree, ripple_carry_adder};
-    use vartol_ssta::SstaConfig;
+    use vartol_ssta::{FullSsta, SstaConfig};
 
     #[test]
     fn reduces_sigma_on_adder() {
@@ -294,7 +325,7 @@ mod tests {
         // operating points. Greedy noise allows a small tolerance.
         let lib = Library::synthetic_90nm();
         let mut base = benchmark("c432", &lib).expect("known");
-        let _ = crate::baseline::MeanDelaySizer::new(&lib, SizerConfig::default().ssta)
+        let _ = crate::baseline::MeanDelaySizer::new(&lib, &SizerConfig::default().ssta)
             .minimize_delay(&mut base);
         let mut n3 = base.clone();
         let mut n9 = base;
@@ -338,7 +369,7 @@ mod tests {
         let config = SizerConfig::with_alpha(3.0);
         let mut n = ripple_carry_adder(6, &lib);
         let report = StatisticalGreedy::new(&lib, config.clone()).optimize(&mut n);
-        let check = FullSsta::new(&lib, config.ssta)
+        let check = FullSsta::new(&lib, &config.ssta)
             .analyze(&n)
             .circuit_moments();
         assert!((check.mean - report.final_moments().mean).abs() < 1e-9);
@@ -403,7 +434,7 @@ mod tests {
         let area_recovered = n.total_area(&lib);
         assert!(area_recovered <= area_opt);
         // The cost budget is honored after recovery.
-        let check = FullSsta::new(&lib, SizerConfig::default().ssta).analyze(&n);
+        let check = FullSsta::new(&lib, &SizerConfig::default().ssta).analyze(&n);
         assert!(check.circuit_moments().cost(3.0) <= budget + 1e-6);
         let _ = changed;
     }

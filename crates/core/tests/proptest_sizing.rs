@@ -54,10 +54,10 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let mut n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::default();
-        let report = MeanDelaySizer::new(&lib, config.clone()).minimize_delay(&mut n);
+        let report = MeanDelaySizer::new(&lib, &config).minimize_delay(&mut n);
         prop_assert!(report.final_delay <= report.initial_delay * (1.0 + 1e-9));
         // The reported final delay matches the netlist state.
-        let check = Dsta::new(&lib, config).analyze(&n).max_delay();
+        let check = Dsta::new(&lib, &config).analyze(&n).max_delay();
         prop_assert!((check - report.final_delay).abs() < 1e-6);
     }
 
@@ -66,11 +66,11 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let mut n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::default();
-        let sizer = MeanDelaySizer::new(&lib, config.clone());
+        let sizer = MeanDelaySizer::new(&lib, &config);
         let report = sizer.minimize_delay(&mut n);
         let target = report.final_delay * slack;
         let _ = sizer.recover_area(&mut n, target);
-        let after = Dsta::new(&lib, config).analyze(&n).max_delay();
+        let after = Dsta::new(&lib, &config).analyze(&n).max_delay();
         prop_assert!(after <= target + 1e-6, "{after} vs target {target}");
     }
 }

@@ -292,7 +292,7 @@ mod tests {
         for _ in 0..200 {
             let a = rng.gen_range(0..(1u64 << 12));
             let b2 = rng.gen_range(0..(1u64 << 12));
-            let op = OPS[rng.gen_range(0..4)];
+            let op = OPS[rng.gen_range(0..4usize)];
             let out = simulate(&n, &alu_inputs(a, b2, false, op, 12));
             assert_eq!(bits_to_u64(&out[..12]), op.apply(a, b2, false, 12));
         }
@@ -307,7 +307,7 @@ mod tests {
         for _ in 0..200 {
             let a = rng.gen_range(0..(1u64 << w));
             let b2 = rng.gen_range(0..(1u64 << w));
-            let op = OPS[rng.gen_range(0..4)];
+            let op = OPS[rng.gen_range(0..4usize)];
             let out = simulate(&n, &alu_inputs(a, b2, false, op, w));
             let r = op.apply(a, b2, false, w);
             assert_eq!(bits_to_u64(&out[..w]), r, "{op:?}");
@@ -356,7 +356,7 @@ mod tests {
             for _ in 0..3 {
                 let a = rng.gen_range(0..(1u64 << w));
                 let b2 = rng.gen_range(0..(1u64 << w));
-                let op = OPS[rng.gen_range(0..4)];
+                let op = OPS[rng.gen_range(0..4usize)];
                 inputs.extend(alu_inputs(a, b2, false, op, w));
                 let r = op.apply(a, b2, false, w);
                 wants.push((r, r == 0, r.count_ones() % 2 == 1));

@@ -379,6 +379,39 @@ impl Netlist {
         self.levels().into_iter().max().unwrap_or(0)
     }
 
+    /// The transitive fanout cone of a seed set: every node reachable
+    /// from a seed along fanout edges, including the seeds themselves.
+    /// Returned sorted by id (= topological order).
+    ///
+    /// This is exactly the region an incremental timing update may touch
+    /// after the seed gates change; tests use it to assert the bound the
+    /// incremental re-analysis must respect.
+    #[must_use]
+    pub fn fanout_cone(&self, seeds: impl IntoIterator<Item = GateId>) -> Vec<GateId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut worklist: Vec<GateId> = Vec::new();
+        for seed in seeds {
+            if !in_cone[seed.index()] {
+                in_cone[seed.index()] = true;
+                worklist.push(seed);
+            }
+        }
+        while let Some(id) = worklist.pop() {
+            for &f in self.gate(id).fanouts() {
+                if !in_cone[f.index()] {
+                    in_cone[f.index()] = true;
+                    worklist.push(f);
+                }
+            }
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter(|(_, &hit)| hit)
+            .map(|(i, _)| GateId::new(i))
+            .collect()
+    }
+
     /// Structural invariants: fanins precede their gate (topological
     /// order), fanin/fanout lists are mutually consistent, inputs have no
     /// fanins, and arities are legal. Cheap enough for debug assertions in
@@ -558,6 +591,20 @@ mod tests {
         n.set_size(g1, 2);
         assert_eq!(n.cell(g1, &lib).drive_index(), 2);
         assert_eq!(n.cell(g1, &lib).function(), LogicFunction::Nand);
+    }
+
+    #[test]
+    fn fanout_cone_covers_downstream_only() {
+        let (n, a, g1, g2) = tiny();
+        // From g1: itself and g2 (its only sink).
+        assert_eq!(n.fanout_cone([g1]), vec![g1, g2]);
+        // From the output: itself only.
+        assert_eq!(n.fanout_cone([g2]), vec![g2]);
+        // From an input: everything it reaches.
+        let from_a = n.fanout_cone([a]);
+        assert!(from_a.contains(&a) && from_a.contains(&g1) && from_a.contains(&g2));
+        // Duplicated seeds collapse.
+        assert_eq!(n.fanout_cone([g1, g1, g2]), vec![g1, g2]);
     }
 
     #[test]

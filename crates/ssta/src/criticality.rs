@@ -34,7 +34,7 @@ use vartol_stats::Moments;
 /// let lib = Library::synthetic_90nm();
 /// let n = ripple_carry_adder(8, &lib);
 /// let config = SstaConfig::default();
-/// let analysis = FullSsta::new(&lib, config.clone()).analyze(&n);
+/// let analysis = FullSsta::new(&lib, &config).analyze(&n);
 /// let crit = Criticality::compute(&n, &lib, &config, analysis.arrivals());
 /// // Probabilities are well-formed.
 /// for id in n.node_ids() {
@@ -70,8 +70,11 @@ impl Criticality {
 
         // Seed: each primary output wins the circuit max with its win
         // probability among all outputs.
-        let output_arrivals: Vec<Moments> =
-            netlist.outputs().iter().map(|&o| arrivals[o.index()]).collect();
+        let output_arrivals: Vec<Moments> = netlist
+            .outputs()
+            .iter()
+            .map(|&o| arrivals[o.index()])
+            .collect();
         for (k, &o) in netlist.outputs().iter().enumerate() {
             crit[o.index()] += win_probability(&output_arrivals, k);
         }
@@ -147,7 +150,7 @@ mod tests {
     fn criticality_of(netlist: &Netlist) -> Criticality {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let analysis = FullSsta::new(&lib, config.clone()).analyze(netlist);
+        let analysis = FullSsta::new(&lib, &config).analyze(netlist);
         Criticality::compute(netlist, &lib, &config, analysis.arrivals())
     }
 
@@ -180,7 +183,10 @@ mod tests {
         // Identical branches: each wins with probability one half.
         assert!((c.of(g1) - 0.5).abs() < 0.05, "got {}", c.of(g1));
         assert!((c.of(g2) - 0.5).abs() < 0.05, "got {}", c.of(g2));
-        assert!((c.of(g1) + c.of(g2) - 1.0).abs() < 1e-9, "probability conserved");
+        assert!(
+            (c.of(g1) + c.of(g2) - 1.0).abs() < 1e-9,
+            "probability conserved"
+        );
     }
 
     #[test]

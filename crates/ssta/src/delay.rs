@@ -49,43 +49,70 @@ impl CircuitTiming {
     /// Computes loads, slews, and delays for the netlist's current sizes.
     #[must_use]
     pub fn compute(netlist: &Netlist, library: &Library, config: &SstaConfig) -> Self {
+        let mut timing = Self::empty(netlist, config);
+        // Topological node order: fanin slews are fresh by the time each
+        // gate is visited, so one forward sweep settles everything.
+        for id in netlist.node_ids() {
+            timing.refresh_node(netlist, library, config, id);
+        }
+        timing
+    }
+
+    /// An all-zero snapshot (except primary-input slews) for incremental
+    /// construction via [`CircuitTiming::refresh_node`].
+    pub(crate) fn empty(netlist: &Netlist, config: &SstaConfig) -> Self {
         let n = netlist.node_count();
-        let mut loads = vec![0.0f64; n];
         let mut slews = vec![0.0f64; n];
-        let mut nominal_delays = vec![0.0f64; n];
-        let mut delay_moments = vec![Moments::zero(); n];
-
-        // Loads first (independent of order).
-        for id in netlist.node_ids() {
-            loads[id.index()] = Self::load_of(netlist, library, config, id);
+        for &i in netlist.inputs() {
+            slews[i.index()] = config.input_slew;
         }
-
-        // Slews and delays in topological order.
-        for id in netlist.node_ids() {
-            let g = netlist.gate(id);
-            if g.is_input() {
-                slews[id.index()] = config.input_slew;
-                continue;
-            }
-            let cell = netlist.cell(id, library);
-            let in_slew = g
-                .fanins()
-                .iter()
-                .map(|f| slews[f.index()])
-                .fold(0.0f64, f64::max);
-            let load = loads[id.index()];
-            let d = cell.delay(in_slew, load).max(0.0);
-            slews[id.index()] = cell.output_slew(in_slew, load).max(0.0);
-            nominal_delays[id.index()] = d;
-            delay_moments[id.index()] = config.variation.delay_moments(d, cell.drive());
-        }
-
         Self {
-            loads,
+            loads: vec![0.0f64; n],
             slews,
-            nominal_delays,
-            delay_moments,
+            nominal_delays: vec![0.0f64; n],
+            delay_moments: vec![Moments::zero(); n],
         }
+    }
+
+    /// Recomputes the electrical state of one node from the netlist's
+    /// *current* sizes and this snapshot's fanin slews, returning
+    /// `(slew_changed, delay_changed)` so incremental callers know whether
+    /// to propagate to the node's fanouts. Exact recomputation: a node
+    /// whose inputs did not change reproduces its stored values bit for
+    /// bit, which is what lets incremental re-analysis match a from-scratch
+    /// run exactly.
+    pub(crate) fn refresh_node(
+        &mut self,
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        id: GateId,
+    ) -> (bool, bool) {
+        self.loads[id.index()] = Self::load_of(netlist, library, config, id);
+        let g = netlist.gate(id);
+        if g.is_input() {
+            // Input slews are configuration constants and input delays are
+            // identically zero; only the (unused) load can change.
+            return (false, false);
+        }
+        let cell = netlist.cell(id, library);
+        let in_slew = g
+            .fanins()
+            .iter()
+            .map(|f| self.slews[f.index()])
+            .fold(0.0f64, f64::max);
+        let load = self.loads[id.index()];
+        let d = cell.delay(in_slew, load).max(0.0);
+        let slew = cell.output_slew(in_slew, load).max(0.0);
+        let moments = config.variation.delay_moments(d, cell.drive());
+
+        let slew_changed = slew.to_bits() != self.slews[id.index()].to_bits();
+        let delay_changed = moments != self.delay_moments[id.index()]
+            || d.to_bits() != self.nominal_delays[id.index()].to_bits();
+        self.slews[id.index()] = slew;
+        self.nominal_delays[id.index()] = d;
+        self.delay_moments[id.index()] = moments;
+        (slew_changed, delay_changed)
     }
 
     fn load_of(netlist: &Netlist, library: &Library, config: &SstaConfig, id: GateId) -> f64 {

@@ -4,20 +4,26 @@
 //! "original" column of the paper's Table 1 is a circuit "obtained by
 //! optimizing ... with a goal of minimizing the mean of the longest delay",
 //! which is exactly deterministic STA-driven sizing.
+//!
+//! [`Dsta::analyze`] returns the unified [`TimingReport`] (zero-variance
+//! arrivals); [`Dsta::detailed`] returns the richer [`DstaResult`] with
+//! critical-path tracing and deterministic slacks.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;
+use crate::engine::{EngineKind, TimingEngine, TimingReport};
+use crate::state::TimingState;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, Netlist};
 
 /// Deterministic static timing engine.
-#[derive(Debug, Clone)]
-pub struct Dsta<'l> {
-    library: &'l Library,
-    config: SstaConfig,
+#[derive(Debug, Clone, Copy)]
+pub struct Dsta<'a> {
+    library: &'a Library,
+    config: &'a SstaConfig,
 }
 
-/// Result of a deterministic analysis.
+/// Result of a detailed deterministic analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DstaResult {
     arrivals: Vec<f64>,
@@ -26,21 +32,34 @@ pub struct DstaResult {
     timing: CircuitTiming,
 }
 
-impl<'l> Dsta<'l> {
+impl<'a> Dsta<'a> {
     /// Creates an engine over a library with the given configuration.
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+    pub fn new(library: &'a Library, config: &'a SstaConfig) -> Self {
         Self { library, config }
     }
 
-    /// Runs nominal longest-path analysis.
+    /// Runs nominal longest-path analysis, returning the unified report
+    /// (arrivals carry zero variance).
     ///
     /// # Panics
     ///
     /// Panics if the netlist references cells missing from the library.
     #[must_use]
-    pub fn analyze(&self, netlist: &Netlist) -> DstaResult {
-        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
+    pub fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        TimingState::full(netlist, self.library, self.config, EngineKind::Dsta)
+            .into_report(netlist, self.config)
+    }
+
+    /// Runs nominal longest-path analysis with the deterministic extras
+    /// (critical-path tracing, slacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist references cells missing from the library.
+    #[must_use]
+    pub fn detailed(&self, netlist: &Netlist) -> DstaResult {
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
         let mut arrivals = vec![0.0f64; netlist.node_count()];
         for id in netlist.node_ids() {
             let g = netlist.gate(id);
@@ -66,6 +85,16 @@ impl<'l> Dsta<'l> {
             worst_output,
             timing,
         }
+    }
+}
+
+impl TimingEngine for Dsta<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Dsta
+    }
+
+    fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        Dsta::analyze(self, netlist)
     }
 }
 
@@ -156,20 +185,17 @@ mod tests {
     use vartol_netlist::generators::ripple_carry_adder;
     use vartol_netlist::NetlistBuilder;
 
-    fn engine(lib: &Library) -> Dsta<'_> {
-        Dsta::new(lib, SstaConfig::default())
-    }
-
     #[test]
     fn arrivals_accumulate_along_chain() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let mut b = NetlistBuilder::new("c");
         let a = b.input("a");
         let g0 = b.gate("g0", LogicFunction::Inv, &[a]);
         let g1 = b.gate("g1", LogicFunction::Inv, &[g0]);
         b.mark_output(g1);
         let n = b.build().expect("valid");
-        let r = engine(&lib).analyze(&n);
+        let r = Dsta::new(&lib, &config).detailed(&n);
         assert!(r.arrival(g0) > 0.0);
         assert!(r.arrival(g1) > r.arrival(g0));
         assert_eq!(r.max_delay(), r.arrival(g1));
@@ -177,10 +203,27 @@ mod tests {
     }
 
     #[test]
+    fn unified_report_agrees_with_detailed_result() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(8, &lib);
+        let engine = Dsta::new(&lib, &config);
+        let detailed = engine.detailed(&n);
+        let report = engine.analyze(&n);
+        assert_eq!(report.max_delay(), detailed.max_delay());
+        assert_eq!(report.worst_output(), detailed.worst_output());
+        for id in n.node_ids() {
+            assert_eq!(report.arrival(id).mean, detailed.arrival(id));
+            assert_eq!(report.arrival(id).var, 0.0);
+        }
+    }
+
+    #[test]
     fn critical_path_is_connected_and_input_first() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n = ripple_carry_adder(8, &lib);
-        let r = engine(&lib).analyze(&n);
+        let r = Dsta::new(&lib, &config).detailed(&n);
         let path = r.critical_path(&n);
         assert!(!path.is_empty());
         // Consecutive path elements are fanin->fanout related.
@@ -200,10 +243,11 @@ mod tests {
     #[test]
     fn carry_chain_dominates_adder_delay() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n4 = ripple_carry_adder(4, &lib);
         let n16 = ripple_carry_adder(16, &lib);
-        let d4 = engine(&lib).analyze(&n4).max_delay();
-        let d16 = engine(&lib).analyze(&n16).max_delay();
+        let d4 = Dsta::new(&lib, &config).analyze(&n4).max_delay();
+        let d16 = Dsta::new(&lib, &config).analyze(&n16).max_delay();
         assert!(
             d16 > 2.0 * d4,
             "16-bit carry chain much longer: {d16} vs {d4}"
@@ -213,8 +257,9 @@ mod tests {
     #[test]
     fn slacks_zero_on_critical_path_at_exact_requirement() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n = ripple_carry_adder(6, &lib);
-        let r = engine(&lib).analyze(&n);
+        let r = Dsta::new(&lib, &config).detailed(&n);
         let slacks = r.slacks(&n, r.max_delay());
         let path = r.critical_path(&n);
         for &g in &path {
@@ -243,9 +288,9 @@ mod tests {
         b.mark_output(g1);
         let mut n = b.build().expect("valid");
 
-        let d0 = Dsta::new(&lib, config.clone()).analyze(&n).max_delay();
+        let d0 = Dsta::new(&lib, &config).analyze(&n).max_delay();
         n.set_size(g1, 6); // X8 inverter
-        let d1 = Dsta::new(&lib, config).analyze(&n).max_delay();
+        let d1 = Dsta::new(&lib, &config).analyze(&n).max_delay();
         assert!(d1 < d0, "upsized driver: {d1} < {d0}");
     }
 }

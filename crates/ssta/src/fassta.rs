@@ -9,14 +9,16 @@
 //!
 //! Two modes:
 //!
-//! * [`Fassta::analyze`] — whole-circuit moment propagation (used for
-//!   engine-comparison experiments);
+//! * [`Fassta::analyze`] — whole-circuit moment propagation, sharing its
+//!   kernel with the incremental [`TimingSession`](crate::TimingSession);
 //! * [`Fassta::evaluate_subcircuit`] — the optimizer's inner loop: evaluate
 //!   one extracted region against boundary arrivals stored by FULLSSTA,
 //!   with member delays recomputed for the netlist's *current* sizes.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;
+use crate::engine::{EngineKind, TimingEngine, TimingReport};
+use crate::state::TimingState;
 use std::collections::HashMap;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, Netlist, Subcircuit};
@@ -24,24 +26,16 @@ use vartol_stats::fast_max::fast_max_moments;
 use vartol_stats::Moments;
 
 /// The fast moment-propagation engine.
-#[derive(Debug, Clone)]
-pub struct Fassta<'l> {
-    library: &'l Library,
-    config: SstaConfig,
+#[derive(Debug, Clone, Copy)]
+pub struct Fassta<'a> {
+    library: &'a Library,
+    config: &'a SstaConfig,
 }
 
-/// Result of a whole-circuit FASSTA analysis.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FasstaResult {
-    arrivals: Vec<Moments>,
-    circuit: Moments,
-    timing: CircuitTiming,
-}
-
-impl<'l> Fassta<'l> {
+impl<'a> Fassta<'a> {
     /// Creates an engine over a library with the given configuration.
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+    pub fn new(library: &'a Library, config: &'a SstaConfig) -> Self {
         Self { library, config }
     }
 
@@ -51,38 +45,9 @@ impl<'l> Fassta<'l> {
     ///
     /// Panics if the netlist references cells missing from the library.
     #[must_use]
-    pub fn analyze(&self, netlist: &Netlist) -> FasstaResult {
-        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
-        let mut arrivals = vec![Moments::zero(); netlist.node_count()];
-        for id in netlist.node_ids() {
-            let g = netlist.gate(id);
-            if g.is_input() {
-                continue;
-            }
-            let mut arrival = Moments::zero();
-            let mut first = true;
-            for &f in g.fanins() {
-                let fa = arrivals[f.index()];
-                arrival = if first {
-                    fa
-                } else {
-                    fast_max_moments(arrival, fa)
-                };
-                first = false;
-            }
-            arrivals[id.index()] = arrival + timing.delay_moments(id);
-        }
-        let circuit = netlist
-            .outputs()
-            .iter()
-            .map(|o| arrivals[o.index()])
-            .reduce(fast_max_moments)
-            .expect("netlists have at least one output");
-        FasstaResult {
-            arrivals,
-            circuit,
-            timing,
-        }
+    pub fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        TimingState::full(netlist, self.library, self.config, EngineKind::Fassta)
+            .into_report(netlist, self.config)
     }
 
     /// Evaluates one subcircuit against stored boundary arrivals.
@@ -107,7 +72,7 @@ impl<'l> Fassta<'l> {
         boundary_arrivals: &[Moments],
         base_timing: &CircuitTiming,
     ) -> Vec<Moments> {
-        let member_delays = base_timing.member_delays(netlist, self.library, &self.config, sub);
+        let member_delays = base_timing.member_delays(netlist, self.library, self.config, sub);
 
         // Arrival overlay for members only.
         let mut local: HashMap<GateId, Moments> = HashMap::with_capacity(sub.members().len());
@@ -134,29 +99,13 @@ impl<'l> Fassta<'l> {
     }
 }
 
-impl FasstaResult {
-    /// Arrival moments at a node.
-    #[must_use]
-    pub fn arrival(&self, id: GateId) -> Moments {
-        self.arrivals[id.index()]
+impl TimingEngine for Fassta<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Fassta
     }
 
-    /// All arrival moments, indexed by [`GateId::index`].
-    #[must_use]
-    pub fn arrivals(&self) -> &[Moments] {
-        &self.arrivals
-    }
-
-    /// Moments of the circuit output RV (max over primary outputs).
-    #[must_use]
-    pub fn circuit_moments(&self) -> Moments {
-        self.circuit
-    }
-
-    /// The electrical snapshot the analysis used.
-    #[must_use]
-    pub fn timing(&self) -> &CircuitTiming {
-        &self.timing
+    fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        Fassta::analyze(self, netlist)
     }
 }
 
@@ -177,12 +126,8 @@ mod tests {
         let config = SstaConfig::default();
         for name in ["c432", "c880"] {
             let n = benchmark(name, &lib).expect("known");
-            let full = FullSsta::new(&lib, config.clone())
-                .analyze(&n)
-                .circuit_moments();
-            let fast = Fassta::new(&lib, config.clone())
-                .analyze(&n)
-                .circuit_moments();
+            let full = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
+            let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
             assert!(
                 (full.mean - fast.mean).abs() / full.mean < 0.12,
                 "{name} mean: full {} vs fast {}",
@@ -203,8 +148,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         let n = alu(6, &lib);
-        let engine = Fassta::new(&lib, config.clone());
-        let full = FullSsta::new(&lib, config).analyze(&n);
+        let engine = Fassta::new(&lib, &config);
+        let full = FullSsta::new(&lib, &config).analyze(&n);
 
         let center = n.gate_ids().nth(20).expect("enough gates");
         let sub = Subcircuit::extract(&n, center, 2);
@@ -223,8 +168,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         let mut n = ripple_carry_adder(8, &lib);
-        let engine = Fassta::new(&lib, config.clone());
-        let full = FullSsta::new(&lib, config).analyze(&n);
+        let engine = Fassta::new(&lib, &config);
+        let full = FullSsta::new(&lib, &config).analyze(&n);
 
         // Take a gate in the middle of the carry chain.
         let center = n.gate_by_name("add_fa4_c").expect("carry gate exists");
@@ -249,7 +194,8 @@ mod tests {
     fn comparator_outputs_reduce_via_fast_max() {
         let lib = Library::synthetic_90nm();
         let n = magnitude_comparator(8, &lib);
-        let r = Fassta::new(&lib, SstaConfig::default()).analyze(&n);
+        let config = SstaConfig::default();
+        let r = Fassta::new(&lib, &config).analyze(&n);
         let worst = n
             .outputs()
             .iter()
@@ -263,8 +209,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::deterministic();
         let n = ripple_carry_adder(6, &lib);
-        let fast = Fassta::new(&lib, config.clone()).analyze(&n);
-        let full = FullSsta::new(&lib, config).analyze(&n);
+        let fast = Fassta::new(&lib, &config).analyze(&n);
+        let full = FullSsta::new(&lib, &config).analyze(&n);
         assert!(
             (fast.circuit_moments().mean - full.circuit_moments().mean).abs() < 1e-6,
             "no variation -> both engines are plain STA"

@@ -8,206 +8,59 @@
 //! every node — exactly what the paper prescribes: *"In addition to
 //! propagating pdfs, we also calculate the mean and variance at every node
 //! and store these values for use in the fast timing engine (FASSTA)."*
+//!
+//! With [`CorrelationMode::LevelBuckets`](crate::CorrelationMode) each node
+//! also carries a vector of per-level variance contributions; the
+//! correlation of two arrivals at a max is estimated from the bucket-wise
+//! overlap of those vectors (shared path prefixes accumulate identical
+//! bucket entries), the max *moments* come from Clark's correlated
+//! formulas, and the independent CDF-product shape is moment-corrected to
+//! match.
+//!
+//! The propagation kernel itself is shared with
+//! [`TimingSession`](crate::TimingSession): a from-scratch `analyze` is an
+//! incremental update seeded with every node, which is what guarantees
+//! session refreshes reproduce this engine exactly.
 
-use crate::config::{CorrelationMode, SstaConfig};
-use crate::delay::CircuitTiming;
+use crate::config::SstaConfig;
+use crate::engine::{EngineKind, TimingEngine, TimingReport};
+use crate::state::TimingState;
 use vartol_liberty::Library;
-use vartol_netlist::{GateId, Netlist};
-use vartol_stats::clark::clark_max_correlated;
-use vartol_stats::{DiscretePdf, Moments};
+use vartol_netlist::Netlist;
 
 /// The accurate discrete-PDF statistical timing engine.
-#[derive(Debug, Clone)]
-pub struct FullSsta<'l> {
-    library: &'l Library,
-    config: SstaConfig,
+#[derive(Debug, Clone, Copy)]
+pub struct FullSsta<'a> {
+    library: &'a Library,
+    config: &'a SstaConfig,
 }
 
-/// Result of a FULLSSTA analysis: per-node arrival PDFs and moments, plus
-/// the circuit-level output distribution `RV_O = max over outputs`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FullSstaResult {
-    arrivals: Vec<Moments>,
-    pdfs: Vec<DiscretePdf>,
-    circuit_pdf: DiscretePdf,
-    timing: CircuitTiming,
-}
-
-impl<'l> FullSsta<'l> {
+impl<'a> FullSsta<'a> {
     /// Creates an engine over a library with the given configuration.
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
+    pub fn new(library: &'a Library, config: &'a SstaConfig) -> Self {
         Self { library, config }
     }
 
     /// Propagates arrival PDFs through the netlist.
     ///
-    /// With [`CorrelationMode::LevelBuckets`] each node also carries a
-    /// vector of per-level variance contributions; the correlation of two
-    /// arrivals at a max is estimated from the bucket-wise overlap of
-    /// those vectors (shared path prefixes accumulate identical bucket
-    /// entries), the max *moments* come from Clark's correlated formulas,
-    /// and the independent CDF-product shape is moment-corrected to match.
-    ///
     /// # Panics
     ///
     /// Panics if the netlist references cells missing from the library.
     #[must_use]
-    pub fn analyze(&self, netlist: &Netlist) -> FullSstaResult {
-        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
-        let n = self.config.pdf_samples;
-        let track = self.config.correlation == CorrelationMode::LevelBuckets;
-
-        let levels = netlist.levels();
-        let buckets = levels.iter().max().copied().unwrap_or(0) + 1;
-        let zero = DiscretePdf::deterministic(0.0);
-        let mut pdfs: Vec<DiscretePdf> = vec![zero.clone(); netlist.node_count()];
-        // Per-level variance contribution vectors (empty when not tracked).
-        let mut contribs: Vec<Vec<f64>> = if track {
-            vec![vec![0.0; buckets]; netlist.node_count()]
-        } else {
-            Vec::new()
-        };
-
-        for id in netlist.node_ids() {
-            let g = netlist.gate(id);
-            if g.is_input() {
-                continue;
-            }
-            // Max of fanin arrivals (deterministic zero for PI-only fanin).
-            let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
-            for &f in g.fanins() {
-                let fp = &pdfs[f.index()];
-                let fv = if track {
-                    contribs[f.index()].clone()
-                } else {
-                    Vec::new()
-                };
-                acc = Some(match acc {
-                    None => (fp.clone(), fv),
-                    Some((apdf, av)) => Self::correlated_max(&apdf, av, fp, &fv, n, track),
-                });
-            }
-            let (arrival, mut v) = acc.unwrap_or_else(|| {
-                (
-                    zero.clone(),
-                    if track {
-                        vec![0.0; buckets]
-                    } else {
-                        Vec::new()
-                    },
-                )
-            });
-            let delay_m = timing.delay_moments(id);
-            let delay = DiscretePdf::from_moments(delay_m, n);
-            pdfs[id.index()] = arrival.add_rebinned(&delay, n);
-            if track {
-                v[levels[id.index()]] += delay_m.var;
-                contribs[id.index()] = v;
-            }
-        }
-
-        // Circuit output RV: max over all primary outputs, with the same
-        // correlation handling.
-        let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
-        for &o in netlist.outputs() {
-            let op = &pdfs[o.index()];
-            let ov = if track {
-                contribs[o.index()].clone()
-            } else {
-                Vec::new()
-            };
-            acc = Some(match acc {
-                None => (op.clone(), ov),
-                Some((apdf, av)) => Self::correlated_max(&apdf, av, op, &ov, n, track),
-            });
-        }
-        let circuit_pdf = acc.expect("netlists have at least one output").0;
-
-        let arrivals = pdfs.iter().map(DiscretePdf::moments).collect();
-        FullSstaResult {
-            arrivals,
-            pdfs,
-            circuit_pdf,
-            timing,
-        }
-    }
-
-    /// One pairwise max with optional correlation handling; returns the
-    /// result PDF and the blended contribution vector.
-    fn correlated_max(
-        a: &DiscretePdf,
-        av: Vec<f64>,
-        b: &DiscretePdf,
-        bv: &[f64],
-        n: usize,
-        track: bool,
-    ) -> (DiscretePdf, Vec<f64>) {
-        if !track {
-            return (a.max_rebinned(b, n), av);
-        }
-        let ma = a.moments();
-        let mb = b.moments();
-        let rho = Self::overlap_correlation(&av, bv, ma.var, mb.var);
-        let cm = clark_max_correlated(ma, mb, rho);
-        let shape = a.max(b);
-        let pdf = shape.with_moments(cm.max, n).rebin(n);
-        let t = cm.tightness_a;
-        let v = av
-            .iter()
-            .zip(bv)
-            .map(|(x, y)| t * x + (1.0 - t) * y)
-            .collect();
-        (pdf, v)
-    }
-
-    /// Correlation estimate from shared per-level variance: the bucket-wise
-    /// minimum approximates the variance of the common path prefix.
-    fn overlap_correlation(av: &[f64], bv: &[f64], var_a: f64, var_b: f64) -> f64 {
-        if var_a <= 1e-12 || var_b <= 1e-12 {
-            return 0.0;
-        }
-        let shared: f64 = av.iter().zip(bv).map(|(x, y)| x.min(*y)).sum();
-        (shared / (var_a * var_b).sqrt()).clamp(0.0, 1.0)
+    pub fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        TimingState::full(netlist, self.library, self.config, EngineKind::FullSsta)
+            .into_report(netlist, self.config)
     }
 }
 
-impl FullSstaResult {
-    /// Stored arrival moments at a node (the FASSTA boundary data).
-    #[must_use]
-    pub fn arrival(&self, id: GateId) -> Moments {
-        self.arrivals[id.index()]
+impl TimingEngine for FullSsta<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::FullSsta
     }
 
-    /// All stored arrival moments, indexed by [`GateId::index`].
-    #[must_use]
-    pub fn arrivals(&self) -> &[Moments] {
-        &self.arrivals
-    }
-
-    /// The full arrival PDF at a node.
-    #[must_use]
-    pub fn arrival_pdf(&self, id: GateId) -> &DiscretePdf {
-        &self.pdfs[id.index()]
-    }
-
-    /// The circuit-level output distribution `RV_O` (max over outputs).
-    #[must_use]
-    pub fn circuit_pdf(&self) -> &DiscretePdf {
-        &self.circuit_pdf
-    }
-
-    /// Mean and variance of `RV_O` — the quantity the optimization
-    /// problem in §3 minimizes.
-    #[must_use]
-    pub fn circuit_moments(&self) -> Moments {
-        self.circuit_pdf.moments()
-    }
-
-    /// The electrical snapshot the analysis used.
-    #[must_use]
-    pub fn timing(&self) -> &CircuitTiming {
-        &self.timing
+    fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        FullSsta::analyze(self, netlist)
     }
 }
 
@@ -230,7 +83,8 @@ mod tests {
         }
         b.mark_output(prev);
         let n = b.build().expect("valid");
-        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         let m = r.circuit_moments();
         assert!(m.mean > 0.0);
         assert!(m.var > 0.0);
@@ -251,8 +105,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(8, &lib);
         let config = SstaConfig::default();
-        let stat = FullSsta::new(&lib, config.clone()).analyze(&n);
-        let det = Dsta::new(&lib, config).analyze(&n);
+        let stat = FullSsta::new(&lib, &config).analyze(&n);
+        let det = Dsta::new(&lib, &config).detailed(&n);
         // Statistical mean >= deterministic longest path (max of RVs
         // exceeds max of means) but within a few sigma of it.
         let m = stat.circuit_moments();
@@ -265,8 +119,8 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(6, &lib);
         let config = SstaConfig::deterministic();
-        let stat = FullSsta::new(&lib, config.clone()).analyze(&n);
-        let det = Dsta::new(&lib, config).analyze(&n);
+        let stat = FullSsta::new(&lib, &config).analyze(&n);
+        let det = Dsta::new(&lib, &config).detailed(&n);
         let m = stat.circuit_moments();
         assert!((m.mean - det.max_delay()).abs() < 1e-6);
         assert!(m.std() < 1e-9);
@@ -276,10 +130,12 @@ mod tests {
     fn parity_tree_has_balanced_arrivals() {
         let lib = Library::synthetic_90nm();
         let n = parity_tree(16, &lib);
-        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         // Single output; its arrival is the circuit RV.
         let o = n.outputs()[0];
         assert_eq!(r.arrival(o), r.circuit_moments());
+        assert_eq!(r.worst_output(), o);
     }
 
     #[test]
@@ -287,7 +143,8 @@ mod tests {
         // The paper's observation: "the number of gates along a timing path
         // is inversely proportional to the variance along that path".
         let lib = Library::synthetic_90nm();
-        let engine = FullSsta::new(&lib, SstaConfig::default());
+        let config = SstaConfig::default();
+        let engine = FullSsta::new(&lib, &config);
         let chain = |len: usize| {
             let mut b = NetlistBuilder::new("c");
             let a = b.input("a");
@@ -313,7 +170,8 @@ mod tests {
     fn upsizing_reduces_circuit_sigma() {
         let lib = Library::synthetic_90nm();
         let mut n = ripple_carry_adder(4, &lib);
-        let engine = FullSsta::new(&lib, SstaConfig::default());
+        let config = SstaConfig::default();
+        let engine = FullSsta::new(&lib, &config);
         let before = engine.analyze(&n).circuit_moments();
         // Upsize everything to near max.
         let ids: Vec<_> = n.gate_ids().collect();
@@ -333,10 +191,12 @@ mod tests {
     fn more_samples_refine_but_do_not_upend_the_estimate() {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(8, &lib);
-        let coarse = FullSsta::new(&lib, SstaConfig::default().with_pdf_samples(8))
+        let coarse_config = SstaConfig::default().with_pdf_samples(8);
+        let fine_config = SstaConfig::default().with_pdf_samples(30);
+        let coarse = FullSsta::new(&lib, &coarse_config)
             .analyze(&n)
             .circuit_moments();
-        let fine = FullSsta::new(&lib, SstaConfig::default().with_pdf_samples(30))
+        let fine = FullSsta::new(&lib, &fine_config)
             .analyze(&n)
             .circuit_moments();
         assert!((coarse.mean - fine.mean).abs() / fine.mean < 0.02);
@@ -347,8 +207,9 @@ mod tests {
     fn pdf_bounded_support_and_mass() {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(4, &lib);
-        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
-        let pdf = r.circuit_pdf();
+        let config = SstaConfig::default();
+        let r = FullSsta::new(&lib, &config).analyze(&n);
+        let pdf = r.circuit_pdf().expect("fullssta computes a circuit pdf");
         assert!(pdf.len() <= SstaConfig::default().pdf_samples);
         let total: f64 = pdf.probs().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -1,7 +1,17 @@
 //! # vartol-ssta
 //!
 //! Timing engines for statistical gate sizing, mirroring the paper's nested
-//! architecture (§4):
+//! architecture (§4) behind one unified API:
+//!
+//! * [`engine::TimingEngine`] — the shared trait: every engine analyzes a
+//!   netlist into the same [`engine::TimingReport`] (per-node arrival
+//!   moments, worst output, circuit moments, optional PDFs);
+//!   [`engine::EngineKind`] selects engines dynamically.
+//! * [`session::TimingSession`] — the incremental API: resize gates and
+//!   re-analyze only the affected fanout cone, with results identical to
+//!   a from-scratch run. This is what the optimizers' inner loops use.
+//!
+//! The engines:
 //!
 //! * [`dsta::Dsta`] — deterministic static timing (nominal delays only),
 //!   used by the mean-delay baseline optimizer and as a sanity anchor.
@@ -12,10 +22,10 @@
 //!   with the paper's max approximation (dominance shortcuts + quadratic
 //!   erf), evaluating whole circuits or extracted subcircuits against
 //!   stored boundary statistics.
+//! * [`montecarlo::MonteCarloTimer`] — sampling-based golden reference.
 //! * [`wnss`] — the Worst Negative Statistical Slack path tracer (§4.4):
 //!   walks back from the statistically-worst output choosing the dominant
 //!   input by the dominance test or finite-difference variance sensitivity.
-//! * [`montecarlo`] — sampling-based golden timing reference.
 //!
 //! All engines share the electrical model in [`delay`]: NLDM table delays
 //! driven by fanout loads and nominal slews, widened into random variables
@@ -26,37 +36,47 @@
 //! ```
 //! use vartol_liberty::Library;
 //! use vartol_netlist::generators::ripple_carry_adder;
-//! use vartol_ssta::{FullSsta, Fassta, SstaConfig};
+//! use vartol_ssta::{SstaConfig, TimingSession};
 //!
 //! let lib = Library::synthetic_90nm();
-//! let netlist = ripple_carry_adder(8, &lib);
-//! let config = SstaConfig::default();
+//! let mut netlist = ripple_carry_adder(8, &lib);
 //!
-//! let full = FullSsta::new(&lib, config.clone()).analyze(&netlist);
-//! let fast = Fassta::new(&lib, config).analyze(&netlist);
+//! // A session caches everything the analysis needs across edits.
+//! let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut netlist);
+//! let before = session.refresh();
 //!
-//! // The fast engine tracks the accurate one closely.
-//! let a = full.circuit_moments();
-//! let b = fast.circuit_moments();
-//! assert!((a.mean - b.mean).abs() / a.mean < 0.05);
+//! // Resize one gate; the refresh only revisits its fanout cone.
+//! let gate = session.netlist().gate_ids().next().unwrap();
+//! session.resize(gate, 5);
+//! let after = session.refresh();
+//!
+//! assert_ne!(before, after);
+//! // The incremental result matches a from-scratch engine run exactly.
+//! let scratch = session.report(vartol_ssta::EngineKind::FullSsta);
+//! assert_eq!(after, scratch.circuit_moments());
 //! ```
 
 pub mod config;
 pub mod criticality;
 pub mod delay;
 pub mod dsta;
+pub mod engine;
 pub mod fassta;
 pub mod fullssta;
 pub mod montecarlo;
+pub mod session;
 pub mod slack;
+mod state;
 pub mod wnss;
 
 pub use config::{CorrelationMode, SstaConfig};
 pub use criticality::Criticality;
 pub use delay::CircuitTiming;
 pub use dsta::{Dsta, DstaResult};
-pub use fassta::{Fassta, FasstaResult};
-pub use fullssta::{FullSsta, FullSstaResult};
+pub use engine::{EngineKind, TimingEngine, TimingReport};
+pub use fassta::Fassta;
+pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer};
+pub use session::TimingSession;
 pub use slack::StatisticalSlacks;
 pub use wnss::WnssTracer;

@@ -6,21 +6,34 @@
 //! empirical distribution of the circuit delay. Slow but assumption-free
 //! (no normal-approximation of maxima, no discretization), so FULLSSTA and
 //! FASSTA are validated against it in tests and the accuracy ablation.
+//!
+//! As a [`TimingEngine`], the timer samples with a configurable count and
+//! seed ([`MonteCarloTimer::with_samples`] /
+//! [`MonteCarloTimer::with_seed`]) so `analyze` is deterministic; the
+//! explicit [`MonteCarloTimer::sample`] entry point remains for callers
+//! that manage their own RNG.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;
-use rand::Rng;
+use crate::engine::{EngineKind, TimingEngine, TimingReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vartol_liberty::Library;
-use vartol_netlist::Netlist;
+use vartol_netlist::{GateId, Netlist};
 use vartol_stats::montecarlo::summarize;
 use vartol_stats::normal::standard_normal_sample;
-use vartol_stats::Moments;
+use vartol_stats::{DiscretePdf, Moments};
+
+/// Default sample count for trait-driven analyses.
+pub const DEFAULT_MC_SAMPLES: usize = 4000;
 
 /// Monte-Carlo timing engine.
-#[derive(Debug, Clone)]
-pub struct MonteCarloTimer<'l> {
-    library: &'l Library,
-    config: SstaConfig,
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloTimer<'a> {
+    library: &'a Library,
+    config: &'a SstaConfig,
+    samples: usize,
+    seed: u64,
 }
 
 /// Empirical circuit-delay distribution from sampling.
@@ -28,16 +41,43 @@ pub struct MonteCarloTimer<'l> {
 pub struct MonteCarloResult {
     samples: Vec<f64>,
     moments: Moments,
+    arrivals: Vec<Moments>,
 }
 
-impl<'l> MonteCarloTimer<'l> {
+impl<'a> MonteCarloTimer<'a> {
     /// Creates an engine over a library with the given configuration.
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig) -> Self {
-        Self { library, config }
+    pub fn new(library: &'a Library, config: &'a SstaConfig) -> Self {
+        Self {
+            library,
+            config,
+            samples: DEFAULT_MC_SAMPLES,
+            seed: 0,
+        }
     }
 
-    /// Samples the circuit delay distribution `n` times.
+    /// Sets the sample count used by [`TimingEngine::analyze`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2`.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "need at least two samples");
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the RNG seed used by [`TimingEngine::analyze`].
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Samples the circuit delay distribution `n` times (circuit-level
+    /// statistics only; [`MonteCarloResult::arrivals`] stays empty — use
+    /// [`MonteCarloTimer::sample_with_arrivals`] for per-node moments).
     ///
     /// # Panics
     ///
@@ -50,10 +90,43 @@ impl<'l> MonteCarloTimer<'l> {
         n: usize,
         rng: &mut R,
     ) -> MonteCarloResult {
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
+        self.sample_impl(netlist, n, rng, &timing, false)
+    }
+
+    /// Like [`MonteCarloTimer::sample`], but also accumulates empirical
+    /// per-node arrival moments (one extra pass over all nodes per
+    /// sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the netlist references cells missing from the
+    /// library.
+    #[must_use]
+    pub fn sample_with_arrivals<R: Rng + ?Sized>(
+        &self,
+        netlist: &Netlist,
+        n: usize,
+        rng: &mut R,
+    ) -> MonteCarloResult {
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
+        self.sample_impl(netlist, n, rng, &timing, true)
+    }
+
+    fn sample_impl<R: Rng + ?Sized>(
+        &self,
+        netlist: &Netlist,
+        n: usize,
+        rng: &mut R,
+        timing: &CircuitTiming,
+        track_nodes: bool,
+    ) -> MonteCarloResult {
         assert!(n >= 2, "need at least two samples");
-        let timing = CircuitTiming::compute(netlist, self.library, &self.config);
         let node_count = netlist.node_count();
         let mut arrivals = vec![0.0f64; node_count];
+        // Per-node running sums for empirical arrival moments.
+        let mut sums = vec![0.0f64; if track_nodes { node_count } else { 0 }];
+        let mut sq_sums = vec![0.0f64; if track_nodes { node_count } else { 0 }];
         let mut samples = Vec::with_capacity(n);
 
         for _ in 0..n {
@@ -73,16 +146,57 @@ impl<'l> MonteCarloTimer<'l> {
                     .fold(0.0f64, f64::max);
                 arrivals[id.index()] = arr_in + delay;
             }
+            if track_nodes {
+                for (i, &a) in arrivals.iter().enumerate() {
+                    sums[i] += a;
+                    sq_sums[i] += a * a;
+                }
+            }
             for &o in netlist.outputs() {
                 worst = worst.max(arrivals[o.index()]);
             }
             samples.push(worst);
         }
 
+        let count = n as f64;
+        let node_moments = sums
+            .iter()
+            .zip(&sq_sums)
+            .map(|(&s, &sq)| {
+                let mean = s / count;
+                Moments::new(mean, (sq / count - mean * mean).max(0.0))
+            })
+            .collect();
         let s = summarize(&samples);
         MonteCarloResult {
             samples,
             moments: s.moments(),
+            arrivals: node_moments,
+        }
+    }
+}
+
+impl TimingEngine for MonteCarloTimer<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::MonteCarlo
+    }
+
+    fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
+        let result = self.sample_impl(netlist, self.samples, &mut rng, &timing, true);
+        let worst_output = crate::WnssTracer::new(self.config.variation.mu_sigma_coupling())
+            .worst_output(netlist, &result.arrivals);
+        let circuit_pdf = result.empirical_pdf(self.config.pdf_samples);
+        TimingReport {
+            kind: EngineKind::MonteCarlo,
+            arrivals: result.arrivals.clone(),
+            pdfs: None,
+            circuit: result.moments,
+            circuit_pdf: Some(circuit_pdf),
+            worst_output,
+            timing,
+            samples: Some(result.samples),
         }
     }
 }
@@ -94,10 +208,58 @@ impl MonteCarloResult {
         self.moments
     }
 
+    /// Empirical per-node arrival moments, indexed by [`GateId::index`]
+    /// (empty unless sampled via
+    /// [`MonteCarloTimer::sample_with_arrivals`] or the engine trait).
+    #[must_use]
+    pub fn arrivals(&self) -> &[Moments] {
+        &self.arrivals
+    }
+
+    /// Empirical arrival moments at one node.
+    #[must_use]
+    pub fn arrival(&self, id: GateId) -> Moments {
+        self.arrivals[id.index()]
+    }
+
     /// The raw delay samples.
     #[must_use]
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Histograms the delay samples into a discrete PDF with `bins`
+    /// support points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    #[must_use]
+    pub fn empirical_pdf(&self, bins: usize) -> DiscretePdf {
+        assert!(bins > 0, "need at least one bin");
+        let lo = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if hi - lo < 1e-12 {
+            return DiscretePdf::deterministic(lo);
+        }
+        let width = (hi - lo) / bins as f64;
+        let mut mass = vec![0.0f64; bins];
+        let p = 1.0 / self.samples.len() as f64;
+        for &s in &self.samples {
+            let k = (((s - lo) / width) as usize).min(bins - 1);
+            mass[k] += p;
+        }
+        DiscretePdf::from_points(
+            mass.iter()
+                .enumerate()
+                .filter(|(_, &m)| m > 0.0)
+                .map(|(k, &m)| (lo + (k as f64 + 0.5) * width, m))
+                .collect(),
+        )
     }
 
     /// Empirical `p`-quantile of the delay distribution.
@@ -141,13 +303,11 @@ mod tests {
         let config = SstaConfig::default();
         let n = ripple_carry_adder(8, &lib);
         let mut rng = StdRng::seed_from_u64(10);
-        let mc = MonteCarloTimer::new(&lib, config.clone())
+        let mc = MonteCarloTimer::new(&lib, &config)
             .sample(&n, 20_000, &mut rng)
             .moments();
-        let full = FullSsta::new(&lib, config.clone())
-            .analyze(&n)
-            .circuit_moments();
-        let fast = Fassta::new(&lib, config).analyze(&n).circuit_moments();
+        let full = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
+        let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
 
         // FULLSSTA (correlation-aware) is held to tighter tolerances than
         // FASSTA, whose independence assumption biases the mean up and the
@@ -179,11 +339,52 @@ mod tests {
     }
 
     #[test]
+    fn trait_analysis_is_deterministic_and_complete() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(4, &lib);
+        let timer = MonteCarloTimer::new(&lib, &config)
+            .with_samples(500)
+            .with_seed(7);
+        let a = TimingEngine::analyze(&timer, &n);
+        let b = TimingEngine::analyze(&timer, &n);
+        assert_eq!(a.circuit_moments(), b.circuit_moments(), "seeded run");
+        assert_eq!(a.samples().map(<[f64]>::len), Some(500));
+        assert!(a.circuit_pdf().is_some());
+        // Empirical arrivals are populated and grow along the circuit.
+        let o = a.worst_output();
+        assert!(a.arrival(o).mean > 0.0);
+        assert!(n.is_output(o));
+    }
+
+    #[test]
+    fn empirical_node_arrivals_track_fullssta() {
+        // Chain-dominated circuit: the level-bucket correlation heuristic
+        // is accurate here (balanced trees overestimate correlation since
+        // disjoint sibling subtrees have identical per-level variance).
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(8, &lib);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mc = MonteCarloTimer::new(&lib, &config).sample_with_arrivals(&n, 10_000, &mut rng);
+        let full = FullSsta::new(&lib, &config).analyze(&n);
+        for id in n.gate_ids() {
+            let e = mc.arrival(id);
+            let f = full.arrival(id);
+            assert!(
+                (e.mean - f.mean).abs() / f.mean.max(1.0) < 0.10,
+                "node {id}: MC {e} vs FULLSSTA {f}"
+            );
+        }
+    }
+
+    #[test]
     fn quantiles_are_ordered() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n = parity_tree(16, &lib);
         let mut rng = StdRng::seed_from_u64(2);
-        let mc = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 2_000, &mut rng);
+        let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 2_000, &mut rng);
         assert!(mc.quantile(0.05) < mc.quantile(0.5));
         assert!(mc.quantile(0.5) < mc.quantile(0.99));
     }
@@ -191,9 +392,10 @@ mod tests {
     #[test]
     fn yield_monotone_in_period() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n = parity_tree(8, &lib);
         let mut rng = StdRng::seed_from_u64(3);
-        let mc = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 2_000, &mut rng);
+        let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 2_000, &mut rng);
         let m = mc.moments();
         assert!(mc.yield_at(m.mean - 3.0 * m.std()) < 0.1);
         assert!(mc.yield_at(m.mean + 3.0 * m.std()) > 0.95);
@@ -203,9 +405,10 @@ mod tests {
     #[test]
     fn deterministic_variation_gives_constant_samples() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::deterministic();
         let n = parity_tree(8, &lib);
         let mut rng = StdRng::seed_from_u64(4);
-        let mc = MonteCarloTimer::new(&lib, SstaConfig::deterministic()).sample(&n, 100, &mut rng);
+        let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 100, &mut rng);
         assert!(mc.moments().std() < 1e-9);
     }
 
@@ -213,8 +416,9 @@ mod tests {
     #[should_panic(expected = "need at least two samples")]
     fn single_sample_panics() {
         let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
         let n = parity_tree(4, &lib);
         let mut rng = StdRng::seed_from_u64(5);
-        let _ = MonteCarloTimer::new(&lib, SstaConfig::default()).sample(&n, 1, &mut rng);
+        let _ = MonteCarloTimer::new(&lib, &config).sample(&n, 1, &mut rng);
     }
 }

@@ -1,0 +1,433 @@
+//! Incremental timing sessions.
+//!
+//! A [`TimingSession`] owns the analysis context an optimizer needs across
+//! thousands of what-if resizes: the shared [`SstaConfig`], the borrowed
+//! netlist, cached levelization/fanout data, and the live propagation
+//! state of one engine flavor. After [`TimingSession::resize`], a
+//! [`TimingSession::refresh`] re-analyzes **incrementally**: only the
+//! transitive fanout cone of the changed gates (plus their fanins, whose
+//! loads changed) is recomputed, instead of the whole netlist — yet the
+//! result matches a from-scratch [`TimingEngine::analyze`] run bit for
+//! bit, because both paths share the same per-node kernels.
+//!
+//! This is the performance core of the optimization loop: on deep
+//! circuits, a single-gate resize near the outputs touches a handful of
+//! nodes where a from-scratch pass would touch thousands.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_liberty::Library;
+//! use vartol_netlist::generators::ripple_carry_adder;
+//! use vartol_ssta::{SstaConfig, TimingSession};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let mut netlist = ripple_carry_adder(8, &lib);
+//! let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut netlist);
+//!
+//! let before = session.refresh();
+//! let gate = session.netlist().gate_ids().next().unwrap();
+//! session.resize(gate, 4);
+//! let after = session.refresh(); // recomputes only the affected cone
+//! assert_ne!(before, after);
+//! ```
+
+use crate::config::SstaConfig;
+use crate::delay::CircuitTiming;
+use crate::engine::{EngineKind, TimingReport};
+use crate::state::{CircuitSummary, TimingState};
+use std::collections::BTreeSet;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::{DiscretePdf, Moments};
+
+/// An incremental timing-analysis session over one netlist.
+///
+/// The session borrows the netlist mutably for its lifetime: all size
+/// changes flow through [`TimingSession::resize`] /
+/// [`TimingSession::restore_sizes`], which is what makes precise dirty
+/// tracking possible. Read accessors reflect the state as of the last
+/// [`TimingSession::refresh`] — reading stale arrivals between a resize
+/// and a refresh is explicitly supported (the optimizer's subcircuit
+/// trials evaluate against frozen boundary statistics, §4.3).
+#[derive(Debug)]
+pub struct TimingSession<'l, 'n> {
+    library: &'l Library,
+    config: SstaConfig,
+    netlist: &'n mut Netlist,
+    state: TimingState,
+    summary: CircuitSummary,
+    /// Gate indices resized since the last refresh.
+    dirty: BTreeSet<usize>,
+    /// Sizes as of the last refresh, for no-op resize detection.
+    analyzed_sizes: Vec<usize>,
+}
+
+impl<'l, 'n> TimingSession<'l, 'n> {
+    /// Opens a session with the accurate engine
+    /// ([`EngineKind::FullSsta`]) as the incremental flavor.
+    #[must_use]
+    pub fn new(library: &'l Library, config: SstaConfig, netlist: &'n mut Netlist) -> Self {
+        Self::with_kind(library, config, netlist, EngineKind::FullSsta)
+    }
+
+    /// Opens a session with an explicit incremental engine flavor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` does not support incremental re-analysis
+    /// ([`EngineKind::MonteCarlo`]) or the netlist references cells
+    /// missing from the library.
+    #[must_use]
+    pub fn with_kind(
+        library: &'l Library,
+        config: SstaConfig,
+        netlist: &'n mut Netlist,
+        kind: EngineKind,
+    ) -> Self {
+        assert!(
+            kind.supports_incremental(),
+            "{kind} cannot back an incremental session"
+        );
+        let state = TimingState::full(netlist, library, &config, kind);
+        let summary = state.circuit(netlist, &config);
+        let analyzed_sizes = netlist.sizes();
+        Self {
+            library,
+            config,
+            netlist,
+            state,
+            summary,
+            dirty: BTreeSet::new(),
+            analyzed_sizes,
+        }
+    }
+
+    /// The incremental engine flavor.
+    #[must_use]
+    pub fn kind(&self) -> EngineKind {
+        self.state.kind
+    }
+
+    /// The session's library.
+    #[must_use]
+    pub fn library(&self) -> &'l Library {
+        self.library
+    }
+
+    /// The shared timing configuration.
+    #[must_use]
+    pub fn config(&self) -> &SstaConfig {
+        &self.config
+    }
+
+    /// The netlist under analysis (current sizes, possibly ahead of the
+    /// last refresh).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Whether resizes are pending a [`TimingSession::refresh`].
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Cumulative number of per-node recomputations, including the
+    /// initial full build — the incremental path's cost meter.
+    #[must_use]
+    pub fn recompute_count(&self) -> u64 {
+        self.state.visits
+    }
+
+    /// Sets the size of a cell gate. Resizing back to the last analyzed
+    /// size cancels the pending work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input.
+    pub fn resize(&mut self, id: GateId, size: usize) {
+        self.netlist.set_size(id, size);
+        if self.analyzed_sizes[id.index()] == size {
+            self.dirty.remove(&id.index());
+        } else {
+            self.dirty.insert(id.index());
+        }
+    }
+
+    /// Snapshot of all gate sizes (see [`Netlist::sizes`]).
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.netlist.sizes()
+    }
+
+    /// Restores a size snapshot, marking exactly the differing gates
+    /// dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes.len() != netlist.node_count()`.
+    pub fn restore_sizes(&mut self, sizes: &[usize]) {
+        self.netlist.restore_sizes(sizes);
+        for id in self.netlist.gate_ids() {
+            let i = id.index();
+            if sizes[i] == self.analyzed_sizes[i] {
+                self.dirty.remove(&i);
+            } else {
+                self.dirty.insert(i);
+            }
+        }
+    }
+
+    /// Total cell area at current sizes.
+    #[must_use]
+    pub fn total_area(&self) -> f64 {
+        self.netlist.total_area(self.library)
+    }
+
+    /// Brings the analysis up to date with the netlist's current sizes by
+    /// recomputing only the affected cone, and returns the circuit
+    /// moments. A no-op when nothing changed.
+    pub fn refresh(&mut self) -> Moments {
+        if !self.dirty.is_empty() {
+            let mut seeds: BTreeSet<usize> = BTreeSet::new();
+            for &i in &self.dirty {
+                // The resized gate's own drive and delay change, and its
+                // input capacitance changes the load (hence delay and
+                // output slew) of every fanin.
+                seeds.insert(i);
+                for &f in self.netlist.gate(GateId::from_index(i)).fanins() {
+                    seeds.insert(f.index());
+                }
+            }
+            self.state
+                .update(self.netlist, self.library, &self.config, seeds);
+            self.summary = self.state.circuit(self.netlist, &self.config);
+            // Only the dirty gates can differ from the analyzed snapshot,
+            // so the bookkeeping stays proportional to the cone.
+            for &i in &self.dirty {
+                self.analyzed_sizes[i] = self
+                    .netlist
+                    .gate(GateId::from_index(i))
+                    .size()
+                    .expect("dirty nodes are cells");
+            }
+            self.dirty.clear();
+        }
+        self.summary.moments
+    }
+
+    /// Circuit output moments as of the last refresh.
+    #[must_use]
+    pub fn circuit_moments(&self) -> Moments {
+        self.summary.moments
+    }
+
+    /// Circuit output PDF as of the last refresh (FULLSSTA sessions).
+    #[must_use]
+    pub fn circuit_pdf(&self) -> Option<&DiscretePdf> {
+        self.summary.pdf.as_ref()
+    }
+
+    /// The statistically-worst output as of the last refresh.
+    #[must_use]
+    pub fn worst_output(&self) -> GateId {
+        self.summary.worst_output
+    }
+
+    /// Arrival moments of one node as of the last refresh.
+    #[must_use]
+    pub fn arrival(&self, id: GateId) -> Moments {
+        self.state.arrivals[id.index()]
+    }
+
+    /// All arrival moments as of the last refresh, indexed by
+    /// [`GateId::index`] — boundary data for the fast engine and the WNSS
+    /// tracer.
+    #[must_use]
+    pub fn arrivals(&self) -> &[Moments] {
+        &self.state.arrivals
+    }
+
+    /// The electrical snapshot as of the last refresh.
+    #[must_use]
+    pub fn timing(&self) -> &CircuitTiming {
+        &self.state.timing
+    }
+
+    /// Packages the incremental state as a [`TimingReport`] (refreshing
+    /// first if needed).
+    pub fn current_report(&mut self) -> TimingReport {
+        self.refresh();
+        self.state.to_report(self.netlist, &self.config)
+    }
+
+    /// Runs any engine from scratch over the netlist's current sizes —
+    /// the session as an engine front-end.
+    #[must_use]
+    pub fn report(&self, kind: EngineKind) -> TimingReport {
+        kind.engine(self.library, &self.config)
+            .analyze(self.netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fassta, FullSsta};
+    use vartol_netlist::generators::{benchmark, ripple_carry_adder};
+
+    fn assert_moments_eq(a: Moments, b: Moments, tol: f64, what: &str) {
+        assert!(
+            (a.mean - b.mean).abs() <= tol && (a.var - b.var).abs() <= tol,
+            "{what}: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn fresh_session_matches_direct_engines() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(8, &lib);
+        let full = FullSsta::new(&lib, &config).analyze(&n);
+        let fast = Fassta::new(&lib, &config).analyze(&n);
+
+        let session = TimingSession::new(&lib, config.clone(), &mut n);
+        assert_eq!(session.circuit_moments(), full.circuit_moments());
+        assert_eq!(session.arrivals(), full.arrivals());
+
+        let mut n2 = ripple_carry_adder(8, &lib);
+        let session = TimingSession::with_kind(&lib, config, &mut n2, EngineKind::Fassta);
+        assert_eq!(session.circuit_moments(), fast.circuit_moments());
+    }
+
+    #[test]
+    fn incremental_refresh_equals_from_scratch_for_every_kind() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
+            let mut n = benchmark("c432", &lib).expect("known");
+            let gates: Vec<GateId> = n.gate_ids().collect();
+            let mut session = TimingSession::with_kind(&lib, config.clone(), &mut n, kind);
+            // A spread of resizes, including cancelling one out.
+            session.resize(gates[3], 4);
+            session.resize(gates[40], 2);
+            session.resize(gates[40], 0); // back to original
+            session.resize(*gates.last().expect("gates"), 5);
+            let incremental = session.refresh();
+            let scratch = session.report(kind);
+            assert_moments_eq(
+                incremental,
+                scratch.circuit_moments(),
+                1e-9,
+                &format!("{kind} circuit"),
+            );
+            assert_eq!(session.arrivals(), scratch.arrivals(), "{kind} arrivals");
+        }
+    }
+
+    #[test]
+    fn refresh_without_changes_is_free() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let visits_after_build = session.recompute_count();
+        let a = session.refresh();
+        let b = session.refresh();
+        assert_eq!(a, b);
+        assert_eq!(session.recompute_count(), visits_after_build);
+    }
+
+    #[test]
+    fn resize_back_to_analyzed_size_cancels_dirt() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let g = session.netlist().gate_ids().nth(5).expect("gates");
+        let original = session.netlist().gate(g).size().expect("cell");
+        session.resize(g, 4);
+        assert!(session.is_dirty());
+        session.resize(g, original);
+        assert!(!session.is_dirty());
+        let before = session.recompute_count();
+        session.refresh();
+        assert_eq!(session.recompute_count(), before, "no-op refresh");
+    }
+
+    #[test]
+    fn restore_sizes_tracks_exact_differences() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let snapshot = session.sizes();
+        let g = session.netlist().gate_ids().nth(2).expect("gates");
+        session.resize(g, 3);
+        session.refresh();
+        session.restore_sizes(&snapshot);
+        assert!(session.is_dirty());
+        let restored = session.refresh();
+        let scratch = session.report(EngineKind::FullSsta);
+        assert_moments_eq(restored, scratch.circuit_moments(), 1e-9, "restored");
+    }
+
+    #[test]
+    fn current_report_matches_scratch_engine() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let g = session.netlist().gate_ids().nth(7).expect("gates");
+        session.resize(g, 5);
+        let report = session.current_report();
+        let scratch = session.report(EngineKind::FullSsta);
+        assert_eq!(report.circuit_moments(), scratch.circuit_moments());
+        assert_eq!(report.arrivals(), scratch.arrivals());
+        assert_eq!(report.worst_output(), scratch.worst_output());
+    }
+
+    #[test]
+    fn single_resize_visits_only_the_affected_cone() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        // c1908 is comfortably past 500 gates.
+        let mut n = benchmark("c1908", &lib).expect("known");
+        assert!(n.gate_count() >= 500, "need a big circuit");
+        let node_count = n.node_count();
+
+        // A gate whose affected cone is small: high topological index.
+        let g = n.gate_ids().last().expect("gates");
+        let mut cone_seeds: Vec<GateId> = vec![g];
+        cone_seeds.extend_from_slice(n.gate(g).fanins());
+        let cone = n.fanout_cone(cone_seeds.iter().copied());
+
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let before = session.recompute_count();
+        session.resize(g, 4);
+        session.refresh();
+        let visited = session.recompute_count() - before;
+
+        assert!(
+            visited <= cone.len() as u64,
+            "visited {visited} nodes, affected cone has {}",
+            cone.len()
+        );
+        assert!(
+            (visited as usize) < node_count / 10,
+            "incremental refresh must not approach a full pass: \
+             {visited} of {node_count}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back an incremental session")]
+    fn monte_carlo_sessions_are_rejected() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(4, &lib);
+        let _ =
+            TimingSession::with_kind(&lib, SstaConfig::default(), &mut n, EngineKind::MonteCarlo);
+    }
+}

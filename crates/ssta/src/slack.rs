@@ -29,7 +29,7 @@ impl StatisticalSlacks {
     /// Computes statistical required times and slacks.
     ///
     /// `arrivals` are forward arrival moments indexed by
-    /// [`GateId::index`] (e.g. [`crate::FullSstaResult::arrivals`]);
+    /// [`GateId::index`] (e.g. [`crate::TimingReport::arrivals`]);
     /// `t_req` is the required time imposed on every primary output.
     /// Required times propagate backward: the requirement at a node is the
     /// statistical `min` over its fanouts of (fanout requirement − fanout
@@ -162,7 +162,7 @@ mod tests {
     fn analyzed(netlist: &Netlist) -> (Vec<Moments>, CircuitTiming, f64) {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let r = FullSsta::new(&lib, config).analyze(netlist);
+        let r = FullSsta::new(&lib, &config).analyze(netlist);
         let worst = r.circuit_moments();
         (
             r.arrivals().to_vec(),
@@ -195,7 +195,7 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(6, &lib);
         let config = SstaConfig::default();
-        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         let m = r.circuit_moments();
         // Target below the mean: the worst statistical slack must be
         // negative at any alpha >= 0.
@@ -209,7 +209,7 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(6, &lib);
         let config = SstaConfig::default();
-        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         let m = r.circuit_moments();
         let s = StatisticalSlacks::compute(&n, &lib, &config, r.arrivals(), m.mean + 6.0 * m.std());
         for id in n.gate_ids() {
@@ -239,7 +239,7 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(8, &lib);
         let config = SstaConfig::default();
-        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         let m = r.circuit_moments();
         let s = StatisticalSlacks::compute(&n, &lib, &config, r.arrivals(), m.mean);
         let worst = s.worst_node(3.0);

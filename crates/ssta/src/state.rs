@@ -1,0 +1,345 @@
+//! Shared propagation state behind the engines and the incremental
+//! session.
+//!
+//! [`TimingState`] holds, per node, the electrical snapshot
+//! ([`CircuitTiming`]) and the arrival state of one propagation flavor
+//! ([`EngineKind::Dsta`] nominal, [`EngineKind::Fassta`] moments,
+//! [`EngineKind::FullSsta`] discrete PDFs with optional per-level
+//! correlation buckets). A from-scratch analysis is simply
+//! [`TimingState::update`] seeded with every node; incremental
+//! re-analysis seeds only the resized gates (plus their fanins, whose
+//! loads changed) and lets the worklist chase slew and arrival changes
+//! through the transitive fanout cone. Because both paths run the same
+//! per-node kernels, an incremental refresh reproduces a from-scratch run
+//! bit for bit.
+
+use crate::config::{CorrelationMode, SstaConfig};
+use crate::delay::CircuitTiming;
+use crate::engine::{EngineKind, TimingReport};
+use std::collections::BTreeSet;
+use vartol_liberty::Library;
+use vartol_netlist::{GateId, Netlist};
+use vartol_stats::clark::clark_max_correlated;
+use vartol_stats::fast_max::fast_max_moments;
+use vartol_stats::{DiscretePdf, Moments};
+
+/// Circuit-level summary of a propagation state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CircuitSummary {
+    pub moments: Moments,
+    pub pdf: Option<DiscretePdf>,
+    pub worst_output: GateId,
+}
+
+/// Per-node propagation state for one engine flavor.
+#[derive(Debug, Clone)]
+pub(crate) struct TimingState {
+    pub kind: EngineKind,
+    pub timing: CircuitTiming,
+    pub arrivals: Vec<Moments>,
+    /// Arrival PDFs; empty unless `kind == FullSsta`.
+    pub pdfs: Vec<DiscretePdf>,
+    /// Per-level variance contributions; empty unless `kind == FullSsta`
+    /// with [`CorrelationMode::LevelBuckets`].
+    pub contribs: Vec<Vec<f64>>,
+    /// Cached levelization (bucket index per node).
+    pub levels: Vec<usize>,
+    /// Cumulative number of per-node recomputations across updates.
+    pub visits: u64,
+}
+
+impl TimingState {
+    /// Builds the state from scratch: every node seeded into one update.
+    pub fn full(
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        kind: EngineKind,
+    ) -> Self {
+        assert!(
+            kind.supports_incremental(),
+            "{kind} has no propagation state"
+        );
+        let n = netlist.node_count();
+        let levels = netlist.levels();
+        let track =
+            kind == EngineKind::FullSsta && config.correlation == CorrelationMode::LevelBuckets;
+        let buckets = levels.iter().max().copied().unwrap_or(0) + 1;
+        let mut state = Self {
+            kind,
+            timing: CircuitTiming::empty(netlist, config),
+            arrivals: vec![Moments::zero(); n],
+            pdfs: if kind == EngineKind::FullSsta {
+                vec![DiscretePdf::deterministic(0.0); n]
+            } else {
+                Vec::new()
+            },
+            contribs: if track {
+                vec![vec![0.0; buckets]; n]
+            } else {
+                Vec::new()
+            },
+            levels,
+            visits: 0,
+        };
+        state.update(netlist, library, config, (0..n).collect());
+        state
+    }
+
+    /// Number of correlation buckets (valid when contributions are
+    /// tracked).
+    fn bucket_count(&self) -> usize {
+        self.levels.iter().max().copied().unwrap_or(0) + 1
+    }
+
+    /// Processes a worklist of node indices in topological order,
+    /// recomputing electrical and arrival state and chasing changes into
+    /// the fanout cone. Returns the number of nodes visited.
+    pub fn update(
+        &mut self,
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        mut queue: BTreeSet<usize>,
+    ) -> u64 {
+        let mut visited = 0u64;
+        while let Some(i) = queue.pop_first() {
+            visited += 1;
+            let id = GateId::from_index(i);
+            let g = netlist.gate(id);
+            if g.is_input() {
+                // Loads of primary inputs are bookkeeping only: they drive
+                // no delay, and input slew/arrival are constants.
+                self.timing.refresh_node(netlist, library, config, id);
+                continue;
+            }
+            let (slew_changed, delay_changed) =
+                self.timing.refresh_node(netlist, library, config, id);
+            let arrival_changed = self.recompute_arrival(netlist, config, id);
+            if slew_changed || delay_changed || arrival_changed {
+                for &f in g.fanouts() {
+                    queue.insert(f.index());
+                }
+            }
+        }
+        self.visits += visited;
+        visited
+    }
+
+    /// Recomputes the arrival state of one gate from its fanins; returns
+    /// whether anything observable downstream changed.
+    fn recompute_arrival(&mut self, netlist: &Netlist, config: &SstaConfig, id: GateId) -> bool {
+        match self.kind {
+            EngineKind::Dsta => self.recompute_nominal(netlist, id),
+            EngineKind::Fassta => self.recompute_moments(netlist, id),
+            EngineKind::FullSsta => self.recompute_pdf(netlist, config, id),
+            EngineKind::MonteCarlo => unreachable!("monte carlo has no propagation state"),
+        }
+    }
+
+    fn recompute_nominal(&mut self, netlist: &Netlist, id: GateId) -> bool {
+        let g = netlist.gate(id);
+        let worst_in = g
+            .fanins()
+            .iter()
+            .map(|f| self.arrivals[f.index()].mean)
+            .fold(0.0f64, f64::max);
+        let arrival = Moments::new(worst_in + self.timing.nominal_delay(id), 0.0);
+        let changed = arrival != self.arrivals[id.index()];
+        self.arrivals[id.index()] = arrival;
+        changed
+    }
+
+    fn recompute_moments(&mut self, netlist: &Netlist, id: GateId) -> bool {
+        let g = netlist.gate(id);
+        let mut arrival = Moments::zero();
+        let mut first = true;
+        for &f in g.fanins() {
+            let fa = self.arrivals[f.index()];
+            arrival = if first {
+                fa
+            } else {
+                fast_max_moments(arrival, fa)
+            };
+            first = false;
+        }
+        let arrival = arrival + self.timing.delay_moments(id);
+        let changed = arrival != self.arrivals[id.index()];
+        self.arrivals[id.index()] = arrival;
+        changed
+    }
+
+    /// Folds the arrival PDFs (and contribution vectors) of `ids` with
+    /// [`correlated_max`] — the one reduction both node propagation and
+    /// the circuit-level output RV use.
+    fn reduce_correlated(
+        &self,
+        ids: impl Iterator<Item = GateId>,
+        n: usize,
+        track: bool,
+    ) -> Option<(DiscretePdf, Vec<f64>)> {
+        let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
+        for id in ids {
+            let p = &self.pdfs[id.index()];
+            let v = if track {
+                self.contribs[id.index()].clone()
+            } else {
+                Vec::new()
+            };
+            acc = Some(match acc {
+                None => (p.clone(), v),
+                Some((apdf, av)) => correlated_max(&apdf, av, p, &v, n, track),
+            });
+        }
+        acc
+    }
+
+    fn recompute_pdf(&mut self, netlist: &Netlist, config: &SstaConfig, id: GateId) -> bool {
+        let g = netlist.gate(id);
+        let n = config.pdf_samples;
+        let track = !self.contribs.is_empty();
+        let acc = self.reduce_correlated(g.fanins().iter().copied(), n, track);
+        let (arrival, mut v) = acc.unwrap_or_else(|| {
+            (
+                DiscretePdf::deterministic(0.0),
+                if track {
+                    vec![0.0; self.bucket_count()]
+                } else {
+                    Vec::new()
+                },
+            )
+        });
+        let delay_m = self.timing.delay_moments(id);
+        let delay = DiscretePdf::from_moments(delay_m, n);
+        let pdf = arrival.add_rebinned(&delay, n);
+        if track {
+            v[self.levels[id.index()]] += delay_m.var;
+        }
+
+        let changed = pdf != self.pdfs[id.index()] || (track && v != self.contribs[id.index()]);
+        self.arrivals[id.index()] = pdf.moments();
+        self.pdfs[id.index()] = pdf;
+        if track {
+            self.contribs[id.index()] = v;
+        }
+        changed
+    }
+
+    /// Reduces the primary outputs into the circuit-level RV and picks
+    /// the statistically-worst output.
+    pub fn circuit(&self, netlist: &Netlist, config: &SstaConfig) -> CircuitSummary {
+        match self.kind {
+            EngineKind::Dsta => {
+                let (&worst_output, max_delay) = netlist
+                    .outputs()
+                    .iter()
+                    .map(|o| (o, self.arrivals[o.index()].mean))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("netlists have at least one output");
+                CircuitSummary {
+                    moments: Moments::new(max_delay, 0.0),
+                    pdf: None,
+                    worst_output,
+                }
+            }
+            EngineKind::Fassta => {
+                let moments = netlist
+                    .outputs()
+                    .iter()
+                    .map(|o| self.arrivals[o.index()])
+                    .reduce(fast_max_moments)
+                    .expect("netlists have at least one output");
+                CircuitSummary {
+                    moments,
+                    pdf: None,
+                    worst_output: self.rank_worst_output(netlist, config),
+                }
+            }
+            EngineKind::FullSsta => {
+                let n = config.pdf_samples;
+                let track = !self.contribs.is_empty();
+                let pdf = self
+                    .reduce_correlated(netlist.outputs().iter().copied(), n, track)
+                    .expect("netlists have at least one output")
+                    .0;
+                CircuitSummary {
+                    moments: pdf.moments(),
+                    pdf: Some(pdf),
+                    worst_output: self.rank_worst_output(netlist, config),
+                }
+            }
+            EngineKind::MonteCarlo => unreachable!("monte carlo has no propagation state"),
+        }
+    }
+
+    /// Statistically-worst output by pairwise dominance/sensitivity
+    /// ranking — delegated to [`crate::WnssTracer`] so every engine uses
+    /// the one rule.
+    fn rank_worst_output(&self, netlist: &Netlist, config: &SstaConfig) -> GateId {
+        crate::WnssTracer::new(config.variation.mu_sigma_coupling())
+            .worst_output(netlist, &self.arrivals)
+    }
+
+    /// Packages the state as a [`TimingReport`], consuming it.
+    pub fn into_report(self, netlist: &Netlist, config: &SstaConfig) -> TimingReport {
+        let summary = self.circuit(netlist, config);
+        TimingReport {
+            kind: self.kind,
+            arrivals: self.arrivals,
+            pdfs: if self.kind == EngineKind::FullSsta {
+                Some(self.pdfs)
+            } else {
+                None
+            },
+            circuit: summary.moments,
+            circuit_pdf: summary.pdf,
+            worst_output: summary.worst_output,
+            timing: self.timing,
+            samples: None,
+        }
+    }
+
+    /// Packages the state as a [`TimingReport`] without consuming it.
+    pub fn to_report(&self, netlist: &Netlist, config: &SstaConfig) -> TimingReport {
+        self.clone().into_report(netlist, config)
+    }
+}
+
+/// One pairwise PDF max with optional correlation handling; returns the
+/// result PDF and the blended per-level contribution vector (the FULLSSTA
+/// kernel, shared by from-scratch and incremental analysis).
+pub(crate) fn correlated_max(
+    a: &DiscretePdf,
+    av: Vec<f64>,
+    b: &DiscretePdf,
+    bv: &[f64],
+    n: usize,
+    track: bool,
+) -> (DiscretePdf, Vec<f64>) {
+    if !track {
+        return (a.max_rebinned(b, n), av);
+    }
+    let ma = a.moments();
+    let mb = b.moments();
+    let rho = overlap_correlation(&av, bv, ma.var, mb.var);
+    let cm = clark_max_correlated(ma, mb, rho);
+    let shape = a.max(b);
+    let pdf = shape.with_moments(cm.max, n).rebin(n);
+    let t = cm.tightness_a;
+    let v = av
+        .iter()
+        .zip(bv)
+        .map(|(x, y)| t * x + (1.0 - t) * y)
+        .collect();
+    (pdf, v)
+}
+
+/// Correlation estimate from shared per-level variance: the bucket-wise
+/// minimum approximates the variance of the common path prefix.
+fn overlap_correlation(av: &[f64], bv: &[f64], var_a: f64, var_b: f64) -> f64 {
+    if var_a <= 1e-12 || var_b <= 1e-12 {
+        return 0.0;
+    }
+    let shared: f64 = av.iter().zip(bv).map(|(x, y)| x.min(*y)).sum();
+    (shared / (var_a * var_b).sqrt()).clamp(0.0, 1.0)
+}

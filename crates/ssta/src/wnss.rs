@@ -29,9 +29,9 @@ use vartol_stats::Moments;
 /// let lib = Library::synthetic_90nm();
 /// let n = ripple_carry_adder(8, &lib);
 /// let config = SstaConfig::default();
-/// let result = FullSsta::new(&lib, config.clone()).analyze(&n);
+/// let report = FullSsta::new(&lib, &config).analyze(&n);
 /// let tracer = WnssTracer::new(config.variation.mu_sigma_coupling());
-/// let path = tracer.trace(&n, result.arrivals());
+/// let path = tracer.trace(&n, report.arrivals());
 /// assert!(!path.is_empty());
 /// // The path ends at a primary output.
 /// assert!(n.is_output(*path.last().unwrap()));
@@ -83,7 +83,8 @@ impl WnssTracer {
     /// optimizer visits them).
     ///
     /// `arrivals` is indexed by [`GateId::index`] — typically
-    /// [`FullSstaResult::arrivals`](crate::FullSstaResult::arrivals).
+    /// [`TimingReport::arrivals`](crate::TimingReport::arrivals) or
+    /// [`TimingSession::arrivals`](crate::TimingSession::arrivals).
     #[must_use]
     pub fn trace(&self, netlist: &Netlist, arrivals: &[Moments]) -> Vec<GateId> {
         let start = self.worst_output(netlist, arrivals);
@@ -191,7 +192,7 @@ mod tests {
         let config = SstaConfig::default();
         for name in ["c432", "c880", "alu2"] {
             let n = benchmark(name, &lib).expect("known");
-            let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+            let r = FullSsta::new(&lib, &config).analyze(&n);
             let tracer = WnssTracer::new(config.variation.mu_sigma_coupling());
             let path = tracer.trace(&n, r.arrivals());
             assert!(!path.is_empty(), "{name}");

@@ -25,7 +25,7 @@ proptest! {
     fn arrivals_monotone_along_edges((cfg, seed) in dag_config()) {
         let lib = Library::synthetic_90nm();
         let n = random_dag(cfg, seed, &lib);
-        let r = FullSsta::new(&lib, SstaConfig::default()).analyze(&n);
+        let r = FullSsta::new(&lib, &SstaConfig::default()).analyze(&n);
         for id in n.gate_ids() {
             let here = r.arrival(id);
             prop_assert!(here.mean > 0.0);
@@ -42,9 +42,9 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::default();
-        let det = Dsta::new(&lib, config.clone()).analyze(&n).max_delay();
-        let full = FullSsta::new(&lib, config.clone()).analyze(&n).circuit_moments();
-        let fast = Fassta::new(&lib, config).analyze(&n).circuit_moments();
+        let det = Dsta::new(&lib, &config).analyze(&n).max_delay();
+        let full = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
+        let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
         prop_assert!(full.mean >= det - 1e-6, "full {} vs det {det}", full.mean);
         prop_assert!(fast.mean >= det - 1e-6, "fast {} vs det {det}", fast.mean);
     }
@@ -54,9 +54,9 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::deterministic();
-        let det = Dsta::new(&lib, config.clone()).analyze(&n).max_delay();
-        let full = FullSsta::new(&lib, config.clone()).analyze(&n).circuit_moments();
-        let fast = Fassta::new(&lib, config).analyze(&n).circuit_moments();
+        let det = Dsta::new(&lib, &config).analyze(&n).max_delay();
+        let full = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
+        let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
         prop_assert!((full.mean - det).abs() < 1e-6);
         prop_assert!((fast.mean - det).abs() < 1e-6);
         prop_assert!(full.std() < 1e-9);
@@ -68,10 +68,10 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::default();
-        let full = FullSsta::new(&lib, config.clone())
+        let full = FullSsta::new(&lib, &config)
             .analyze(&n)
             .circuit_moments();
-        let fast = Fassta::new(&lib, config).analyze(&n).circuit_moments();
+        let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
         // The engines may diverge on heavily reconvergent DAGs (FASSTA
         // deliberately ignores correlation), but the bias stays bounded:
         // a narrow window forces every gate to reuse the same few nodes,
@@ -83,7 +83,8 @@ proptest! {
     fn upsizing_everything_never_raises_sigma((cfg, seed) in dag_config()) {
         let lib = Library::synthetic_90nm();
         let mut n = random_dag(cfg, seed, &lib);
-        let engine = FullSsta::new(&lib, SstaConfig::default());
+        let config = SstaConfig::default();
+        let engine = FullSsta::new(&lib, &config);
         let before = engine.analyze(&n).circuit_moments();
         let ids: Vec<_> = n.gate_ids().collect();
         for id in ids {
@@ -109,7 +110,7 @@ proptest! {
         let lib = Library::synthetic_90nm();
         let n = random_dag(cfg, seed, &lib);
         let config = SstaConfig::default();
-        let r = FullSsta::new(&lib, config.clone()).analyze(&n);
+        let r = FullSsta::new(&lib, &config).analyze(&n);
         let tracer = WnssTracer::new(config.variation.mu_sigma_coupling());
         let path = tracer.trace(&n, r.arrivals());
         prop_assert!(!path.is_empty());

@@ -15,7 +15,8 @@ use vartol::ssta::{FullSsta, SstaConfig};
 
 fn main() {
     let library = Library::synthetic_90nm();
-    let engine = FullSsta::new(&library, SstaConfig::default());
+    let config = SstaConfig::default();
+    let engine = FullSsta::new(&library, &config);
 
     println!(
         "{:>22} {:>7} {:>7} {:>10}",

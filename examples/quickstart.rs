@@ -1,17 +1,16 @@
 //! Quickstart: size a circuit for process-variation tolerance.
 //!
-//! Builds an 8-bit ripple-carry adder, measures its delay distribution,
-//! optimizes it with StatisticalGreedy at α = 3, and verifies the variance
-//! reduction with Monte Carlo.
+//! Builds an 8-bit ripple-carry adder, measures its delay distribution
+//! through a timing session, optimizes it with StatisticalGreedy at
+//! α = 3, and verifies the variance reduction with Monte Carlo — all
+//! through the unified engine API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vartol::core::{SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::ripple_carry_adder;
-use vartol::ssta::{FullSsta, MonteCarloTimer, SstaConfig};
+use vartol::ssta::{EngineKind, SstaConfig, TimingSession};
 
 fn main() {
     // 1. A synthetic 90nm standard-cell library (6-8 sizes per gate type).
@@ -21,10 +20,12 @@ fn main() {
     let mut netlist = ripple_carry_adder(8, &library);
     println!("circuit: {netlist}");
 
-    // 3. Statistical timing before optimization.
+    // 3. Statistical timing before optimization, through a session.
     let config = SstaConfig::default();
-    let engine = FullSsta::new(&library, config.clone());
-    let before = engine.analyze(&netlist).circuit_moments();
+    let before = {
+        let mut session = TimingSession::new(&library, config.clone(), &mut netlist);
+        session.refresh()
+    };
     println!(
         "before: mu = {:.1} ps, sigma = {:.2} ps  (sigma/mu = {:.4})",
         before.mean,
@@ -32,13 +33,16 @@ fn main() {
         before.sigma_over_mu()
     );
 
-    // 4. Optimize the sigma/mu tradeoff with the paper's algorithm.
+    // 4. Optimize the sigma/mu tradeoff with the paper's algorithm. The
+    //    optimizer runs on the same session machinery internally, so each
+    //    candidate resize is an incremental cone re-analysis.
     let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(3.0));
     let report = sizer.optimize(&mut netlist);
     println!("optimizer: {report}");
 
-    // 5. Statistical timing after optimization.
-    let after = engine.analyze(&netlist).circuit_moments();
+    // 5. After optimization: the session hands out any engine's view.
+    let mut session = TimingSession::new(&library, config, &mut netlist);
+    let after = session.refresh();
     println!(
         "after:  mu = {:.1} ps, sigma = {:.2} ps  (sigma/mu = {:.4})",
         after.mean,
@@ -46,13 +50,14 @@ fn main() {
         after.sigma_over_mu()
     );
 
-    // 6. Independent verification with Monte Carlo sampling.
-    let mut rng = StdRng::seed_from_u64(7);
-    let mc = MonteCarloTimer::new(&library, config).sample(&netlist, 20_000, &mut rng);
+    // 6. Independent verification with the Monte-Carlo engine behind the
+    //    same unified report interface.
+    let mc = session.report(EngineKind::MonteCarlo);
     println!(
-        "monte carlo check: mu = {:.1} ps, sigma = {:.2} ps",
-        mc.moments().mean,
-        mc.moments().std()
+        "monte carlo check: mu = {:.1} ps, sigma = {:.2} ps ({} samples)",
+        mc.circuit_moments().mean,
+        mc.circuit_moments().std(),
+        mc.samples().map_or(0, <[f64]>::len),
     );
     assert!(after.std() < before.std(), "variance must shrink");
 }

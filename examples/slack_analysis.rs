@@ -11,37 +11,47 @@
 use vartol::core::{SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::alu_with_flags;
-use vartol::ssta::{FullSsta, SstaConfig, StatisticalSlacks};
+use vartol::ssta::{SstaConfig, StatisticalSlacks, TimingSession};
 
 fn main() {
     let library = Library::synthetic_90nm();
     let config = SstaConfig::default();
     let mut netlist = alu_with_flags(8, &library);
 
-    // Forward arrivals, then backward statistical required times against a
-    // target of mean + 2 sigma.
-    let analysis = FullSsta::new(&library, config.clone()).analyze(&netlist);
-    let m = analysis.circuit_moments();
-    let target = m.mean + 2.0 * m.std();
+    // Forward arrivals through a session, then backward statistical
+    // required times against a target of mean + 2 sigma.
+    let (m, slack_report) = {
+        let mut session = TimingSession::new(&library, config.clone(), &mut netlist);
+        let m = session.refresh();
+        let target = m.mean + 2.0 * m.std();
+        let slacks = StatisticalSlacks::compute_with_timing(
+            session.netlist(),
+            session.timing(),
+            session.arrivals(),
+            target,
+        );
+        let worst = slacks.worst_node(3.0);
+        (
+            m,
+            (
+                target,
+                slacks.worst_statistical_slack(3.0),
+                session.netlist().gate(worst).name().to_owned(),
+                slacks.slack(worst),
+            ),
+        )
+    };
+    let (target, worst_slack, worst_name, ws) = slack_report;
     println!("circuit: {netlist}");
     println!(
         "delay: mu = {:.1} ps, sigma = {:.2} ps, target T = {target:.1} ps",
         m.mean,
         m.std()
     );
-
-    let slacks =
-        StatisticalSlacks::compute(&netlist, &library, &config, analysis.arrivals(), target);
     println!();
+    println!("worst statistical slack (alpha=3): {worst_slack:.2} ps");
     println!(
-        "worst statistical slack (alpha=3): {:.2} ps",
-        slacks.worst_statistical_slack(3.0)
-    );
-    let worst = slacks.worst_node(3.0);
-    let ws = slacks.slack(worst);
-    println!(
-        "worst node: {}  slack mu = {:.1} ps, sigma = {:.2} ps",
-        netlist.gate(worst).name(),
+        "worst node: {worst_name}  slack mu = {:.1} ps, sigma = {:.2} ps",
         ws.mean,
         ws.std()
     );
@@ -60,9 +70,8 @@ fn main() {
     assert!(report.final_moments().mean <= budget + 1e-9);
 
     let recovered = sizer.recover_area(&mut netlist, report.final_moments().cost(9.0) * 1.02);
-    let after = FullSsta::new(&library, config)
-        .analyze(&netlist)
-        .circuit_moments();
+    let mut session = TimingSession::new(&library, config, &mut netlist);
+    let after = session.refresh();
     println!(
         "  area recovery: {recovered} gates downsized; final mu = {:.1} ps, sigma = {:.2} ps",
         after.mean,

@@ -1,9 +1,10 @@
 //! Statistical vs deterministic critical paths.
 //!
 //! Loads a circuit from ISCAS-85 `.bench` text, runs both deterministic
-//! STA and FULLSSTA, and compares the classic worst-slack path with the
-//! worst-negative-statistical-slack (WNSS) path — they can differ when a
-//! shorter path carries more variance.
+//! STA and FULLSSTA through the unified engine API, and compares the
+//! classic worst-slack path with the worst-negative-statistical-slack
+//! (WNSS) path — they can differ when a shorter path carries more
+//! variance.
 //!
 //! Run with: `cargo run --release --example wnss_tracing`
 
@@ -32,8 +33,8 @@ fn main() {
     println!("parsed: {netlist}");
 
     let config = SstaConfig::default();
-    let det = Dsta::new(&library, config.clone()).analyze(&netlist);
-    let stat = FullSsta::new(&library, config.clone()).analyze(&netlist);
+    let det = Dsta::new(&library, &config).detailed(&netlist);
+    let stat = FullSsta::new(&library, &config).analyze(&netlist);
 
     println!();
     println!("deterministic longest delay: {:.1} ps", det.max_delay());

@@ -19,7 +19,7 @@ fn main() {
 
     // The "original": a 12-bit ALU sized for minimum nominal delay.
     let mut original = alu(12, &library);
-    let baseline = MeanDelaySizer::new(&library, config.clone()).minimize_delay(&mut original);
+    let baseline = MeanDelaySizer::new(&library, &config).minimize_delay(&mut original);
     println!(
         "mean-delay baseline: {:.0} ps -> {:.0} ps ({} passes)",
         baseline.initial_delay, baseline.final_delay, baseline.passes
@@ -33,7 +33,7 @@ fn main() {
 
     // Compare parametric yield across candidate clock periods.
     let mut rng = StdRng::seed_from_u64(42);
-    let timer = MonteCarloTimer::new(&library, config);
+    let timer = MonteCarloTimer::new(&library, &config);
     let mc_original = timer.sample(&original, 30_000, &mut rng);
     let mc_robust = timer.sample(&robust, 30_000, &mut rng);
 

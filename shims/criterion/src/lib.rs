@@ -1,0 +1,267 @@
+//! Offline shim for `criterion`: runs each benchmark closure for a fixed
+//! wall-clock budget and prints a plain-text median time per iteration.
+//! No statistics engine, plots, or baselines — just honest timings with
+//! the upstream API shape so benches compile and run offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives timing of one benchmark body.
+pub struct Bencher {
+    measurement: Duration,
+    /// Median nanoseconds per iteration, recorded by `iter*`.
+    result_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // Warm up briefly, then estimate iteration cost and collect
+        // timed passes until the measurement budget is spent.
+        let mut samples: Vec<f64> = Vec::new();
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement || samples.len() < 10 {
+            let d = timed_pass();
+            samples.push(d.as_nanos() as f64);
+            iters += 1;
+            if samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.result_ns = samples[samples.len() / 2];
+        self.iterations = iters;
+    }
+
+    /// Times a closure per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.run(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let _ = n;
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            measurement: self.criterion.measurement,
+            result_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut b);
+        println!(
+            "{:<50} {:>12} /iter   ({} iterations)",
+            format!("{}/{}", self.name, id),
+            human_time(b.result_ns),
+            b.iterations
+        );
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, f);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The shim's benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let measurement = self.measurement;
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+        };
+        group.criterion.measurement = measurement;
+        group.run_one(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("demo");
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter_batched(
+                || vec![k; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

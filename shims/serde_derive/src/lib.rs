@@ -1,0 +1,305 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` without `syn`/`quote`.
+//!
+//! `Serialize` generates a real `serde::Serialize` impl producing the
+//! shim's tree-model [`Value`]; `Deserialize` generates an empty marker
+//! impl (nothing in the workspace deserializes). Supported shapes: named
+//! structs, tuple structs, unit structs, and enums with unit / named /
+//! tuple variants. The only helper attribute honored is `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Unnamed(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde shim: generated impl must parse")
+}
+
+/// Consumes a `#[...]` attribute if `tokens[*pos]` starts one; returns
+/// whether it was `#[serde(skip)]`.
+fn eat_attribute(tokens: &[TokenTree], pos: &mut usize) -> Option<bool> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+        return None;
+    };
+    let mut skip = false;
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(i)) = inner.first() {
+        if i.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                skip = args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+            }
+        }
+    }
+    *pos += 2;
+    Some(skip)
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(s) = eat_attribute(tokens, pos) {
+        skip |= s;
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or any token run) up to a top-level `,`,
+/// respecting `<...>` nesting.
+fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i64 = 0;
+    while let Some(t) = tokens.get(*pos) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1; // field name
+        pos += 1; // `:`
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1; // `,` (or past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Unnamed(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the variant separator (handles discriminants defensively).
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        assert!(
+            p.as_char() != '<',
+            "serde shim: generic type `{name}` is not supported"
+        );
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g))
+            }
+            other => panic!("serde shim: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn named_fields_object(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{0}))",
+                f.name
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => named_fields_object(fields, "self."),
+        ItemKind::TupleStruct(0) | ItemKind::UnitStruct => {
+            format!("::serde::Value::String(::std::string::String::from(\"{name}\"))")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let object = named_fields_object(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {object})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantFields::Unnamed(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                            let entries: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,150 @@
+//! Offline shim for `serde_json`: renders the serde shim's [`Value`] tree
+//! as JSON text. Serialization never fails (non-finite numbers become
+//! `null`, mirroring what serde_json rejects but tooling tolerates).
+
+use serde::{Serialize, Value};
+
+/// Error type kept for API compatibility; the shim never produces one.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.iter(), ('[', ']'), indent, depth, out, write_value),
+        Value::Object(fields) => write_seq(
+            fields.iter(),
+            ('{', '}'),
+            indent,
+            depth,
+            out,
+            |(name, item), indent, depth, out| {
+                write_string(name, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth, out);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    items: I,
+    brackets: (char, char),
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(I::Item, Option<usize>, usize, &mut String),
+) {
+    out.push(brackets.0);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        newline_indent(indent, depth + 1, out);
+        write_item(item, indent, depth + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        newline_indent(indent, depth, out);
+    }
+    out.push(brackets.1);
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_out() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(1.0)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1,"));
+    }
+
+    #[test]
+    fn floats_keep_fractions() {
+        assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3");
+    }
+}

@@ -13,9 +13,12 @@
 //!   6–8 sizes per gate type and a proportional + random variation model.
 //! * [`netlist`] — gate-level combinational netlists, an ISCAS-85 `.bench`
 //!   parser, and structural generators for the paper's benchmark suite.
-//! * [`ssta`] — timing engines: deterministic STA, the accurate discrete-PDF
-//!   engine (FULLSSTA), the fast moment engine (FASSTA), WNSS path tracing,
-//!   and Monte-Carlo reference timing.
+//! * [`ssta`] — timing engines behind the unified
+//!   [`TimingEngine`](ssta::TimingEngine) trait: deterministic STA, the
+//!   accurate discrete-PDF engine (FULLSSTA), the fast moment engine
+//!   (FASSTA), Monte-Carlo reference timing, WNSS path tracing — plus the
+//!   incremental [`TimingSession`](ssta::TimingSession) API the optimizers
+//!   run on.
 //! * [`core`] — the paper's contribution: the `StatisticalGreedy` sizer with
 //!   the weighted `μ + α·σ` objective, plus deterministic baselines.
 //!
@@ -24,24 +27,30 @@
 //! ```
 //! use vartol::liberty::Library;
 //! use vartol::netlist::generators::ripple_carry_adder;
-//! use vartol::ssta::{FullSsta, SstaConfig};
+//! use vartol::ssta::{EngineKind, SstaConfig, TimingSession};
 //! use vartol::core::{StatisticalGreedy, SizerConfig};
 //!
 //! # fn main() {
 //! let library = Library::synthetic_90nm();
 //! let mut netlist = ripple_carry_adder(8, &library);
 //!
-//! // Analyze the variation before optimization.
-//! let config = SstaConfig::default();
-//! let before = FullSsta::new(&library, config.clone()).analyze(&netlist);
-//!
 //! // Optimize for variance with alpha = 3.
 //! let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(3.0));
 //! let report = sizer.optimize(&mut netlist);
+//! assert!(report.final_moments().std() <= report.initial_moments().std());
 //!
-//! let after = FullSsta::new(&library, config).analyze(&netlist);
-//! assert!(after.circuit_moments().std() <= before.circuit_moments().std());
-//! # let _ = report;
+//! // Inspect the result through an incremental timing session: any
+//! // engine on demand, and cone-limited re-analysis after edits.
+//! let mut session = TimingSession::new(&library, SstaConfig::default(), &mut netlist);
+//! let optimized = session.refresh();
+//! let sanity = session.report(EngineKind::Fassta).circuit_moments();
+//! assert!((optimized.mean - sanity.mean).abs() / optimized.mean < 0.15);
+//!
+//! // What-if: resize one gate and re-analyze only its fanout cone.
+//! let gate = session.netlist().gate_ids().next().unwrap();
+//! session.resize(gate, 5);
+//! let what_if = session.refresh();
+//! # let _ = (report, what_if);
 //! # }
 //! ```
 

@@ -51,7 +51,7 @@ fn c17_full_statistical_flow() {
     let config = SstaConfig::default();
     let mut n = load_c17();
 
-    let before = FullSsta::new(&lib, config.clone()).analyze(&n);
+    let before = FullSsta::new(&lib, &config).analyze(&n);
     let crit = Criticality::compute(&n, &lib, &config, before.arrivals());
     // Some gate must be strongly critical in such a tiny circuit.
     assert!(n.gate_ids().any(|id| crit.of(id) > 0.5));

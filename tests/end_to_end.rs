@@ -17,7 +17,7 @@ fn full_paper_flow_on_c432() {
 
     // 1. Generate and mean-optimize (the paper's "original").
     let mut original = benchmark("c432", &lib).expect("known benchmark");
-    let baseline = MeanDelaySizer::new(&lib, ssta.clone()).minimize_delay(&mut original);
+    let baseline = MeanDelaySizer::new(&lib, &ssta).minimize_delay(&mut original);
     assert!(baseline.final_delay <= baseline.initial_delay);
 
     // 2. Statistical optimization at alpha = 9.
@@ -33,7 +33,7 @@ fn full_paper_flow_on_c432() {
 
     // 3. Monte-Carlo confirms the reduction on the actual netlists.
     let mut rng = StdRng::seed_from_u64(99);
-    let timer = MonteCarloTimer::new(&lib, ssta);
+    let timer = MonteCarloTimer::new(&lib, &ssta);
     let mc_orig = timer.sample(&original, 8_000, &mut rng).moments();
     let mc_opt = timer.sample(&optimized, 8_000, &mut rng).moments();
     assert!(
@@ -69,10 +69,8 @@ fn statistical_engines_bracket_deterministic_sta() {
     let ssta = SstaConfig::default();
     for name in ["alu2", "c499", "c880"] {
         let n = benchmark(name, &lib).expect("known benchmark");
-        let det = Dsta::new(&lib, ssta.clone()).analyze(&n).max_delay();
-        let stat = FullSsta::new(&lib, ssta.clone())
-            .analyze(&n)
-            .circuit_moments();
+        let det = Dsta::new(&lib, &ssta).analyze(&n).max_delay();
+        let stat = FullSsta::new(&lib, &ssta).analyze(&n).circuit_moments();
         // Statistical mean of the max >= max of the means, and not absurdly so.
         assert!(stat.mean >= det - 1e-6, "{name}");
         assert!(stat.mean <= det + 6.0 * stat.std(), "{name}");
@@ -99,7 +97,7 @@ fn area_recovery_composes_with_statistical_sizing() {
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
     let mut n = ripple_carry_adder(8, &lib);
-    let sizer = MeanDelaySizer::new(&lib, ssta.clone());
+    let sizer = MeanDelaySizer::new(&lib, &ssta);
     let baseline = sizer.minimize_delay(&mut n);
 
     let _ = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(9.0).with_ssta(ssta.clone()))
@@ -108,8 +106,8 @@ fn area_recovery_composes_with_statistical_sizing() {
 
     // Recover area under a relaxed delay budget; sigma should not regress
     // catastrophically (downsizing is bounded by the delay constraint).
-    let det = Dsta::new(&lib, ssta.clone()).analyze(&n).max_delay();
-    let sigma_before = FullSsta::new(&lib, ssta.clone())
+    let det = Dsta::new(&lib, &ssta).analyze(&n).max_delay();
+    let sigma_before = FullSsta::new(&lib, &ssta)
         .analyze(&n)
         .circuit_moments()
         .std();
@@ -119,7 +117,7 @@ fn area_recovery_composes_with_statistical_sizing() {
     if changed > 0 {
         assert!(area_after < area_before_recovery);
     }
-    let sigma_after = FullSsta::new(&lib, ssta.clone())
+    let sigma_after = FullSsta::new(&lib, &ssta)
         .analyze(&n)
         .circuit_moments()
         .std();
