@@ -5,9 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use vartol_liberty::Library;
 use vartol_netlist::generators::benchmark;
-use vartol_ssta::{Dsta, EngineKind, Fassta, FullSsta, SstaConfig, TimingSession};
+use vartol_ssta::{Dsta, EngineKind, Fassta, FullSsta, MonteCarloTimer, SstaConfig, TimingSession};
 
 fn bench_engines(c: &mut Criterion) {
     let lib = Library::synthetic_90nm();
@@ -69,6 +70,24 @@ fn bench_engines(c: &mut Criterion) {
             let sampled = config.clone().with_pdf_samples(s);
             let engine = FullSsta::new(&lib, &sampled);
             b.iter(|| black_box(engine.analyze(&n).circuit_moments()));
+        });
+    }
+    group.finish();
+
+    // Deterministic parallel Monte Carlo: the reference engine's chunked
+    // sampling path at the ablation workload — 20k samples on the largest
+    // suite circuits. Every thread count returns bit-identical results
+    // (see vartol_ssta::montecarlo); this group records the speedup the
+    // extra threads buy on the current hardware.
+    let mut group = c.benchmark_group("mc_parallel");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    let largest = benchmark("c7552", &lib).expect("known benchmark");
+    let timer = MonteCarloTimer::new(&lib, &config).with_seed(2025);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &largest, |b, n| {
+            let timer = timer.with_threads(threads);
+            b.iter(|| black_box(timer.sample_parallel(n, 20_000).moments()));
         });
     }
     group.finish();

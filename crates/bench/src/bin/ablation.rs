@@ -143,12 +143,16 @@ fn ablate_engines() {
     println!("== E7: FULLSSTA vs FASSTA accuracy and speed ==");
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
-    let mut rng = StdRng::seed_from_u64(7);
     for name in ["c432", "c880", "c1908"] {
         let n = original_circuit(name, &lib, &ssta);
+        // Deterministic parallel reference (all cores; bit-identical for
+        // any thread count, so the ablation stays reproducible).
+        let t0 = Instant::now();
         let mc = MonteCarloTimer::new(&lib, &ssta)
-            .sample(&n, 10_000, &mut rng)
+            .with_seed(7)
+            .sample_parallel(&n, 10_000)
             .moments();
+        let t_mc = t0.elapsed();
 
         let t0 = Instant::now();
         let full = FullSsta::new(&lib, &ssta).analyze(&n).circuit_moments();
@@ -158,7 +162,12 @@ fn ablate_engines() {
         let t_fast = t0.elapsed();
 
         println!("{name}:");
-        println!("  monte carlo  mu {:.1}  sigma {:.2}", mc.mean, mc.std());
+        println!(
+            "  monte carlo  mu {:.1}  sigma {:.2}   ({:.2?})",
+            mc.mean,
+            mc.std(),
+            t_mc
+        );
         println!(
             "  fullssta     mu {:.1}  sigma {:.2}   ({:.2?})",
             full.mean,
@@ -233,9 +242,9 @@ fn ablate_pdf_samples() {
     let lib = Library::synthetic_90nm();
     let base = SstaConfig::default();
     let n = original_circuit("c880", &lib, &base);
-    let mut rng = StdRng::seed_from_u64(11);
     let mc = MonteCarloTimer::new(&lib, &base)
-        .sample(&n, 10_000, &mut rng)
+        .with_seed(11)
+        .sample_parallel(&n, 10_000)
         .moments();
     println!(
         "monte carlo reference: mu {:.1} sigma {:.2}",

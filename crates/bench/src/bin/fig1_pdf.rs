@@ -6,8 +6,6 @@
 //!
 //! Usage: `fig1_pdf [CIRCUIT]` (default c432).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vartol_bench::{ascii_pdf, original_circuit};
 use vartol_core::{SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
@@ -61,13 +59,14 @@ fn main() {
 
     // The figure's yield reading: pick the period T where opt1 starts
     // winning over the original, and report Monte-Carlo yield at T.
-    let mut rng = StdRng::seed_from_u64(1);
-    let mc_engine = MonteCarloTimer::new(&lib, &ssta);
-    let original_mc = mc_engine.sample(&original, 20_000, &mut rng);
+    // Parallel deterministic sampling: same numbers on any machine and
+    // any thread count.
+    let mc_engine = MonteCarloTimer::new(&lib, &ssta).with_seed(1);
+    let original_mc = mc_engine.sample_parallel(&original, 20_000);
     let t = original_mc.moments().mean;
     println!("yield at period T = original mean ({t:.1} ps):");
     for (label, netlist) in series {
-        let mc = mc_engine.sample(netlist, 20_000, &mut rng);
+        let mc = mc_engine.sample_parallel(netlist, 20_000);
         println!("  {label:<28} yield {:.1}%", 100.0 * mc.yield_at(t));
     }
 }

@@ -11,14 +11,16 @@
 //! ```
 //!
 //! The parser is two-pass (declarations may appear in any order), performs
-//! Kahn-style topological insertion, and reports cycles and undefined
-//! signals with line-level context. The writer emits gates in topological
-//! order so round-trips are stable.
+//! Kahn topological insertion with a worklist (indegree counters + ready
+//! queue, linear in statements + fanin references — even on fully
+//! reverse-ordered files), and reports cycles and undefined signals with
+//! line-level context. The writer emits gates in topological order so
+//! round-trips are stable.
 
 use crate::builder::NetlistBuilder;
 use crate::error::NetlistError;
 use crate::graph::{GateId, GateKind, Netlist};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use vartol_liberty::LogicFunction;
 
 /// One parsed `.bench` statement.
@@ -79,62 +81,65 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
         }
     }
 
-    // Kahn-style topological emission into the builder.
-    let mut b = NetlistBuilder::new(name);
-    let mut ids: HashMap<&str, GateId> = HashMap::new();
-    let mut emitted = vec![false; statements.len()];
-    let mut progress = true;
-    let mut remaining = statements
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !matches!(s, Statement::Output(_)))
-        .count();
-
-    while remaining > 0 && progress {
-        progress = false;
-        for (i, s) in statements.iter().enumerate() {
-            if emitted[i] {
-                continue;
-            }
-            match s {
-                Statement::Output(_) => {}
-                Statement::Input(n) => {
-                    ids.insert(n.as_str(), b.input(n.clone()));
-                    emitted[i] = true;
-                    remaining -= 1;
-                    progress = true;
-                }
-                Statement::Gate {
-                    name,
-                    function,
-                    fanins,
-                } => {
-                    // Check all fanins defined & already emitted.
-                    let mut ready = true;
-                    for f in fanins {
-                        match defs.get(f.as_str()) {
-                            None => return Err(NetlistError::UnknownSignal(f.clone())),
-                            Some(&def_idx) => {
-                                if !emitted[def_idx] {
-                                    ready = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if ready {
-                        let fanin_ids: Vec<GateId> =
-                            fanins.iter().map(|f| ids[f.as_str()]).collect();
-                        ids.insert(name.as_str(), b.gate(name.clone(), *function, &fanin_ids));
-                        emitted[i] = true;
-                        remaining -= 1;
-                        progress = true;
-                    }
+    // Kahn worklist: per-statement indegree counters plus a dependents
+    // adjacency, so emission is O(statements + fanin references) instead
+    // of the old repeated full scans (quadratic on reverse-ordered files).
+    let mut indegree = vec![0usize; statements.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); statements.len()];
+    let mut pending = 0usize; // non-output statements awaiting emission
+    for (i, s) in statements.iter().enumerate() {
+        match s {
+            Statement::Output(_) => {}
+            Statement::Input(_) => pending += 1,
+            Statement::Gate { fanins, .. } => {
+                pending += 1;
+                for f in fanins {
+                    let &def_idx = defs
+                        .get(f.as_str())
+                        .ok_or_else(|| NetlistError::UnknownSignal(f.clone()))?;
+                    indegree[i] += 1;
+                    dependents[def_idx].push(i);
                 }
             }
         }
     }
-    if remaining > 0 {
+
+    let mut ready: VecDeque<usize> = statements
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| matches!(s, Statement::Input(_)) && indegree[*i] == 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut b = NetlistBuilder::new(name);
+    let mut ids: HashMap<&str, GateId> = HashMap::new();
+    let mut emitted = vec![false; statements.len()];
+    while let Some(i) = ready.pop_front() {
+        match &statements[i] {
+            Statement::Input(n) => {
+                ids.insert(n.as_str(), b.input(n.clone()));
+            }
+            Statement::Gate {
+                name,
+                function,
+                fanins,
+            } => {
+                let fanin_ids: Vec<GateId> = fanins.iter().map(|f| ids[f.as_str()]).collect();
+                ids.insert(name.as_str(), b.gate(name.clone(), *function, &fanin_ids));
+            }
+            Statement::Output(_) => unreachable!("outputs never enter the worklist"),
+        }
+        emitted[i] = true;
+        pending -= 1;
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.push_back(d);
+            }
+        }
+    }
+
+    if pending > 0 {
         // Some gate never became ready: combinational cycle.
         let stuck = statements
             .iter()
@@ -380,6 +385,27 @@ y = NOT(p)
                 other => panic!("expected parse error for {text:?}, got {other}"),
             }
         }
+    }
+
+    /// Regression for the old O(n²) emission: a ~3000-gate suite circuit
+    /// serialized, statement order fully reversed (the worst case for the
+    /// old repeated-scan loop), must still parse — and parse fast.
+    #[test]
+    fn reverse_ordered_large_bench_parses() {
+        use crate::generators::benchmark;
+        use vartol_liberty::Library;
+
+        let lib = Library::synthetic_90nm();
+        let original = benchmark("c6288", &lib).expect("known benchmark");
+        assert!(original.gate_count() > 2500, "need a large circuit");
+        let text = write_bench(&original);
+        let reversed: String = text.lines().rev().flat_map(|l| [l, "\n"]).collect();
+        let parsed = parse_bench(&reversed, "c6288rev").expect("reverse order is valid");
+        assert_eq!(parsed.gate_count(), original.gate_count());
+        assert_eq!(parsed.input_count(), original.input_count());
+        assert_eq!(parsed.output_count(), original.output_count());
+        assert_eq!(parsed.depth(), original.depth());
+        assert!(parsed.check_invariants().is_ok());
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct SstaConfig {
     pub wire_cap_per_fanout: f64,
     /// Reconvergence-correlation handling in FULLSSTA.
     pub correlation: CorrelationMode,
+    /// Worker threads for sampling-based analyses (Monte Carlo). `0` means
+    /// one worker per available CPU. Results are **bit-identical for every
+    /// thread count** — chunked sampling derives each chunk's RNG stream
+    /// from `(seed, chunk_index)` and merges chunk summaries in chunk
+    /// order — so this is purely a speed knob.
+    pub threads: usize,
 }
 
 impl SstaConfig {
@@ -78,6 +84,13 @@ impl SstaConfig {
         self
     }
 
+    /// Sets the sampling worker-thread count (`0` = all available CPUs).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// A deterministic configuration (no process variation), under which
     /// every statistical engine degenerates to plain STA.
     #[must_use]
@@ -95,6 +108,7 @@ impl Default for SstaConfig {
             po_load: 2.0,
             wire_cap_per_fanout: 0.0,
             correlation: CorrelationMode::LevelBuckets,
+            threads: 0,
         }
     }
 }
@@ -116,9 +130,16 @@ mod tests {
     fn builder_methods() {
         let c = SstaConfig::default()
             .with_pdf_samples(10)
-            .with_variation(VariationModel::new(0.1, 0.5, 1.0));
+            .with_variation(VariationModel::new(0.1, 0.5, 1.0))
+            .with_threads(4);
         assert_eq!(c.pdf_samples, 10);
         assert_eq!(c.variation.k_prop, 0.1);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn default_threads_auto_detect() {
+        assert_eq!(SstaConfig::default().threads, 0, "0 = all available CPUs");
     }
 
     #[test]

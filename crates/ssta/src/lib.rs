@@ -22,7 +22,12 @@
 //!   with the paper's max approximation (dominance shortcuts + quadratic
 //!   erf), evaluating whole circuits or extracted subcircuits against
 //!   stored boundary statistics.
-//! * [`montecarlo::MonteCarloTimer`] — sampling-based golden reference.
+//! * [`montecarlo::MonteCarloTimer`] — sampling-based golden reference,
+//!   with deterministic parallel sampling: the budget splits into fixed
+//!   chunks, each chunk draws from its own `(seed, chunk_index)`-derived
+//!   RNG stream on a [`pool::ScopedPool`], and chunk summaries merge in
+//!   chunk order — bit-identical results for any thread count
+//!   ([`SstaConfig::threads`]).
 //! * [`wnss`] — the Worst Negative Statistical Slack path tracer (§4.4):
 //!   walks back from the statistically-worst output choosing the dominant
 //!   input by the dominance test or finite-difference variance sensitivity.
@@ -64,6 +69,7 @@ pub mod engine;
 pub mod fassta;
 pub mod fullssta;
 pub mod montecarlo;
+pub mod pool;
 pub mod session;
 pub mod slack;
 mod state;
@@ -76,7 +82,8 @@ pub use dsta::{Dsta, DstaResult};
 pub use engine::{EngineKind, TimingEngine, TimingReport};
 pub use fassta::Fassta;
 pub use fullssta::FullSsta;
-pub use montecarlo::{MonteCarloResult, MonteCarloTimer};
+pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
+pub use pool::ScopedPool;
 pub use session::TimingSession;
 pub use slack::StatisticalSlacks;
 pub use wnss::WnssTracer;

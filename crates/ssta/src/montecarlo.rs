@@ -7,25 +7,53 @@
 //! (no normal-approximation of maxima, no discretization), so FULLSSTA and
 //! FASSTA are validated against it in tests and the accuracy ablation.
 //!
+//! # Deterministic parallel sampling
+//!
+//! Being the reference, the timer dominates test and ablation wall-clock
+//! at 20k-sample counts, so it samples in parallel — without giving up
+//! reproducibility. The contract:
+//!
+//! * The sample budget is split into fixed-size chunks of
+//!   [`MC_CHUNK_SAMPLES`] samples (the partition depends only on `n`,
+//!   never on the thread count).
+//! * Chunk `c` draws from its own `StdRng` stream seeded by a SplitMix64
+//!   mix of `(seed, c)` — see [`MonteCarloTimer::chunk_seed`] — so chunks
+//!   are independent of each other and of how they are scheduled.
+//! * Chunks run on a [`ScopedPool`](crate::pool::ScopedPool); per-chunk
+//!   summaries ([`RunningMoments`] per node plus the raw chunk samples)
+//!   are gathered **in chunk order** and merged left-to-right.
+//!
+//! Together these make the result **bit-identical for every thread
+//! count**: 1 thread ≡ N threads (asserted in this module's tests and in
+//! `tests/mc_determinism.rs`). The thread count comes from
+//! [`SstaConfig::threads`] or [`MonteCarloTimer::with_threads`] (0 = all
+//! CPUs).
+//!
 //! As a [`TimingEngine`], the timer samples with a configurable count and
 //! seed ([`MonteCarloTimer::with_samples`] /
-//! [`MonteCarloTimer::with_seed`]) so `analyze` is deterministic; the
-//! explicit [`MonteCarloTimer::sample`] entry point remains for callers
-//! that manage their own RNG.
+//! [`MonteCarloTimer::with_seed`]) through the parallel path, so `analyze`
+//! is deterministic; the explicit [`MonteCarloTimer::sample`] entry point
+//! remains for callers that manage their own RNG (single-stream,
+//! sequential).
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;
 use crate::engine::{EngineKind, TimingEngine, TimingReport};
+use crate::pool::ScopedPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, Netlist};
-use vartol_stats::montecarlo::summarize;
 use vartol_stats::normal::standard_normal_sample;
-use vartol_stats::{DiscretePdf, Moments};
+use vartol_stats::{DiscretePdf, Moments, RunningMoments};
 
 /// Default sample count for trait-driven analyses.
 pub const DEFAULT_MC_SAMPLES: usize = 4000;
+
+/// Samples per deterministic chunk. The chunk partition is a function of
+/// the sample count only, so changing the thread count can never change
+/// which samples exist — only which worker computes them.
+pub const MC_CHUNK_SAMPLES: usize = 512;
 
 /// Monte-Carlo timing engine.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +62,7 @@ pub struct MonteCarloTimer<'a> {
     config: &'a SstaConfig,
     samples: usize,
     seed: u64,
+    threads: usize,
 }
 
 /// Empirical circuit-delay distribution from sampling.
@@ -44,8 +73,42 @@ pub struct MonteCarloResult {
     arrivals: Vec<Moments>,
 }
 
+/// Summary of one sampling pass (a chunk, or a whole sequential run):
+/// the raw circuit-delay samples plus mergeable running moments.
+struct SampleStats {
+    samples: Vec<f64>,
+    circuit: RunningMoments,
+    /// Per-node arrival accumulators; empty unless node tracking is on.
+    nodes: Vec<RunningMoments>,
+}
+
+impl SampleStats {
+    /// Concatenates the streams: samples append, accumulators merge.
+    /// Order matters for bit-reproducibility — always fold in chunk order.
+    fn merge(mut self, other: Self) -> Self {
+        self.samples.extend_from_slice(&other.samples);
+        self.circuit = self.circuit.merge(other.circuit);
+        debug_assert_eq!(self.nodes.len(), other.nodes.len());
+        for (a, b) in self.nodes.iter_mut().zip(other.nodes) {
+            *a = a.merge(b);
+        }
+        self
+    }
+
+    fn into_result(self) -> MonteCarloResult {
+        MonteCarloResult {
+            moments: self.circuit.sample_moments(),
+            // Population moments per node, matching the empirical-arrival
+            // semantics the engines validate against.
+            arrivals: self.nodes.iter().map(RunningMoments::moments).collect(),
+            samples: self.samples,
+        }
+    }
+}
+
 impl<'a> MonteCarloTimer<'a> {
-    /// Creates an engine over a library with the given configuration.
+    /// Creates an engine over a library with the given configuration
+    /// (thread count taken from [`SstaConfig::threads`]).
     #[must_use]
     pub fn new(library: &'a Library, config: &'a SstaConfig) -> Self {
         Self {
@@ -53,6 +116,7 @@ impl<'a> MonteCarloTimer<'a> {
             config,
             samples: DEFAULT_MC_SAMPLES,
             seed: 0,
+            threads: config.threads,
         }
     }
 
@@ -68,16 +132,29 @@ impl<'a> MonteCarloTimer<'a> {
         self
     }
 
-    /// Sets the RNG seed used by [`TimingEngine::analyze`].
+    /// Sets the RNG seed used by [`TimingEngine::analyze`] and the
+    /// `sample_parallel*` entry points.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Overrides the worker-thread count (`0` = all available CPUs).
+    /// Purely a speed knob: results are bit-identical for every value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Samples the circuit delay distribution `n` times (circuit-level
     /// statistics only; [`MonteCarloResult::arrivals`] stays empty — use
     /// [`MonteCarloTimer::sample_with_arrivals`] for per-node moments).
+    ///
+    /// Sequential, single-stream: the caller owns the RNG. For the
+    /// deterministic multi-threaded path use
+    /// [`MonteCarloTimer::sample_parallel`].
     ///
     /// # Panics
     ///
@@ -90,8 +167,10 @@ impl<'a> MonteCarloTimer<'a> {
         n: usize,
         rng: &mut R,
     ) -> MonteCarloResult {
+        assert!(n >= 2, "need at least two samples");
         let timing = CircuitTiming::compute(netlist, self.library, self.config);
-        self.sample_impl(netlist, n, rng, &timing, false)
+        self.run_samples(netlist, &timing, n, rng, false)
+            .into_result()
     }
 
     /// Like [`MonteCarloTimer::sample`], but also accumulates empirical
@@ -109,27 +188,98 @@ impl<'a> MonteCarloTimer<'a> {
         n: usize,
         rng: &mut R,
     ) -> MonteCarloResult {
+        assert!(n >= 2, "need at least two samples");
         let timing = CircuitTiming::compute(netlist, self.library, self.config);
-        self.sample_impl(netlist, n, rng, &timing, true)
+        self.run_samples(netlist, &timing, n, rng, true)
+            .into_result()
     }
 
-    fn sample_impl<R: Rng + ?Sized>(
+    /// Samples the circuit delay distribution `n` times on the worker
+    /// pool, seeded from [`MonteCarloTimer::with_seed`]. Bit-identical for
+    /// every thread count (see the module docs for the contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the netlist references cells missing from the
+    /// library.
+    #[must_use]
+    pub fn sample_parallel(&self, netlist: &Netlist, n: usize) -> MonteCarloResult {
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
+        self.sample_chunked(netlist, &timing, n, false)
+            .into_result()
+    }
+
+    /// Like [`MonteCarloTimer::sample_parallel`], but also accumulates
+    /// empirical per-node arrival moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the netlist references cells missing from the
+    /// library.
+    #[must_use]
+    pub fn sample_parallel_with_arrivals(&self, netlist: &Netlist, n: usize) -> MonteCarloResult {
+        let timing = CircuitTiming::compute(netlist, self.library, self.config);
+        self.sample_chunked(netlist, &timing, n, true).into_result()
+    }
+
+    /// The RNG seed of chunk `chunk` under base seed `seed`: a SplitMix64
+    /// finalizer over the pair, so nearby chunk indices get decorrelated
+    /// streams. Chunk 0 maps to the base seed itself.
+    #[must_use]
+    pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+        if chunk == 0 {
+            return seed;
+        }
+        let mut z = seed ^ chunk.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Chunked deterministic sampling: fixed partition, per-chunk seeded
+    /// streams, chunk-ordered merge.
+    fn sample_chunked(
         &self,
         netlist: &Netlist,
-        n: usize,
-        rng: &mut R,
         timing: &CircuitTiming,
+        n: usize,
         track_nodes: bool,
-    ) -> MonteCarloResult {
+    ) -> SampleStats {
         assert!(n >= 2, "need at least two samples");
+        let chunks = n.div_ceil(MC_CHUNK_SAMPLES);
+        let pool = ScopedPool::new(self.threads);
+        let summaries = pool.map(chunks, |chunk| {
+            let lo = chunk * MC_CHUNK_SAMPLES;
+            let count = MC_CHUNK_SAMPLES.min(n - lo);
+            let mut rng = StdRng::seed_from_u64(Self::chunk_seed(self.seed, chunk as u64));
+            self.run_samples(netlist, timing, count, &mut rng, track_nodes)
+        });
+        summaries
+            .into_iter()
+            .reduce(SampleStats::merge)
+            .expect("n >= 2 yields at least one chunk")
+    }
+
+    /// The sampling kernel: `count` longest-path evaluations under random
+    /// delay draws, summarized with Welford accumulators (robust where the
+    /// old `E[X²]−E[X]²` sums cancel catastrophically at large means).
+    fn run_samples<R: Rng + ?Sized>(
+        &self,
+        netlist: &Netlist,
+        timing: &CircuitTiming,
+        count: usize,
+        rng: &mut R,
+        track_nodes: bool,
+    ) -> SampleStats {
         let node_count = netlist.node_count();
         let mut arrivals = vec![0.0f64; node_count];
-        // Per-node running sums for empirical arrival moments.
-        let mut sums = vec![0.0f64; if track_nodes { node_count } else { 0 }];
-        let mut sq_sums = vec![0.0f64; if track_nodes { node_count } else { 0 }];
-        let mut samples = Vec::with_capacity(n);
+        let mut stats = SampleStats {
+            samples: Vec::with_capacity(count),
+            circuit: RunningMoments::new(),
+            nodes: vec![RunningMoments::new(); if track_nodes { node_count } else { 0 }],
+        };
 
-        for _ in 0..n {
+        for _ in 0..count {
             arrivals.fill(0.0);
             let mut worst = 0.0f64;
             for id in netlist.node_ids() {
@@ -147,32 +297,17 @@ impl<'a> MonteCarloTimer<'a> {
                 arrivals[id.index()] = arr_in + delay;
             }
             if track_nodes {
-                for (i, &a) in arrivals.iter().enumerate() {
-                    sums[i] += a;
-                    sq_sums[i] += a * a;
+                for (acc, &a) in stats.nodes.iter_mut().zip(&arrivals) {
+                    acc.push(a);
                 }
             }
             for &o in netlist.outputs() {
                 worst = worst.max(arrivals[o.index()]);
             }
-            samples.push(worst);
+            stats.circuit.push(worst);
+            stats.samples.push(worst);
         }
-
-        let count = n as f64;
-        let node_moments = sums
-            .iter()
-            .zip(&sq_sums)
-            .map(|(&s, &sq)| {
-                let mean = s / count;
-                Moments::new(mean, (sq / count - mean * mean).max(0.0))
-            })
-            .collect();
-        let s = summarize(&samples);
-        MonteCarloResult {
-            samples,
-            moments: s.moments(),
-            arrivals: node_moments,
-        }
+        stats
     }
 }
 
@@ -182,9 +317,10 @@ impl TimingEngine for MonteCarloTimer<'_> {
     }
 
     fn analyze(&self, netlist: &Netlist) -> TimingReport {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let timing = CircuitTiming::compute(netlist, self.library, self.config);
-        let result = self.sample_impl(netlist, self.samples, &mut rng, &timing, true);
+        let result = self
+            .sample_chunked(netlist, &timing, self.samples, true)
+            .into_result();
         let worst_output = crate::WnssTracer::new(self.config.variation.mu_sigma_coupling())
             .worst_output(netlist, &result.arrivals);
         let circuit_pdf = result.empirical_pdf(self.config.pdf_samples);
@@ -210,7 +346,9 @@ impl MonteCarloResult {
 
     /// Empirical per-node arrival moments, indexed by [`GateId::index`]
     /// (empty unless sampled via
-    /// [`MonteCarloTimer::sample_with_arrivals`] or the engine trait).
+    /// [`MonteCarloTimer::sample_with_arrivals`],
+    /// [`MonteCarloTimer::sample_parallel_with_arrivals`], or the engine
+    /// trait).
     #[must_use]
     pub fn arrivals(&self) -> &[Moments] {
         &self.arrivals
@@ -262,7 +400,11 @@ impl MonteCarloResult {
         )
     }
 
-    /// Empirical `p`-quantile of the delay distribution.
+    /// Empirical `p`-quantile of the delay distribution, by the
+    /// **nearest-rank** convention: the sample at sorted index
+    /// `round(p · (n − 1))`. In particular `quantile(0.0)` is exactly the
+    /// minimum sample and `quantile(1.0)` exactly the maximum. Runs in
+    /// O(n) expected time via `select_nth_unstable_by` (no full sort).
     ///
     /// # Panics
     ///
@@ -273,10 +415,10 @@ impl MonteCarloResult {
             (0.0..=1.0).contains(&p),
             "quantile requires p in [0,1], got {p}"
         );
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[idx]
+        let idx = ((self.samples.len() - 1) as f64 * p).round() as usize;
+        let mut scratch = self.samples.clone();
+        let (_, pivot, _) = scratch.select_nth_unstable_by(idx, f64::total_cmp);
+        *pivot
     }
 
     /// Fraction of samples not exceeding a period `t` — parametric yield at
@@ -358,6 +500,56 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sampling_is_thread_count_invariant() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(6, &lib);
+        let timer = MonteCarloTimer::new(&lib, &config).with_seed(99);
+        // 3 full chunks plus a partial one.
+        let samples = 3 * MC_CHUNK_SAMPLES + 100;
+        let reference = timer
+            .with_threads(1)
+            .sample_parallel_with_arrivals(&n, samples);
+        for threads in [2usize, 4, 8] {
+            let got = timer
+                .with_threads(threads)
+                .sample_parallel_with_arrivals(&n, samples);
+            assert_eq!(got, reference, "{threads} threads");
+        }
+        // The plain (arrival-free) path too.
+        let plain = timer.with_threads(1).sample_parallel(&n, samples);
+        assert_eq!(
+            timer.with_threads(8).sample_parallel(&n, samples),
+            plain,
+            "plain path"
+        );
+        assert_eq!(plain.samples(), reference.samples());
+        assert!(plain.arrivals().is_empty());
+    }
+
+    #[test]
+    fn analyze_reports_are_thread_count_invariant() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = parity_tree(16, &lib);
+        let timer = MonteCarloTimer::new(&lib, &config)
+            .with_samples(2 * MC_CHUNK_SAMPLES + 17)
+            .with_seed(5);
+        let one = TimingEngine::analyze(&timer.with_threads(1), &n);
+        let eight = TimingEngine::analyze(&timer.with_threads(8), &n);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct_and_stable() {
+        assert_eq!(MonteCarloTimer::chunk_seed(42, 0), 42, "chunk 0 = base");
+        let mut seen = std::collections::HashSet::new();
+        for chunk in 0..1000u64 {
+            assert!(seen.insert(MonteCarloTimer::chunk_seed(42, chunk)));
+        }
+    }
+
+    #[test]
     fn empirical_node_arrivals_track_fullssta() {
         // Chain-dominated circuit: the level-bucket correlation heuristic
         // is accurate here (balanced trees overestimate correlation since
@@ -379,6 +571,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_agree_statistically() {
+        // Different streams, same distribution: moments must line up
+        // within Monte-Carlo error.
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = ripple_carry_adder(8, &lib);
+        let mut rng = StdRng::seed_from_u64(21);
+        let seq = MonteCarloTimer::new(&lib, &config)
+            .sample(&n, 20_000, &mut rng)
+            .moments();
+        let par = MonteCarloTimer::new(&lib, &config)
+            .with_seed(22)
+            .sample_parallel(&n, 20_000)
+            .moments();
+        assert!((seq.mean - par.mean).abs() / seq.mean < 0.01);
+        assert!((seq.std() - par.std()).abs() / seq.std() < 0.10);
+    }
+
+    #[test]
     fn quantiles_are_ordered() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
@@ -387,6 +598,30 @@ mod tests {
         let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 2_000, &mut rng);
         assert!(mc.quantile(0.05) < mc.quantile(0.5));
         assert!(mc.quantile(0.5) < mc.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_nearest_rank_hits_min_max_and_matches_sort() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = parity_tree(8, &lib);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 1_001, &mut rng);
+        let min = mc.samples().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = mc
+            .samples()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(mc.quantile(0.0), min, "p = 0 is exactly the minimum");
+        assert_eq!(mc.quantile(1.0), max, "p = 1 is exactly the maximum");
+        // Selection agrees with the full-sort reference at every rank.
+        let mut sorted = mc.samples().to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.01, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            assert_eq!(mc.quantile(p), sorted[idx], "p = {p}");
+        }
     }
 
     #[test]
@@ -420,5 +655,14 @@ mod tests {
         let n = parity_tree(4, &lib);
         let mut rng = StdRng::seed_from_u64(5);
         let _ = MonteCarloTimer::new(&lib, &config).sample(&n, 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two samples")]
+    fn single_parallel_sample_panics() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let n = parity_tree(4, &lib);
+        let _ = MonteCarloTimer::new(&lib, &config).sample_parallel(&n, 1);
     }
 }

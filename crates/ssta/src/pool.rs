@@ -1,0 +1,177 @@
+//! A minimal scoped-thread worker pool for deterministic fan-out.
+//!
+//! `std`-only (no rayon in the offline shims environment): a
+//! [`ScopedPool`] runs `tasks` independent jobs — identified by their
+//! index — across up to `threads` scoped worker threads that pull indices
+//! from a shared atomic counter, and returns the results **ordered by task
+//! index**, regardless of which worker computed what or in which order
+//! workers finished.
+//!
+//! That index-ordered contract is what the parallel Monte-Carlo engine
+//! builds its determinism guarantee on: each task derives everything it
+//! needs (its RNG stream, its sample range) from the task index alone, so
+//! the gathered result vector — and anything folded over it in index
+//! order — is bit-identical for 1 thread and N threads.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_ssta::pool::ScopedPool;
+//!
+//! let serial = ScopedPool::new(1).map(8, |i| i * i);
+//! let parallel = ScopedPool::new(4).map(8, |i| i * i);
+//! assert_eq!(serial, parallel);
+//! assert_eq!(serial, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of scoped worker threads.
+///
+/// Cheap to construct; threads are spawned per [`ScopedPool::map`] call
+/// (via [`std::thread::scope`]) and joined before it returns, so borrowed
+/// data can flow into the job closure freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopedPool {
+    threads: usize,
+}
+
+impl ScopedPool {
+    /// Creates a pool with the given width. `0` means "one worker per
+    /// available CPU" (`std::thread::available_parallelism`).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The resolved worker count (never zero).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(i)` for every `i in 0..tasks` and returns the results in
+    /// task-index order. Runs inline on the calling thread when the pool
+    /// is single-width or there is at most one task.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (after joining the other workers).
+    pub fn map<T, F>(&self, tasks: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(job).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let job = &job;
+        let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            done.push((i, job(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut out: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        for (i, v) in buckets.into_iter().flatten() {
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every task index produced exactly one result"))
+            .collect()
+    }
+}
+
+impl Default for ScopedPool {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_width_resolves_to_available_parallelism() {
+        assert!(ScopedPool::new(0).threads() >= 1);
+        assert_eq!(ScopedPool::default(), ScopedPool::new(0));
+    }
+
+    #[test]
+    fn explicit_width_is_kept() {
+        assert_eq!(ScopedPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn results_are_index_ordered_for_all_widths() {
+        let expected: Vec<usize> = (0..100).map(|i| i * 7 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ScopedPool::new(threads).map(100, |i| i * 7 + 1);
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_work() {
+        assert_eq!(ScopedPool::new(8).map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(ScopedPool::new(8).map(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let runs = AtomicUsize::new(0);
+        let out = ScopedPool::new(4).map(1000, |i| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn borrowed_data_flows_into_jobs() {
+        let data: Vec<f64> = (0..64).map(f64::from).collect();
+        let sums = ScopedPool::new(4).map(8, |i| data[i * 8..(i + 1) * 8].iter().sum::<f64>());
+        assert_eq!(sums.iter().sum::<f64>(), data.iter().sum::<f64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 failed")]
+    fn worker_panics_propagate() {
+        let _ = ScopedPool::new(2).map(8, |i| {
+            assert!(i != 3, "job {i} failed");
+            i
+        });
+    }
+}

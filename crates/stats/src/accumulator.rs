@@ -1,0 +1,240 @@
+//! Numerically robust running-moment accumulation (Welford / Chan).
+//!
+//! The naive `E[X²] − E[X]²` variance formula cancels catastrophically
+//! when the mean is large relative to the spread: for samples around
+//! `1e8` with unit variance, both terms are ≈ `1e16` and the subtraction
+//! leaves no significant bits, frequently going negative. [`RunningMoments`]
+//! instead maintains the mean and the centered second moment `M2 = Σ(x−μ)²`
+//! incrementally (Welford's algorithm), which stays accurate at any offset.
+//!
+//! Accumulators are *mergeable* via Chan et al.'s parallel update, which is
+//! what makes them the currency of the chunked Monte-Carlo engine: every
+//! chunk summarizes its own samples into a `RunningMoments`, and chunk
+//! summaries are merged in chunk order, so the result is independent of how
+//! chunks were distributed over worker threads.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_stats::RunningMoments;
+//!
+//! // Split a stream into two chunks; merging the chunk accumulators in
+//! // order matches accumulating the whole stream.
+//! let xs = [1.0e8, 1.0e8 + 1.0, 1.0e8 + 2.0, 1.0e8 + 3.0];
+//! let whole: RunningMoments = xs.iter().copied().collect();
+//! let left: RunningMoments = xs[..2].iter().copied().collect();
+//! let right: RunningMoments = xs[2..].iter().copied().collect();
+//! let merged = left.merge(right);
+//! assert_eq!(merged.count(), whole.count());
+//! assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+//! assert!(whole.variance() > 1.0); // naive E[X²]−E[X]² returns 0 here
+//! ```
+
+use crate::moments::Moments;
+
+/// Mean and centered second moment of a sample stream, updated online.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean, `Σ(x−μ)²`.
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation (Welford's update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Combines two accumulators as if their streams were concatenated
+    /// (Chan et al.'s parallel update). Merging is exact on counts and
+    /// accurate on moments, but not bit-commutative — merge chunk
+    /// summaries in a fixed (chunk-index) order for reproducible results.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        if other.count == 0 {
+            return self;
+        }
+        if self.count == 0 {
+            return other;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        Self {
+            count: self.count + other.count,
+            mean: self.mean + delta * (n2 / n),
+            m2: self.m2 + other.m2 + delta * delta * (n1 * n2 / n),
+        }
+    }
+
+    /// Number of observations accumulated.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `M2 / n` (`0.0` when empty). Clamped to zero:
+    /// `M2` is a sum of non-negative terms, so any negativity is rounding.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Unbiased sample variance `M2 / (n − 1)` (`0.0` when `n < 2`).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Mean and *population* variance as a [`Moments`] value.
+    #[must_use]
+    pub fn moments(&self) -> Moments {
+        Moments::new(self.mean(), self.variance())
+    }
+
+    /// Mean and *unbiased* variance as a [`Moments`] value.
+    #[must_use]
+    pub fn sample_moments(&self) -> Moments {
+        Moments::new(self.mean(), self.sample_variance())
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let acc = RunningMoments::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_closed_form_on_small_stream() {
+        let acc: RunningMoments = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(acc.count(), 4);
+        assert!((acc.mean() - 2.5).abs() < 1e-15);
+        assert!((acc.variance() - 1.25).abs() < 1e-15);
+        assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let acc: RunningMoments = [5.0, 7.0].into_iter().collect();
+        assert_eq!(acc.merge(RunningMoments::new()), acc);
+        assert_eq!(RunningMoments::new().merge(acc), acc);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 - 18.0).collect();
+        let whole: RunningMoments = xs.iter().copied().collect();
+        for split in [1, 13, 50, 99] {
+            let a: RunningMoments = xs[..split].iter().copied().collect();
+            let b: RunningMoments = xs[split..].iter().copied().collect();
+            let merged = a.merge(b);
+            assert_eq!(merged.count(), whole.count());
+            assert!(
+                (merged.mean() - whole.mean()).abs() < 1e-12,
+                "split {split}"
+            );
+            assert!(
+                (merged.variance() - whole.variance()).abs() < 1e-12,
+                "split {split}"
+            );
+        }
+    }
+
+    /// The regression the accumulator exists for: arrival times shifted to
+    /// a large mean (circuit far from the origin, e.g. +1e8 ps). The naive
+    /// `E[X²]−E[X]²` formula used by the old per-node Monte-Carlo moments
+    /// collapses to zero (or negative, pre-clamp); Welford keeps the
+    /// variance.
+    #[test]
+    fn large_mean_stream_keeps_variance_where_naive_formula_dies() {
+        let offset = 1.0e8;
+        let xs: Vec<f64> = (0..1000).map(|i| offset + f64::from(i % 2)).collect();
+
+        // Old formula, exactly as sample_impl computed per-node moments.
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+        let naive_mean = sum / n;
+        let naive_var = sq_sum / n - naive_mean * naive_mean;
+        assert!(
+            naive_var <= 0.0,
+            "expected catastrophic cancellation, got {naive_var}"
+        );
+
+        let acc: RunningMoments = xs.iter().copied().collect();
+        assert!((acc.mean() - (offset + 0.5)).abs() < 1e-6);
+        assert!(
+            (acc.variance() - 0.25).abs() < 1e-9,
+            "welford variance {}",
+            acc.variance()
+        );
+    }
+
+    #[test]
+    fn moments_views_agree_with_raw_getters() {
+        let acc: RunningMoments = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(acc.moments(), Moments::new(acc.mean(), acc.variance()));
+        assert_eq!(
+            acc.sample_moments(),
+            Moments::new(acc.mean(), acc.sample_variance())
+        );
+    }
+
+    #[test]
+    fn variance_never_negative_after_merge_chains() {
+        // Adversarial near-constant stream at a huge offset, merged in
+        // many tiny chunks.
+        let xs: Vec<f64> = (0..512).map(|i| 1.0e12 + f64::from(i % 3) * 1e-3).collect();
+        let merged = xs
+            .chunks(7)
+            .map(|c| c.iter().copied().collect::<RunningMoments>())
+            .fold(RunningMoments::new(), RunningMoments::merge);
+        assert_eq!(merged.count(), 512);
+        assert!(merged.variance() >= 0.0);
+        assert!(merged.sample_variance() >= 0.0);
+    }
+}

@@ -17,6 +17,9 @@
 //!
 //! Supporting modules:
 //!
+//! * [`accumulator`] — mergeable Welford running moments, the summary type
+//!   the chunked parallel Monte-Carlo engine reduces over (robust to the
+//!   catastrophic cancellation of the naive `E[X²]−E[X]²` formula).
 //! * [`erf`] — the exact error function and the paper's quadratic
 //!   approximation (accurate to two decimal places, saturating at 2.6σ).
 //! * [`normal`] — normal distribution pdf/cdf/quantile/sampling.
@@ -38,6 +41,7 @@
 //! assert_eq!(m, a);
 //! ```
 
+pub mod accumulator;
 pub mod clark;
 pub mod correlation;
 pub mod discrete_pdf;
@@ -48,6 +52,7 @@ pub mod montecarlo;
 pub mod normal;
 pub mod sensitivity;
 
+pub use accumulator::RunningMoments;
 pub use clark::{clark_max, ClarkMax};
 pub use discrete_pdf::DiscretePdf;
 pub use fast_max::{fast_max_moments, fast_max_with_dominance, Dominance, DOMINANCE_THRESHOLD};

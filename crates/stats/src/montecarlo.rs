@@ -4,6 +4,7 @@
 //! Clark's formulas, the fast max approximation, and the discrete-PDF engine
 //! in tests and in the accuracy ablation (experiment E6 in DESIGN.md).
 
+use crate::accumulator::RunningMoments;
 use crate::moments::Moments;
 use crate::normal::standard_normal_sample;
 use rand::Rng;
@@ -33,7 +34,8 @@ impl McSummary {
     }
 }
 
-/// Summarizes a slice of samples (mean, unbiased variance).
+/// Summarizes a slice of samples (mean, unbiased variance) via a single
+/// Welford pass ([`RunningMoments`]), robust at large means.
 ///
 /// # Panics
 ///
@@ -45,10 +47,12 @@ pub fn summarize(samples: &[f64]) -> McSummary {
         "need at least two samples, got {}",
         samples.len()
     );
-    let n = samples.len();
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
-    McSummary { mean, var, n }
+    let acc: RunningMoments = samples.iter().copied().collect();
+    McSummary {
+        mean: acc.mean(),
+        var: acc.sample_variance(),
+        n: samples.len(),
+    }
 }
 
 /// Monte-Carlo moments of `max(A, B)` for normals with correlation `rho`.

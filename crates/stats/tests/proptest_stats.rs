@@ -1,10 +1,12 @@
 //! Property-based tests of the statistical toolkit's invariants.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vartol_stats::clark::{clark_max, clark_max_correlated};
 use vartol_stats::erf::{erf, half_erf_quadratic, phi_cdf, phi_inv};
 use vartol_stats::fast_max::{fast_max_moments, fast_max_with_dominance, Dominance};
-use vartol_stats::{DiscretePdf, Moments};
+use vartol_stats::{DiscretePdf, Moments, RunningMoments};
 
 fn moment_strategy() -> impl Strategy<Value = Moments> {
     ((-1000.0f64..1000.0), (0.0f64..100.0))
@@ -180,6 +182,44 @@ proptest! {
         let pdf = DiscretePdf::from_normal(ma, sa, 20);
         let q = pdf.quantile(p);
         prop_assert!(pdf.cdf(q) >= p - 1e-12);
+    }
+
+    // The parallel Monte-Carlo determinism contract's numerical half:
+    // accumulating a stream chunk-by-chunk and merging the chunk
+    // accumulators in chunk order reproduces the single-pass moments —
+    // for any chunk size, stream length, and mean offset (including
+    // offsets where the naive sum-of-squares formula cancels away).
+    #[test]
+    fn chunk_merged_moments_equal_single_pass(
+        len in 2usize..400,
+        chunk in 1usize..64,
+        seed in any::<u64>(),
+        offset in -1.0e8f64..1.0e8,
+        spread in 0.1f64..100.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..len)
+            .map(|_| offset + spread * (rng.gen::<f64>() - 0.5))
+            .collect();
+        let whole: RunningMoments = xs.iter().copied().collect();
+        let merged = xs
+            .chunks(chunk)
+            .map(|c| c.iter().copied().collect::<RunningMoments>())
+            .fold(RunningMoments::new(), RunningMoments::merge);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!(
+            (merged.mean() - whole.mean()).abs() <= 1e-9 * (1.0 + offset.abs()),
+            "mean {} vs {}", merged.mean(), whole.mean()
+        );
+        // Rounding floor: every centered delta carries an absolute error
+        // of ~ulp(offset), so m2 terms are good to ~eps·|offset|·spread.
+        let var_tol = 1e-9 * (1.0 + whole.variance())
+            + 64.0 * f64::EPSILON * (offset.abs() + spread) * spread;
+        prop_assert!(
+            (merged.variance() - whole.variance()).abs() <= var_tol,
+            "var {} vs {}", merged.variance(), whole.variance()
+        );
+        prop_assert!(merged.variance() >= 0.0);
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //!
 //! Run with: `cargo run --release --example yield_optimization`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vartol::core::{MeanDelaySizer, SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::alu;
@@ -31,11 +29,12 @@ fn main() {
         StatisticalGreedy::new(&library, SizerConfig::with_alpha(9.0)).optimize(&mut robust);
     println!("statistical sizing: {report}");
 
-    // Compare parametric yield across candidate clock periods.
-    let mut rng = StdRng::seed_from_u64(42);
-    let timer = MonteCarloTimer::new(&library, &config);
-    let mc_original = timer.sample(&original, 30_000, &mut rng);
-    let mc_robust = timer.sample(&robust, 30_000, &mut rng);
+    // Compare parametric yield across candidate clock periods. The
+    // parallel sampler uses every CPU but stays deterministic: the same
+    // seed gives bit-identical samples for any thread count.
+    let timer = MonteCarloTimer::new(&library, &config).with_seed(42);
+    let mc_original = timer.sample_parallel(&original, 30_000);
+    let mc_robust = timer.sample_parallel(&robust, 30_000);
 
     let m = mc_original.moments();
     println!();

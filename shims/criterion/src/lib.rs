@@ -2,6 +2,11 @@
 //! wall-clock budget and prints a plain-text median time per iteration.
 //! No statistics engine, plots, or baselines — just honest timings with
 //! the upstream API shape so benches compile and run offline.
+//!
+//! Like upstream, a positional command-line argument acts as a substring
+//! filter over `group/benchmark` ids (`cargo bench --bench ssta_engines
+//! -- mc_parallel` runs only the `mc_parallel` group), and
+//! `BenchmarkGroup::sample_size` bounds the minimum iteration count.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -57,6 +62,7 @@ impl From<String> for BenchmarkId {
 /// Drives timing of one benchmark body.
 pub struct Bencher {
     measurement: Duration,
+    min_samples: usize,
     /// Median nanoseconds per iteration, recorded by `iter*`.
     result_ns: f64,
     iterations: u64,
@@ -69,7 +75,7 @@ impl Bencher {
         let mut samples: Vec<f64> = Vec::new();
         let mut iters: u64 = 0;
         let start = Instant::now();
-        while start.elapsed() < self.measurement || samples.len() < 10 {
+        while start.elapsed() < self.measurement || samples.len() < self.min_samples {
             let d = timed_pass();
             samples.push(d.as_nanos() as f64);
             iters += 1;
@@ -119,28 +125,37 @@ fn human_time(ns: f64) -> String {
     }
 }
 
-/// A named group of related benchmarks.
+/// A named group of related benchmarks. Measurement settings are
+/// group-local (upstream semantics): they start from the driver's
+/// defaults and never leak into later groups.
 pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
+    measurement: Duration,
+    sample_size: usize,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the target sample count (accepted for API compatibility).
+    /// Sets the target (and minimum) sample count per benchmark in this
+    /// group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        let _ = n;
+        self.sample_size = n.max(2);
         self
     }
 
-    /// Sets the measurement time budget per benchmark.
+    /// Sets the measurement time budget per benchmark in this group.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.criterion.measurement = d;
+        self.measurement = d;
         self
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.criterion.matches(&self.name, id) {
+            return;
+        }
         let mut b = Bencher {
-            measurement: self.criterion.measurement,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
             result_ns: 0.0,
             iterations: 0,
         };
@@ -185,35 +200,52 @@ impl BenchmarkGroup<'_> {
 /// The shim's benchmark driver.
 pub struct Criterion {
     measurement: Duration,
+    sample_size: usize,
+    /// Substring filter over `group/benchmark` ids, from the first
+    /// positional CLI argument (cargo's own `--bench`-style flags are
+    /// skipped).
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Self {
             measurement: Duration::from_millis(500),
+            sample_size: 10,
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
         }
     }
 }
 
 impl Criterion {
+    fn matches(&self, group: &str, id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| format!("{group}/{id}").contains(f))
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name} ==");
+        let (measurement, sample_size) = (self.measurement, self.sample_size);
         BenchmarkGroup {
             criterion: self,
             name,
+            measurement,
+            sample_size,
         }
     }
 
     /// Benchmarks a standalone closure.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        let measurement = self.measurement;
+        let (measurement, sample_size) = (self.measurement, self.sample_size);
         let mut group = BenchmarkGroup {
             criterion: self,
             name: String::new(),
+            measurement,
+            sample_size,
         };
-        group.criterion.measurement = measurement;
         group.run_one(id, f);
         self
     }
@@ -243,9 +275,40 @@ mod tests {
     use super::*;
 
     #[test]
+    fn group_settings_do_not_leak_into_later_groups() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(1),
+            sample_size: 2,
+            filter: None,
+        };
+        let mut g1 = c.benchmark_group("g1");
+        g1.sample_size(50)
+            .measurement_time(Duration::from_millis(9));
+        g1.finish();
+        let g2 = c.benchmark_group("g2");
+        assert_eq!(g2.sample_size, 2);
+        assert_eq!(g2.measurement, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(1),
+            sample_size: 2,
+            filter: Some("keep".to_owned()),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("dropped", |_b| panic!("must be filtered out"));
+        group.bench_function("keep", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
     fn timings_are_positive() {
         let mut c = Criterion {
             measurement: Duration::from_millis(5),
+            sample_size: 10,
+            filter: None,
         };
         let mut group = c.benchmark_group("demo");
         group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));

@@ -18,7 +18,13 @@
 //!   accurate discrete-PDF engine (FULLSSTA), the fast moment engine
 //!   (FASSTA), Monte-Carlo reference timing, WNSS path tracing — plus the
 //!   incremental [`TimingSession`](ssta::TimingSession) API the optimizers
-//!   run on.
+//!   run on. The Monte-Carlo reference samples in parallel on a scoped
+//!   worker pool ([`ssta::ScopedPool`], [`SstaConfig::threads`](ssta::SstaConfig))
+//!   while staying **bit-identical for every thread count**: the sample
+//!   budget splits into fixed chunks, each chunk draws from its own
+//!   `(seed, chunk_index)`-derived RNG stream, and chunk summaries —
+//!   mergeable Welford accumulators ([`stats::RunningMoments`]) — combine
+//!   in chunk order.
 //! * [`core`] — the paper's contribution: the `StatisticalGreedy` sizer with
 //!   the weighted `μ + α·σ` objective, plus deterministic baselines.
 //!
