@@ -1,0 +1,244 @@
+//! `vartol-suite` — the end-to-end benchmark-suite runner behind the CI
+//! perf-artifact pipeline.
+//!
+//! Runs DSTA, FASSTA, FULLSSTA, and Monte Carlo plus the full
+//! `StatisticalGreedy` sizing flow over a scenario matrix — every
+//! `.bench` circuit in the data directory and a tier of generator
+//! presets — and writes one validated JSON report.
+//!
+//! ```text
+//! vartol-suite [--subset small|full] [--circuits a,b,c] [--data DIR]
+//!              [--out PATH] [--threads N] [--samples N] [--alpha F]
+//! vartol-suite --check PATH [--min-scenarios N]
+//! ```
+//!
+//! The run fails (exit 1) if any scenario panics or produces a
+//! non-finite μ/σ; `--check` re-validates an already-written report
+//! from its text (schema tag present, scenario coverage, no `null` —
+//! i.e. no non-finite statistic slipped through).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vartol_bench::suite::{check_json_text, run_suite_with, SuiteConfig};
+use vartol_liberty::Library;
+use vartol_netlist::generators::{preset, preset_names, small_preset_names};
+use vartol_netlist::iscas::parse_bench;
+use vartol_netlist::Netlist;
+
+struct Options {
+    subset: String,
+    circuits: Vec<String>,
+    data_dir: PathBuf,
+    /// Whether `--data` was passed explicitly (a missing default
+    /// directory is tolerated; a missing named one is an error).
+    data_dir_explicit: bool,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    min_scenarios: usize,
+    config: SuiteConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            subset: "small".into(),
+            circuits: Vec::new(),
+            data_dir: "data".into(),
+            data_dir_explicit: false,
+            out: "BENCH_suite.json".into(),
+            check: None,
+            min_scenarios: 8,
+            config: SuiteConfig::default(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--subset" => opts.subset = value("--subset")?,
+            "--circuits" => {
+                opts.circuits = value("--circuits")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--data" => {
+                opts.data_dir = value("--data")?.into();
+                opts.data_dir_explicit = true;
+            }
+            "--out" => opts.out = value("--out")?.into(),
+            "--check" => opts.check = Some(value("--check")?.into()),
+            "--min-scenarios" => {
+                opts.min_scenarios = value("--min-scenarios")?
+                    .parse()
+                    .map_err(|e| format!("--min-scenarios: {e}"))?;
+            }
+            "--threads" => {
+                opts.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--samples" => {
+                opts.config.mc_samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+            }
+            "--alpha" => {
+                opts.config.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "vartol-suite: run the engine + sizing benchmark matrix\n\n\
+                     --subset small|full    preset tier to run (default small)\n\
+                     --circuits a,b,c       explicit list (presets or .bench stems)\n\
+                     --data DIR             .bench directory (default data)\n\
+                     --out PATH             report path (default BENCH_suite.json)\n\
+                     --threads N            worker threads, 0 = all CPUs (default 0)\n\
+                     --samples N            Monte-Carlo samples (default 2000)\n\
+                     --alpha F              sizing sigma weight (default 3)\n\
+                     --check PATH           validate an existing report instead\n\
+                     --min-scenarios N      coverage floor for --check (default 8)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Loads every `*.bench` file under `dir`, sorted by name for a stable
+/// run order. A missing *default* directory is not an error — generator
+/// presets still make a full matrix — but a directory the user named
+/// with `--data` must be readable, or the report would silently lose
+/// every `.bench` circuit.
+fn load_bench_dir(dir: &Path, must_exist: bool) -> Result<Vec<Netlist>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if must_exist => return Err(format!("--data {}: {e}", dir.display())),
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bench"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_bench_file(p)).collect()
+}
+
+fn load_bench_file(path: &Path) -> Result<Netlist, String> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| format!("{}: unreadable file name", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_bench(&text, stem).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn collect_circuits(opts: &Options, library: &Library) -> Result<Vec<Netlist>, String> {
+    if !opts.circuits.is_empty() {
+        return opts
+            .circuits
+            .iter()
+            .map(|name| {
+                if let Some(n) = preset(name, library) {
+                    return Ok(n);
+                }
+                let path = opts.data_dir.join(format!("{name}.bench"));
+                if path.is_file() {
+                    return load_bench_file(&path);
+                }
+                Err(format!(
+                    "`{name}` is neither a preset ({}) nor {}",
+                    preset_names().join(", "),
+                    path.display()
+                ))
+            })
+            .collect();
+    }
+
+    let mut circuits = load_bench_dir(&opts.data_dir, opts.data_dir_explicit)?;
+    let tier = match opts.subset.as_str() {
+        "small" => small_preset_names(),
+        "full" => preset_names(),
+        other => return Err(format!("unknown subset `{other}` (small|full)")),
+    };
+    for name in tier {
+        circuits.push(preset(name, library).expect("preset name lists are authoritative"));
+    }
+    Ok(circuits)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        check_json_text(&text, opts.min_scenarios)?;
+        println!("{}: ok", path.display());
+        return Ok(());
+    }
+
+    let library = Library::synthetic_90nm();
+    let circuits = collect_circuits(opts, &library)?;
+    if circuits.is_empty() {
+        return Err("no circuits to run".into());
+    }
+    eprintln!(
+        "vartol-suite: {} scenarios, alpha {}, {} MC samples, threads {}",
+        circuits.len(),
+        opts.config.alpha,
+        opts.config.mc_samples,
+        opts.config.threads
+    );
+
+    let report = run_suite_with(&circuits, &library, &opts.config, |scenario, wall| {
+        eprintln!(
+            "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  {:>6.2}s",
+            scenario.circuit,
+            scenario.gates,
+            scenario.sizing.sigma_before,
+            scenario.sizing.sigma_after,
+            scenario.sizing.area_delta_pct,
+            wall.as_secs_f64()
+        );
+    });
+
+    report.validate()?;
+    let json = report.to_json();
+    std::fs::write(&opts.out, &json).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+    check_json_text(&json, report.scenarios.len().min(opts.min_scenarios))?;
+    println!(
+        "wrote {} ({} scenarios, {} threads)",
+        opts.out.display(),
+        report.scenarios.len(),
+        report.threads
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("vartol-suite: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("vartol-suite: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

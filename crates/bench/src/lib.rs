@@ -11,9 +11,16 @@
 //! * `fig4_tradeoff` — Fig. 4: the normalized μ–σ tradeoff for c432 over α.
 //! * `ablation` — the design-choice ablations of DESIGN.md §5.
 //!
+//! A sixth binary, `vartol-suite`, is the CI perf-artifact pipeline: it
+//! runs all four engines plus the optimizer end-to-end across a circuit
+//! matrix (`data/*.bench` plus the generator presets) and writes a
+//! validated `BENCH_suite.json` — see the [`suite`] module.
+//!
 //! The library part holds the shared "paper flow" runner: generate the
 //! circuit, mean-optimize it (the paper's "original" point), then run
 //! StatisticalGreedy at each α and collect Table-1 columns.
+
+pub mod suite;
 
 use std::time::Instant;
 use vartol_core::{MeanDelaySizer, OptimizationReport, SizerConfig, StatisticalGreedy};

@@ -1,0 +1,382 @@
+//! The `vartol-suite` end-to-end benchmark runner.
+//!
+//! Runs every timing engine (DSTA, FASSTA, FULLSSTA, Monte Carlo) plus
+//! the full `StatisticalGreedy` optimization flow over a scenario matrix
+//! — `.bench` circuits from `data/` and the generator presets
+//! ([`vartol_netlist::generators::presets`]) — and collects one
+//! machine-readable report: per-circuit wall-clock, μ/σ before/after
+//! sizing, area delta, resize count, and the worker-thread count. The
+//! `vartol-suite` binary writes it as `BENCH_suite.json`, which CI
+//! uploads as the perf artifact of every build.
+//!
+//! The report is validated ([`SuiteReport::validate`]) before it is
+//! written: any non-finite μ/σ or wall-clock fails the run. Because the
+//! vendored `serde_json` shim renders non-finite floats as `null`, a
+//! written report can additionally be re-checked from text alone
+//! ([`check_json_text`]) without a JSON parser — a valid suite report
+//! contains no `null` at all.
+
+use std::time::Instant;
+use vartol_core::{SizerConfig, StatisticalGreedy};
+use vartol_liberty::Library;
+use vartol_netlist::Netlist;
+use vartol_ssta::{EngineKind, MonteCarloTimer, ScopedPool, SstaConfig, TimingEngine};
+
+/// Schema tag stamped into every report (bump on breaking layout
+/// changes).
+pub const SUITE_SCHEMA: &str = "vartol-suite/1";
+
+/// Knobs of one suite run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SuiteConfig {
+    /// σ weight of the optimization runs.
+    pub alpha: f64,
+    /// Monte-Carlo sample budget per circuit.
+    pub mc_samples: usize,
+    /// Monte-Carlo seed (fixed so reports are comparable across hosts).
+    pub mc_seed: u64,
+    /// Worker threads for candidate scoring and sampling (0 = all CPUs).
+    pub threads: usize,
+    /// Shared engine configuration.
+    pub ssta: SstaConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 3.0,
+            mc_samples: 2000,
+            mc_seed: 0xDA7E_2005,
+            threads: 0,
+            ssta: SstaConfig::default(),
+        }
+    }
+}
+
+/// One engine's whole-circuit result on one scenario.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineStat {
+    /// Engine name (`dsta`, `fassta`, `fullssta`, `montecarlo`).
+    pub engine: String,
+    /// Analysis wall-clock seconds.
+    pub wall_s: f64,
+    /// Circuit mean delay (ps).
+    pub mu: f64,
+    /// Circuit delay standard deviation (ps).
+    pub sigma: f64,
+}
+
+/// The end-to-end optimization result on one scenario.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SizingStat {
+    /// Optimization wall-clock seconds.
+    pub wall_s: f64,
+    /// Circuit mean before sizing (ps).
+    pub mu_before: f64,
+    /// Circuit σ before sizing (ps).
+    pub sigma_before: f64,
+    /// Circuit mean after sizing (ps).
+    pub mu_after: f64,
+    /// Circuit σ after sizing (ps).
+    pub sigma_after: f64,
+    /// Total cell area before sizing.
+    pub area_before: f64,
+    /// Total cell area after sizing.
+    pub area_after: f64,
+    /// Percent area change.
+    pub area_delta_pct: f64,
+    /// Gates moved to a new size across all kept passes.
+    pub resized: usize,
+    /// Outer passes executed.
+    pub passes: usize,
+}
+
+/// Everything measured on one circuit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioReport {
+    /// Circuit name (preset name or `.bench` file stem).
+    pub circuit: String,
+    /// Cell-gate count.
+    pub gates: usize,
+    /// Logic depth (levels).
+    pub depth: usize,
+    /// Per-engine analysis results, fixed order
+    /// dsta/fassta/fullssta/montecarlo.
+    pub engines: Vec<EngineStat>,
+    /// The optimization flow's result.
+    pub sizing: SizingStat,
+}
+
+/// The whole suite run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SuiteReport {
+    /// Layout tag ([`SUITE_SCHEMA`]).
+    pub schema: String,
+    /// Resolved worker-thread count the run used.
+    pub threads: usize,
+    /// σ weight of the optimization runs.
+    pub alpha: f64,
+    /// Monte-Carlo sample budget per circuit.
+    pub mc_samples: usize,
+    /// One entry per circuit, in run order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl SuiteReport {
+    /// Checks the report for the failure modes CI must catch: an empty
+    /// scenario list, or any non-finite / negative-variance statistic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending scenario and field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scenarios.is_empty() {
+            return Err("report contains no scenarios".into());
+        }
+        let finite = |name: &str, what: &str, x: f64| -> Result<(), String> {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name}: non-finite {what} ({x})"))
+            }
+        };
+        for s in &self.scenarios {
+            if s.gates == 0 {
+                return Err(format!("{}: zero gates", s.circuit));
+            }
+            for e in &s.engines {
+                finite(&s.circuit, &format!("{} mu", e.engine), e.mu)?;
+                finite(&s.circuit, &format!("{} sigma", e.engine), e.sigma)?;
+                finite(&s.circuit, &format!("{} wall_s", e.engine), e.wall_s)?;
+                if e.sigma < 0.0 {
+                    return Err(format!("{}: negative {} sigma", s.circuit, e.engine));
+                }
+            }
+            let z = &s.sizing;
+            for (what, x) in [
+                ("sizing wall_s", z.wall_s),
+                ("mu_before", z.mu_before),
+                ("sigma_before", z.sigma_before),
+                ("mu_after", z.mu_after),
+                ("sigma_after", z.sigma_after),
+                ("area_before", z.area_before),
+                ("area_after", z.area_after),
+                ("area_delta_pct", z.area_delta_pct),
+            ] {
+                finite(&s.circuit, what, x)?;
+            }
+            if z.sigma_after < 0.0 || z.sigma_before < 0.0 {
+                return Err(format!("{}: negative sizing sigma", s.circuit));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON for `BENCH_suite.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite reports serialize")
+    }
+}
+
+/// Re-checks a written report from its JSON text alone: the schema tag
+/// must be present, at least `min_scenarios` circuits must be covered,
+/// and no `null` may appear (the vendored serializer renders every
+/// non-finite float as `null`, and a valid report has no other source
+/// of them).
+///
+/// # Errors
+///
+/// Returns a message describing the first failed check.
+pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
+    if !text.contains(SUITE_SCHEMA) {
+        return Err(format!("missing schema tag `{SUITE_SCHEMA}`"));
+    }
+    // Only a bare `null` *value* is a non-finite statistic; the token
+    // after a colon can't be part of a circuit name (string values are
+    // quoted), so `nullsum.bench` never false-positives.
+    if text.contains(": null") || text.contains(":null") {
+        return Err("report contains `null` — a statistic was non-finite".into());
+    }
+    // Count the key (with its colon), not the bare string, so a circuit
+    // literally named "circuit" can't inflate the coverage count.
+    let covered = text.matches("\"circuit\":").count();
+    if covered < min_scenarios {
+        return Err(format!(
+            "report covers {covered} scenarios, need at least {min_scenarios}"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs every engine plus the optimization flow on one circuit.
+///
+/// # Panics
+///
+/// Panics if the netlist references cells missing from the library.
+#[must_use]
+pub fn run_scenario(netlist: &Netlist, library: &Library, config: &SuiteConfig) -> ScenarioReport {
+    let mut ssta = config.ssta.clone();
+    ssta.threads = config.threads;
+
+    let mut engines = Vec::with_capacity(4);
+    for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
+        let t0 = Instant::now();
+        let report = kind.engine(library, &ssta).analyze(netlist);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let m = report.circuit_moments();
+        engines.push(EngineStat {
+            engine: kind.to_string(),
+            wall_s,
+            mu: m.mean,
+            sigma: m.std(),
+        });
+    }
+    {
+        let timer = MonteCarloTimer::new(library, &ssta)
+            .with_samples(config.mc_samples)
+            .with_seed(config.mc_seed)
+            .with_threads(config.threads);
+        let t0 = Instant::now();
+        let report = TimingEngine::analyze(&timer, netlist);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let m = report.circuit_moments();
+        engines.push(EngineStat {
+            engine: EngineKind::MonteCarlo.to_string(),
+            wall_s,
+            mu: m.mean,
+            sigma: m.std(),
+        });
+    }
+
+    let mut sized = netlist.clone();
+    let sizer_config = SizerConfig::with_alpha(config.alpha).with_ssta(ssta);
+    let t0 = Instant::now();
+    let report = StatisticalGreedy::new(library, sizer_config).optimize(&mut sized);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let sizing = SizingStat {
+        wall_s,
+        mu_before: report.initial_moments().mean,
+        sigma_before: report.initial_moments().std(),
+        mu_after: report.final_moments().mean,
+        sigma_after: report.final_moments().std(),
+        area_before: report.initial_area(),
+        area_after: report.final_area(),
+        area_delta_pct: report.delta_area_pct(),
+        resized: report.passes().iter().map(|p| p.resized).sum(),
+        passes: report.passes().len(),
+    };
+
+    ScenarioReport {
+        circuit: netlist.name().to_owned(),
+        gates: netlist.gate_count(),
+        depth: netlist.depth(),
+        engines,
+        sizing,
+    }
+}
+
+/// Runs the whole scenario matrix and assembles the report, calling
+/// `observe` after each scenario (progress reporting) with the scenario
+/// and its total wall-clock.
+///
+/// # Panics
+///
+/// Panics if a netlist references cells missing from the library.
+pub fn run_suite_with(
+    circuits: &[Netlist],
+    library: &Library,
+    config: &SuiteConfig,
+    mut observe: impl FnMut(&ScenarioReport, std::time::Duration),
+) -> SuiteReport {
+    let mut report = SuiteReport {
+        schema: SUITE_SCHEMA.to_owned(),
+        threads: ScopedPool::new(config.threads).threads(),
+        alpha: config.alpha,
+        mc_samples: config.mc_samples,
+        scenarios: Vec::with_capacity(circuits.len()),
+    };
+    for circuit in circuits {
+        let t0 = Instant::now();
+        let scenario = run_scenario(circuit, library, config);
+        observe(&scenario, t0.elapsed());
+        report.scenarios.push(scenario);
+    }
+    report
+}
+
+/// Runs the whole scenario matrix and assembles the report.
+///
+/// # Panics
+///
+/// Panics if a netlist references cells missing from the library.
+#[must_use]
+pub fn run_suite(circuits: &[Netlist], library: &Library, config: &SuiteConfig) -> SuiteReport {
+    run_suite_with(circuits, library, config, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_netlist::generators::preset;
+
+    fn tiny_config() -> SuiteConfig {
+        SuiteConfig {
+            mc_samples: 200,
+            threads: 1,
+            ..SuiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn suite_report_on_presets_is_valid_and_serializes() {
+        let lib = Library::synthetic_90nm();
+        let circuits: Vec<Netlist> = ["adder_8", "cmp_8"]
+            .iter()
+            .map(|n| preset(n, &lib).expect("known preset"))
+            .collect();
+        let report = run_suite(&circuits, &lib, &tiny_config());
+        report.validate().expect("valid report");
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.scenarios.len(), 2);
+        for s in &report.scenarios {
+            assert_eq!(s.engines.len(), 4, "{}", s.circuit);
+            assert!(
+                s.sizing.sigma_after <= s.sizing.sigma_before,
+                "{}: sizing must not worsen sigma",
+                s.circuit
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("adder_8") && json.contains("cmp_8"));
+        check_json_text(&json, 2).expect("text check passes");
+        assert!(
+            check_json_text(&json, 3).is_err(),
+            "coverage floor enforced"
+        );
+    }
+
+    #[test]
+    fn validation_catches_non_finite_statistics() {
+        let lib = Library::synthetic_90nm();
+        let circuits = vec![preset("cmp_8", &lib).expect("known preset")];
+        let mut report = run_suite(&circuits, &lib, &tiny_config());
+        report.scenarios[0].engines[2].sigma = f64::NAN;
+        let err = report.validate().expect_err("NaN must fail");
+        assert!(err.contains("fullssta sigma"), "{err}");
+        // And the text-level check sees the shim's `null` rendering.
+        assert!(check_json_text(&report.to_json(), 1).is_err());
+    }
+
+    #[test]
+    fn empty_suite_is_rejected() {
+        let report = SuiteReport {
+            schema: SUITE_SCHEMA.to_owned(),
+            threads: 1,
+            alpha: 3.0,
+            mc_samples: 100,
+            scenarios: Vec::new(),
+        };
+        assert!(report.validate().is_err());
+    }
+}

@@ -88,6 +88,17 @@ impl SizerConfig {
         self
     }
 
+    /// Sets the worker-thread count for parallel candidate scoring (and
+    /// any sampling engines the run touches); `0` means one worker per
+    /// available CPU. Purely a speed knob: the optimizer's result is
+    /// bit-identical for every thread count (see
+    /// [`StatisticalGreedy`](crate::StatisticalGreedy)).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.ssta.threads = threads;
+        self
+    }
+
     /// Caps the number of outer passes.
     #[must_use]
     pub fn with_max_passes(mut self, passes: usize) -> Self {
@@ -151,6 +162,13 @@ mod tests {
         let c = SizerConfig::with_alpha(9.0);
         assert_eq!(c.alpha, 9.0);
         assert_eq!(c.subcircuit_depth, SizerConfig::default().subcircuit_depth);
+    }
+
+    #[test]
+    fn with_threads_sets_the_nested_ssta_knob() {
+        let c = SizerConfig::with_alpha(3.0).with_threads(8);
+        assert_eq!(c.ssta.threads, 8);
+        assert_eq!(SizerConfig::default().ssta.threads, 0, "0 = all CPUs");
     }
 
     #[test]

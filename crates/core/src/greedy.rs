@@ -1,4 +1,32 @@
-//! The StatisticalGreedy sizing algorithm (paper Fig. 2).
+//! The StatisticalGreedy sizing algorithm (paper Fig. 2), with a
+//! parallel candidate-evaluation inner loop.
+//!
+//! # Parallel candidate evaluation
+//!
+//! Each outer pass scores every gate on the statistical critical paths
+//! by trialing all of its library sizes with the fast engine over a
+//! local subcircuit, against the pass-start (frozen) FULLSSTA boundary
+//! statistics. Those per-gate scoring jobs are mutually independent —
+//! every trial reads only the frozen arrival/electrical snapshot and
+//! mutates only a private netlist clone — so they fan out across a
+//! [`ScopedPool`]: one speculative session fork
+//! ([`TimingSession::fork_for_trial`]) per worker thread, one task per
+//! path gate, results gathered in path order.
+//!
+//! Determinism contract: each task's result depends only on its gate
+//! (every trial mutation is rolled back inside the task), and the pool
+//! returns results in task-index order, so the scheduled resizes — and
+//! therefore the whole [`OptimizationReport`], the final sizes, and the
+//! final moments — are **bit-identical for every thread count**,
+//! including the single-threaded inline path. The worker count comes
+//! from [`SstaConfig::threads`](vartol_ssta::SstaConfig) (see
+//! [`SizerConfig::with_threads`]); `0` means one worker per CPU. This is
+//! the same contract the parallel Monte-Carlo engine ships, asserted in
+//! `tests/sizing_determinism.rs` across 1-, 2-, and 8-thread pools.
+//!
+//! Commits stay sequential by design: batch validation, rollback, and
+//! area recovery are incremental cone refreshes on the one authoritative
+//! [`TimingSession`], which is inherently ordered.
 
 use crate::config::SizerConfig;
 use crate::cost::{moments_cost, subcircuit_cost};
@@ -6,7 +34,7 @@ use crate::report::{OptimizationReport, PassStats};
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist, Subcircuit};
-use vartol_ssta::{EngineKind, Fassta, TimingSession, WnssTracer};
+use vartol_ssta::{EngineKind, Fassta, ScopedPool, TimingSession, TrialSession, WnssTracer};
 
 /// The paper's statistically-aware gain-based gate sizer.
 ///
@@ -21,7 +49,9 @@ use vartol_ssta::{EngineKind, Fassta, TimingSession, WnssTracer};
 /// rollbacks, and per-candidate validations are **incremental**: only the
 /// fanout cone of the gates that actually changed is re-analyzed, instead
 /// of the whole netlist — the asymptotic win that makes deep circuits
-/// tractable.
+/// tractable. Candidate scoring fans out over session forks on a
+/// [`ScopedPool`] (see the [module docs](self)), bit-identical at every
+/// thread count.
 ///
 /// # Example
 ///
@@ -76,6 +106,7 @@ impl<'l> StatisticalGreedy<'l> {
             netlist,
             EngineKind::FullSsta,
         );
+        let pool = ScopedPool::new(self.config.ssta.threads);
 
         let mut passes: Vec<PassStats> = Vec::new();
         let initial = session.circuit_moments();
@@ -98,11 +129,16 @@ impl<'l> StatisticalGreedy<'l> {
                     tracer.trace_all(session.netlist(), session.arrivals())
                 }
             };
+            // Score all path gates concurrently: one frozen fork per
+            // worker, one task per gate, results in path order.
+            let decisions = pool.map_init(
+                path.len(),
+                || session.fork_for_trial(),
+                |fork, i| self.best_size_for(fork, path[i], &fast_engine),
+            );
             let mut scheduled: Vec<(GateId, usize)> = Vec::new();
-            for &g in &path {
-                if let Some((best_size, current)) =
-                    self.best_size_for(&mut session, g, &fast_engine)
-                {
+            for (&g, decision) in path.iter().zip(&decisions) {
+                if let Some((best_size, current)) = *decision {
                     if best_size != current {
                         scheduled.push((g, best_size));
                     }
@@ -240,18 +276,19 @@ impl<'l> StatisticalGreedy<'l> {
     }
 
     /// Evaluates every library size of `g` over its subcircuit with the
-    /// fast engine against the session's stored (pass-start) boundary
+    /// fast engine against the fork's frozen (pass-start) boundary
     /// statistics; returns `(best_size, current_size)`, or `None` if the
-    /// gate has no alternatives. Trials mutate sizes through the session
-    /// without refreshing, so the boundary stays frozen (§4.3) and the
-    /// rollback cancels all pending work.
+    /// gate has no alternatives. Trials mutate only the fork's scratch
+    /// netlist and are rolled back before returning, so the fork can be
+    /// reused for the next gate and the result depends on nothing but
+    /// `g` — the property the parallel scoring fan-out relies on.
     fn best_size_for(
         &self,
-        session: &mut TimingSession<'_, '_>,
+        fork: &mut TrialSession<'_>,
         g: GateId,
         fast_engine: &Fassta<'_>,
     ) -> Option<(usize, usize)> {
-        let gate = session.netlist().gate(g);
+        let gate = fork.netlist().gate(g);
         let GateKind::Cell {
             function,
             size: current,
@@ -265,16 +302,16 @@ impl<'l> StatisticalGreedy<'l> {
             return None;
         }
 
-        let sub = Subcircuit::extract(session.netlist(), g, self.config.subcircuit_depth);
+        let sub = Subcircuit::extract(fork.netlist(), g, self.config.subcircuit_depth);
         let alpha = self.config.alpha;
 
         let mut best_size = current;
         let mut best_cost = {
             let outs = fast_engine.evaluate_subcircuit(
-                session.netlist(),
+                fork.netlist(),
                 &sub,
-                session.arrivals(),
-                session.timing(),
+                fork.arrivals(),
+                fork.timing(),
             );
             subcircuit_cost(&outs, alpha)
         };
@@ -282,12 +319,12 @@ impl<'l> StatisticalGreedy<'l> {
             if size == current {
                 continue;
             }
-            session.resize(g, size);
+            fork.resize(g, size);
             let outs = fast_engine.evaluate_subcircuit(
-                session.netlist(),
+                fork.netlist(),
                 &sub,
-                session.arrivals(),
-                session.timing(),
+                fork.arrivals(),
+                fork.timing(),
             );
             let cost = subcircuit_cost(&outs, alpha);
             if cost < best_cost - f64::EPSILON * best_cost.abs() {
@@ -295,7 +332,7 @@ impl<'l> StatisticalGreedy<'l> {
                 best_size = size;
             }
         }
-        session.resize(g, current); // trial state rolled back
+        fork.resize(g, current); // trial state rolled back
         Some((best_size, current))
     }
 }
@@ -437,6 +474,87 @@ mod tests {
         let check = FullSsta::new(&lib, &SizerConfig::default().ssta).analyze(&n);
         assert!(check.circuit_moments().cost(3.0) <= budget + 1e-6);
         let _ = changed;
+    }
+
+    #[test]
+    fn recover_area_with_zero_budget_changes_nothing() {
+        // Cost μ + α·σ is strictly positive, so a zero budget rejects
+        // every downsize; the netlist must come back untouched.
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(6, &lib);
+        let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+        let _ = sizer.optimize(&mut n);
+        let sizes_before = n.sizes();
+        let changed = sizer.recover_area(&mut n, 0.0);
+        assert_eq!(changed, 0);
+        assert_eq!(n.sizes(), sizes_before);
+    }
+
+    #[test]
+    fn recover_area_with_unbounded_budget_reaches_minimum_sizes() {
+        // A budget beyond any reachable cost lets every gate fall to its
+        // smallest size — total area hits the reset-sizes floor.
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(6, &lib);
+        let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+        let _ = sizer.optimize(&mut n);
+        let upsized = n
+            .gate_ids()
+            .filter(|&g| n.gate(g).size() != Some(0))
+            .count();
+        assert!(upsized > 0, "optimization must have upsized something");
+
+        let changed = sizer.recover_area(&mut n, f64::INFINITY);
+        assert_eq!(changed, upsized, "every non-minimum gate comes down");
+        assert!(n.gate_ids().all(|g| n.gate(g).size() == Some(0)));
+
+        let mut floor = ripple_carry_adder(6, &lib);
+        floor.reset_sizes();
+        assert!((n.total_area(&lib) - floor.total_area(&lib)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recover_area_on_already_minimum_sizes_is_a_no_op() {
+        let lib = Library::synthetic_90nm();
+        let mut n = parity_tree(16, &lib);
+        n.reset_sizes();
+        let area = n.total_area(&lib);
+        let sizer = StatisticalGreedy::new(&lib, SizerConfig::with_alpha(3.0));
+        let changed = sizer.recover_area(&mut n, f64::INFINITY);
+        assert_eq!(changed, 0, "nothing below size 0 to try");
+        assert_eq!(n.total_area(&lib), area);
+        assert!(n.gate_ids().all(|g| n.gate(g).size() == Some(0)));
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_across_thread_counts() {
+        // The in-crate smoke for the determinism contract; the checked-in
+        // integration test (tests/sizing_determinism.rs) covers c17 and
+        // more generator circuits under explicit CI pool widths.
+        let lib = Library::synthetic_90nm();
+        let base = ripple_carry_adder(8, &lib);
+        let run = |threads: usize| {
+            let mut n = base.clone();
+            let config = SizerConfig::with_alpha(3.0).with_threads(threads);
+            let report = StatisticalGreedy::new(&lib, config).optimize(&mut n);
+            (report, n.sizes())
+        };
+        let (r1, s1) = run(1);
+        for threads in [2, 8] {
+            let (rn, sn) = run(threads);
+            assert_eq!(s1, sn, "{threads}-thread sizes");
+            assert_eq!(r1, rn, "{threads}-thread report");
+            assert_eq!(
+                r1.final_moments().mean.to_bits(),
+                rn.final_moments().mean.to_bits(),
+                "{threads}-thread mean bits"
+            );
+            assert_eq!(
+                r1.final_moments().var.to_bits(),
+                rn.final_moments().var.to_bits(),
+                "{threads}-thread var bits"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! §5 of the paper: *"Two variations components were added to the gate
 //! delays: one proportional to delay through gate and another random source
 //! corresponding to unsystematic manufacturing variations"* (following Cong
-//! [25] and Nassif [26]).
+//! \[25\] and Nassif \[26\]).
 //!
 //! The proportional component shrinks with device size — larger devices
 //! average out dopant/geometry fluctuations — which is the physical lever

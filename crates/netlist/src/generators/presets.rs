@@ -1,0 +1,131 @@
+//! Named size presets for the benchmark scenario matrix.
+//!
+//! Where [`benchmarks`](super::benchmarks) mirrors the paper's Table-1
+//! suite, this module names *parameterized* instantiations of every
+//! generator family — adders, multipliers, ALUs, ECC correctors,
+//! comparators, and seeded random DAGs at several sizes — so harnesses
+//! like the `vartol-suite` runner can sweep a reproducible circuit
+//! matrix by name. Each preset is deterministic: the same name always
+//! generates the same netlist (random DAGs use fixed seeds).
+
+use super::{
+    alu, array_multiplier, ecc_corrector, magnitude_comparator, random_dag, ripple_carry_adder,
+    RandomDagConfig,
+};
+use crate::graph::Netlist;
+use vartol_liberty::Library;
+
+/// Every preset name, smallest to largest within each family.
+#[must_use]
+pub fn preset_names() -> &'static [&'static str] {
+    &[
+        "adder_8", "adder_16", "adder_32", "mult_8", "mult_12", "alu_8", "alu_16", "ecc_16",
+        "ecc_32", "cmp_8", "cmp_16", "dag_150", "dag_400",
+    ]
+}
+
+/// The small tier: one modest instance per generator family, sized so
+/// the full end-to-end flow (all engines plus optimization) stays in CI
+/// smoke-test territory even on a single CPU.
+#[must_use]
+pub fn small_preset_names() -> &'static [&'static str] {
+    &[
+        "adder_8", "adder_16", "mult_8", "alu_8", "ecc_16", "cmp_8", "dag_150",
+    ]
+}
+
+/// Generates one preset circuit by name (named after the preset);
+/// `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::preset;
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = preset("adder_8", &lib).expect("known preset");
+/// assert_eq!(n.name(), "adder_8");
+/// assert!(preset("adder_9000", &lib).is_none());
+/// ```
+#[must_use]
+pub fn preset(name: &str, library: &Library) -> Option<Netlist> {
+    let dag = |gates, seed| {
+        let config = RandomDagConfig {
+            inputs: 12,
+            gates,
+            window: 32,
+        };
+        random_dag(config, seed, library)
+    };
+    let n = match name {
+        "adder_8" => ripple_carry_adder(8, library),
+        "adder_16" => ripple_carry_adder(16, library),
+        "adder_32" => ripple_carry_adder(32, library),
+        "mult_8" => array_multiplier(8, library),
+        "mult_12" => array_multiplier(12, library),
+        "alu_8" => alu(8, library),
+        "alu_16" => alu(16, library),
+        "ecc_16" => ecc_corrector(16, false, library),
+        "ecc_32" => ecc_corrector(32, true, library),
+        "cmp_8" => magnitude_comparator(8, library),
+        "cmp_16" => magnitude_comparator(16, library),
+        "dag_150" => dag(150, 0xDA61),
+        "dag_400" => dag(400, 0xDA62),
+        _ => return None,
+    };
+    Some(n.with_name(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_generates_a_valid_named_circuit() {
+        let lib = Library::synthetic_90nm();
+        for name in preset_names() {
+            let n = preset(name, &lib).expect("names list is authoritative");
+            assert_eq!(n.name(), *name);
+            assert!(n.check_invariants().is_ok(), "{name}");
+            assert!(n.validate_against_library(&lib).is_ok(), "{name}");
+            assert!(n.gate_count() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn small_tier_is_a_subset_and_covers_every_family() {
+        let lib = Library::synthetic_90nm();
+        for name in small_preset_names() {
+            assert!(preset_names().contains(name), "{name} must be a preset");
+        }
+        for family in ["adder", "mult", "alu", "ecc", "cmp", "dag"] {
+            assert!(
+                small_preset_names().iter().any(|n| n.starts_with(family)),
+                "small tier must include a {family} circuit"
+            );
+        }
+        let _ = lib;
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let lib = Library::synthetic_90nm();
+        for name in ["dag_150", "adder_16", "mult_8"] {
+            let a = preset(name, &lib).expect("known");
+            let b = preset(name, &lib).expect("known");
+            assert_eq!(a, b, "{name} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn sizes_scale_within_each_family() {
+        let lib = Library::synthetic_90nm();
+        let gates = |name: &str| preset(name, &lib).expect("known").gate_count();
+        assert!(gates("adder_8") < gates("adder_16"));
+        assert!(gates("adder_16") < gates("adder_32"));
+        assert!(gates("mult_8") < gates("mult_12"));
+        assert!(gates("ecc_16") < gates("ecc_32"));
+        assert!(gates("dag_150") < gates("dag_400"));
+    }
+}

@@ -6,7 +6,7 @@ use vartol_liberty::VariationModel;
 ///
 /// The paper's outer engine (after Liou et al.) assumes independence but
 /// notes that correlations due to reconvergent paths can be tracked "using
-/// Principal Component Analysis [17] or other methods as long as runtime
+/// Principal Component Analysis \[17\] or other methods as long as runtime
 /// is managed appropriately" (§4.3). On deeply reconvergent circuits (the
 /// c6288 multiplier) the independence assumption compounds badly: the mean
 /// inflates and the bounded discrete supports make the max of thousands of

@@ -2,7 +2,7 @@
 //!
 //! The probability that a gate lies on *the* critical path of a
 //! manufactured die. Hashimoto & Onodera (ISPD'00 — the paper's reference
-//! [5]) optimize using such criticalities; the paper contrasts its
+//! \[5\]) optimize using such criticalities; the paper contrasts its
 //! WNSS-path approach against them but both views are useful: criticality
 //! is the natural per-gate "how much does this gate matter" metric, and it
 //! complements the single-path tracer when reporting results.

@@ -1,7 +1,7 @@
 //! FULLSSTA — the accurate outer statistical timing engine (§4.2).
 //!
 //! Based on the discrete-PDF propagation of Liou et al. (DAC'01, the
-//! paper's reference [15]): every arrival time is a discretized PDF at a
+//! paper's reference \[15\]): every arrival time is a discretized PDF at a
 //! user-controlled sampling rate (10–15 points), propagated with `sum`
 //! (convolution) and `max` (CDF product) and re-discretized after each
 //! operation. Besides the PDFs, the engine stores the mean and variance at

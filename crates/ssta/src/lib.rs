@@ -84,6 +84,6 @@ pub use fassta::Fassta;
 pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
 pub use pool::ScopedPool;
-pub use session::TimingSession;
+pub use session::{TimingSession, TrialSession};
 pub use slack::StatisticalSlacks;
 pub use wnss::WnssTracer;

@@ -19,7 +19,7 @@
 //! * Chunk `c` draws from its own `StdRng` stream seeded by a SplitMix64
 //!   mix of `(seed, c)` — see [`MonteCarloTimer::chunk_seed`] — so chunks
 //!   are independent of each other and of how they are scheduled.
-//! * Chunks run on a [`ScopedPool`](crate::pool::ScopedPool); per-chunk
+//! * Chunks run on a [`ScopedPool`]; per-chunk
 //!   summaries ([`RunningMoments`] per node plus the raw chunk samples)
 //!   are gathered **in chunk order** and merged left-to-right.
 //!

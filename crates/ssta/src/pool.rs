@@ -67,25 +67,60 @@ impl ScopedPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_init(tasks, || (), move |(), i| job(i))
+    }
+
+    /// Like [`ScopedPool::map`], but every worker builds one reusable
+    /// scratch state with `init` before pulling task indices, and `job`
+    /// receives `&mut` access to its worker's state alongside the index.
+    ///
+    /// This is the amortization hook for jobs that need an expensive
+    /// mutable workspace (the optimizer's speculative netlist forks): the
+    /// workspace is built once per worker, not once per task.
+    ///
+    /// Determinism contract: the result of `job(state, i)` must depend
+    /// only on `i` (and on data captured by the closures) — never on
+    /// which worker ran it or on what that worker ran before. In
+    /// practice, `job` must leave `state` observationally unchanged
+    /// (e.g. roll back every trial mutation) before returning. Under that
+    /// contract the returned vector is bit-identical for every pool
+    /// width, exactly like [`ScopedPool::map`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any `init` or `job` call (after joining
+    /// the other workers).
+    pub fn map_init<S, T, I, F>(&self, tasks: usize, init: I, job: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
         let workers = self.threads.min(tasks);
         if workers <= 1 {
-            return (0..tasks).map(job).collect();
+            let mut state = init();
+            return (0..tasks).map(|i| job(&mut state, i)).collect();
         }
 
         let next = AtomicUsize::new(0);
+        let init = &init;
         let job = &job;
         let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     s.spawn(move || {
+                        let mut state = init();
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks {
                                 break;
                             }
-                            done.push((i, job(i)));
+                            done.push((i, job(&mut state, i)));
                         }
                         done
                     })
@@ -164,6 +199,48 @@ mod tests {
         let data: Vec<f64> = (0..64).map(f64::from).collect();
         let sums = ScopedPool::new(4).map(8, |i| data[i * 8..(i + 1) * 8].iter().sum::<f64>());
         assert_eq!(sums.iter().sum::<f64>(), data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn map_init_results_are_index_ordered_for_all_widths() {
+        // A per-worker scratch buffer, mutated and rolled back per task —
+        // the optimizer-fork usage pattern.
+        let expected: Vec<usize> = (0..200).map(|i| i * 3 + 5).collect();
+        for threads in [1, 2, 3, 8] {
+            let inits = AtomicUsize::new(0);
+            let got = ScopedPool::new(threads).map_init(
+                200,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0usize; 4]
+                },
+                |scratch, i| {
+                    scratch[i % 4] = i; // trial mutation
+                    let r = scratch[i % 4] * 3 + 5;
+                    scratch[i % 4] = 0; // rolled back
+                    r
+                },
+            );
+            assert_eq!(got, expected, "{threads} threads");
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads.max(1),
+                "at most one init per worker"
+            );
+        }
+    }
+
+    #[test]
+    fn map_init_zero_tasks_never_calls_init() {
+        let inits = AtomicUsize::new(0);
+        let out = ScopedPool::new(4).map_init(
+            0,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i| i,
+        );
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -7,12 +7,32 @@
 //! [`TimingSession::refresh`] re-analyzes **incrementally**: only the
 //! transitive fanout cone of the changed gates (plus their fanins, whose
 //! loads changed) is recomputed, instead of the whole netlist — yet the
-//! result matches a from-scratch [`TimingEngine::analyze`] run bit for
+//! result matches a from-scratch
+//! [`TimingEngine::analyze`](crate::TimingEngine::analyze) run bit for
 //! bit, because both paths share the same per-node kernels.
 //!
 //! This is the performance core of the optimization loop: on deep
 //! circuits, a single-gate resize near the outputs touches a handful of
 //! nodes where a from-scratch pass would touch thousands.
+//!
+//! For speculative work — scoring many independent `(gate, size)`
+//! candidates against one frozen analysis — a session can be forked with
+//! [`TimingSession::fork_for_trial`]: each [`TrialSession`] owns a
+//! scratch netlist clone and borrows the parent's refreshed arrival and
+//! electrical state, so forks on different worker threads can trial
+//! resizes concurrently without ever touching the session or each other.
+//!
+//! Dirty-flag contract (audited for the parallel optimizer): `resize`
+//! and `restore_sizes` mark exactly the gates whose current size differs
+//! from the last-analyzed snapshot, resizing back cancels the pending
+//! work, and `refresh` re-seeds every dirty gate *plus its fanins*
+//! (whose loads changed). Read accessors between a resize/restore and
+//! the next `refresh` intentionally serve the last-refreshed state
+//! (frozen boundary semantics, §4.3); after a `refresh` they are always
+//! bit-identical to a from-scratch analysis — there is no interleaving
+//! of `resize`/`restore_sizes`/`refresh` that can leave an accessor
+//! serving arrivals stale with respect to a completed refresh (see the
+//! `restore_then_refresh_*` and randomized-interleaving tests below).
 //!
 //! # Example
 //!
@@ -270,6 +290,100 @@ impl<'l, 'n> TimingSession<'l, 'n> {
         kind.engine(self.library, &self.config)
             .analyze(self.netlist)
     }
+
+    /// Forks the session for speculative candidate evaluation.
+    ///
+    /// The fork owns a private clone of the netlist (so trial resizes
+    /// never touch the session) and borrows the session's refreshed
+    /// arrival and electrical state as a **frozen boundary snapshot** —
+    /// exactly the stored pass-start statistics the paper's inner engine
+    /// evaluates subcircuits against (§4.3). Because forks share no
+    /// mutable state, independent `(gate, size)` candidates can be scored
+    /// concurrently (one fork per [`ScopedPool`](crate::ScopedPool)
+    /// worker via
+    /// [`ScopedPool::map_init`](crate::ScopedPool::map_init)) with
+    /// results that are bit-identical to serial evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resizes are pending ([`TimingSession::is_dirty`]): the
+    /// frozen snapshot must be consistent with the sizes it was computed
+    /// from, so callers refresh first.
+    #[must_use]
+    pub fn fork_for_trial(&self) -> TrialSession<'_> {
+        assert!(
+            !self.is_dirty(),
+            "fork_for_trial requires a refreshed session (pending resizes would \
+             make the frozen arrival snapshot inconsistent)"
+        );
+        TrialSession {
+            library: self.library,
+            config: &self.config,
+            netlist: self.netlist.clone(),
+            arrivals: &self.state.arrivals,
+            timing: &self.state.timing,
+        }
+    }
+}
+
+/// A speculative-evaluation fork of a [`TimingSession`].
+///
+/// Created by [`TimingSession::fork_for_trial`]. The fork owns a scratch
+/// netlist clone whose sizes can be mutated freely through
+/// [`TrialSession::resize`], while [`TrialSession::arrivals`] and
+/// [`TrialSession::timing`] keep serving the parent session's frozen
+/// (pass-start) statistics. It is `Send`, so one fork per worker thread
+/// can score candidates in parallel; a fork never writes back — commit
+/// decisions go through the parent session.
+#[derive(Debug, Clone)]
+pub struct TrialSession<'s> {
+    library: &'s Library,
+    config: &'s SstaConfig,
+    netlist: Netlist,
+    arrivals: &'s [Moments],
+    timing: &'s CircuitTiming,
+}
+
+impl<'s> TrialSession<'s> {
+    /// The parent session's library.
+    #[must_use]
+    pub fn library(&self) -> &'s Library {
+        self.library
+    }
+
+    /// The parent session's timing configuration.
+    #[must_use]
+    pub fn config(&self) -> &'s SstaConfig {
+        self.config
+    }
+
+    /// The fork's scratch netlist (current trial sizes).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Sets the size of a cell gate in the scratch netlist only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input.
+    pub fn resize(&mut self, id: GateId, size: usize) {
+        self.netlist.set_size(id, size);
+    }
+
+    /// The frozen arrival moments captured at fork time, indexed by
+    /// [`GateId::index`] — boundary statistics for subcircuit trials.
+    #[must_use]
+    pub fn arrivals(&self) -> &'s [Moments] {
+        self.arrivals
+    }
+
+    /// The frozen electrical snapshot captured at fork time.
+    #[must_use]
+    pub fn timing(&self) -> &'s CircuitTiming {
+        self.timing
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +534,167 @@ mod tests {
             "incremental refresh must not approach a full pass: \
              {visited} of {node_count}"
         );
+    }
+
+    #[test]
+    fn fork_trials_never_touch_the_parent() {
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = ripple_carry_adder(8, &lib);
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        let baseline = session.refresh();
+        let sizes_before = session.sizes();
+        let arrivals_before = session.arrivals().to_vec();
+
+        let g = session.netlist().gate_ids().nth(4).expect("gates");
+        let mut fork = session.fork_for_trial();
+        fork.resize(g, 5);
+        assert_eq!(fork.netlist().gate(g).size(), Some(5));
+        // Frozen boundary: the fork still serves pass-start arrivals.
+        assert_eq!(fork.arrivals(), arrivals_before.as_slice());
+
+        // The parent saw none of it.
+        assert!(!session.is_dirty());
+        assert_eq!(session.sizes(), sizes_before);
+        assert_eq!(session.refresh(), baseline);
+        assert_eq!(session.arrivals(), arrivals_before.as_slice());
+    }
+
+    #[test]
+    fn forks_score_candidates_identically_across_pool_widths() {
+        use crate::pool::ScopedPool;
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = benchmark("c432", &lib).expect("known");
+        let mut session = TimingSession::new(&lib, config, &mut n);
+        session.refresh();
+        let gates: Vec<GateId> = session.netlist().gate_ids().take(24).collect();
+
+        // Score "upsize by one" for each gate in a fork; the trial is
+        // rolled back before the next task, so results depend only on
+        // the task index.
+        let score = |fork: &mut TrialSession<'_>, i: usize| -> (u64, u64) {
+            let g = gates[i];
+            let current = fork.netlist().gate(g).size().expect("cell");
+            fork.resize(g, current + 1);
+            let fast = crate::Fassta::new(fork.library(), fork.config());
+            let sub = vartol_netlist::Subcircuit::extract(fork.netlist(), g, 2);
+            let outs =
+                fast.evaluate_subcircuit(fork.netlist(), &sub, fork.arrivals(), fork.timing());
+            fork.resize(g, current);
+            let m = outs.iter().copied().reduce(|a, b| a + b).expect("outputs");
+            (m.mean.to_bits(), m.var.to_bits())
+        };
+
+        let serial = ScopedPool::new(1).map_init(gates.len(), || session.fork_for_trial(), score);
+        for threads in [2, 8] {
+            let parallel =
+                ScopedPool::new(threads).map_init(gates.len(), || session.fork_for_trial(), score);
+            assert_eq!(serial, parallel, "{threads}-thread pool");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a refreshed session")]
+    fn fork_of_a_dirty_session_is_rejected() {
+        let lib = Library::synthetic_90nm();
+        let mut n = ripple_carry_adder(4, &lib);
+        let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut n);
+        let g = session.netlist().gate_ids().next().expect("gates");
+        session.resize(g, 3);
+        let _ = session.fork_for_trial();
+    }
+
+    #[test]
+    fn restore_then_refresh_never_serves_stale_arrivals() {
+        // The dirty-flag audit regression: every interleaving of resize /
+        // restore_sizes / refresh must leave post-refresh accessors
+        // bit-identical to a from-scratch analysis, including restores
+        // that cancel part of the pending work.
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = benchmark("c432", &lib).expect("known");
+        let gates: Vec<GateId> = n.gate_ids().collect();
+        let mut session = TimingSession::new(&lib, config, &mut n);
+
+        let snapshot = session.sizes();
+        session.resize(gates[5], 4);
+        session.resize(gates[17], 3);
+        session.refresh();
+        let refreshed_sizes = session.sizes();
+        let refreshed_arrivals = session.arrivals().to_vec();
+
+        // Restore while clean: accessors before the refresh still serve
+        // the last-refreshed state (documented staleness), never a
+        // half-updated one.
+        session.restore_sizes(&snapshot);
+        assert!(session.is_dirty());
+        assert_eq!(session.arrivals(), refreshed_arrivals.as_slice());
+
+        // Partially cancel the restore: gate 5 back to its refreshed
+        // size, so only gate 17 (and its cone) should be recomputed.
+        session.resize(gates[5], 4);
+        let after = session.refresh();
+        let mut expected_sizes = snapshot.clone();
+        expected_sizes[gates[5].index()] = refreshed_sizes[gates[5].index()];
+        assert_eq!(session.sizes(), expected_sizes);
+
+        let scratch = session.report(EngineKind::FullSsta);
+        assert_moments_eq(
+            after,
+            scratch.circuit_moments(),
+            0.0,
+            "post-restore refresh",
+        );
+        assert_eq!(
+            session.arrivals(),
+            scratch.arrivals(),
+            "arrivals must be fresh"
+        );
+    }
+
+    #[test]
+    fn randomized_resize_restore_interleavings_match_scratch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default();
+        let mut n = benchmark("c432", &lib).expect("known");
+        let gates: Vec<GateId> = n.gate_ids().collect();
+        let mut session = TimingSession::with_kind(&lib, config, &mut n, EngineKind::Fassta);
+        let mut rng = StdRng::seed_from_u64(0x5e_5510);
+        let mut snapshot = session.sizes();
+
+        for step in 0..60 {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    let g = gates[rng.gen_range(0..gates.len())];
+                    let gate = session.netlist().gate(g);
+                    let group = session
+                        .library()
+                        .group(gate.function().expect("cell"), gate.fanins().len())
+                        .expect("library covers suite functions");
+                    let size = rng.gen_range(0..group.len());
+                    session.resize(g, size);
+                }
+                1 => snapshot = session.sizes(),
+                2 => session.restore_sizes(&snapshot.clone()),
+                _ => {
+                    let refreshed = session.refresh();
+                    let scratch = session.report(EngineKind::Fassta);
+                    assert_moments_eq(
+                        refreshed,
+                        scratch.circuit_moments(),
+                        0.0,
+                        &format!("step {step}"),
+                    );
+                    assert_eq!(session.arrivals(), scratch.arrivals(), "step {step}");
+                }
+            }
+        }
+        let last = session.refresh();
+        let scratch = session.report(EngineKind::Fassta);
+        assert_moments_eq(last, scratch.circuit_moments(), 0.0, "final");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Clark's moments of the maximum of (correlated) normal random variables.
 //!
 //! C. E. Clark, *"The greatest of a finite set of random variables"*,
-//! Operations Research 9 (1961) — reference [22] of the paper. Given normals
+//! Operations Research 9 (1961) — reference \[22\] of the paper. Given normals
 //! `A ~ N(μA, σA²)` and `B ~ N(μB, σB²)` with correlation `ρ`, define
 //!
 //! ```text

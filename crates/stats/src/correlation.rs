@@ -1,7 +1,7 @@
 //! Correlation matrices and principal-component decomposition.
 //!
 //! The paper's outer engine "can track correlations due to reconvergent
-//! paths using Principal Component Analysis [17] or other methods as long as
+//! paths using Principal Component Analysis \[17\] or other methods as long as
 //! runtime is managed appropriately" (§4.3). This module supplies that hook:
 //! a symmetric correlation matrix type, a Jacobi eigen-decomposition, and a
 //! PCA that rewrites a set of correlated normal variation sources as linear

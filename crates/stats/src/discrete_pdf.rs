@@ -1,7 +1,7 @@
 //! Discretized probability density functions and the `sum`/`max` operations
 //! of the accurate SSTA engine (FULLSSTA).
 //!
-//! Following Liou et al. (DAC'01, the paper's reference [15] and the basis of
+//! Following Liou et al. (DAC'01, the paper's reference \[15\] and the basis of
 //! its FULLSSTA component), arrival-time distributions are discretized at a
 //! user-controlled sampling rate — the paper uses 10–15 samples per PDF as a
 //! speed/accuracy tradeoff. Propagation needs two operations:

@@ -77,7 +77,7 @@ pub fn phi_pdf(x: f64) -> f64 {
 }
 
 /// The paper's quadratic approximation of `½·erf(x/√2) = Φ(x) − ½`,
-/// accurate to two decimal places (§4.3, citing CRC [23]).
+/// accurate to two decimal places (§4.3, citing CRC \[23\]).
 ///
 /// Odd in `x`; saturates to exactly ±0.5 beyond |x| = [`SATURATION`].
 ///

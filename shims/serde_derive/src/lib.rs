@@ -2,7 +2,7 @@
 //! `#[derive(Deserialize)]` without `syn`/`quote`.
 //!
 //! `Serialize` generates a real `serde::Serialize` impl producing the
-//! shim's tree-model [`Value`]; `Deserialize` generates an empty marker
+//! shim's tree-model `Value`; `Deserialize` generates an empty marker
 //! impl (nothing in the workspace deserializes). Supported shapes: named
 //! structs, tuple structs, unit structs, and enums with unit / named /
 //! tuple variants. The only helper attribute honored is `#[serde(skip)]`.

@@ -26,7 +26,31 @@
 //!   mergeable Welford accumulators ([`stats::RunningMoments`]) — combine
 //!   in chunk order.
 //! * [`core`] — the paper's contribution: the `StatisticalGreedy` sizer with
-//!   the weighted `μ + α·σ` objective, plus deterministic baselines.
+//!   the weighted `μ + α·σ` objective, plus deterministic baselines. Its
+//!   candidate-evaluation inner loop is parallel: each outer pass forks the
+//!   timing session ([`TimingSession::fork_for_trial`](ssta::TimingSession::fork_for_trial))
+//!   once per worker, scores every `(gate, size)` candidate on the frozen
+//!   pass-start statistics concurrently, and merges the bids in path order —
+//!   so the chosen resizes, final moments, and area are bit-identical for
+//!   every thread count (`SizerConfig::with_threads`, 0 = all CPUs), just
+//!   like the Monte-Carlo engine.
+//!
+//! # Benchmark-suite runner
+//!
+//! The `vartol-suite` binary (in `crates/bench`) is the perf-artifact
+//! pipeline: it runs all four engines plus the full optimization flow over
+//! a scenario matrix — `data/*.bench` circuits and the generator presets
+//! (`netlist::generators::presets`: adders, multipliers, ALUs, ECC
+//! correctors, comparators, seeded random DAGs at several sizes) — and
+//! writes a validated `BENCH_suite.json` with per-circuit wall-clock, μ/σ
+//! before/after sizing, area delta, resize count, and thread count. CI runs
+//! the small tier on every push and uploads the report as a workflow
+//! artifact, failing on panics or non-finite statistics:
+//!
+//! ```text
+//! cargo run --release -p vartol-bench --bin vartol-suite -- --subset small
+//! cargo run --release -p vartol-bench --bin vartol-suite -- --check BENCH_suite.json
+//! ```
 //!
 //! # Quickstart
 //!

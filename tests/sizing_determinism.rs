@@ -1,0 +1,107 @@
+//! The parallel gate-sizing determinism contract.
+//!
+//! `StatisticalGreedy` scores `(gate, size)` candidates concurrently on
+//! session forks over a `ScopedPool`; the contract (same as the parallel
+//! Monte-Carlo engine's) is that the chosen resizes — and therefore the
+//! final sizes, the moments, the area, and the whole pass history — are
+//! **bit-identical for every thread count**. CI runs this suite with
+//! `--test-threads=1` so the pool, not the test harness, owns all
+//! parallelism; `VARTOL_SIZER_THREADS` widens the compared set beyond
+//! the built-in 1/2/8.
+
+use vartol::core::{OptimizationReport, SizerConfig, StatisticalGreedy};
+use vartol::liberty::Library;
+use vartol::netlist::generators::preset;
+use vartol::netlist::iscas::parse_bench;
+use vartol::netlist::Netlist;
+
+fn c17() -> Netlist {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/c17.bench");
+    let text = std::fs::read_to_string(path).expect("data/c17.bench ships with the repo");
+    parse_bench(&text, "c17").expect("c17 parses")
+}
+
+/// The compared pool widths: 1 (serial reference), 2, 8, plus any extra
+/// width from `VARTOL_SIZER_THREADS`.
+fn widths() -> Vec<usize> {
+    let mut widths = vec![1, 2, 8];
+    if let Ok(extra) = std::env::var("VARTOL_SIZER_THREADS") {
+        widths.push(
+            extra
+                .parse()
+                .expect("VARTOL_SIZER_THREADS must be a thread count"),
+        );
+    }
+    widths
+}
+
+fn optimize_at(
+    base: &Netlist,
+    library: &Library,
+    alpha: f64,
+    threads: usize,
+) -> (OptimizationReport, Vec<usize>) {
+    let mut n = base.clone();
+    let config = SizerConfig::with_alpha(alpha).with_threads(threads);
+    let report = StatisticalGreedy::new(library, config).optimize(&mut n);
+    (report, n.sizes())
+}
+
+fn assert_bit_identical(name: &str, base: &Netlist, library: &Library, alpha: f64) {
+    let (serial_report, serial_sizes) = optimize_at(base, library, alpha, 1);
+    assert!(
+        serial_report
+            .passes()
+            .iter()
+            .map(|p| p.resized)
+            .sum::<usize>()
+            > 0,
+        "{name}: the run must actually resize something for the test to mean anything"
+    );
+    for threads in widths().into_iter().skip(1) {
+        let (report, sizes) = optimize_at(base, library, alpha, threads);
+        assert_eq!(
+            serial_sizes, sizes,
+            "{name}: {threads}-thread pool picked different resizes"
+        );
+        assert_eq!(
+            serial_report, report,
+            "{name}: {threads}-thread report diverged"
+        );
+        // PartialEq on f64 moments is exact, but make the bit-for-bit
+        // claim explicit for the headline numbers.
+        for (a, b) in [
+            (
+                serial_report.final_moments().mean,
+                report.final_moments().mean,
+            ),
+            (
+                serial_report.final_moments().var,
+                report.final_moments().var,
+            ),
+            (serial_report.final_area(), report.final_area()),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: {threads}-thread bits");
+        }
+    }
+}
+
+#[test]
+fn c17_sizing_is_bit_identical_across_pool_widths() {
+    let library = Library::synthetic_90nm();
+    assert_bit_identical("c17", &c17(), &library, 9.0);
+}
+
+#[test]
+fn adder_sizing_is_bit_identical_across_pool_widths() {
+    let library = Library::synthetic_90nm();
+    let base = preset("adder_16", &library).expect("known preset");
+    assert_bit_identical("adder_16", &base, &library, 3.0);
+}
+
+#[test]
+fn ecc_sizing_is_bit_identical_across_pool_widths() {
+    let library = Library::synthetic_90nm();
+    let base = preset("ecc_16", &library).expect("known preset");
+    assert_bit_identical("ecc_16", &base, &library, 3.0);
+}
