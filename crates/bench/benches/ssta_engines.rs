@@ -39,9 +39,8 @@ fn bench_engines(c: &mut Criterion) {
         let base = benchmark(name, &lib).expect("known benchmark");
         let gate = base.gate_ids().last().expect("gates");
         group.bench_with_input(BenchmarkId::new("session_cone", name), &base, |b, base| {
-            let mut n = base.clone();
             let mut session =
-                TimingSession::with_kind(&lib, config.clone(), &mut n, EngineKind::FullSsta);
+                TimingSession::with_kind(&lib, config.clone(), base.clone(), EngineKind::FullSsta);
             let mut size = 0usize;
             b.iter(|| {
                 size = (size + 1) % 4;

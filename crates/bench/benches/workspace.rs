@@ -1,0 +1,82 @@
+//! Throughput of the `Workspace` batched query front door.
+//!
+//! The `workspace_throughput` group submits one mixed read-only batch —
+//! three engine analyses, a slack query, and a criticality ranking per
+//! circuit, over six preset circuits (30 requests) — against a warm
+//! workspace at 1-, 2-, and 8-wide fan-out pools. Batched queries/sec is
+//! `30 / (reported time per iteration)`; on a multi-core host the wider
+//! pools divide the wall-clock while (by the determinism contract,
+//! asserted in `tests/workspace_determinism.rs`) returning bit-identical
+//! answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vartol::liberty::Library;
+use vartol::ssta::EngineKind;
+use vartol::workspace::{Request, Workspace, WorkspaceConfig};
+
+const CIRCUITS: [&str; 6] = ["adder_8", "adder_16", "mult_8", "cmp_8", "alu_8", "dag_150"];
+
+fn mixed_read_batch() -> Vec<Request> {
+    CIRCUITS
+        .iter()
+        .flat_map(|&name| {
+            [
+                Request::Analyze {
+                    circuit: name.into(),
+                    kind: EngineKind::Dsta,
+                },
+                Request::Analyze {
+                    circuit: name.into(),
+                    kind: EngineKind::Fassta,
+                },
+                Request::Analyze {
+                    circuit: name.into(),
+                    kind: EngineKind::FullSsta,
+                },
+                Request::Slack {
+                    circuit: name.into(),
+                    t_req: 1.0e4,
+                    alpha: 3.0,
+                },
+                Request::Criticality {
+                    circuit: name.into(),
+                    top: 8,
+                },
+            ]
+        })
+        .collect()
+}
+
+fn bench_workspace_throughput(c: &mut Criterion) {
+    let library = Library::synthetic_90nm();
+    let requests = mixed_read_batch();
+
+    let mut group = c.benchmark_group("workspace_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for threads in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                // Registration (the one-off full analyses) stays outside
+                // the measured loop: the service steady state is warm
+                // sessions answering batches.
+                let mut ws = Workspace::new(
+                    library.clone(),
+                    WorkspaceConfig::default().with_threads(threads),
+                );
+                for name in CIRCUITS {
+                    ws.register_preset(name).expect("known preset");
+                }
+                b.iter(|| black_box(ws.submit(&requests).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workspace_throughput);
+criterion_main!(benches);

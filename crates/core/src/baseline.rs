@@ -9,6 +9,7 @@
 //! target allows. Both run on a deterministic [`TimingSession`], so every
 //! size trial re-times only the affected fanout cone.
 
+use std::sync::Arc;
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist};
@@ -32,20 +33,25 @@ pub struct BaselineReport {
 }
 
 /// Greedy deterministic mean-delay minimizer with area recovery.
+///
+/// Like [`StatisticalGreedy`](crate::StatisticalGreedy), the sizer holds
+/// its library through a shared handle, so it has no lifetime parameters.
 #[derive(Debug, Clone)]
-pub struct MeanDelaySizer<'l> {
-    library: &'l Library,
+pub struct MeanDelaySizer {
+    library: Arc<Library>,
     config: SstaConfig,
     max_passes: usize,
 }
 
-impl<'l> MeanDelaySizer<'l> {
+impl MeanDelaySizer {
     /// Creates a sizer over a library with the given timing configuration
     /// (variation is irrelevant here — only nominal delays are used).
+    /// Accepts an `Arc<Library>`, an owned `Library`, or a `&Library`
+    /// (cloned once).
     #[must_use]
-    pub fn new(library: &'l Library, config: &SstaConfig) -> Self {
+    pub fn new(library: impl Into<Arc<Library>>, config: &SstaConfig) -> Self {
         Self {
-            library,
+            library: library.into(),
             config: config.clone(),
             max_passes: 40,
         }
@@ -68,9 +74,13 @@ impl<'l> MeanDelaySizer<'l> {
     #[must_use]
     pub fn minimize_delay(&self, netlist: &mut Netlist) -> BaselineReport {
         let start = Instant::now();
-        let initial_area = netlist.total_area(self.library);
-        let mut session =
-            TimingSession::with_kind(self.library, self.config.clone(), netlist, EngineKind::Dsta);
+        let initial_area = netlist.total_area(&self.library);
+        let mut session = TimingSession::with_kind(
+            Arc::clone(&self.library),
+            self.config.clone(),
+            netlist.clone(),
+            EngineKind::Dsta,
+        );
         let initial_delay = session.circuit_moments().mean;
 
         let mut best_score = Self::score(&mut session);
@@ -116,6 +126,7 @@ impl<'l> MeanDelaySizer<'l> {
         }
 
         let final_area = session.total_area();
+        *netlist = session.into_netlist();
         BaselineReport {
             initial_delay,
             final_delay: best_score.0,
@@ -130,7 +141,7 @@ impl<'l> MeanDelaySizer<'l> {
     /// of all output arrivals as a tie-breaker (so the longest path of
     /// every output gets minimized, Design-Compiler style). Refreshes the
     /// session (incremental) before reading.
-    fn score(session: &mut TimingSession<'_, '_>) -> (f64, f64) {
+    fn score(session: &mut TimingSession) -> (f64, f64) {
         session.refresh();
         let total: f64 = session
             .netlist()
@@ -156,7 +167,7 @@ impl<'l> MeanDelaySizer<'l> {
     /// deterministic objective. Returns true if the size changed.
     fn improve_gate(
         &self,
-        session: &mut TimingSession<'_, '_>,
+        session: &mut TimingSession,
         g: GateId,
         best_score: &mut (f64, f64),
     ) -> bool {
@@ -199,8 +210,12 @@ impl<'l> MeanDelaySizer<'l> {
     ///
     /// Panics if the netlist references cells missing from the library.
     pub fn recover_area(&self, netlist: &mut Netlist, target_delay: f64) -> usize {
-        let mut session =
-            TimingSession::with_kind(self.library, self.config.clone(), netlist, EngineKind::Dsta);
+        let mut session = TimingSession::with_kind(
+            Arc::clone(&self.library),
+            self.config.clone(),
+            netlist.clone(),
+            EngineKind::Dsta,
+        );
         let mut changed = 0;
         // Visit sinks first: downstream gates shield upstream slack.
         let ids: Vec<GateId> = session.netlist().gate_ids().collect();
@@ -223,6 +238,7 @@ impl<'l> MeanDelaySizer<'l> {
                 changed += 1;
             }
         }
+        *netlist = session.into_netlist();
         changed
     }
 }

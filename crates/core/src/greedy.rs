@@ -31,6 +31,7 @@
 use crate::config::SizerConfig;
 use crate::cost::{moments_cost, subcircuit_cost};
 use crate::report::{OptimizationReport, PassStats};
+use std::sync::Arc;
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist, Subcircuit};
@@ -66,16 +67,30 @@ use vartol_ssta::{EngineKind, Fassta, ScopedPool, TimingSession, TrialSession, W
 /// assert!(report.final_moments().std() <= report.initial_moments().std());
 /// ```
 #[derive(Debug, Clone)]
-pub struct StatisticalGreedy<'l> {
-    library: &'l Library,
+pub struct StatisticalGreedy {
+    library: Arc<Library>,
     config: SizerConfig,
 }
 
-impl<'l> StatisticalGreedy<'l> {
+impl StatisticalGreedy {
     /// Creates a sizer over a library with the given configuration.
+    ///
+    /// The sizer holds the library through a shared handle, so it has no
+    /// lifetime parameters and can be stored, cached, or sent across
+    /// threads. Accepts an `Arc<Library>` (shared, no copy), an owned
+    /// `Library`, or a `&Library` (cloned once).
     #[must_use]
-    pub fn new(library: &'l Library, config: SizerConfig) -> Self {
-        Self { library, config }
+    pub fn new(library: impl Into<Arc<Library>>, config: SizerConfig) -> Self {
+        Self {
+            library: library.into(),
+            config,
+        }
+    }
+
+    /// A shared handle to the sizer's library.
+    #[must_use]
+    pub fn library(&self) -> Arc<Library> {
+        Arc::clone(&self.library)
     }
 
     /// The configuration in use.
@@ -93,17 +108,18 @@ impl<'l> StatisticalGreedy<'l> {
     pub fn optimize(&self, netlist: &mut Netlist) -> OptimizationReport {
         let start = Instant::now();
         let alpha = self.config.alpha;
-        let fast_engine = Fassta::new(self.library, &self.config.ssta);
+        let fast_engine = Fassta::new(&self.library, &self.config.ssta);
         let tracer = WnssTracer::new(self.config.ssta.variation.mu_sigma_coupling());
 
         // The accurate outer engine lives in an incremental session: the
         // initial build is the only from-scratch FULLSSTA pass; every
         // subsequent commit, rollback, and candidate validation refreshes
-        // only the affected fanout cone.
+        // only the affected fanout cone. The session owns a working copy
+        // of the netlist; the optimized sizes flow back at the end.
         let mut session = TimingSession::with_kind(
-            self.library,
+            Arc::clone(&self.library),
             self.config.ssta.clone(),
-            netlist,
+            netlist.clone(),
             EngineKind::FullSsta,
         );
         let pool = ScopedPool::new(self.config.ssta.threads);
@@ -210,6 +226,7 @@ impl<'l> StatisticalGreedy<'l> {
         session.restore_sizes(&best_sizes);
         let final_moments = session.refresh();
         let final_area = session.total_area();
+        *netlist = session.into_netlist();
         OptimizationReport::new(
             alpha,
             initial,
@@ -245,9 +262,9 @@ impl<'l> StatisticalGreedy<'l> {
     pub fn recover_area(&self, netlist: &mut Netlist, cost_budget: f64) -> usize {
         let alpha = self.config.alpha;
         let mut session = TimingSession::with_kind(
-            self.library,
+            Arc::clone(&self.library),
             self.config.ssta.clone(),
-            netlist,
+            netlist.clone(),
             EngineKind::FullSsta,
         );
         let mut changed = 0;
@@ -272,6 +289,7 @@ impl<'l> StatisticalGreedy<'l> {
                 changed += 1;
             }
         }
+        *netlist = session.into_netlist();
         changed
     }
 

@@ -31,6 +31,14 @@
 //! that produces the paper's "original" comparison point (a circuit sized
 //! to minimize nominal delay), plus its area-recovery pass.
 //!
+//! Both sizers are **owned handles**: they hold their library through a
+//! shared `Arc` (a plain `&Library` converts by cloning once) and carry
+//! no lifetime parameters, so a sizer can be stored in a service, cached
+//! between runs, or sent to a worker thread. Internally each run opens an
+//! owned [`TimingSession`](vartol_ssta::TimingSession) on a working copy
+//! of the netlist and writes the optimized sizes back through the
+//! `&mut Netlist` argument.
+//!
 //! # Example
 //!
 //! ```

@@ -123,6 +123,17 @@ pub struct Library {
     name_index: HashMap<String, (usize, usize)>,
 }
 
+/// A borrowed library converts into a shared handle by cloning — the
+/// bridge that lets owned-handle consumers ([`std::sync::Arc`]-holding
+/// sessions, sizers, workspaces) accept `&Library` at construction
+/// without a lifetime parameter. Libraries are small (a few dozen cells
+/// of lookup tables), so the clone is cheap relative to any analysis.
+impl From<&Library> for std::sync::Arc<Library> {
+    fn from(library: &Library) -> Self {
+        std::sync::Arc::new(library.clone())
+    }
+}
+
 impl Library {
     /// Builds a library from groups.
     ///

@@ -41,6 +41,23 @@ pub enum NetlistError {
         /// Its input count.
         arity: usize,
     },
+    /// A [`GateId`](crate::GateId) index points past the end of the
+    /// netlist's node table (an id from a different or re-built netlist).
+    NodeOutOfRange {
+        /// The offending dense index.
+        index: usize,
+        /// The netlist's node count.
+        nodes: usize,
+    },
+    /// A size was assigned to a primary input, which carries none.
+    InputHasNoSize(String),
+    /// A size snapshot's length does not match the netlist's node count.
+    SizeSnapshotMismatch {
+        /// Length of the supplied snapshot.
+        got: usize,
+        /// The netlist's node count.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for NetlistError {
@@ -70,6 +87,16 @@ impl std::fmt::Display for NetlistError {
                 write!(
                     f,
                     "gate `{gate}`: library has no cell for {function}/{arity}"
+                )
+            }
+            Self::NodeOutOfRange { index, nodes } => {
+                write!(f, "node index {index} out of range ({nodes} nodes)")
+            }
+            Self::InputHasNoSize(n) => write!(f, "primary input `{n}` cannot be sized"),
+            Self::SizeSnapshotMismatch { got, expected } => {
+                write!(
+                    f,
+                    "size snapshot has {got} entries, netlist has {expected} nodes"
                 )
             }
         }

@@ -227,10 +227,28 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this netlist.
+    /// Panics if `id` does not belong to this netlist (see
+    /// [`Netlist::try_gate`] for the non-panicking form).
     #[must_use]
     pub fn gate(&self, id: GateId) -> &Gate {
         &self.nodes[id.index()]
+    }
+
+    /// The node for `id`, rejecting ids from a different (or larger)
+    /// netlist instead of panicking — the validation entry point for
+    /// services that accept untrusted requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NodeOutOfRange`] when `id` points past the
+    /// node table.
+    pub fn try_gate(&self, id: GateId) -> Result<&Gate, NetlistError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(NetlistError::NodeOutOfRange {
+                index: id.index(),
+                nodes: self.nodes.len(),
+            })
     }
 
     /// Looks a node up by name.
@@ -254,11 +272,40 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is a primary input.
+    /// Panics if `id` is a primary input (see [`Netlist::try_set_size`]
+    /// for the non-panicking form).
     pub fn set_size(&mut self, id: GateId, size: usize) {
         match &mut self.nodes[id.index()].kind {
             GateKind::Input => panic!("cannot size a primary input"),
             GateKind::Cell { size: s, .. } => *s = size,
+        }
+    }
+
+    /// Sets the size index of a cell gate, rejecting bad ids and input
+    /// nodes instead of panicking. Size indices are *not* checked against
+    /// a library here (the netlist knows none); use
+    /// [`Netlist::validate_against_library`] or check the
+    /// [`CellGroup`](vartol_liberty::CellGroup) length for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NodeOutOfRange`] for an id past the node
+    /// table, or [`NetlistError::InputHasNoSize`] for a primary input.
+    pub fn try_set_size(&mut self, id: GateId, size: usize) -> Result<(), NetlistError> {
+        let nodes = self.nodes.len();
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(NetlistError::NodeOutOfRange {
+                index: id.index(),
+                nodes,
+            })?;
+        match &mut node.kind {
+            GateKind::Input => Err(NetlistError::InputHasNoSize(node.name.clone())),
+            GateKind::Cell { size: s, .. } => {
+                *s = size;
+                Ok(())
+            }
         }
     }
 
@@ -272,18 +319,34 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `sizes.len() != self.node_count()`.
+    /// Panics if `sizes.len() != self.node_count()` (see
+    /// [`Netlist::try_restore_sizes`] for the non-panicking form).
     pub fn restore_sizes(&mut self, sizes: &[usize]) {
-        assert_eq!(
-            sizes.len(),
-            self.nodes.len(),
-            "size snapshot length mismatch"
-        );
+        self.try_restore_sizes(sizes)
+            .unwrap_or_else(|e| panic!("size snapshot length mismatch: {e}"));
+    }
+
+    /// Restores a snapshot taken with [`Netlist::sizes`], rejecting a
+    /// length mismatch instead of panicking. On error the netlist is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::SizeSnapshotMismatch`] when
+    /// `sizes.len() != self.node_count()`.
+    pub fn try_restore_sizes(&mut self, sizes: &[usize]) -> Result<(), NetlistError> {
+        if sizes.len() != self.nodes.len() {
+            return Err(NetlistError::SizeSnapshotMismatch {
+                got: sizes.len(),
+                expected: self.nodes.len(),
+            });
+        }
         for (node, &s) in self.nodes.iter_mut().zip(sizes) {
             if let GateKind::Cell { size, .. } = &mut node.kind {
                 *size = s;
             }
         }
+        Ok(())
     }
 
     /// Resets every gate to the smallest size.
@@ -560,6 +623,57 @@ mod tests {
     fn sizing_input_panics() {
         let (mut n, a, _, _) = tiny();
         n.set_size(a, 1);
+    }
+
+    #[test]
+    fn try_gate_rejects_foreign_ids() {
+        let (n, _, g1, _) = tiny();
+        assert_eq!(n.try_gate(g1).expect("valid id").name(), "g1");
+        let bad = GateId::from_index(n.node_count() + 3);
+        assert_eq!(
+            n.try_gate(bad).expect_err("out of range"),
+            NetlistError::NodeOutOfRange {
+                index: n.node_count() + 3,
+                nodes: n.node_count()
+            }
+        );
+    }
+
+    #[test]
+    fn try_set_size_rejects_inputs_and_bad_ids_without_mutating() {
+        let (mut n, a, g1, _) = tiny();
+        n.try_set_size(g1, 2).expect("cells are sizable");
+        assert_eq!(n.gate(g1).size(), Some(2));
+        assert_eq!(
+            n.try_set_size(a, 1).expect_err("inputs have no size"),
+            NetlistError::InputHasNoSize("a".into())
+        );
+        let snapshot = n.sizes();
+        let bad = GateId::from_index(99);
+        assert!(matches!(
+            n.try_set_size(bad, 1),
+            Err(NetlistError::NodeOutOfRange { index: 99, .. })
+        ));
+        assert_eq!(n.sizes(), snapshot, "failed calls leave sizes untouched");
+    }
+
+    #[test]
+    fn try_restore_sizes_rejects_length_mismatch_without_mutating() {
+        let (mut n, _, g1, _) = tiny();
+        n.set_size(g1, 3);
+        let snapshot = n.sizes();
+        assert_eq!(
+            n.try_restore_sizes(&[0]).expect_err("wrong length"),
+            NetlistError::SizeSnapshotMismatch {
+                got: 1,
+                expected: n.node_count()
+            }
+        );
+        assert_eq!(n.sizes(), snapshot, "error path must not half-apply");
+        let mut restored = snapshot.clone();
+        restored[g1.index()] = 1;
+        n.try_restore_sizes(&restored).expect("matching length");
+        assert_eq!(n.gate(g1).size(), Some(1));
     }
 
     #[test]

@@ -112,6 +112,66 @@ proptest! {
     }
 
     #[test]
+    fn fanout_cone_matches_naive_bfs_reference((cfg, seed) in dag_config(), picks in 1usize..6) {
+        // `fanout_cone` is load-bearing for incremental refresh seeding,
+        // the cone-bound assertions, and the workspace's what-if path, so
+        // pin it against an independent reference: a plain queue-based
+        // BFS over fanout edges.
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(cfg, seed, &lib);
+
+        // A reproducible seed set drawn from all nodes (inputs included),
+        // with intentional duplicates.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc0de);
+        let mut seeds: Vec<vartol_netlist::GateId> = (0..picks)
+            .map(|_| {
+                let i = rng.gen_range(0..n.node_count());
+                vartol_netlist::GateId::from_index(i)
+            })
+            .collect();
+        seeds.extend(seeds.clone()); // duplicates must collapse
+
+        // Naive reference: BFS membership, no ordering guarantees.
+        let mut reachable = vec![false; n.node_count()];
+        let mut queue: std::collections::VecDeque<vartol_netlist::GateId> =
+            seeds.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            for &f in n.gate(id).fanouts() {
+                queue.push_back(f);
+            }
+        }
+
+        let cone = n.fanout_cone(seeds.iter().copied());
+
+        // Identical membership...
+        let expected: Vec<vartol_netlist::GateId> = reachable
+            .iter()
+            .enumerate()
+            .filter(|(_, &hit)| hit)
+            .map(|(i, _)| vartol_netlist::GateId::from_index(i))
+            .collect();
+        prop_assert_eq!(&cone, &expected, "membership must match the BFS reference");
+
+        // ...in topological order: ids ascend (construction order is
+        // topological), and explicitly, every in-cone fanin of a cone
+        // member precedes it in the returned vector.
+        prop_assert!(cone.windows(2).all(|w| w[0] < w[1]), "cone must be sorted");
+        let position: std::collections::HashMap<_, _> =
+            cone.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+        for &member in &cone {
+            for &f in n.gate(member).fanins() {
+                if let (Some(&pf), Some(&pm)) = (position.get(&f), position.get(&member)) {
+                    prop_assert!(pf < pm, "fanin {f} must precede {member} in the cone");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sizes_do_not_change_function((cfg, seed) in dag_config()) {
         let lib = Library::synthetic_90nm();
         let n0 = random_dag(cfg, seed, &lib);

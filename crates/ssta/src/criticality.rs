@@ -7,6 +7,11 @@
 //! is the natural per-gate "how much does this gate matter" metric, and it
 //! complements the single-path tracer when reporting results.
 //!
+//! The owned-handle session exposes this analysis directly:
+//! [`TimingSession::criticality`](crate::TimingSession::criticality)
+//! computes it from the session's refreshed arrivals, which is how the
+//! `vartol::workspace` service answers criticality-ranking queries.
+//!
 //! Computation: backward propagation of path probability. A primary
 //! output's criticality is the probability it realizes the circuit max;
 //! a node's criticality is the sum over its fanouts of the fanout's

@@ -7,9 +7,13 @@
 //!   netlist into the same [`engine::TimingReport`] (per-node arrival
 //!   moments, worst output, circuit moments, optional PDFs);
 //!   [`engine::EngineKind`] selects engines dynamically.
-//! * [`session::TimingSession`] — the incremental API: resize gates and
-//!   re-analyze only the affected fanout cone, with results identical to
-//!   a from-scratch run. This is what the optimizers' inner loops use.
+//! * [`session::TimingSession`] — the incremental API, an **owned
+//!   handle**: the session holds an `Arc<Library>` and the netlist
+//!   itself (no lifetime parameters), so it can live in structs, maps,
+//!   and services. Resize gates and re-analyze only the affected fanout
+//!   cone, with results identical to a from-scratch run. This is what
+//!   the optimizers' inner loops and the `vartol::workspace` query
+//!   service run on.
 //!
 //! The engines:
 //!
@@ -44,10 +48,10 @@
 //! use vartol_ssta::{SstaConfig, TimingSession};
 //!
 //! let lib = Library::synthetic_90nm();
-//! let mut netlist = ripple_carry_adder(8, &lib);
+//! let netlist = ripple_carry_adder(8, &lib);
 //!
-//! // A session caches everything the analysis needs across edits.
-//! let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut netlist);
+//! // A session owns everything the analysis needs across edits.
+//! let mut session = TimingSession::new(&lib, SstaConfig::default(), netlist);
 //! let before = session.refresh();
 //!
 //! // Resize one gate; the refresh only revisits its fanout cone.

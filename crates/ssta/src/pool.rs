@@ -25,6 +25,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A fixed-width pool of scoped worker threads.
 ///
@@ -143,6 +144,43 @@ impl ScopedPool {
             .map(|slot| slot.expect("every task index produced exactly one result"))
             .collect()
     }
+
+    /// Distributes **owned** work items across the pool: runs
+    /// `job(i, items[i])` for every item, handing each item to whichever
+    /// worker pulls its index, and returns results in item order. This is
+    /// the fan-out primitive for jobs that need `&mut` (or by-value)
+    /// access to per-task state — e.g. one mutable circuit session per
+    /// task — which the shared-closure [`ScopedPool::map`] cannot grant.
+    ///
+    /// Determinism contract: identical to [`ScopedPool::map`] — the
+    /// result of `job(i, item)` must depend only on `(i, item)` and
+    /// captured data, never on the worker or its history; under that
+    /// contract the returned vector is bit-identical for every pool
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (after joining the other
+    /// workers).
+    pub fn map_items<T, U, F>(&self, items: Vec<T>, job: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+    {
+        let tasks = items.len();
+        // Hand-off slots: worker `i` takes item `i` exactly once, so the
+        // per-slot locks are never contended.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.map(tasks, |i| {
+            let item = slots[i]
+                .lock()
+                .expect("hand-off slots are never poisoned")
+                .take()
+                .expect("each item index is pulled exactly once");
+            job(i, item)
+        })
+    }
 }
 
 impl Default for ScopedPool {
@@ -241,6 +279,28 @@ mod tests {
         );
         assert!(out.is_empty());
         assert_eq!(inits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn map_items_moves_each_item_exactly_once_in_order() {
+        // Items are owned (non-Clone wrapper) and results must come back
+        // in item order for every width.
+        struct Owned(usize);
+        for threads in [1, 2, 3, 8] {
+            let items: Vec<Owned> = (0..100).map(Owned).collect();
+            let got = ScopedPool::new(threads).map_items(items, |i, item| {
+                assert_eq!(i, item.0, "slot i hands out item i");
+                item.0 * 11 + 2
+            });
+            let expected: Vec<usize> = (0..100).map(|i| i * 11 + 2).collect();
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_items_empty_is_empty() {
+        let got = ScopedPool::new(4).map_items(Vec::<u32>::new(), |_, x| x);
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -1,9 +1,16 @@
-//! Incremental timing sessions.
+//! Incremental timing sessions — long-lived **owned handles**.
 //!
-//! A [`TimingSession`] owns the analysis context an optimizer needs across
-//! thousands of what-if resizes: the shared [`SstaConfig`], the borrowed
-//! netlist, cached levelization/fanout data, and the live propagation
-//! state of one engine flavor. After [`TimingSession::resize`], a
+//! A [`TimingSession`] owns the whole analysis context an optimizer or a
+//! query service needs across thousands of what-if resizes: a shared
+//! [`Arc<Library>`], the [`SstaConfig`], the **netlist itself**, cached
+//! levelization/fanout data, and the live propagation state of one
+//! engine flavor. Because the session borrows nothing, it has no
+//! lifetime parameters: it can be stored in a struct, kept in a map of
+//! circuits, sent to another thread, or held open for the lifetime of a
+//! service (see `vartol::workspace` in the façade crate). The netlist
+//! comes back out with [`TimingSession::into_netlist`].
+//!
+//! After [`TimingSession::resize`], a
 //! [`TimingSession::refresh`] re-analyzes **incrementally**: only the
 //! transitive fanout cone of the changed gates (plus their fanins, whose
 //! loads changed) is recomputed, instead of the whole netlist — yet the
@@ -42,39 +49,50 @@
 //! use vartol_ssta::{SstaConfig, TimingSession};
 //!
 //! let lib = Library::synthetic_90nm();
-//! let mut netlist = ripple_carry_adder(8, &lib);
-//! let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut netlist);
+//! let netlist = ripple_carry_adder(8, &lib);
+//! // The session takes the netlist by value and a shared library handle
+//! // (`&Library` converts by cloning); it owns everything it needs.
+//! let mut session = TimingSession::new(&lib, SstaConfig::default(), netlist);
 //!
 //! let before = session.refresh();
 //! let gate = session.netlist().gate_ids().next().unwrap();
 //! session.resize(gate, 4);
 //! let after = session.refresh(); // recomputes only the affected cone
 //! assert_ne!(before, after);
+//! let netlist = session.into_netlist(); // hand the circuit back out
+//! assert_eq!(netlist.gate(gate).size(), Some(4));
 //! ```
 
 use crate::config::SstaConfig;
+use crate::criticality::Criticality;
 use crate::delay::CircuitTiming;
 use crate::engine::{EngineKind, TimingReport};
+use crate::slack::StatisticalSlacks;
 use crate::state::{CircuitSummary, TimingState};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use vartol_liberty::Library;
-use vartol_netlist::{GateId, Netlist};
+use vartol_netlist::{GateId, Netlist, NetlistError};
 use vartol_stats::{DiscretePdf, Moments};
 
-/// An incremental timing-analysis session over one netlist.
+/// An incremental timing-analysis session over one netlist — an owned
+/// handle with no lifetime parameters.
 ///
-/// The session borrows the netlist mutably for its lifetime: all size
-/// changes flow through [`TimingSession::resize`] /
-/// [`TimingSession::restore_sizes`], which is what makes precise dirty
-/// tracking possible. Read accessors reflect the state as of the last
-/// [`TimingSession::refresh`] — reading stale arrivals between a resize
-/// and a refresh is explicitly supported (the optimizer's subcircuit
-/// trials evaluate against frozen boundary statistics, §4.3).
+/// The session owns the netlist: all size changes flow through
+/// [`TimingSession::resize`] / [`TimingSession::restore_sizes`], which is
+/// what makes precise dirty tracking possible, and the circuit comes
+/// back out via [`TimingSession::into_netlist`]. The library is shared
+/// through an [`Arc`], so many sessions (one per circuit in a service)
+/// reference one library without copies. Read accessors reflect the
+/// state as of the last [`TimingSession::refresh`] — reading stale
+/// arrivals between a resize and a refresh is explicitly supported (the
+/// optimizer's subcircuit trials evaluate against frozen boundary
+/// statistics, §4.3).
 #[derive(Debug)]
-pub struct TimingSession<'l, 'n> {
-    library: &'l Library,
+pub struct TimingSession {
+    library: Arc<Library>,
     config: SstaConfig,
-    netlist: &'n mut Netlist,
+    netlist: Netlist,
     state: TimingState,
     summary: CircuitSummary,
     /// Gate indices resized since the last refresh.
@@ -83,11 +101,15 @@ pub struct TimingSession<'l, 'n> {
     analyzed_sizes: Vec<usize>,
 }
 
-impl<'l, 'n> TimingSession<'l, 'n> {
+impl TimingSession {
     /// Opens a session with the accurate engine
     /// ([`EngineKind::FullSsta`]) as the incremental flavor.
+    ///
+    /// Accepts anything that converts into a shared library handle: an
+    /// `Arc<Library>` (shared, no copy), an owned `Library`, or a
+    /// `&Library` (cloned once).
     #[must_use]
-    pub fn new(library: &'l Library, config: SstaConfig, netlist: &'n mut Netlist) -> Self {
+    pub fn new(library: impl Into<Arc<Library>>, config: SstaConfig, netlist: Netlist) -> Self {
         Self::with_kind(library, config, netlist, EngineKind::FullSsta)
     }
 
@@ -100,17 +122,18 @@ impl<'l, 'n> TimingSession<'l, 'n> {
     /// missing from the library.
     #[must_use]
     pub fn with_kind(
-        library: &'l Library,
+        library: impl Into<Arc<Library>>,
         config: SstaConfig,
-        netlist: &'n mut Netlist,
+        netlist: Netlist,
         kind: EngineKind,
     ) -> Self {
         assert!(
             kind.supports_incremental(),
             "{kind} cannot back an incremental session"
         );
-        let state = TimingState::full(netlist, library, &config, kind);
-        let summary = state.circuit(netlist, &config);
+        let library = library.into();
+        let state = TimingState::full(&netlist, &library, &config, kind);
+        let summary = state.circuit(&netlist, &config);
         let analyzed_sizes = netlist.sizes();
         Self {
             library,
@@ -131,8 +154,22 @@ impl<'l, 'n> TimingSession<'l, 'n> {
 
     /// The session's library.
     #[must_use]
-    pub fn library(&self) -> &'l Library {
-        self.library
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// A shared handle to the session's library, for building sibling
+    /// sessions or sizers against the same cells without another clone.
+    #[must_use]
+    pub fn library_handle(&self) -> Arc<Library> {
+        Arc::clone(&self.library)
+    }
+
+    /// Consumes the session and hands the netlist (at its current sizes)
+    /// back to the caller.
+    #[must_use]
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
     }
 
     /// The shared timing configuration.
@@ -145,7 +182,7 @@ impl<'l, 'n> TimingSession<'l, 'n> {
     /// last refresh).
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
-        self.netlist
+        &self.netlist
     }
 
     /// Whether resizes are pending a [`TimingSession::refresh`].
@@ -166,14 +203,29 @@ impl<'l, 'n> TimingSession<'l, 'n> {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is a primary input.
+    /// Panics if `id` is a primary input or out of range (see
+    /// [`TimingSession::try_resize`] for the non-panicking form).
     pub fn resize(&mut self, id: GateId, size: usize) {
-        self.netlist.set_size(id, size);
+        self.try_resize(id, size)
+            .unwrap_or_else(|e| panic!("cannot size a primary input or bad id: {e}"));
+    }
+
+    /// Sets the size of a cell gate, rejecting bad ids and input nodes
+    /// instead of panicking; on error the session (netlist, dirty set,
+    /// analysis state) is untouched. This is the resize entry point for
+    /// services validating untrusted requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::try_set_size`] errors.
+    pub fn try_resize(&mut self, id: GateId, size: usize) -> Result<(), NetlistError> {
+        self.netlist.try_set_size(id, size)?;
         if self.analyzed_sizes[id.index()] == size {
             self.dirty.remove(&id.index());
         } else {
             self.dirty.insert(id.index());
         }
+        Ok(())
     }
 
     /// Snapshot of all gate sizes (see [`Netlist::sizes`]).
@@ -187,9 +239,21 @@ impl<'l, 'n> TimingSession<'l, 'n> {
     ///
     /// # Panics
     ///
-    /// Panics if `sizes.len() != netlist.node_count()`.
+    /// Panics if `sizes.len() != netlist.node_count()` (see
+    /// [`TimingSession::try_restore_sizes`] for the non-panicking form).
     pub fn restore_sizes(&mut self, sizes: &[usize]) {
-        self.netlist.restore_sizes(sizes);
+        self.try_restore_sizes(sizes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Restores a size snapshot, rejecting a length mismatch instead of
+    /// panicking; on error the session is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::try_restore_sizes`] errors.
+    pub fn try_restore_sizes(&mut self, sizes: &[usize]) -> Result<(), NetlistError> {
+        self.netlist.try_restore_sizes(sizes)?;
         for id in self.netlist.gate_ids() {
             let i = id.index();
             if sizes[i] == self.analyzed_sizes[i] {
@@ -198,12 +262,13 @@ impl<'l, 'n> TimingSession<'l, 'n> {
                 self.dirty.insert(i);
             }
         }
+        Ok(())
     }
 
     /// Total cell area at current sizes.
     #[must_use]
     pub fn total_area(&self) -> f64 {
-        self.netlist.total_area(self.library)
+        self.netlist.total_area(&self.library)
     }
 
     /// Brings the analysis up to date with the netlist's current sizes by
@@ -222,8 +287,8 @@ impl<'l, 'n> TimingSession<'l, 'n> {
                 }
             }
             self.state
-                .update(self.netlist, self.library, &self.config, seeds);
-            self.summary = self.state.circuit(self.netlist, &self.config);
+                .update(&self.netlist, &self.library, &self.config, seeds);
+            self.summary = self.state.circuit(&self.netlist, &self.config);
             // Only the dirty gates can differ from the analyzed snapshot,
             // so the bookkeeping stays proportional to the cone.
             for &i in &self.dirty {
@@ -236,6 +301,19 @@ impl<'l, 'n> TimingSession<'l, 'n> {
             self.dirty.clear();
         }
         self.summary.moments
+    }
+
+    /// Discards the incremental analysis state and rebuilds it from
+    /// scratch for the netlist's current sizes, clearing any pending
+    /// dirt. The result is identical to opening a fresh session on
+    /// [`TimingSession::into_netlist`] — this is the recovery hatch for
+    /// services that must keep a session alive after a query against it
+    /// panicked mid-analysis.
+    pub fn rebuild(&mut self) {
+        self.state = TimingState::full(&self.netlist, &self.library, &self.config, self.state.kind);
+        self.summary = self.state.circuit(&self.netlist, &self.config);
+        self.analyzed_sizes = self.netlist.sizes();
+        self.dirty.clear();
     }
 
     /// Circuit output moments as of the last refresh.
@@ -280,15 +358,40 @@ impl<'l, 'n> TimingSession<'l, 'n> {
     /// first if needed).
     pub fn current_report(&mut self) -> TimingReport {
         self.refresh();
-        self.state.to_report(self.netlist, &self.config)
+        self.state.to_report(&self.netlist, &self.config)
     }
 
     /// Runs any engine from scratch over the netlist's current sizes —
     /// the session as an engine front-end.
     #[must_use]
     pub fn report(&self, kind: EngineKind) -> TimingReport {
-        kind.engine(self.library, &self.config)
-            .analyze(self.netlist)
+        kind.engine(&self.library, &self.config)
+            .analyze(&self.netlist)
+    }
+
+    /// Statistical required times and slacks of the refreshed state
+    /// against a required time `t_req` at every output — the session's
+    /// own arrivals and electrical snapshot, no external plumbing.
+    pub fn slacks(&mut self, t_req: f64) -> StatisticalSlacks {
+        self.refresh();
+        StatisticalSlacks::compute_with_timing(
+            &self.netlist,
+            &self.state.timing,
+            &self.state.arrivals,
+            t_req,
+        )
+    }
+
+    /// Per-node statistical criticality of the refreshed state (the
+    /// probability of lying on the critical path of a manufactured die).
+    pub fn criticality(&mut self) -> Criticality {
+        self.refresh();
+        Criticality::compute(
+            &self.netlist,
+            &self.library,
+            &self.config,
+            &self.state.arrivals,
+        )
     }
 
     /// Forks the session for speculative candidate evaluation.
@@ -317,7 +420,7 @@ impl<'l, 'n> TimingSession<'l, 'n> {
              make the frozen arrival snapshot inconsistent)"
         );
         TrialSession {
-            library: self.library,
+            library: &self.library,
             config: &self.config,
             netlist: self.netlist.clone(),
             arrivals: &self.state.arrivals,
@@ -403,16 +506,16 @@ mod tests {
     fn fresh_session_matches_direct_engines() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(8, &lib);
+        let n = ripple_carry_adder(8, &lib);
         let full = FullSsta::new(&lib, &config).analyze(&n);
         let fast = Fassta::new(&lib, &config).analyze(&n);
 
-        let session = TimingSession::new(&lib, config.clone(), &mut n);
+        let session = TimingSession::new(&lib, config.clone(), n);
         assert_eq!(session.circuit_moments(), full.circuit_moments());
         assert_eq!(session.arrivals(), full.arrivals());
 
-        let mut n2 = ripple_carry_adder(8, &lib);
-        let session = TimingSession::with_kind(&lib, config, &mut n2, EngineKind::Fassta);
+        let n2 = ripple_carry_adder(8, &lib);
+        let session = TimingSession::with_kind(&lib, config, n2, EngineKind::Fassta);
         assert_eq!(session.circuit_moments(), fast.circuit_moments());
     }
 
@@ -421,9 +524,9 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
-            let mut n = benchmark("c432", &lib).expect("known");
+            let n = benchmark("c432", &lib).expect("known");
             let gates: Vec<GateId> = n.gate_ids().collect();
-            let mut session = TimingSession::with_kind(&lib, config.clone(), &mut n, kind);
+            let mut session = TimingSession::with_kind(&lib, config.clone(), n, kind);
             // A spread of resizes, including cancelling one out.
             session.resize(gates[3], 4);
             session.resize(gates[40], 2);
@@ -445,8 +548,8 @@ mod tests {
     fn refresh_without_changes_is_free() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(6, &lib);
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, n);
         let visits_after_build = session.recompute_count();
         let a = session.refresh();
         let b = session.refresh();
@@ -458,8 +561,8 @@ mod tests {
     fn resize_back_to_analyzed_size_cancels_dirt() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(6, &lib);
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, n);
         let g = session.netlist().gate_ids().nth(5).expect("gates");
         let original = session.netlist().gate(g).size().expect("cell");
         session.resize(g, 4);
@@ -475,8 +578,8 @@ mod tests {
     fn restore_sizes_tracks_exact_differences() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(6, &lib);
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, n);
         let snapshot = session.sizes();
         let g = session.netlist().gate_ids().nth(2).expect("gates");
         session.resize(g, 3);
@@ -492,8 +595,8 @@ mod tests {
     fn current_report_matches_scratch_engine() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(6, &lib);
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = ripple_carry_adder(6, &lib);
+        let mut session = TimingSession::new(&lib, config, n);
         let g = session.netlist().gate_ids().nth(7).expect("gates");
         session.resize(g, 5);
         let report = session.current_report();
@@ -508,7 +611,7 @@ mod tests {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
         // c1908 is comfortably past 500 gates.
-        let mut n = benchmark("c1908", &lib).expect("known");
+        let n = benchmark("c1908", &lib).expect("known");
         assert!(n.gate_count() >= 500, "need a big circuit");
         let node_count = n.node_count();
 
@@ -518,7 +621,7 @@ mod tests {
         cone_seeds.extend_from_slice(n.gate(g).fanins());
         let cone = n.fanout_cone(cone_seeds.iter().copied());
 
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let mut session = TimingSession::new(&lib, config, n);
         let before = session.recompute_count();
         session.resize(g, 4);
         session.refresh();
@@ -540,8 +643,8 @@ mod tests {
     fn fork_trials_never_touch_the_parent() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = ripple_carry_adder(8, &lib);
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = ripple_carry_adder(8, &lib);
+        let mut session = TimingSession::new(&lib, config, n);
         let baseline = session.refresh();
         let sizes_before = session.sizes();
         let arrivals_before = session.arrivals().to_vec();
@@ -565,8 +668,8 @@ mod tests {
         use crate::pool::ScopedPool;
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = benchmark("c432", &lib).expect("known");
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let n = benchmark("c432", &lib).expect("known");
+        let mut session = TimingSession::new(&lib, config, n);
         session.refresh();
         let gates: Vec<GateId> = session.netlist().gate_ids().take(24).collect();
 
@@ -598,8 +701,8 @@ mod tests {
     #[should_panic(expected = "requires a refreshed session")]
     fn fork_of_a_dirty_session_is_rejected() {
         let lib = Library::synthetic_90nm();
-        let mut n = ripple_carry_adder(4, &lib);
-        let mut session = TimingSession::new(&lib, SstaConfig::default(), &mut n);
+        let n = ripple_carry_adder(4, &lib);
+        let mut session = TimingSession::new(&lib, SstaConfig::default(), n);
         let g = session.netlist().gate_ids().next().expect("gates");
         session.resize(g, 3);
         let _ = session.fork_for_trial();
@@ -613,9 +716,9 @@ mod tests {
         // that cancel part of the pending work.
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = benchmark("c432", &lib).expect("known");
+        let n = benchmark("c432", &lib).expect("known");
         let gates: Vec<GateId> = n.gate_ids().collect();
-        let mut session = TimingSession::new(&lib, config, &mut n);
+        let mut session = TimingSession::new(&lib, config, n);
 
         let snapshot = session.sizes();
         session.resize(gates[5], 4);
@@ -659,9 +762,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
-        let mut n = benchmark("c432", &lib).expect("known");
+        let n = benchmark("c432", &lib).expect("known");
         let gates: Vec<GateId> = n.gate_ids().collect();
-        let mut session = TimingSession::with_kind(&lib, config, &mut n, EngineKind::Fassta);
+        let mut session = TimingSession::with_kind(&lib, config, n, EngineKind::Fassta);
         let mut rng = StdRng::seed_from_u64(0x5e_5510);
         let mut snapshot = session.sizes();
 
@@ -698,11 +801,113 @@ mod tests {
     }
 
     #[test]
+    fn sessions_are_owned_handles_storable_and_sendable() {
+        // The whole point of the redesign: a session with no lifetime
+        // parameters can live in a struct, in a map, and on another
+        // thread — none of this compiled against the borrowed API.
+        struct Service {
+            sessions: Vec<TimingSession>,
+        }
+        let lib = std::sync::Arc::new(Library::synthetic_90nm());
+        let mut service = Service {
+            sessions: (4..=6)
+                .map(|bits| {
+                    TimingSession::new(
+                        std::sync::Arc::clone(&lib),
+                        SstaConfig::default(),
+                        ripple_carry_adder(bits, &lib),
+                    )
+                })
+                .collect(),
+        };
+        let moments: Vec<Moments> = service
+            .sessions
+            .iter_mut()
+            .map(TimingSession::refresh)
+            .collect();
+        assert!(moments.windows(2).all(|w| w[0].mean < w[1].mean));
+
+        let session = service.sessions.pop().expect("three sessions");
+        let from_thread = std::thread::spawn(move || {
+            let mut session = session;
+            session.refresh()
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(from_thread, moments[2]);
+    }
+
+    #[test]
+    fn into_netlist_round_trips_the_current_sizes() {
+        let lib = Library::synthetic_90nm();
+        let mut session =
+            TimingSession::new(&lib, SstaConfig::default(), ripple_carry_adder(6, &lib));
+        let g = session.netlist().gate_ids().nth(3).expect("gates");
+        session.resize(g, 5);
+        session.refresh();
+        let n = session.into_netlist();
+        assert_eq!(n.gate(g).size(), Some(5));
+        // A fresh session over the returned netlist agrees exactly.
+        let reopened = TimingSession::new(&lib, SstaConfig::default(), n);
+        assert!(reopened.circuit_moments().mean > 0.0);
+    }
+
+    #[test]
+    fn try_resize_rejects_bad_requests_without_dirtying() {
+        let lib = Library::synthetic_90nm();
+        let mut session =
+            TimingSession::new(&lib, SstaConfig::default(), ripple_carry_adder(4, &lib));
+        let input = session.netlist().inputs()[0];
+        assert!(session.try_resize(input, 2).is_err());
+        let bogus = GateId::from_index(session.netlist().node_count() + 7);
+        assert!(session.try_resize(bogus, 0).is_err());
+        assert!(!session.is_dirty(), "failed resizes leave no dirt");
+        assert!(
+            session.try_restore_sizes(&[0, 1]).is_err(),
+            "length mismatch rejected"
+        );
+        assert!(!session.is_dirty());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_state_exactly() {
+        let lib = Library::synthetic_90nm();
+        let n = benchmark("c432", &lib).expect("known");
+        let mut session = TimingSession::new(&lib, SstaConfig::default(), n);
+        let g = session.netlist().gate_ids().nth(20).expect("gates");
+        session.resize(g, 3);
+        let incremental = session.refresh();
+        let arrivals = session.arrivals().to_vec();
+        session.rebuild();
+        assert!(!session.is_dirty());
+        assert_eq!(session.circuit_moments(), incremental);
+        assert_eq!(session.arrivals(), arrivals.as_slice());
+    }
+
+    #[test]
+    fn session_slack_and_criticality_match_free_functions() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(6, &lib);
+        let config = SstaConfig::default();
+        let mut session = TimingSession::new(&lib, config.clone(), n.clone());
+        let m = session.refresh();
+        let t = m.mean + 2.0 * m.std();
+
+        let via_session = session.slacks(t);
+        let direct =
+            StatisticalSlacks::compute_with_timing(&n, session.timing(), session.arrivals(), t);
+        assert_eq!(via_session, direct);
+
+        let crit = session.criticality();
+        let direct = Criticality::compute(&n, &lib, &config, session.arrivals());
+        assert_eq!(crit, direct);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot back an incremental session")]
     fn monte_carlo_sessions_are_rejected() {
         let lib = Library::synthetic_90nm();
-        let mut n = ripple_carry_adder(4, &lib);
-        let _ =
-            TimingSession::with_kind(&lib, SstaConfig::default(), &mut n, EngineKind::MonteCarlo);
+        let n = ripple_carry_adder(4, &lib);
+        let _ = TimingSession::with_kind(&lib, SstaConfig::default(), n, EngineKind::MonteCarlo);
     }
 }

@@ -10,6 +10,11 @@
 //! With a deterministic timing target `T` at every output, a node's slack
 //! moments expose both the mean margin and how uncertain that margin is —
 //! the two quantities the `μ + α·σ` objective trades.
+//!
+//! The owned-handle session exposes this analysis directly:
+//! [`TimingSession::slacks`](crate::TimingSession::slacks) computes it
+//! from the session's refreshed arrivals and electrical snapshot, which
+//! is how the `vartol::workspace` service answers slack queries.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;

@@ -42,6 +42,9 @@ fn main() {
     // Optimize the shallowest and the deepest at the same alpha and compare
     // the improvement headroom.
     println!();
+    // The sizer is an owned handle (the `&Library` converts into a
+    // shared Arc by cloning once), so it could just as well be stored or
+    // sent to a worker thread between these two runs.
     let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(9.0));
     let shallow = sizer.optimize(&mut circuits[0].1);
     let deep = sizer.optimize(&mut circuits[4].1);

@@ -1,31 +1,38 @@
 //! Quickstart: size a circuit for process-variation tolerance.
 //!
 //! Builds an 8-bit ripple-carry adder, measures its delay distribution
-//! through a timing session, optimizes it with StatisticalGreedy at
-//! α = 3, and verifies the variance reduction with Monte Carlo — all
-//! through the unified engine API.
+//! through an **owned** timing session (no lifetimes — the session holds
+//! a shared library handle and the netlist itself), optimizes it with
+//! StatisticalGreedy at α = 3, and verifies the variance reduction with
+//! Monte Carlo — all through the unified engine API.
+//!
+//! For serving many circuits and mixed query batches concurrently, see
+//! `examples/workspace_service.rs`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::sync::Arc;
 use vartol::core::{SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::ripple_carry_adder;
 use vartol::ssta::{EngineKind, SstaConfig, TimingSession};
 
 fn main() {
-    // 1. A synthetic 90nm standard-cell library (6-8 sizes per gate type).
-    let library = Library::synthetic_90nm();
+    // 1. A synthetic 90nm standard-cell library (6-8 sizes per gate type),
+    //    behind a shared handle: sessions, sizers, and services all hold
+    //    the same Arc instead of borrowing.
+    let library = Arc::new(Library::synthetic_90nm());
 
     // 2. A technology-mapped combinational circuit.
-    let mut netlist = ripple_carry_adder(8, &library);
+    let netlist = ripple_carry_adder(8, &library);
     println!("circuit: {netlist}");
 
-    // 3. Statistical timing before optimization, through a session.
+    // 3. Statistical timing before optimization, through a session that
+    //    owns the netlist. The session is a plain value: store it, move
+    //    it, keep it for the next thousand queries.
     let config = SstaConfig::default();
-    let before = {
-        let mut session = TimingSession::new(&library, config.clone(), &mut netlist);
-        session.refresh()
-    };
+    let mut session = TimingSession::new(Arc::clone(&library), config.clone(), netlist);
+    let before = session.refresh();
     println!(
         "before: mu = {:.1} ps, sigma = {:.2} ps  (sigma/mu = {:.4})",
         before.mean,
@@ -34,14 +41,15 @@ fn main() {
     );
 
     // 4. Optimize the sigma/mu tradeoff with the paper's algorithm. The
-    //    optimizer runs on the same session machinery internally, so each
-    //    candidate resize is an incremental cone re-analysis.
-    let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(3.0));
+    //    sizer is lifetime-free too; take the circuit back out of the
+    //    session, optimize it, and open a fresh session on the result.
+    let mut netlist = session.into_netlist();
+    let sizer = StatisticalGreedy::new(Arc::clone(&library), SizerConfig::with_alpha(3.0));
     let report = sizer.optimize(&mut netlist);
     println!("optimizer: {report}");
 
     // 5. After optimization: the session hands out any engine's view.
-    let mut session = TimingSession::new(&library, config, &mut netlist);
+    let mut session = TimingSession::new(library, config, netlist);
     let after = session.refresh();
     println!(
         "after:  mu = {:.1} ps, sigma = {:.2} ps  (sigma/mu = {:.4})",

@@ -6,55 +6,52 @@
 //! can be run in the constrained mode of §2.1 (improve variance without
 //! exceeding a mean-delay budget, then recover area).
 //!
+//! The timing session is an owned handle now — it keeps the netlist and a
+//! shared library handle inside, so slack and criticality queries come
+//! straight off the session with no lifetime juggling.
+//!
 //! Run with: `cargo run --release --example slack_analysis`
 
 use vartol::core::{SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::alu_with_flags;
-use vartol::ssta::{SstaConfig, StatisticalSlacks, TimingSession};
+use vartol::ssta::{SstaConfig, TimingSession};
 
 fn main() {
     let library = Library::synthetic_90nm();
     let config = SstaConfig::default();
-    let mut netlist = alu_with_flags(8, &library);
+    let netlist = alu_with_flags(8, &library);
 
-    // Forward arrivals through a session, then backward statistical
-    // required times against a target of mean + 2 sigma.
-    let (m, slack_report) = {
-        let mut session = TimingSession::new(&library, config.clone(), &mut netlist);
-        let m = session.refresh();
-        let target = m.mean + 2.0 * m.std();
-        let slacks = StatisticalSlacks::compute_with_timing(
-            session.netlist(),
-            session.timing(),
-            session.arrivals(),
-            target,
-        );
-        let worst = slacks.worst_node(3.0);
-        (
-            m,
-            (
-                target,
-                slacks.worst_statistical_slack(3.0),
-                session.netlist().gate(worst).name().to_owned(),
-                slacks.slack(worst),
-            ),
-        )
-    };
-    let (target, worst_slack, worst_name, ws) = slack_report;
-    println!("circuit: {netlist}");
+    // Forward arrivals through an owned session, then backward statistical
+    // required times against a target of mean + 2 sigma — both straight
+    // off the session.
+    let mut session = TimingSession::new(&library, config.clone(), netlist);
+    let m = session.refresh();
+    let target = m.mean + 2.0 * m.std();
+    let slacks = session.slacks(target);
+    let worst = slacks.worst_node(3.0);
+    let worst_name = session.netlist().gate(worst).name().to_owned();
+    let ws = slacks.slack(worst);
+
+    println!("circuit: {}", session.netlist());
     println!(
         "delay: mu = {:.1} ps, sigma = {:.2} ps, target T = {target:.1} ps",
         m.mean,
         m.std()
     );
     println!();
-    println!("worst statistical slack (alpha=3): {worst_slack:.2} ps");
+    println!(
+        "worst statistical slack (alpha=3): {:.2} ps",
+        slacks.worst_statistical_slack(3.0)
+    );
     println!(
         "worst node: {worst_name}  slack mu = {:.1} ps, sigma = {:.2} ps",
         ws.mean,
         ws.std()
     );
+
+    // Hand the circuit back out of the session for optimization.
+    let mut netlist = session.into_netlist();
 
     // Constrained optimization: cut variance without slowing the mean past
     // its current value, then recover area within a 2% cost budget.
@@ -70,7 +67,7 @@ fn main() {
     assert!(report.final_moments().mean <= budget + 1e-9);
 
     let recovered = sizer.recover_area(&mut netlist, report.final_moments().cost(9.0) * 1.02);
-    let mut session = TimingSession::new(&library, config, &mut netlist);
+    let mut session = TimingSession::new(&library, config, netlist);
     let after = session.refresh();
     println!(
         "  area recovery: {recovered} gates downsized; final mu = {:.1} ps, sigma = {:.2} ps",

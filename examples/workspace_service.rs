@@ -1,0 +1,141 @@
+//! A multi-circuit timing/sizing query service in a few dozen lines.
+//!
+//! The `Workspace` is the batched front door over the owned-handle
+//! session API: register named circuits once (each gets a long-lived
+//! cached session), then submit batches of typed requests. Circuits fan
+//! out across the worker pool; requests on one circuit run in
+//! submission order; answers come back in request order and are
+//! bit-identical at every thread count. Malformed requests answer with
+//! an error instead of taking down the service.
+//!
+//! Run with: `cargo run --release --example workspace_service`
+
+use vartol::core::SizerConfig;
+use vartol::liberty::Library;
+use vartol::netlist::generators::preset;
+use vartol::ssta::EngineKind;
+use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
+
+fn main() {
+    // One service over one shared library, all CPUs.
+    let library = Library::synthetic_90nm();
+    let mut service = Workspace::new(&library, WorkspaceConfig::default().with_mc_samples(2000));
+
+    // Register a fleet of circuits: presets by name, plus inline .bench
+    // text (files work too, via register_bench_file).
+    for name in ["adder_16", "mult_8", "ecc_16"] {
+        service.register_preset(name).expect("known preset");
+    }
+    service
+        .register_bench_str(
+            "mux_tree",
+            "INPUT(a)\nINPUT(b)\nINPUT(s)\nOUTPUT(y)\n\
+             ns = NOT(s)\nt1 = AND(a, ns)\nt2 = AND(b, s)\ny = OR(t1, t2)\n",
+        )
+        .expect("valid .bench text");
+    println!(
+        "service: {} circuits registered: {}",
+        service.len(),
+        service.circuit_names().collect::<Vec<_>>().join(", ")
+    );
+
+    // A mixed batch: analyses, a yield query, a what-if resize, a full
+    // sizing run, and one deliberately bad request.
+    let deadline = 2.5e3;
+    let resize_gate = preset("adder_16", &library)
+        .expect("preset")
+        .gate_ids()
+        .next()
+        .map(|id| {
+            preset("adder_16", &library)
+                .expect("preset")
+                .gate(id)
+                .name()
+                .to_owned()
+        })
+        .expect("gates");
+    let batch = vec![
+        Request::Analyze {
+            circuit: "adder_16".into(),
+            kind: EngineKind::FullSsta,
+        },
+        Request::Yield {
+            circuit: "mult_8".into(),
+            deadline,
+        },
+        Request::Resize {
+            circuit: "adder_16".into(),
+            gate: resize_gate,
+            size: 4,
+        },
+        Request::Size {
+            circuit: "ecc_16".into(),
+            config: SizerConfig::with_alpha(3.0),
+        },
+        Request::Analyze {
+            circuit: "mux_tree".into(),
+            kind: EngineKind::Dsta,
+        },
+        // Typo'd circuit: answered with an error, everything else fine.
+        Request::Analyze {
+            circuit: "adder_61".into(),
+            kind: EngineKind::Dsta,
+        },
+    ];
+
+    println!();
+    for (request, response) in batch.iter().zip(service.submit(&batch)) {
+        let wall = response.wall.as_secs_f64() * 1e3;
+        match response.answer {
+            Answer::Analysis {
+                kind,
+                moments,
+                worst_output,
+            } => println!(
+                "{:<9} {:<9} mu = {:>7.1} ps  sigma = {:>6.2} ps  worst out {}  [{wall:.1} ms]",
+                request.circuit(),
+                kind.to_string(),
+                moments.mean,
+                moments.std(),
+                worst_output
+            ),
+            Answer::Yield { fraction } => println!(
+                "{:<9} yield     {:>5.1}% of dies meet {deadline:.0} ps  [{wall:.1} ms]",
+                request.circuit(),
+                100.0 * fraction
+            ),
+            Answer::Resized { moments, area } => println!(
+                "{:<9} resized   mu = {:>7.1} ps  area = {area:.0}  [{wall:.1} ms]",
+                request.circuit(),
+                moments.mean
+            ),
+            Answer::Sized { report, .. } => println!(
+                "{:<9} sized     sigma {:+.1}% for area {:+.1}% over {} passes  [{wall:.1} ms]",
+                request.circuit(),
+                report.delta_sigma_pct(),
+                report.delta_area_pct(),
+                report.passes().len()
+            ),
+            Answer::Error { ref message } => println!(
+                "{:<9} ERROR     {message}  [{wall:.1} ms]",
+                request.circuit()
+            ),
+            ref other => println!("{:<9} {other:?}", request.circuit()),
+        }
+    }
+
+    // The service keeps its sessions warm across batches: the resize
+    // above persists, and follow-up queries are incremental.
+    let followup = service.query(Request::Analyze {
+        circuit: "adder_16".into(),
+        kind: EngineKind::FullSsta,
+    });
+    if let Answer::Analysis { moments, .. } = followup.answer {
+        println!();
+        println!(
+            "follow-up batch sees the committed resize: adder_16 mu = {:.1} ps  [{:.1} ms]",
+            moments.mean,
+            followup.wall.as_secs_f64() * 1e3
+        );
+    }
+}

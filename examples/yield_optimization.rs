@@ -6,18 +6,21 @@
 //!
 //! Run with: `cargo run --release --example yield_optimization`
 
+use std::sync::Arc;
 use vartol::core::{MeanDelaySizer, SizerConfig, StatisticalGreedy};
 use vartol::liberty::Library;
 use vartol::netlist::generators::alu;
 use vartol::ssta::{MonteCarloTimer, SstaConfig};
 
 fn main() {
-    let library = Library::synthetic_90nm();
+    // One shared library handle feeds both lifetime-free sizers and the
+    // Monte-Carlo engine.
+    let library = Arc::new(Library::synthetic_90nm());
     let config = SstaConfig::default();
 
     // The "original": a 12-bit ALU sized for minimum nominal delay.
     let mut original = alu(12, &library);
-    let baseline = MeanDelaySizer::new(&library, &config).minimize_delay(&mut original);
+    let baseline = MeanDelaySizer::new(Arc::clone(&library), &config).minimize_delay(&mut original);
     println!(
         "mean-delay baseline: {:.0} ps -> {:.0} ps ({} passes)",
         baseline.initial_delay, baseline.final_delay, baseline.passes
@@ -25,8 +28,8 @@ fn main() {
 
     // A variance-optimized variant (alpha = 9, the aggressive point).
     let mut robust = original.clone();
-    let report =
-        StatisticalGreedy::new(&library, SizerConfig::with_alpha(9.0)).optimize(&mut robust);
+    let report = StatisticalGreedy::new(Arc::clone(&library), SizerConfig::with_alpha(9.0))
+        .optimize(&mut robust);
     println!("statistical sizing: {report}");
 
     // Compare parametric yield across candidate clock periods. The

@@ -17,35 +17,95 @@
 //!   [`TimingEngine`](ssta::TimingEngine) trait: deterministic STA, the
 //!   accurate discrete-PDF engine (FULLSSTA), the fast moment engine
 //!   (FASSTA), Monte-Carlo reference timing, WNSS path tracing — plus the
-//!   incremental [`TimingSession`](ssta::TimingSession) API the optimizers
-//!   run on. The Monte-Carlo reference samples in parallel on a scoped
-//!   worker pool ([`ssta::ScopedPool`], [`SstaConfig::threads`](ssta::SstaConfig))
-//!   while staying **bit-identical for every thread count**: the sample
-//!   budget splits into fixed chunks, each chunk draws from its own
+//!   incremental [`TimingSession`](ssta::TimingSession), an **owned
+//!   handle** (an `Arc<Library>` and the netlist itself live inside, no
+//!   lifetime parameters) that optimizers and services keep alive across
+//!   thousands of queries. The Monte-Carlo reference samples in parallel
+//!   on a scoped worker pool ([`ssta::ScopedPool`],
+//!   [`SstaConfig::threads`](ssta::SstaConfig)) while staying
+//!   **bit-identical for every thread count**: the sample budget splits
+//!   into fixed chunks, each chunk draws from its own
 //!   `(seed, chunk_index)`-derived RNG stream, and chunk summaries —
 //!   mergeable Welford accumulators ([`stats::RunningMoments`]) — combine
 //!   in chunk order.
 //! * [`core`] — the paper's contribution: the `StatisticalGreedy` sizer with
-//!   the weighted `μ + α·σ` objective, plus deterministic baselines. Its
-//!   candidate-evaluation inner loop is parallel: each outer pass forks the
-//!   timing session ([`TimingSession::fork_for_trial`](ssta::TimingSession::fork_for_trial))
+//!   the weighted `μ + α·σ` objective, plus deterministic baselines. Both
+//!   sizers hold their library through a shared handle (no lifetimes).
+//!   `StatisticalGreedy`'s candidate-evaluation inner loop is parallel:
+//!   each outer pass forks the timing session
+//!   ([`TimingSession::fork_for_trial`](ssta::TimingSession::fork_for_trial))
 //!   once per worker, scores every `(gate, size)` candidate on the frozen
 //!   pass-start statistics concurrently, and merges the bids in path order —
 //!   so the chosen resizes, final moments, and area are bit-identical for
 //!   every thread count (`SizerConfig::with_threads`, 0 = all CPUs), just
 //!   like the Monte-Carlo engine.
+//! * [`workspace`] — the service layer this crate adds on top:
+//!   [`Workspace`] registers named circuits (`.bench` files, generator
+//!   presets, or pre-built netlists) and serves **batches of typed
+//!   requests** — [`Analyze`](workspace::Request::Analyze) under any
+//!   engine, [`Arrival`](workspace::Request::Arrival) /
+//!   [`Slack`](workspace::Request::Slack) /
+//!   [`Criticality`](workspace::Request::Criticality) queries,
+//!   Monte-Carlo [`Yield`](workspace::Request::Yield) at a deadline,
+//!   what-if [`Resize`](workspace::Request::Resize)s, and full
+//!   [`Size`](workspace::Request::Size) optimization runs — fanned out
+//!   over a [`ScopedPool`](ssta::ScopedPool) with one cached session per
+//!   circuit, answered in request order, bit-identical at every thread
+//!   count, with malformed or panicking requests isolated to their own
+//!   [`Answer::Error`].
+//!
+//! # Migrating from the borrowed-session API (pre-0.2 idiom)
+//!
+//! `TimingSession` and both sizers used to borrow (`TimingSession<'l, 'n>`
+//! held `&'l Library` + `&'n mut Netlist`; sizers held `&'l Library`), so
+//! a session could not outlive a stack frame, be stored in a struct, or
+//! serve two circuits at once. They are now owned handles:
+//!
+//! * **Constructing a session.** Pass the netlist *by value* and any
+//!   library handle — `Arc<Library>` (shared), `Library` (moved), or
+//!   `&Library` (cloned once):
+//!
+//!   ```text
+//!   // before                                            // after
+//!   let mut s = TimingSession::new(&lib, cfg, &mut n);   let mut s = TimingSession::new(&lib, cfg, n);
+//!   ```
+//!
+//! * **Getting the circuit back.** The session owns the netlist; where
+//!   you previously kept using `n` after the session went out of scope,
+//!   call [`into_netlist`](ssta::TimingSession::into_netlist):
+//!
+//!   ```text
+//!   let n = session.into_netlist();
+//!   ```
+//!
+//! * **Sizers.** `StatisticalGreedy::new(&lib, cfg)` and
+//!   `MeanDelaySizer::new(&lib, cfg)` compile unchanged (the `&Library`
+//!   converts into a shared handle by cloning); to share one library
+//!   across many sizers and sessions without copies, pass an
+//!   `Arc<Library>`. Their `optimize`/`minimize_delay`/`recover_area`
+//!   still take `&mut Netlist` and write the result back.
+//!
+//! * **Slack / criticality plumbing.** Instead of exporting arrivals and
+//!   the electrical snapshot by hand, query the session:
+//!   [`session.slacks(t_req)`](ssta::TimingSession::slacks) and
+//!   [`session.criticality()`](ssta::TimingSession::criticality).
+//!
+//! * **Long-lived / multi-circuit use.** Store sessions in structs or
+//!   maps freely — or skip the bookkeeping entirely and use a
+//!   [`Workspace`], which caches one session per registered circuit and
+//!   serves concurrent batches deterministically.
 //!
 //! # Benchmark-suite runner
 //!
 //! The `vartol-suite` binary (in `crates/bench`) is the perf-artifact
-//! pipeline: it runs all four engines plus the full optimization flow over
-//! a scenario matrix — `data/*.bench` circuits and the generator presets
-//! (`netlist::generators::presets`: adders, multipliers, ALUs, ECC
-//! correctors, comparators, seeded random DAGs at several sizes) — and
-//! writes a validated `BENCH_suite.json` with per-circuit wall-clock, μ/σ
-//! before/after sizing, area delta, resize count, and thread count. CI runs
-//! the small tier on every push and uploads the report as a workflow
-//! artifact, failing on panics or non-finite statistics:
+//! pipeline: it routes a scenario matrix — `data/*.bench` circuits and the
+//! generator presets (`netlist::generators::presets`) — through a
+//! [`Workspace`] batch (all four engines plus the full optimization flow
+//! per circuit) and writes a validated `BENCH_suite.json` with per-circuit
+//! wall-clock, μ/σ before/after sizing, area delta, resize count, and
+//! thread count. CI runs the small tier on every push and uploads the
+//! report as a workflow artifact, failing on panics or non-finite
+//! statistics:
 //!
 //! ```text
 //! cargo run --release -p vartol-bench --bin vartol-suite -- --subset small
@@ -55,23 +115,24 @@
 //! # Quickstart
 //!
 //! ```
+//! use std::sync::Arc;
 //! use vartol::liberty::Library;
 //! use vartol::netlist::generators::ripple_carry_adder;
 //! use vartol::ssta::{EngineKind, SstaConfig, TimingSession};
 //! use vartol::core::{StatisticalGreedy, SizerConfig};
 //!
 //! # fn main() {
-//! let library = Library::synthetic_90nm();
+//! let library = Arc::new(Library::synthetic_90nm());
 //! let mut netlist = ripple_carry_adder(8, &library);
 //!
-//! // Optimize for variance with alpha = 3.
-//! let sizer = StatisticalGreedy::new(&library, SizerConfig::with_alpha(3.0));
+//! // Optimize for variance with alpha = 3 (the sizer is lifetime-free).
+//! let sizer = StatisticalGreedy::new(Arc::clone(&library), SizerConfig::with_alpha(3.0));
 //! let report = sizer.optimize(&mut netlist);
 //! assert!(report.final_moments().std() <= report.initial_moments().std());
 //!
-//! // Inspect the result through an incremental timing session: any
+//! // Inspect the result through an owned incremental session: any
 //! // engine on demand, and cone-limited re-analysis after edits.
-//! let mut session = TimingSession::new(&library, SstaConfig::default(), &mut netlist);
+//! let mut session = TimingSession::new(Arc::clone(&library), SstaConfig::default(), netlist);
 //! let optimized = session.refresh();
 //! let sanity = session.report(EngineKind::Fassta).circuit_moments();
 //! assert!((optimized.mean - sanity.mean).abs() / optimized.mean < 0.15);
@@ -83,9 +144,32 @@
 //! # let _ = (report, what_if);
 //! # }
 //! ```
+//!
+//! # Serving many circuits
+//!
+//! ```
+//! use vartol::liberty::Library;
+//! use vartol::ssta::EngineKind;
+//! use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
+//!
+//! let mut ws = Workspace::new(Library::synthetic_90nm(), WorkspaceConfig::default());
+//! ws.register_preset("adder_8").unwrap();
+//! ws.register_preset("cmp_16").unwrap();
+//!
+//! let answers = ws.submit(&[
+//!     Request::Analyze { circuit: "adder_8".into(), kind: EngineKind::FullSsta },
+//!     Request::Yield { circuit: "cmp_16".into(), deadline: 2500.0 },
+//! ]);
+//! assert!(matches!(answers[0].answer, Answer::Analysis { .. }));
+//! assert!(matches!(answers[1].answer, Answer::Yield { .. }));
+//! ```
+
+pub mod workspace;
 
 pub use vartol_core as core;
 pub use vartol_liberty as liberty;
 pub use vartol_netlist as netlist;
 pub use vartol_ssta as ssta;
 pub use vartol_stats as stats;
+
+pub use workspace::{Answer, Request, Response, Workspace, WorkspaceConfig, WorkspaceError};

@@ -1,0 +1,892 @@
+//! A concurrent multi-circuit timing/sizing query service.
+//!
+//! [`Workspace`] is the batched front door the owned-handle session API
+//! was built for: register any number of named circuits (parsed `.bench`
+//! text, generator presets, or pre-built [`Netlist`]s), then submit
+//! batches of typed [`Request`]s — analyses under any engine, arrival /
+//! slack / criticality queries, Monte-Carlo yield at a deadline, what-if
+//! resizes, and full sizing runs — and get [`Answer`]s back **in request
+//! order**.
+//!
+//! # Concurrency and determinism
+//!
+//! Each registered circuit owns one long-lived cached
+//! [`TimingSession`] (the owned handle — no lifetimes, so it survives in
+//! the workspace across batches). A batch fans out over a
+//! [`ScopedPool`]: one task per circuit, each task working through that
+//! circuit's requests sequentially on its cached session. Requests for
+//! different circuits run concurrently; requests for the same circuit
+//! are serialized in submission order (a later request observes an
+//! earlier resize or sizing run on the same circuit — the service is a
+//! sequentially-consistent per-circuit log). Because per-circuit
+//! processing is sequential and the pool returns results in task order,
+//! every [`Answer`] is **bit-identical for every thread count** — the
+//! same frozen-snapshot discipline the parallel Monte-Carlo engine and
+//! the parallel sizer ship. Wall-clock lives on [`Response`], outside
+//! the deterministic payload.
+//!
+//! # Fault isolation
+//!
+//! Malformed requests (unknown circuit or node, out-of-range size,
+//! non-finite targets) are rejected up front through the netlist's
+//! non-panicking `try_*` accessors and answered with [`Answer::Error`].
+//! A request that still panics deep inside an engine is caught, answered
+//! with [`Answer::Error`], and the circuit's session is restored to its
+//! last good sizes and rebuilt from scratch — one poisoned query never
+//! takes down the batch, the circuit, or the service.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol::ssta::EngineKind;
+//! use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
+//! use vartol::liberty::Library;
+//!
+//! let mut ws = Workspace::new(Library::synthetic_90nm(), WorkspaceConfig::default());
+//! ws.register_preset("adder_8").unwrap();
+//! ws.register_preset("cmp_8").unwrap();
+//!
+//! let answers = ws.submit(&[
+//!     Request::Analyze { circuit: "adder_8".into(), kind: EngineKind::FullSsta },
+//!     Request::Slack { circuit: "cmp_8".into(), t_req: 1e4, alpha: 3.0 },
+//!     Request::Analyze { circuit: "nope".into(), kind: EngineKind::Dsta },
+//! ]);
+//! assert!(matches!(answers[0].answer, Answer::Analysis { .. }));
+//! assert!(matches!(answers[1].answer, Answer::Slack { .. }));
+//! assert!(matches!(answers[2].answer, Answer::Error { .. })); // isolated
+//! ```
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vartol_core::{OptimizationReport, SizerConfig, StatisticalGreedy};
+use vartol_liberty::Library;
+use vartol_netlist::generators::preset;
+use vartol_netlist::iscas::parse_bench;
+use vartol_netlist::{Netlist, NetlistError};
+use vartol_ssta::{EngineKind, MonteCarloTimer, ScopedPool, SstaConfig, TimingSession};
+use vartol_stats::Moments;
+
+/// Knobs of a [`Workspace`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkspaceConfig {
+    /// Shared engine configuration used by every cached session.
+    pub ssta: SstaConfig,
+    /// Pool width for batch fan-out across circuits (0 = one worker per
+    /// CPU). Purely a speed knob: answers are bit-identical for every
+    /// width.
+    pub threads: usize,
+    /// Monte-Carlo sample budget for [`Request::Yield`] and
+    /// [`Request::Analyze`] with [`EngineKind::MonteCarlo`].
+    pub mc_samples: usize,
+    /// Monte-Carlo seed (fixed so answers are reproducible).
+    pub mc_seed: u64,
+}
+
+impl Default for WorkspaceConfig {
+    fn default() -> Self {
+        Self {
+            ssta: SstaConfig::default(),
+            threads: 0,
+            mc_samples: 2000,
+            mc_seed: 0xDA7E_2005,
+        }
+    }
+}
+
+impl WorkspaceConfig {
+    /// Sets the batch fan-out pool width (0 = all CPUs).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the shared engine configuration.
+    #[must_use]
+    pub fn with_ssta(mut self, ssta: SstaConfig) -> Self {
+        self.ssta = ssta;
+        self
+    }
+
+    /// Sets the Monte-Carlo sample budget.
+    #[must_use]
+    pub fn with_mc_samples(mut self, samples: usize) -> Self {
+        self.mc_samples = samples;
+        self
+    }
+
+    /// Sets the Monte-Carlo seed.
+    #[must_use]
+    pub fn with_mc_seed(mut self, seed: u64) -> Self {
+        self.mc_seed = seed;
+        self
+    }
+}
+
+/// Errors arising while registering circuits with a [`Workspace`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkspaceError {
+    /// A circuit with this name is already registered.
+    DuplicateCircuit(String),
+    /// No generator preset with this name exists.
+    UnknownPreset(String),
+    /// The netlist failed structural or library validation.
+    InvalidNetlist(NetlistError),
+    /// A `.bench` file could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateCircuit(n) => write!(f, "circuit `{n}` is already registered"),
+            Self::UnknownPreset(n) => write!(f, "unknown generator preset `{n}`"),
+            Self::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            Self::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+impl From<NetlistError> for WorkspaceError {
+    fn from(e: NetlistError) -> Self {
+        Self::InvalidNetlist(e)
+    }
+}
+
+/// One typed query against a registered circuit.
+///
+/// All requests address circuits (and gates) **by name**, so a batch can
+/// be built, serialized, or replayed without holding any handle into the
+/// workspace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Request {
+    /// Run a full analysis under the given engine and report circuit
+    /// moments plus the statistically-worst output.
+    Analyze {
+        /// Target circuit name.
+        circuit: String,
+        /// Engine to run. The cached incremental session serves its own
+        /// flavor ([`EngineKind::FullSsta`]) without a from-scratch pass.
+        kind: EngineKind,
+    },
+    /// Arrival moments at one named node.
+    Arrival {
+        /// Target circuit name.
+        circuit: String,
+        /// Node name (as in the `.bench` source or generator).
+        node: String,
+    },
+    /// Worst statistical slack against a required time at every output.
+    Slack {
+        /// Target circuit name.
+        circuit: String,
+        /// Required time imposed on every primary output (ps).
+        t_req: f64,
+        /// σ weight of the `μ − α·σ` slack ranking.
+        alpha: f64,
+    },
+    /// The most statistically critical nodes.
+    Criticality {
+        /// Target circuit name.
+        circuit: String,
+        /// How many top-ranked nodes to return (0 = all).
+        top: usize,
+    },
+    /// Parametric yield at a deadline, by deterministic parallel Monte
+    /// Carlo under the workspace's sample budget and seed.
+    Yield {
+        /// Target circuit name.
+        circuit: String,
+        /// Clock period / deadline (ps).
+        deadline: f64,
+    },
+    /// What-if resize of one named gate; the mutation persists for later
+    /// requests on the same circuit (and later batches).
+    Resize {
+        /// Target circuit name.
+        circuit: String,
+        /// Gate name.
+        gate: String,
+        /// New size index into the gate's library cell group.
+        size: usize,
+    },
+    /// Full statistical sizing of the circuit; the optimized sizes
+    /// persist for later requests on the same circuit.
+    Size {
+        /// Target circuit name.
+        circuit: String,
+        /// Optimizer configuration (σ weight, pass budget, threads, …).
+        config: SizerConfig,
+    },
+}
+
+impl Request {
+    /// The name of the circuit this request addresses.
+    #[must_use]
+    pub fn circuit(&self) -> &str {
+        match self {
+            Self::Analyze { circuit, .. }
+            | Self::Arrival { circuit, .. }
+            | Self::Slack { circuit, .. }
+            | Self::Criticality { circuit, .. }
+            | Self::Yield { circuit, .. }
+            | Self::Resize { circuit, .. }
+            | Self::Size { circuit, .. } => circuit,
+        }
+    }
+}
+
+/// The deterministic payload of one answered [`Request`].
+///
+/// Equality is exact (f64 `PartialEq`), which is what the determinism
+/// contract asserts: the same batch produces `==` answers at every pool
+/// width. Wall-clock lives on [`Response`], not here.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Answer {
+    /// Result of [`Request::Analyze`].
+    Analysis {
+        /// The engine that ran.
+        kind: EngineKind,
+        /// Circuit-level output moments.
+        moments: Moments,
+        /// Name of the statistically-worst primary output.
+        worst_output: String,
+    },
+    /// Result of [`Request::Arrival`].
+    Arrival {
+        /// The queried node.
+        node: String,
+        /// Its arrival moments.
+        moments: Moments,
+    },
+    /// Result of [`Request::Slack`].
+    Slack {
+        /// The worst statistical slack `min over nodes of μ − α·σ` (ps).
+        worst: f64,
+        /// Name of the node realizing it.
+        worst_node: String,
+    },
+    /// Result of [`Request::Criticality`].
+    Criticality {
+        /// `(node name, criticality)` pairs, most critical first.
+        ranking: Vec<(String, f64)>,
+    },
+    /// Result of [`Request::Yield`].
+    Yield {
+        /// Fraction of Monte-Carlo samples meeting the deadline.
+        fraction: f64,
+    },
+    /// Result of [`Request::Resize`].
+    Resized {
+        /// Circuit moments after the incremental cone refresh.
+        moments: Moments,
+        /// Total cell area after the resize.
+        area: f64,
+    },
+    /// Result of [`Request::Size`].
+    Sized {
+        /// The optimizer's full report (equality ignores its runtime).
+        report: OptimizationReport,
+        /// Total cell area after sizing.
+        area: f64,
+    },
+    /// The request was malformed or its evaluation panicked; the rest of
+    /// the batch (and the circuit's session) is unaffected.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Answer {
+    fn error(message: impl Into<String>) -> Self {
+        Self::Error {
+            message: message.into(),
+        }
+    }
+}
+
+/// One answered request: the deterministic [`Answer`] plus the wall-clock
+/// the evaluation took (excluded from equality and from the determinism
+/// contract).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The deterministic payload.
+    pub answer: Answer,
+    /// Evaluation wall-clock.
+    pub wall: Duration,
+}
+
+/// One registered circuit: its cached owned-handle session.
+#[derive(Debug)]
+struct CircuitEntry {
+    name: String,
+    session: TimingSession,
+}
+
+/// A registry of named circuits serving concurrent timing and sizing
+/// query batches (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Workspace {
+    library: Arc<Library>,
+    config: WorkspaceConfig,
+    entries: Vec<CircuitEntry>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace over a library. Accepts an
+    /// `Arc<Library>`, an owned `Library`, or a `&Library` (cloned once).
+    #[must_use]
+    pub fn new(library: impl Into<Arc<Library>>, config: WorkspaceConfig) -> Self {
+        Self {
+            library: library.into(),
+            config,
+            entries: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// The workspace configuration.
+    #[must_use]
+    pub fn config(&self) -> &WorkspaceConfig {
+        &self.config
+    }
+
+    /// A shared handle to the workspace's library.
+    #[must_use]
+    pub fn library(&self) -> Arc<Library> {
+        Arc::clone(&self.library)
+    }
+
+    /// Number of registered circuits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no circuits are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered circuit names, in registration order.
+    pub fn circuit_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// The current netlist of a registered circuit (reflecting any
+    /// committed resizes and sizing runs).
+    #[must_use]
+    pub fn netlist(&self, name: &str) -> Option<&Netlist> {
+        let &i = self.index.get(name)?;
+        Some(self.entries[i].session.netlist())
+    }
+
+    /// Registers a pre-built netlist under a name. This is the expensive
+    /// step — the circuit's cached session runs its initial full
+    /// analysis here — so that queries against it are cheap.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and netlists that fail structural or
+    /// library validation (the non-panicking counterpart of the
+    /// panics engines raise on unknown cells).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        netlist: Netlist,
+    ) -> Result<(), WorkspaceError> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(WorkspaceError::DuplicateCircuit(name));
+        }
+        netlist.check_invariants()?;
+        netlist.validate_against_library(&self.library)?;
+        let session = TimingSession::with_kind(
+            Arc::clone(&self.library),
+            self.config.ssta.clone(),
+            netlist,
+            EngineKind::FullSsta,
+        );
+        self.index.insert(name.clone(), self.entries.len());
+        self.entries.push(CircuitEntry { name, session });
+        Ok(())
+    }
+
+    /// Registers a generator preset (see
+    /// [`vartol_netlist::generators::presets`]) under its preset name.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown preset names and duplicates.
+    pub fn register_preset(&mut self, name: &str) -> Result<(), WorkspaceError> {
+        let netlist = preset(name, &self.library)
+            .ok_or_else(|| WorkspaceError::UnknownPreset(name.into()))?;
+        self.register(name, netlist)
+    }
+
+    /// Parses ISCAS-85 `.bench` text and registers it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects parse failures, validation failures, and duplicates.
+    pub fn register_bench_str(&mut self, name: &str, text: &str) -> Result<(), WorkspaceError> {
+        let netlist = parse_bench(text, name)?;
+        self.register(name, netlist)
+    }
+
+    /// Loads a `.bench` file and registers it under its file stem.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unreadable paths, parse failures, validation failures,
+    /// and duplicates.
+    pub fn register_bench_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), WorkspaceError> {
+        let path = path.as_ref();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| WorkspaceError::Io(format!("{}: unreadable file name", path.display())))?
+            .to_owned();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| WorkspaceError::Io(format!("{}: {e}", path.display())))?;
+        self.register_bench_str(&stem, &text)
+    }
+
+    /// Answers a single request (a one-element [`Workspace::submit`]).
+    pub fn query(&mut self, request: Request) -> Response {
+        self.submit(std::slice::from_ref(&request))
+            .pop()
+            .expect("one request, one response")
+    }
+
+    /// Answers a batch of requests, returning responses **in request
+    /// order**, bit-identical for every pool width (see the
+    /// [module docs](self) for the concurrency and isolation contract).
+    pub fn submit(&mut self, requests: &[Request]) -> Vec<Response> {
+        // Route requests to circuits; unknown circuits answer here.
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.entries.len()];
+        let mut responses: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        for (ri, request) in requests.iter().enumerate() {
+            match self.index.get(request.circuit()) {
+                Some(&ci) => routed[ci].push(ri),
+                None => {
+                    responses[ri] = Some(Response {
+                        answer: Answer::error(format!("unknown circuit `{}`", request.circuit())),
+                        wall: Duration::ZERO,
+                    });
+                }
+            }
+        }
+
+        // Take the sessions out of the workspace and fan out: one task
+        // per circuit with work, each processing its requests in
+        // submission order on the circuit's cached session.
+        let mut slots: Vec<Option<CircuitEntry>> = std::mem::take(&mut self.entries)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let work: Vec<(usize, CircuitEntry, Vec<usize>)> = routed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, reqs)| !reqs.is_empty())
+            .map(|(ci, reqs)| {
+                let entry = slots[ci].take().expect("each circuit taken once");
+                (ci, entry, reqs)
+            })
+            .collect();
+
+        let library = Arc::clone(&self.library);
+        let config = self.config.clone();
+        let pool = ScopedPool::new(self.config.threads);
+        let done = pool.map_items(work, |_, (ci, mut entry, reqs)| {
+            let answered: Vec<(usize, Response)> = reqs
+                .into_iter()
+                .map(|ri| (ri, process(&library, &config, &mut entry, &requests[ri])))
+                .collect();
+            (ci, entry, answered)
+        });
+
+        for (ci, entry, answered) in done {
+            slots[ci] = Some(entry);
+            for (ri, response) in answered {
+                responses[ri] = Some(response);
+            }
+        }
+        self.entries = slots
+            .into_iter()
+            .map(|s| s.expect("every circuit restored"))
+            .collect();
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+}
+
+/// Evaluates one request on one circuit entry, timing it and containing
+/// panics: a panicking evaluation yields [`Answer::Error`] and the
+/// session is restored to the sizes it had before the request and
+/// rebuilt from scratch, so the entry stays serviceable.
+fn process(
+    library: &Arc<Library>,
+    config: &WorkspaceConfig,
+    entry: &mut CircuitEntry,
+    request: &Request,
+) -> Response {
+    let t0 = Instant::now();
+    let sizes_before = entry.session.sizes();
+    let result = catch_unwind(AssertUnwindSafe(|| answer(library, config, entry, request)));
+    let answer = result.unwrap_or_else(|payload| {
+        // The session may hold half-updated analysis state; roll the
+        // netlist back to its last good sizes and rebuild. Those sizes
+        // analyzed fine before this request, so the rebuild succeeds.
+        let _ = entry.session.try_restore_sizes(&sizes_before);
+        entry.session.rebuild();
+        Answer::error(format!(
+            "request panicked (circuit `{}` recovered): {}",
+            entry.name,
+            panic_message(payload.as_ref())
+        ))
+    });
+    Response {
+        answer,
+        wall: t0.elapsed(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The request dispatcher. Validation failures return [`Answer::Error`]
+/// without touching the session (malformed input must not poison the
+/// cached state — routed through the netlist's `try_*` accessors).
+fn answer(
+    library: &Arc<Library>,
+    config: &WorkspaceConfig,
+    entry: &mut CircuitEntry,
+    request: &Request,
+) -> Answer {
+    match request {
+        Request::Analyze { kind, .. } => {
+            let report = match kind {
+                // The cached session *is* the FULLSSTA state: serve it
+                // incrementally instead of a from-scratch pass.
+                EngineKind::FullSsta => entry.session.current_report(),
+                // Monte Carlo honors the workspace's budget and seed.
+                EngineKind::MonteCarlo => {
+                    let timer = MonteCarloTimer::new(library, entry.session.config())
+                        .with_samples(config.mc_samples)
+                        .with_seed(config.mc_seed);
+                    vartol_ssta::TimingEngine::analyze(&timer, entry.session.netlist())
+                }
+                EngineKind::Dsta | EngineKind::Fassta => entry.session.report(*kind),
+            };
+            let worst = report.worst_output();
+            Answer::Analysis {
+                kind: *kind,
+                moments: report.circuit_moments(),
+                worst_output: entry.session.netlist().gate(worst).name().to_owned(),
+            }
+        }
+        Request::Arrival { node, .. } => {
+            let Some(id) = entry.session.netlist().gate_by_name(node) else {
+                return Answer::error(format!("circuit `{}` has no node `{node}`", entry.name));
+            };
+            entry.session.refresh();
+            Answer::Arrival {
+                node: node.clone(),
+                moments: entry.session.arrival(id),
+            }
+        }
+        Request::Slack { t_req, alpha, .. } => {
+            if !t_req.is_finite() {
+                return Answer::error(format!("slack t_req must be finite, got {t_req}"));
+            }
+            if !alpha.is_finite() || *alpha < 0.0 {
+                return Answer::error(format!("slack alpha must be non-negative, got {alpha}"));
+            }
+            let slacks = entry.session.slacks(*t_req);
+            let worst_node = slacks.worst_node(*alpha);
+            Answer::Slack {
+                worst: slacks.worst_statistical_slack(*alpha),
+                worst_node: entry.session.netlist().gate(worst_node).name().to_owned(),
+            }
+        }
+        Request::Criticality { top, .. } => {
+            let criticality = entry.session.criticality();
+            let take = if *top == 0 { usize::MAX } else { *top };
+            let ranking = criticality
+                .ranking()
+                .into_iter()
+                .take(take)
+                .map(|id| {
+                    (
+                        entry.session.netlist().gate(id).name().to_owned(),
+                        criticality.of(id),
+                    )
+                })
+                .collect();
+            Answer::Criticality { ranking }
+        }
+        Request::Yield { deadline, .. } => {
+            if !deadline.is_finite() {
+                return Answer::error(format!("yield deadline must be finite, got {deadline}"));
+            }
+            let timer = MonteCarloTimer::new(library, entry.session.config())
+                .with_samples(config.mc_samples)
+                .with_seed(config.mc_seed);
+            let mc = timer.sample_parallel(entry.session.netlist(), config.mc_samples);
+            Answer::Yield {
+                fraction: mc.yield_at(*deadline),
+            }
+        }
+        Request::Resize { gate, size, .. } => {
+            let Some(id) = entry.session.netlist().gate_by_name(gate) else {
+                return Answer::error(format!("circuit `{}` has no gate `{gate}`", entry.name));
+            };
+            // Validate the size against the library *before* mutating
+            // anything: an accepted-but-unanalyzable size would poison
+            // the cached session.
+            let g = match entry.session.netlist().try_gate(id) {
+                Ok(g) => g,
+                Err(e) => return Answer::error(e.to_string()),
+            };
+            let Some(function) = g.function() else {
+                return Answer::error(format!("`{gate}` is a primary input, not a sizable gate"));
+            };
+            let arity = g.fanins().len();
+            match library.group(function, arity) {
+                Some(group) if *size < group.len() => {}
+                Some(group) => {
+                    return Answer::error(format!(
+                        "size {size} out of range for `{gate}` ({function}/{arity} has {} sizes)",
+                        group.len()
+                    ));
+                }
+                None => {
+                    return Answer::error(format!(
+                        "library has no cell group for `{gate}` ({function}/{arity})"
+                    ));
+                }
+            }
+            if let Err(e) = entry.session.try_resize(id, *size) {
+                return Answer::error(e.to_string());
+            }
+            let moments = entry.session.refresh();
+            Answer::Resized {
+                moments,
+                area: entry.session.total_area(),
+            }
+        }
+        Request::Size { config: sizer, .. } => {
+            if !sizer.alpha.is_finite() || sizer.alpha < 0.0 {
+                return Answer::error(format!(
+                    "sizer alpha must be non-negative, got {}",
+                    sizer.alpha
+                ));
+            }
+            // The optimizer runs on a working copy; the resulting sizes
+            // are committed back into the cached session through the
+            // non-panicking restore path and an incremental refresh.
+            let mut netlist = entry.session.netlist().clone();
+            let report =
+                StatisticalGreedy::new(Arc::clone(library), sizer.clone()).optimize(&mut netlist);
+            if let Err(e) = entry.session.try_restore_sizes(&netlist.sizes()) {
+                return Answer::error(e.to_string());
+            }
+            entry.session.refresh();
+            Answer::Sized {
+                report,
+                area: entry.session.total_area(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace(threads: usize) -> Workspace {
+        let mut ws = Workspace::new(
+            Library::synthetic_90nm(),
+            WorkspaceConfig::default()
+                .with_threads(threads)
+                .with_mc_samples(400),
+        );
+        ws.register_preset("adder_8").expect("preset");
+        ws.register_preset("cmp_8").expect("preset");
+        ws
+    }
+
+    #[test]
+    fn registration_rejects_duplicates_and_unknown_presets() {
+        let mut ws = workspace(1);
+        assert_eq!(
+            ws.register_preset("adder_8").expect_err("duplicate"),
+            WorkspaceError::DuplicateCircuit("adder_8".into())
+        );
+        assert_eq!(
+            ws.register_preset("nope").expect_err("unknown"),
+            WorkspaceError::UnknownPreset("nope".into())
+        );
+        assert_eq!(ws.len(), 2);
+        assert_eq!(
+            ws.circuit_names().collect::<Vec<_>>(),
+            vec!["adder_8", "cmp_8"]
+        );
+    }
+
+    #[test]
+    fn registration_validates_against_the_library() {
+        let mut ws = workspace(1);
+        let mut bad = preset("adder_8", &ws.library()).expect("preset");
+        let g = bad.gate_ids().next().expect("gates");
+        bad.set_size(g, 999);
+        assert!(matches!(
+            ws.register("bad", bad),
+            Err(WorkspaceError::InvalidNetlist(
+                NetlistError::MissingCell { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn bench_text_registration_and_query() {
+        let mut ws = workspace(1);
+        ws.register_bench_str("tiny", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+            .expect("parses");
+        let response = ws.query(Request::Analyze {
+            circuit: "tiny".into(),
+            kind: EngineKind::Dsta,
+        });
+        let Answer::Analysis { moments, .. } = response.answer else {
+            panic!("expected analysis, got {:?}", response.answer);
+        };
+        assert!(moments.mean > 0.0);
+    }
+
+    #[test]
+    fn unknown_circuit_and_node_yield_error_answers() {
+        let mut ws = workspace(1);
+        let answers = ws.submit(&[
+            Request::Analyze {
+                circuit: "ghost".into(),
+                kind: EngineKind::Dsta,
+            },
+            Request::Arrival {
+                circuit: "adder_8".into(),
+                node: "no_such_node".into(),
+            },
+            Request::Resize {
+                circuit: "adder_8".into(),
+                gate: "no_such_gate".into(),
+                size: 1,
+            },
+        ]);
+        for response in &answers {
+            assert!(
+                matches!(response.answer, Answer::Error { .. }),
+                "{:?}",
+                response.answer
+            );
+        }
+    }
+
+    #[test]
+    fn resize_validation_rejects_out_of_range_sizes_without_poisoning() {
+        let mut ws = workspace(1);
+        let gate = ws
+            .netlist("adder_8")
+            .expect("registered")
+            .gate_ids()
+            .next()
+            .map(|id| ws.netlist("adder_8").unwrap().gate(id).name().to_owned())
+            .expect("gates");
+        let before = ws.netlist("adder_8").expect("registered").sizes();
+        let response = ws.query(Request::Resize {
+            circuit: "adder_8".into(),
+            gate: gate.clone(),
+            size: 999,
+        });
+        let Answer::Error { message } = &response.answer else {
+            panic!("expected error, got {:?}", response.answer);
+        };
+        assert!(message.contains("out of range"), "{message}");
+        assert_eq!(
+            ws.netlist("adder_8").expect("registered").sizes(),
+            before,
+            "rejected resize must not mutate"
+        );
+        // The circuit still answers follow-up queries normally.
+        let ok = ws.query(Request::Analyze {
+            circuit: "adder_8".into(),
+            kind: EngineKind::FullSsta,
+        });
+        assert!(matches!(ok.answer, Answer::Analysis { .. }));
+    }
+
+    #[test]
+    fn resize_persists_for_later_requests_on_the_same_circuit() {
+        let mut ws = workspace(1);
+        let netlist = ws.netlist("adder_8").expect("registered");
+        let id = netlist.gate_ids().next().expect("gates");
+        let gate = netlist.gate(id).name().to_owned();
+        let answers = ws.submit(&[
+            Request::Analyze {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            },
+            Request::Resize {
+                circuit: "adder_8".into(),
+                gate,
+                size: 4,
+            },
+            Request::Analyze {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            },
+        ]);
+        let Answer::Analysis {
+            moments: before, ..
+        } = answers[0].answer
+        else {
+            panic!("analysis");
+        };
+        let Answer::Resized {
+            moments: resized, ..
+        } = answers[1].answer
+        else {
+            panic!("resized: {:?}", answers[1].answer);
+        };
+        let Answer::Analysis { moments: after, .. } = answers[2].answer else {
+            panic!("analysis");
+        };
+        assert_ne!(before, after, "the resize is visible downstream");
+        assert_eq!(resized, after, "incremental refresh equals re-analysis");
+        assert_eq!(
+            ws.netlist("adder_8").expect("registered").gate(id).size(),
+            Some(4),
+            "mutation persists across batches"
+        );
+    }
+}

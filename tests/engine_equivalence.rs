@@ -11,11 +11,11 @@ use vartol::ssta::{Dsta, EngineKind, Fassta, FullSsta, SstaConfig, TimingSession
 fn session_reports_match_direct_engine_runs() {
     let lib = Library::synthetic_90nm();
     let config = SstaConfig::default();
-    let mut n = benchmark("alu2", &lib).expect("known benchmark");
+    let n = benchmark("alu2", &lib).expect("known benchmark");
     let full = FullSsta::new(&lib, &config).analyze(&n);
     let fast = Fassta::new(&lib, &config).analyze(&n);
 
-    let session = TimingSession::new(&lib, config.clone(), &mut n);
+    let session = TimingSession::new(&lib, config.clone(), n);
     // The session's incremental FULLSSTA state equals a direct run.
     assert_eq!(session.circuit_moments(), full.circuit_moments());
     assert_eq!(session.arrivals(), full.arrivals());
@@ -31,9 +31,9 @@ fn incremental_reanalysis_equals_from_scratch_within_1e9() {
     let lib = Library::synthetic_90nm();
     let config = SstaConfig::default();
     for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
-        let mut n = ripple_carry_adder(8, &lib);
+        let n = ripple_carry_adder(8, &lib);
         let gates: Vec<GateId> = n.gate_ids().collect();
-        let mut session = TimingSession::with_kind(&lib, config.clone(), &mut n, kind);
+        let mut session = TimingSession::with_kind(&lib, config.clone(), n, kind);
         for (step, &g) in gates.iter().step_by(7).enumerate() {
             session.resize(g, 1 + step % 4);
             let incremental = session.refresh();

@@ -1,0 +1,266 @@
+//! The `Workspace` concurrency contract.
+//!
+//! A mixed batch — all four engine kinds, a slack query, arrival and
+//! criticality lookups, a Monte-Carlo yield, a what-if resize, and a
+//! full sizing run — over several circuits must return **bit-identical
+//! answers for every pool width**, because per-circuit processing is
+//! sequential (in submission order) and circuits fan out over the
+//! index-ordered `ScopedPool`. CI runs this suite with
+//! `--test-threads=1` so the pool, not the test harness, owns all
+//! parallelism; `VARTOL_SIZER_THREADS` widens the compared set beyond
+//! the built-in 1/2/8.
+//!
+//! The second half covers fault isolation: a request that panics deep
+//! inside an engine must be contained to its own `Answer::Error`, with
+//! the circuit's session rebuilt and every other answer unaffected.
+
+use vartol::core::SizerConfig;
+use vartol::liberty::Library;
+use vartol::ssta::{EngineKind, SstaConfig};
+use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
+
+/// The compared pool widths: 1 (serial reference), 2, 8, plus any extra
+/// width from `VARTOL_SIZER_THREADS` (the same knob CI uses for the
+/// sizing determinism suite).
+fn widths() -> Vec<usize> {
+    let mut widths = vec![1, 2, 8];
+    if let Ok(extra) = std::env::var("VARTOL_SIZER_THREADS") {
+        widths.push(
+            extra
+                .parse()
+                .expect("VARTOL_SIZER_THREADS must be a thread count"),
+        );
+    }
+    widths
+}
+
+/// Three small circuits spanning a `.bench` file and two generator
+/// families.
+fn build_workspace(threads: usize) -> Workspace {
+    let mut ws = Workspace::new(
+        Library::synthetic_90nm(),
+        WorkspaceConfig::default()
+            .with_threads(threads)
+            .with_mc_samples(600)
+            .with_mc_seed(0xDA7E_2005),
+    );
+    let c17 = concat!(env!("CARGO_MANIFEST_DIR"), "/data/c17.bench");
+    ws.register_bench_file(c17)
+        .expect("c17 ships with the repo");
+    ws.register_preset("adder_8").expect("known preset");
+    ws.register_preset("cmp_8").expect("known preset");
+    assert_eq!(ws.len(), 3);
+    ws
+}
+
+/// The mixed batch of the issue's acceptance criteria: every engine
+/// kind, slack, arrival, criticality, yield, a resize, and one sizing
+/// run, spread over all three circuits — including several requests on
+/// one circuit to pin the in-order-per-circuit guarantee.
+fn mixed_batch() -> Vec<Request> {
+    // A deterministic sizable gate name from the adder generator.
+    let lib = Library::synthetic_90nm();
+    let adder = vartol::netlist::generators::preset("adder_8", &lib).expect("known preset");
+    let adder_gate = adder
+        .gate_ids()
+        .next()
+        .map(|id| adder.gate(id).name().to_owned())
+        .expect("adders have gates");
+
+    let mut requests = Vec::new();
+    for circuit in ["c17", "adder_8", "cmp_8"] {
+        for kind in [
+            EngineKind::Dsta,
+            EngineKind::Fassta,
+            EngineKind::FullSsta,
+            EngineKind::MonteCarlo,
+        ] {
+            requests.push(Request::Analyze {
+                circuit: circuit.into(),
+                kind,
+            });
+        }
+        requests.push(Request::Slack {
+            circuit: circuit.into(),
+            t_req: 1.0e4,
+            alpha: 3.0,
+        });
+    }
+    requests.push(Request::Arrival {
+        circuit: "c17".into(),
+        node: "G22".into(),
+    });
+    requests.push(Request::Criticality {
+        circuit: "adder_8".into(),
+        top: 5,
+    });
+    requests.push(Request::Yield {
+        circuit: "cmp_8".into(),
+        deadline: 3.0e3,
+    });
+    // A mutation mid-batch: later requests on adder_8 must observe it
+    // identically at every width.
+    requests.push(Request::Resize {
+        circuit: "adder_8".into(),
+        gate: adder_gate,
+        size: 3,
+    });
+    requests.push(Request::Analyze {
+        circuit: "adder_8".into(),
+        kind: EngineKind::FullSsta,
+    });
+    // One full sizing run rides along (threads pinned so the *sizer's*
+    // inner pool is not part of what this test varies — its own
+    // determinism is covered by tests/sizing_determinism.rs).
+    requests.push(Request::Size {
+        circuit: "c17".into(),
+        config: SizerConfig::with_alpha(3.0).with_threads(1),
+    });
+    requests.push(Request::Analyze {
+        circuit: "c17".into(),
+        kind: EngineKind::FullSsta,
+    });
+    requests
+}
+
+#[test]
+fn mixed_batch_answers_are_bit_identical_across_pool_widths() {
+    let requests = mixed_batch();
+    let reference: Vec<Answer> = build_workspace(1)
+        .submit(&requests)
+        .into_iter()
+        .map(|r| r.answer)
+        .collect();
+
+    // The batch must have exercised every answer shape, with no errors.
+    assert!(
+        reference.iter().all(|a| !matches!(a, Answer::Error { .. })),
+        "{reference:?}"
+    );
+    for probe in [
+        "Analysis",
+        "Slack",
+        "Arrival",
+        "Criticality",
+        "Yield",
+        "Resized",
+        "Sized",
+    ] {
+        assert!(
+            reference
+                .iter()
+                .any(|a| format!("{a:?}").starts_with(probe)),
+            "batch exercises {probe}"
+        );
+    }
+
+    for threads in widths().into_iter().skip(1) {
+        let answers: Vec<Answer> = build_workspace(threads)
+            .submit(&requests)
+            .into_iter()
+            .map(|r| r.answer)
+            .collect();
+        assert_eq!(
+            reference, answers,
+            "{threads}-thread pool diverged from the serial reference"
+        );
+        // PartialEq on f64 payloads is exact, but make the bit-for-bit
+        // claim explicit for a couple of headline numbers.
+        for (a, b) in reference.iter().zip(&answers) {
+            if let (Answer::Analysis { moments: ma, .. }, Answer::Analysis { moments: mb, .. }) =
+                (a, b)
+            {
+                assert_eq!(ma.mean.to_bits(), mb.mean.to_bits());
+                assert_eq!(ma.var.to_bits(), mb.var.to_bits());
+            }
+            if let (Answer::Yield { fraction: fa }, Answer::Yield { fraction: fb }) = (a, b) {
+                assert_eq!(fa.to_bits(), fb.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_on_one_workspace_stay_deterministic() {
+    // The cached sessions persist across submissions; a second identical
+    // read-only batch must reproduce the first one's answers exactly.
+    let mut ws = build_workspace(8);
+    let reads: Vec<Request> = mixed_batch()
+        .into_iter()
+        .filter(|r| !matches!(r, Request::Resize { .. } | Request::Size { .. }))
+        .collect();
+    let first: Vec<Answer> = ws.submit(&reads).into_iter().map(|r| r.answer).collect();
+    let second: Vec<Answer> = ws.submit(&reads).into_iter().map(|r| r.answer).collect();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn panicking_request_is_isolated_to_its_answer() {
+    // `pdf_samples: 0` passes the workspace's surface validation (it is
+    // a deep engine precondition, reachable because SizerConfig's fields
+    // are public) and panics inside FULLSSTA — the exact class of fault
+    // the catch-unwind + session-rebuild path exists for.
+    let poisoned = Request::Size {
+        circuit: "adder_8".into(),
+        config: SizerConfig::with_alpha(3.0)
+            .with_threads(1)
+            .with_ssta(SstaConfig {
+                pdf_samples: 0,
+                ..SstaConfig::default()
+            }),
+    };
+    let batch = [
+        Request::Analyze {
+            circuit: "c17".into(),
+            kind: EngineKind::FullSsta,
+        },
+        poisoned,
+        Request::Analyze {
+            circuit: "adder_8".into(),
+            kind: EngineKind::FullSsta,
+        },
+        Request::Analyze {
+            circuit: "cmp_8".into(),
+            kind: EngineKind::Fassta,
+        },
+    ];
+
+    let mut ws = build_workspace(2);
+    let baseline_sizes = ws.netlist("adder_8").expect("registered").sizes();
+    let answers = ws.submit(&batch);
+
+    let Answer::Error { message } = &answers[1].answer else {
+        panic!("poisoned request must error, got {:?}", answers[1].answer);
+    };
+    assert!(message.contains("panicked"), "{message}");
+    assert!(message.contains("recovered"), "{message}");
+
+    // Every other request answered normally — including the one on the
+    // same circuit *after* the panic.
+    for (i, response) in answers.iter().enumerate() {
+        if i != 1 {
+            assert!(
+                matches!(response.answer, Answer::Analysis { .. }),
+                "request {i}: {:?}",
+                response.answer
+            );
+        }
+    }
+
+    // The panicking sizing run must not have half-committed anything.
+    assert_eq!(
+        ws.netlist("adder_8").expect("registered").sizes(),
+        baseline_sizes,
+        "panic rollback restores the pre-request sizes"
+    );
+
+    // And the recovered session still serves correct incremental state:
+    // its answers match a fresh workspace bit for bit.
+    let check = Request::Analyze {
+        circuit: "adder_8".into(),
+        kind: EngineKind::FullSsta,
+    };
+    let recovered = ws.query(check.clone()).answer;
+    let fresh = build_workspace(1).query(check).answer;
+    assert_eq!(recovered, fresh);
+}
