@@ -19,13 +19,19 @@
 //! production deployment would call, its numbers stay bit-identical at
 //! every thread count, and progress still prints per scenario.
 //!
-//! Schema note (`vartol-suite/2`): the `fullssta` engine row measures
+//! Schema note (`vartol-suite/3`): the `fullssta` engine row measures
 //! the **service's serve latency** — the cached session answering from
 //! its warm incremental state — not a from-scratch pass; the
 //! from-scratch FULLSSTA cost is `register_wall_s`. The `dsta`,
 //! `fassta`, and `montecarlo` rows remain from-scratch analyses, so
 //! `fullssta` wall-clock is not comparable with them (or with
-//! `vartol-suite/1` reports).
+//! `vartol-suite/1` reports). `/3` adds the `corners` rows: each
+//! scenario is additionally analyzed under the named correlated
+//! variation models of [`corner_models`] — conditioned FULLSSTA and
+//! correlated Monte Carlo through the workspace's `AnalyzeUnder`
+//! request — so the artifact tracks both the wall-clock cost of the
+//! conditioning lanes and the μ/σ agreement between the two engines on
+//! every circuit.
 //!
 //! The report is validated ([`SuiteReport::validate`]) before it is
 //! written: any non-finite μ/σ or wall-clock fails the run. Because the
@@ -38,12 +44,15 @@ use vartol::workspace::{Answer, Request, Response, Workspace, WorkspaceConfig};
 use vartol_core::SizerConfig;
 use vartol_liberty::Library;
 use vartol_netlist::Netlist;
-use vartol_ssta::{EngineKind, ScopedPool, SstaConfig};
+use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig, VariationModel};
 
 /// Schema tag stamped into every report (bump on breaking layout or
 /// semantics changes; `/2` added `register_wall_s` and redefined the
-/// `fullssta` row as warm serve latency — see the module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/2";
+/// `fullssta` row as warm serve latency; `/3` added the per-scenario
+/// `corners` rows — conditioned FULLSSTA and correlated Monte Carlo
+/// under named die-to-die / spatial variation models, served through
+/// the workspace's `AnalyzeUnder` request — see the module docs).
+pub const SUITE_SCHEMA: &str = "vartol-suite/3";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -70,6 +79,23 @@ impl Default for SuiteConfig {
             ssta: SstaConfig::default(),
         }
     }
+}
+
+/// One engine's result on one scenario under a named correlated
+/// variation corner (see [`corner_models`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CornerStat {
+    /// Corner name (`d2d_60`, `mixed_d2d_spatial`, …).
+    pub corner: String,
+    /// Engine name (`fullssta` = Gauss–Hermite conditioned,
+    /// `montecarlo` = shared sources sampled per die).
+    pub engine: String,
+    /// Analysis wall-clock seconds.
+    pub wall_s: f64,
+    /// Circuit mean delay (ps) under the corner model.
+    pub mu: f64,
+    /// Circuit delay standard deviation (ps) under the corner model.
+    pub sigma: f64,
 }
 
 /// One engine's whole-circuit result on one scenario.
@@ -125,6 +151,9 @@ pub struct ScenarioReport {
     /// Per-engine analysis results, fixed order
     /// dsta/fassta/fullssta/montecarlo.
     pub engines: Vec<EngineStat>,
+    /// Correlated-corner results: for each [`corner_models`] entry, a
+    /// conditioned FULLSSTA row then a correlated Monte-Carlo row.
+    pub corners: Vec<CornerStat>,
     /// The optimization flow's result.
     pub sizing: SizingStat,
 }
@@ -173,6 +202,15 @@ impl SuiteReport {
                 finite(&s.circuit, &format!("{} wall_s", e.engine), e.wall_s)?;
                 if e.sigma < 0.0 {
                     return Err(format!("{}: negative {} sigma", s.circuit, e.engine));
+                }
+            }
+            for c in &s.corners {
+                let tag = format!("{}/{}", c.corner, c.engine);
+                finite(&s.circuit, &format!("{tag} mu"), c.mu)?;
+                finite(&s.circuit, &format!("{tag} sigma"), c.sigma)?;
+                finite(&s.circuit, &format!("{tag} wall_s"), c.wall_s)?;
+                if c.sigma < 0.0 {
+                    return Err(format!("{}: negative {tag} sigma", s.circuit));
                 }
             }
             let z = &s.sizing;
@@ -232,12 +270,42 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// The fixed per-circuit request chunk: the four engines in report
-/// order, then the full sizing flow.
-const REQUESTS_PER_SCENARIO: usize = 5;
+/// The named correlated-variation corners every scenario is analyzed
+/// under (schema `/3`): a pure die-to-die corner (60% of each gate's
+/// delay variance moves with the die) and a mixed corner that adds a
+/// spatially correlated within-die field on a 4×4 grid. Both are
+/// `normalized()`, so per-gate marginals match the independent rows and
+/// the corner columns isolate the effect of *correlation* alone.
+#[must_use]
+pub fn corner_models() -> Vec<(&'static str, VariationModel)> {
+    vec![
+        ("d2d_60", VariationModel::die_to_die(0.6)),
+        (
+            "mixed_d2d_spatial",
+            VariationModel::none()
+                .with_global_source(GlobalSource::with_variance_share("d2d", 0.4))
+                .with_spatial(SpatialGrid::with_variance_share(4, 4, 2.0, 0.2))
+                .normalized(),
+        ),
+    ]
+}
 
-fn scenario_requests(circuit: &str, sizer: &SizerConfig) -> [Request; REQUESTS_PER_SCENARIO] {
-    [
+/// Engines analyzed per correlated corner (conditioned FULLSSTA, then
+/// correlated Monte Carlo).
+const ENGINES_PER_CORNER: usize = 2;
+
+/// The per-circuit request count: the four engines in report order,
+/// then per corner a conditioned FULLSSTA and a correlated Monte-Carlo
+/// analysis (still on the unoptimized circuit), then the full sizing
+/// flow last — `Size` mutates the circuit, so everything measured on
+/// the original sizes must precede it. Derived from [`corner_models`]
+/// so the request builder and the response decoder cannot drift.
+fn requests_per_scenario() -> usize {
+    4 + ENGINES_PER_CORNER * corner_models().len() + 1
+}
+
+fn scenario_requests(circuit: &str, sizer: &SizerConfig) -> Vec<Request> {
+    let mut requests = vec![
         Request::Analyze {
             circuit: circuit.into(),
             kind: EngineKind::Dsta,
@@ -254,11 +322,22 @@ fn scenario_requests(circuit: &str, sizer: &SizerConfig) -> [Request; REQUESTS_P
             circuit: circuit.into(),
             kind: EngineKind::MonteCarlo,
         },
-        Request::Size {
-            circuit: circuit.into(),
-            config: sizer.clone(),
-        },
-    ]
+    ];
+    for (_, model) in corner_models() {
+        for kind in [EngineKind::FullSsta, EngineKind::MonteCarlo] {
+            requests.push(Request::AnalyzeUnder {
+                circuit: circuit.into(),
+                kind,
+                model: model.clone(),
+            });
+        }
+    }
+    requests.push(Request::Size {
+        circuit: circuit.into(),
+        config: sizer.clone(),
+    });
+    assert_eq!(requests.len(), requests_per_scenario());
+    requests
 }
 
 /// Folds one circuit's answered request chunk into a [`ScenarioReport`].
@@ -285,9 +364,29 @@ fn assemble_scenario(
             other => panic!("{name}: expected an analysis answer, got {other:?}"),
         }
     }
-    let sizing = match &responses[4].answer {
+    let mut corners = Vec::with_capacity(2 * corner_models().len());
+    assert_eq!(responses.len(), requests_per_scenario(), "{name}");
+    for ((corner, _), pair) in corner_models()
+        .iter()
+        .zip(responses[4..responses.len() - 1].chunks(ENGINES_PER_CORNER))
+    {
+        for response in pair {
+            match &response.answer {
+                Answer::Analysis { kind, moments, .. } => corners.push(CornerStat {
+                    corner: (*corner).to_owned(),
+                    engine: kind.to_string(),
+                    wall_s: response.wall.as_secs_f64(),
+                    mu: moments.mean,
+                    sigma: moments.std(),
+                }),
+                other => panic!("{name}: expected a corner analysis answer, got {other:?}"),
+            }
+        }
+    }
+    let last = responses.last().expect("non-empty request chunk");
+    let sizing = match &last.answer {
         Answer::Sized { report, .. } => SizingStat {
-            wall_s: responses[4].wall.as_secs_f64(),
+            wall_s: last.wall.as_secs_f64(),
             mu_before: report.initial_moments().mean,
             sigma_before: report.initial_moments().std(),
             mu_after: report.final_moments().mean,
@@ -306,6 +405,7 @@ fn assemble_scenario(
         depth: netlist.depth(),
         register_wall_s,
         engines,
+        corners,
         sizing,
     }
 }
@@ -408,11 +508,34 @@ mod tests {
         assert_eq!(report.scenarios.len(), 2);
         for s in &report.scenarios {
             assert_eq!(s.engines.len(), 4, "{}", s.circuit);
+            assert_eq!(s.corners.len(), 4, "{}: 2 corners x 2 engines", s.circuit);
             assert!(
                 s.sizing.sigma_after <= s.sizing.sigma_before,
                 "{}: sizing must not worsen sigma",
                 s.circuit
             );
+            // Corner rows are the whole point of schema /3: correlation
+            // must widen the distribution relative to the independent
+            // fullssta row, and the two corner engines must agree.
+            let independent_sigma = s.engines[2].sigma;
+            for pair in s.corners.chunks(2) {
+                assert!(
+                    pair[0].sigma > independent_sigma,
+                    "{}: corner {} sigma {} should exceed independent {}",
+                    s.circuit,
+                    pair[0].corner,
+                    pair[0].sigma,
+                    independent_sigma
+                );
+                assert!(
+                    (pair[0].mu - pair[1].mu).abs() / pair[1].mu < 0.05,
+                    "{}: corner {} engines disagree: {} vs {}",
+                    s.circuit,
+                    pair[0].corner,
+                    pair[0].mu,
+                    pair[1].mu
+                );
+            }
         }
         let json = report.to_json();
         assert!(json.contains("adder_8") && json.contains("cmp_8"));

@@ -405,6 +405,38 @@ mod tests {
     }
 
     #[test]
+    fn sizing_under_a_correlated_model_targets_the_correlated_sigma() {
+        // With a die-to-die source configured, the sizer's internal
+        // session is conditioned: its initial/final moments are the
+        // *correlated* circuit statistics (wider than the independent
+        // ones), and the optimized netlist must validate against a
+        // conditioned from-scratch analysis exactly.
+        use vartol_ssta::VariationModel;
+        let lib = Library::synthetic_90nm();
+        let ssta = SstaConfig::default().with_model(VariationModel::die_to_die(0.5));
+        let config = SizerConfig::with_alpha(3.0).with_ssta(ssta.clone());
+        let mut n = ripple_carry_adder(8, &lib);
+
+        let independent_initial = FullSsta::new(&lib, &SstaConfig::default())
+            .analyze(&n)
+            .circuit_moments();
+        let report = StatisticalGreedy::new(&lib, config).optimize(&mut n);
+        assert!(
+            report.initial_moments().std() > independent_initial.std(),
+            "the sizer must see the correlated (wider) sigma: {} vs {}",
+            report.initial_moments().std(),
+            independent_initial.std()
+        );
+        assert!(
+            report.final_moments().std() < report.initial_moments().std(),
+            "sizing reduces the correlated sigma"
+        );
+        let check = FullSsta::new(&lib, &ssta).analyze(&n).circuit_moments();
+        assert!((check.mean - report.final_moments().mean).abs() < 1e-9);
+        assert!((check.var - report.final_moments().var).abs() < 1e-9);
+    }
+
+    #[test]
     fn report_history_is_monotone_in_cost() {
         let lib = Library::synthetic_90nm();
         let mut n = parity_tree(32, &lib);

@@ -12,6 +12,12 @@
 //! an absolute floor that no sizing can remove; it is why the paper observes
 //! that increasing α beyond a circuit-dependent point yields no further
 //! variance reduction.
+//!
+//! This model answers *how much* one gate's delay varies. How gate
+//! variations **co-vary** — die-to-die shifts and spatially correlated
+//! within-die fields — is layered on top by the ssta crate's correlated
+//! `VariationModel` (`vartol_ssta::variation`), which decomposes each
+//! gate's σ from this model into local/global/spatial components.
 
 use vartol_stats::Moments;
 

@@ -1,5 +1,6 @@
 //! Shared configuration for the timing engines.
 
+use crate::variation;
 use vartol_liberty::VariationModel;
 
 /// How FULLSSTA treats correlation between arrival times at a max.
@@ -38,8 +39,16 @@ pub struct SstaConfig {
     /// Discrete-PDF support points in FULLSSTA. The paper uses 10–15
     /// "as a reasonable tradeoff between accuracy and speed".
     pub pdf_samples: usize,
-    /// The two-component process-variation model applied to every gate.
+    /// The two-component process-variation model applied to every gate
+    /// (how *much* each gate varies, as a function of its drive).
     pub variation: VariationModel,
+    /// The correlated variation model (how gate variations *co-vary*:
+    /// die-to-die sources and spatially correlated fields, decomposed via
+    /// the PCA in `vartol_stats::correlation` — see
+    /// [`crate::variation`]). The default,
+    /// [`variation::VariationModel::none`], keeps every gate independent
+    /// and leaves all engines **bit-identical** to the legacy behavior.
+    pub model: variation::VariationModel,
     /// Transition time (ps) assumed at primary inputs.
     pub input_slew: f64,
     /// Capacitive load (unit loads) on every primary output pin.
@@ -77,6 +86,14 @@ impl SstaConfig {
         self
     }
 
+    /// Sets the correlated variation model (die-to-die / spatial
+    /// sources shared across gates — see [`crate::variation`]).
+    #[must_use]
+    pub fn with_model(mut self, model: variation::VariationModel) -> Self {
+        self.model = model;
+        self
+    }
+
     /// Sets the correlation handling mode.
     #[must_use]
     pub fn with_correlation(mut self, mode: CorrelationMode) -> Self {
@@ -104,6 +121,7 @@ impl Default for SstaConfig {
         Self {
             pdf_samples: 12,
             variation: VariationModel::default(),
+            model: variation::VariationModel::none(),
             input_slew: 20.0,
             po_load: 2.0,
             wire_cap_per_fanout: 0.0,
@@ -146,6 +164,15 @@ mod tests {
     fn deterministic_config_has_no_variation() {
         let c = SstaConfig::deterministic();
         assert_eq!(c.variation, VariationModel::none());
+    }
+
+    #[test]
+    fn default_correlated_model_is_empty() {
+        // The bit-identity contract hinges on this: a default config must
+        // steer every engine down the legacy independent code paths.
+        assert!(SstaConfig::default().model.is_empty());
+        let c = SstaConfig::default().with_model(variation::VariationModel::die_to_die(0.5));
+        assert!(c.model.has_global());
     }
 
     #[test]

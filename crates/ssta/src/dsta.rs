@@ -8,6 +8,15 @@
 //! [`Dsta::analyze`] returns the unified [`TimingReport`] (zero-variance
 //! arrivals); [`Dsta::detailed`] returns the richer [`DstaResult`] with
 //! critical-path tracing and deterministic slacks.
+//!
+//! Under a correlated [`VariationModel`](crate::variation::VariationModel)
+//! with global sources, [`Dsta::analyze`] becomes a **corner sweep**: the
+//! deterministic longest path is evaluated once per Gauss–Hermite lane
+//! (all gate delays shifted together by the lane's die-wide deviation)
+//! and the lanes recombine into circuit moments whose variance is purely
+//! the die-to-die spread — classical multi-corner STA, derived from the
+//! same model the statistical engines condition on. [`Dsta::detailed`]
+//! stays strictly nominal.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;

@@ -114,6 +114,12 @@ pub trait TimingEngine {
 /// snapshot the analysis used. Optionally present (engine-dependent):
 /// per-node and circuit-level discrete PDFs (FULLSSTA) and raw delay
 /// samples (Monte Carlo).
+///
+/// Under a correlated [`VariationModel`](crate::variation::VariationModel)
+/// every reported statistic is **unconditional** — arrival moments and
+/// PDFs are recombined over the engine's conditioning lanes (or, for
+/// Monte Carlo, sampled across dies), so consumers read the same shapes
+/// whether or not a model is configured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
     pub(crate) kind: EngineKind,

@@ -14,6 +14,14 @@
 //! * [`Fassta::evaluate_subcircuit`] — the optimizer's inner loop: evaluate
 //!   one extracted region against boundary arrivals stored by FULLSSTA,
 //!   with member delays recomputed for the netlist's *current* sizes.
+//!
+//! Under a correlated [`VariationModel`](crate::variation::VariationModel)
+//! with global sources, whole-circuit analysis conditions exactly like
+//! FULLSSTA (moment lanes per Gauss–Hermite node, recombined per node);
+//! `evaluate_subcircuit` keeps scoring against the session's
+//! **unconditional** boundary moments — a deliberate approximation: the
+//! optimizer's candidate *ranking* runs on the cheap marginal view while
+//! every accept/reject decision is validated on the conditioned session.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;

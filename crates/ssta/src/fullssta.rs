@@ -21,6 +21,14 @@
 //! [`TimingSession`](crate::TimingSession): a from-scratch `analyze` is an
 //! incremental update seeded with every node, which is what guarantees
 //! session refreshes reproduce this engine exactly.
+//!
+//! Under a correlated [`VariationModel`](crate::variation::VariationModel)
+//! with global (die-to-die) sources, the engine **conditions**: one full
+//! PDF propagation per Gauss–Hermite lane (every gate delay shifted by
+//! `σ·ρ·x_q`, variance shrunk to the residual), recombined per node by
+//! the law of total variance — see [`crate::variation`] for the math and
+//! `tests/correlated_variation.rs` for the ≤2% agreement with correlated
+//! Monte Carlo. The default (empty) model skips all of it, bit for bit.
 
 use crate::config::SstaConfig;
 use crate::engine::{EngineKind, TimingEngine, TimingReport};
@@ -201,6 +209,43 @@ mod tests {
             .circuit_moments();
         assert!((coarse.mean - fine.mean).abs() / fine.mean < 0.02);
         assert!((coarse.std() - fine.std()).abs() / fine.std() < 0.25);
+    }
+
+    #[test]
+    fn unconditionable_models_still_scale_the_marginals() {
+        // A model with no global source has nothing to condition on, but
+        // the analytic engines must still honor its marginal variance
+        // scale — a spatial-only or local-scaled model that Monte Carlo
+        // applies per draw cannot be silently ignored here.
+        use crate::variation::{SpatialGrid, VariationModel};
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let base = SstaConfig::default();
+        let base_m = FullSsta::new(&lib, &base).analyze(&n).circuit_moments();
+
+        // Local-only scale 0.5: every sigma halves, variance quarters.
+        let mut local_half = VariationModel::none();
+        local_half.local_sigma_scale = 0.5;
+        assert!(!local_half.is_empty(), "a scaled local term is a model");
+        let cfg = SstaConfig::default().with_model(local_half);
+        let halved = FullSsta::new(&lib, &cfg).analyze(&n).circuit_moments();
+        assert!(
+            (halved.std() / base_m.std() - 0.5).abs() < 0.05,
+            "sigma ratio {} should be ~0.5",
+            halved.std() / base_m.std()
+        );
+
+        // Un-normalized spatial-only model: marginal scale 1 + 0.5.
+        let spatial =
+            VariationModel::none().with_spatial(SpatialGrid::with_variance_share(4, 4, 2.0, 0.5));
+        assert!((spatial.total_variance_scale() - 1.5).abs() < 1e-12);
+        let cfg = SstaConfig::default().with_model(spatial);
+        let widened = FullSsta::new(&lib, &cfg).analyze(&n).circuit_moments();
+        assert!(
+            (widened.std() / base_m.std() - 1.5f64.sqrt()).abs() < 0.08,
+            "sigma ratio {} should be ~sqrt(1.5)",
+            widened.std() / base_m.std()
+        );
     }
 
     #[test]

@@ -40,6 +40,18 @@
 //! driven by fanout loads and nominal slews, widened into random variables
 //! by the library's [`VariationModel`](vartol_liberty::VariationModel).
 //!
+//! On top of the per-gate model, [`variation`] supplies the **correlated**
+//! process-variation model ([`variation::VariationModel`] on
+//! [`SstaConfig::model`](config::SstaConfig)): die-to-die sources shared by
+//! every gate and a spatially correlated within-die field (PCA-decomposed
+//! via `vartol_stats::correlation`). The Monte-Carlo engine samples the
+//! shared sources once per die; the analytic engines condition on them
+//! with Gauss–Hermite lanes inside the shared propagation state, so
+//! sessions and everything built on them stay incremental and
+//! correlation-aware. The default (empty) model is bit-identical to the
+//! independent legacy behavior. See the repo-root `README.md` and
+//! `ARCHITECTURE.md` for the workspace-level picture.
+//!
 //! # Example
 //!
 //! ```
@@ -77,6 +89,7 @@ pub mod pool;
 pub mod session;
 pub mod slack;
 mod state;
+pub mod variation;
 pub mod wnss;
 
 pub use config::{CorrelationMode, SstaConfig};
@@ -90,4 +103,5 @@ pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_C
 pub use pool::ScopedPool;
 pub use session::{TimingSession, TrialSession};
 pub use slack::StatisticalSlacks;
+pub use variation::{GlobalSource, SpatialGrid, VariationContext, VariationModel};
 pub use wnss::WnssTracer;

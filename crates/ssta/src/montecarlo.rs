@@ -1,11 +1,17 @@
 //! Monte-Carlo circuit timing — the golden reference for both statistical
 //! engines.
 //!
-//! Samples every gate delay independently from its `N(nominal, σ²)` model,
-//! runs deterministic longest-path analysis per sample, and summarizes the
-//! empirical distribution of the circuit delay. Slow but assumption-free
-//! (no normal-approximation of maxima, no discretization), so FULLSSTA and
-//! FASSTA are validated against it in tests and the accuracy ablation.
+//! Samples every gate delay from its `N(nominal, σ²)` model — independently
+//! under the default [`crate::variation::VariationModel::none`], or with
+//! shared die-to-die and spatially-correlated components under a
+//! configured [`crate::variation::VariationModel`] (each sample is one
+//! manufactured die: the shared deviates are drawn once per sample and
+//! enter every gate's delay) — runs deterministic longest-path analysis
+//! per sample, and summarizes the empirical distribution of the circuit
+//! delay. Slow but assumption-free (no normal-approximation of maxima, no
+//! discretization, and — unlike the analytic engines — no approximation of
+//! the spatial field's path covariance), so FULLSSTA and FASSTA are
+//! validated against it in tests and the accuracy ablation.
 //!
 //! # Deterministic parallel sampling
 //!
@@ -40,6 +46,7 @@ use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;
 use crate::engine::{EngineKind, TimingEngine, TimingReport};
 use crate::pool::ScopedPool;
+use crate::variation::VariationContext;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vartol_liberty::Library;
@@ -169,7 +176,8 @@ impl<'a> MonteCarloTimer<'a> {
     ) -> MonteCarloResult {
         assert!(n >= 2, "need at least two samples");
         let timing = CircuitTiming::compute(netlist, self.library, self.config);
-        self.run_samples(netlist, &timing, n, rng, false)
+        let ctx = VariationContext::new(&self.config.model, netlist);
+        self.run_samples(netlist, &timing, &ctx, n, rng, false)
             .into_result()
     }
 
@@ -190,7 +198,8 @@ impl<'a> MonteCarloTimer<'a> {
     ) -> MonteCarloResult {
         assert!(n >= 2, "need at least two samples");
         let timing = CircuitTiming::compute(netlist, self.library, self.config);
-        self.run_samples(netlist, &timing, n, rng, true)
+        let ctx = VariationContext::new(&self.config.model, netlist);
+        self.run_samples(netlist, &timing, &ctx, n, rng, true)
             .into_result()
     }
 
@@ -247,12 +256,18 @@ impl<'a> MonteCarloTimer<'a> {
     ) -> SampleStats {
         assert!(n >= 2, "need at least two samples");
         let chunks = n.div_ceil(MC_CHUNK_SAMPLES);
+        // Shared-source structure (global scales + spatial PCA) is
+        // precomputed once and read by every chunk; each chunk's RNG
+        // stream covers its shared draws *and* its per-gate draws, so
+        // the partition — and therefore the result — is still a pure
+        // function of `(seed, n)`, never of the thread count.
+        let ctx = VariationContext::new(&self.config.model, netlist);
         let pool = ScopedPool::new(self.threads);
         let summaries = pool.map(chunks, |chunk| {
             let lo = chunk * MC_CHUNK_SAMPLES;
             let count = MC_CHUNK_SAMPLES.min(n - lo);
             let mut rng = StdRng::seed_from_u64(Self::chunk_seed(self.seed, chunk as u64));
-            self.run_samples(netlist, timing, count, &mut rng, track_nodes)
+            self.run_samples(netlist, timing, &ctx, count, &mut rng, track_nodes)
         });
         summaries
             .into_iter()
@@ -263,10 +278,19 @@ impl<'a> MonteCarloTimer<'a> {
     /// The sampling kernel: `count` longest-path evaluations under random
     /// delay draws, summarized with Welford accumulators (robust where the
     /// old `E[X²]−E[X]²` sums cancel catastrophically at large means).
+    ///
+    /// With an empty [`VariationContext`] every gate draws one
+    /// independent standard normal (the legacy model, bit-identical).
+    /// With shared sources, each **sample** (= one manufactured die)
+    /// first draws the shared deviates — global sources, then spatial
+    /// PCA components, in that fixed order — and every gate's delay
+    /// combines its independent local draw with the die's shared shift:
+    /// `nominal + σ·(local·ε + Σ s_g·G_g + s_sp·S(cell))`.
     fn run_samples<R: Rng + ?Sized>(
         &self,
         netlist: &Netlist,
         timing: &CircuitTiming,
+        ctx: &VariationContext,
         count: usize,
         rng: &mut R,
         track_nodes: bool,
@@ -278,8 +302,27 @@ impl<'a> MonteCarloTimer<'a> {
             circuit: RunningMoments::new(),
             nodes: vec![RunningMoments::new(); if track_nodes { node_count } else { 0 }],
         };
+        let correlated = !ctx.is_empty();
+        let model = ctx.model();
+        let local = model.local_sigma_scale;
+        let sp_scale = model.spatial.as_ref().map_or(0.0, |g| g.sigma_scale);
+        let mut spatial_z = vec![0.0f64; ctx.spatial().map_or(0, |p| p.components())];
+        let mut field = vec![0.0f64; model.spatial.as_ref().map_or(0, |g| g.cells())];
 
         for _ in 0..count {
+            // Shared draws for this die, in fixed order.
+            let mut die_shift = 0.0f64;
+            if correlated {
+                for source in &model.global {
+                    die_shift += source.sigma_scale * standard_normal_sample(rng);
+                }
+                if let Some(pca) = ctx.spatial() {
+                    for z in &mut spatial_z {
+                        *z = standard_normal_sample(rng);
+                    }
+                    pca.field_into(&spatial_z, &mut field);
+                }
+            }
             arrivals.fill(0.0);
             let mut worst = 0.0f64;
             for id in netlist.node_ids() {
@@ -288,7 +331,15 @@ impl<'a> MonteCarloTimer<'a> {
                     continue;
                 }
                 let m = timing.delay_moments(id);
-                let delay = (m.mean + m.std() * standard_normal_sample(rng)).max(0.0);
+                let delay = if correlated {
+                    let mut shift = die_shift + local * standard_normal_sample(rng);
+                    if let Some(pca) = ctx.spatial() {
+                        shift += sp_scale * field[pca.cell(id.index())];
+                    }
+                    (m.mean + m.std() * shift).max(0.0)
+                } else {
+                    (m.mean + m.std() * standard_normal_sample(rng)).max(0.0)
+                };
                 let arr_in = g
                     .fanins()
                     .iter()
@@ -645,6 +696,82 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mc = MonteCarloTimer::new(&lib, &config).sample(&n, 100, &mut rng);
         assert!(mc.moments().std() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_sampling_is_thread_count_invariant() {
+        use crate::variation::{GlobalSource, SpatialGrid, VariationModel};
+        let lib = Library::synthetic_90nm();
+        let config = SstaConfig::default().with_model(
+            VariationModel::none()
+                .with_global_source(GlobalSource::with_variance_share("d2d", 0.4))
+                .with_spatial(SpatialGrid::with_variance_share(3, 3, 2.0, 0.2))
+                .normalized(),
+        );
+        let n = ripple_carry_adder(6, &lib);
+        let timer = MonteCarloTimer::new(&lib, &config).with_seed(123);
+        let samples = 2 * MC_CHUNK_SAMPLES + 50;
+        let reference = timer
+            .with_threads(1)
+            .sample_parallel_with_arrivals(&n, samples);
+        for threads in [2usize, 8] {
+            let got = timer
+                .with_threads(threads)
+                .sample_parallel_with_arrivals(&n, samples);
+            assert_eq!(got, reference, "{threads} threads under a model");
+        }
+    }
+
+    #[test]
+    fn die_to_die_correlation_inflates_circuit_sigma() {
+        // A shared source cannot average down along a path, so the
+        // circuit-level σ must grow relative to the independent model
+        // even though every per-gate marginal is identical.
+        use crate::variation::VariationModel;
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let independent = SstaConfig::default();
+        let correlated = SstaConfig::default().with_model(VariationModel::die_to_die(0.6));
+        let base = MonteCarloTimer::new(&lib, &independent)
+            .with_seed(7)
+            .sample_parallel(&n, 8_000)
+            .moments();
+        let corr = MonteCarloTimer::new(&lib, &correlated)
+            .with_seed(7)
+            .sample_parallel(&n, 8_000)
+            .moments();
+        assert!(
+            corr.std() > 1.2 * base.std(),
+            "correlated σ {} vs independent σ {}",
+            corr.std(),
+            base.std()
+        );
+        assert!((corr.mean - base.mean).abs() / base.mean < 0.03);
+    }
+
+    #[test]
+    fn spatial_only_model_preserves_marginals_and_runs() {
+        use crate::variation::{SpatialGrid, VariationModel};
+        let lib = Library::synthetic_90nm();
+        let n = parity_tree(16, &lib);
+        let model = VariationModel::none()
+            .with_spatial(SpatialGrid::with_variance_share(4, 4, 1.5, 0.5))
+            .normalized();
+        assert!((model.total_variance_scale() - 1.0).abs() < 1e-12);
+        let config = SstaConfig::default().with_model(model);
+        let mc = MonteCarloTimer::new(&lib, &config)
+            .with_seed(3)
+            .sample_parallel_with_arrivals(&n, 6_000);
+        let base_cfg = SstaConfig::default();
+        let base = MonteCarloTimer::new(&lib, &base_cfg)
+            .with_seed(3)
+            .sample_parallel_with_arrivals(&n, 6_000);
+        // Same marginal per-gate variance: node arrival moments track the
+        // independent run loosely (correlation changes path covariance,
+        // which a single arrival's marginal only sees through maxima).
+        let o = n.outputs()[0];
+        let (a, b) = (mc.arrival(o), base.arrival(o));
+        assert!((a.mean - b.mean).abs() / b.mean < 0.05, "{a} vs {b}");
     }
 
     #[test]

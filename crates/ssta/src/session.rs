@@ -904,6 +904,56 @@ mod tests {
     }
 
     #[test]
+    fn conditioned_incremental_refresh_matches_scratch() {
+        // The correlated-variation lanes ride the same worklist as the
+        // legacy path: an incremental refresh under a die-to-die model
+        // must still reproduce a from-scratch conditioned analysis.
+        let lib = Library::synthetic_90nm();
+        let config =
+            SstaConfig::default().with_model(crate::variation::VariationModel::die_to_die(0.6));
+        for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
+            let n = ripple_carry_adder(8, &lib);
+            let gates: Vec<GateId> = n.gate_ids().collect();
+            let mut session = TimingSession::with_kind(&lib, config.clone(), n, kind);
+            session.resize(gates[3], 4);
+            session.resize(*gates.last().expect("gates"), 5);
+            let incremental = session.refresh();
+            let scratch = session.report(kind);
+            assert_moments_eq(
+                incremental,
+                scratch.circuit_moments(),
+                1e-9,
+                &format!("{kind} conditioned circuit"),
+            );
+            assert_eq!(
+                session.arrivals(),
+                scratch.arrivals(),
+                "{kind} conditioned arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_refresh_recomputes_only_the_cone() {
+        let lib = Library::synthetic_90nm();
+        let config =
+            SstaConfig::default().with_model(crate::variation::VariationModel::die_to_die(0.5));
+        let n = benchmark("c1908", &lib).expect("known");
+        let node_count = n.node_count();
+        let g = n.gate_ids().last().expect("gates");
+        let mut session = TimingSession::new(&lib, config, n);
+        let before = session.recompute_count();
+        session.resize(g, 4);
+        session.refresh();
+        let visited = session.recompute_count() - before;
+        assert!(
+            (visited as usize) < node_count / 10,
+            "conditioned incremental refresh must stay cone-local: \
+             {visited} of {node_count}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "cannot back an incremental session")]
     fn monte_carlo_sessions_are_rejected() {
         let lib = Library::synthetic_90nm();

@@ -25,7 +25,10 @@
 //! * [`normal`] — normal distribution pdf/cdf/quantile/sampling.
 //! * [`montecarlo`] — Monte-Carlo estimators used as a golden reference.
 //! * [`correlation`] — correlation matrices and a PCA decomposition for
-//!   spatially-correlated variation sources.
+//!   spatially-correlated variation sources; consumed by the ssta crate's
+//!   correlated `VariationModel` (the spatial field of every engine is a
+//!   linear combination of the independent principal components this
+//!   module extracts from the grid's `exp(-d/L)` correlation matrix).
 //! * [`sensitivity`] — finite-difference sensitivities of `Var(max(A,B))`
 //!   with respect to input means, used for WNSS path tracing.
 //!

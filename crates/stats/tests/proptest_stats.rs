@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vartol_stats::clark::{clark_max, clark_max_correlated};
+use vartol_stats::correlation::{CorrelationMatrix, PcaModel};
 use vartol_stats::erf::{erf, half_erf_quadratic, phi_cdf, phi_inv};
 use vartol_stats::fast_max::{fast_max_moments, fast_max_with_dominance, Dominance};
 use vartol_stats::{DiscretePdf, Moments, RunningMoments};
@@ -231,5 +232,81 @@ proptest! {
         let out = pdf.with_moments(dst, 12);
         prop_assert!((out.mean() - dst.mean).abs() < 1e-6 * (1.0 + dst.mean.abs()));
         prop_assert!((out.var() - dst.var).abs() < 1e-6 * (1.0 + dst.var));
+    }
+}
+
+// ---------------------------------------------------------------------
+// PCA of correlated variation sources — the decomposition the ssta
+// crate's correlated `VariationModel` builds its spatial field on.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pca_reconstructs_spatial_grid_covariance(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        len in 0.2f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let n = rows * cols;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigmas: Vec<f64> = (0..n).map(|_| 0.01 + 50.0 * rng.gen::<f64>()).collect();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|c| ((c % cols) as f64, (c / cols) as f64))
+            .collect();
+        let corr = CorrelationMatrix::spatial(&positions, len);
+        let moments: Vec<Moments> = sigmas
+            .iter()
+            .map(|&s| Moments::from_mean_std(0.0, s))
+            .collect();
+        let pca = PcaModel::decompose(&moments, &corr);
+        prop_assert_eq!(pca.len(), n);
+        // Every pairwise covariance implied by the loadings matches the
+        // input grid model within tolerance.
+        for i in 0..n {
+            for j in 0..n {
+                let want = sigmas[i] * sigmas[j] * corr.get(i, j);
+                let got = pca.covariance(i, j);
+                let tol = 1e-8 * (1.0 + want.abs());
+                prop_assert!(
+                    (got - want).abs() < tol,
+                    "cov({}, {}): {} vs {}", i, j, got, want
+                );
+            }
+        }
+        // All the variance is explained by the full component set, and
+        // explained variance is monotone in the component count.
+        prop_assert!((pca.explained_variance(n) - 1.0).abs() < 1e-9);
+        for k in 0..n {
+            prop_assert!(
+                pca.explained_variance(k) <= pca.explained_variance(k + 1) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn eigen_decomposition_preserves_trace_and_orthonormality(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        len in 0.2f64..8.0,
+    ) {
+        let n = rows * cols;
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|c| ((c % cols) as f64, (c / cols) as f64))
+            .collect();
+        let corr = CorrelationMatrix::spatial(&positions, len);
+        let (values, vectors) = corr.eigen_decompose();
+        let trace: f64 = values.iter().sum();
+        prop_assert!((trace - n as f64).abs() < 1e-7, "trace {}", trace);
+        for v in &values {
+            prop_assert!(*v > -1e-9, "correlation matrices are PSD: {}", v);
+        }
+        for a in 0..n {
+            for b in 0..n {
+                let dot: f64 = vectors[a].iter().zip(&vectors[b]).map(|(x, y)| x * y).sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                prop_assert!((dot - want).abs() < 1e-7, "v{}·v{} = {}", a, b, dot);
+            }
+        }
     }
 }

@@ -5,6 +5,13 @@
 //! Circuits Using Gate Sizing and Statistical Techniques"* (Neiroukh & Song,
 //! DATE 2005).
 //!
+//! **Front-door documents** (repo root): `README.md` — crate map,
+//! quickstart, how to run tests/benches/`vartol-suite`, determinism
+//! guarantees — and `ARCHITECTURE.md` — the layer diagram, engine data
+//! flow, session/`Workspace` lifecycle, and the determinism design.
+//! Both live next to this crate's `Cargo.toml`; start there when
+//! navigating the workspace.
+//!
 //! The workspace is organized bottom-up:
 //!
 //! * [`stats`] — random-variable toolkit: [`stats::Moments`], Clark's max,
@@ -43,7 +50,11 @@
 //!   [`Workspace`] registers named circuits (`.bench` files, generator
 //!   presets, or pre-built netlists) and serves **batches of typed
 //!   requests** — [`Analyze`](workspace::Request::Analyze) under any
-//!   engine, [`Arrival`](workspace::Request::Arrival) /
+//!   engine, [`AnalyzeUnder`](workspace::Request::AnalyzeUnder) for
+//!   correlated-corner analyses under an explicit
+//!   [`VariationModel`](ssta::VariationModel) (die-to-die / spatial
+//!   sources, see [`ssta::variation`]),
+//!   [`Arrival`](workspace::Request::Arrival) /
 //!   [`Slack`](workspace::Request::Slack) /
 //!   [`Criticality`](workspace::Request::Criticality) queries,
 //!   Monte-Carlo [`Yield`](workspace::Request::Yield) at a deadline,
@@ -59,23 +70,31 @@
 //! `TimingSession` and both sizers used to borrow (`TimingSession<'l, 'n>`
 //! held `&'l Library` + `&'n mut Netlist`; sizers held `&'l Library`), so
 //! a session could not outlive a stack frame, be stored in a struct, or
-//! serve two circuits at once. They are now owned handles:
+//! serve two circuits at once. They are now owned handles. The whole
+//! migration, as one compiling example (every step below is the "after"
+//! idiom — the "before" forms no longer exist to compile):
 //!
-//! * **Constructing a session.** Pass the netlist *by value* and any
-//!   library handle — `Arc<Library>` (shared), `Library` (moved), or
-//!   `&Library` (cloned once):
+//! * **Constructing a session.** Previously
+//!   `TimingSession::new(&lib, cfg, &mut n)` borrowed the netlist; now
+//!   pass it *by value* and any library handle — `Arc<Library>`
+//!   (shared), `Library` (moved), or `&Library` (cloned once) — and
+//!   take the circuit back out with
+//!   [`into_netlist`](ssta::TimingSession::into_netlist) when done:
 //!
-//!   ```text
-//!   // before                                            // after
-//!   let mut s = TimingSession::new(&lib, cfg, &mut n);   let mut s = TimingSession::new(&lib, cfg, n);
 //!   ```
+//!   use vartol::liberty::Library;
+//!   use vartol::netlist::generators::ripple_carry_adder;
+//!   use vartol::ssta::{SstaConfig, TimingSession};
 //!
-//! * **Getting the circuit back.** The session owns the netlist; where
-//!   you previously kept using `n` after the session went out of scope,
-//!   call [`into_netlist`](ssta::TimingSession::into_netlist):
+//!   let lib = Library::synthetic_90nm();
+//!   let netlist = ripple_carry_adder(4, &lib);
+//!   let gate = netlist.gate_ids().next().unwrap();
 //!
-//!   ```text
-//!   let n = session.into_netlist();
+//!   let mut session = TimingSession::new(&lib, SstaConfig::default(), netlist);
+//!   session.resize(gate, 3);
+//!   session.refresh();
+//!   let netlist = session.into_netlist(); // the circuit comes back out
+//!   assert_eq!(netlist.gate(gate).size(), Some(3));
 //!   ```
 //!
 //! * **Sizers.** `StatisticalGreedy::new(&lib, cfg)` and
@@ -83,17 +102,78 @@
 //!   converts into a shared handle by cloning); to share one library
 //!   across many sizers and sessions without copies, pass an
 //!   `Arc<Library>`. Their `optimize`/`minimize_delay`/`recover_area`
-//!   still take `&mut Netlist` and write the result back.
+//!   still take `&mut Netlist` and write the result back:
+//!
+//!   ```
+//!   use std::sync::Arc;
+//!   use vartol::core::{SizerConfig, StatisticalGreedy};
+//!   use vartol::liberty::Library;
+//!   use vartol::netlist::generators::ripple_carry_adder;
+//!
+//!   let lib = Arc::new(Library::synthetic_90nm());
+//!   let mut netlist = ripple_carry_adder(4, &lib);
+//!   let sizer = StatisticalGreedy::new(Arc::clone(&lib), SizerConfig::with_alpha(3.0));
+//!   let report = sizer.optimize(&mut netlist);
+//!   assert!(report.final_moments().std() <= report.initial_moments().std());
+//!   ```
 //!
 //! * **Slack / criticality plumbing.** Instead of exporting arrivals and
 //!   the electrical snapshot by hand, query the session:
-//!   [`session.slacks(t_req)`](ssta::TimingSession::slacks) and
-//!   [`session.criticality()`](ssta::TimingSession::criticality).
+//!
+//!   ```
+//!   use vartol::liberty::Library;
+//!   use vartol::netlist::generators::ripple_carry_adder;
+//!   use vartol::ssta::{SstaConfig, TimingSession};
+//!
+//!   let lib = Library::synthetic_90nm();
+//!   let mut session =
+//!       TimingSession::new(&lib, SstaConfig::default(), ripple_carry_adder(4, &lib));
+//!   let m = session.refresh();
+//!   let slacks = session.slacks(m.mean + 3.0 * m.std());
+//!   assert!(slacks.worst_statistical_slack(3.0).is_finite());
+//!   let criticality = session.criticality();
+//!   assert!(!criticality.ranking().is_empty());
+//!   ```
 //!
 //! * **Long-lived / multi-circuit use.** Store sessions in structs or
 //!   maps freely — or skip the bookkeeping entirely and use a
 //!   [`Workspace`], which caches one session per registered circuit and
-//!   serves concurrent batches deterministically.
+//!   serves concurrent batches deterministically (see the next
+//!   section).
+//!
+//! # Correlated process variation
+//!
+//! Every engine historically sampled gates independently; that is still
+//! the default, bit for bit. [`ssta::variation`] adds die-to-die and
+//! spatially-correlated components on top — configure them with
+//! [`SstaConfig::with_model`](ssta::SstaConfig::with_model) and every
+//! layer (engines, sessions, sizer, workspace, `vartol-suite` corners)
+//! becomes correlation-aware; see the module docs for the math:
+//!
+//! ```
+//! use vartol::liberty::Library;
+//! use vartol::netlist::generators::ripple_carry_adder;
+//! use vartol::ssta::{SstaConfig, TimingSession, VariationModel};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let independent = TimingSession::new(
+//!     &lib,
+//!     SstaConfig::default(),
+//!     ripple_carry_adder(8, &lib),
+//! )
+//! .circuit_moments();
+//!
+//! // 60% of each gate's delay variance moves with the die; per-gate
+//! // marginals are unchanged, but the circuit sigma grows because a
+//! // shared shift cannot average down along a path.
+//! let correlated = TimingSession::new(
+//!     &lib,
+//!     SstaConfig::default().with_model(VariationModel::die_to_die(0.6)),
+//!     ripple_carry_adder(8, &lib),
+//! )
+//! .circuit_moments();
+//! assert!(correlated.std() > independent.std());
+//! ```
 //!
 //! # Benchmark-suite runner
 //!
@@ -173,3 +253,10 @@ pub use vartol_ssta as ssta;
 pub use vartol_stats as stats;
 
 pub use workspace::{Answer, Request, Response, Workspace, WorkspaceConfig, WorkspaceError};
+
+/// Compiles the repo-root `README.md` code blocks as doctests, so the
+/// front-door quickstart can never drift from the real API
+/// (`cargo test --doc --workspace` covers it in CI).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

@@ -66,7 +66,9 @@ use vartol_liberty::Library;
 use vartol_netlist::generators::preset;
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::{Netlist, NetlistError};
-use vartol_ssta::{EngineKind, MonteCarloTimer, ScopedPool, SstaConfig, TimingSession};
+use vartol_ssta::{
+    EngineKind, MonteCarloTimer, ScopedPool, SstaConfig, TimingSession, VariationModel,
+};
 use vartol_stats::Moments;
 
 /// Knobs of a [`Workspace`].
@@ -175,6 +177,25 @@ pub enum Request {
         /// flavor ([`EngineKind::FullSsta`]) without a from-scratch pass.
         kind: EngineKind,
     },
+    /// Run a full analysis under an explicit correlated variation model
+    /// (die-to-die sources and/or a spatial grid —
+    /// [`vartol_ssta::variation`]) **without touching the circuit's
+    /// cached session**: the engine runs from scratch with the model
+    /// swapped into the workspace's engine configuration. This is the
+    /// correlated-corner query: the same circuit can be analyzed under
+    /// any number of models in one batch, and the default-model cache
+    /// stays warm and bit-identical.
+    AnalyzeUnder {
+        /// Target circuit name.
+        circuit: String,
+        /// Engine to run (all four supported; Monte Carlo samples the
+        /// shared sources per die under the workspace budget and seed).
+        kind: EngineKind,
+        /// The correlated variation model to analyze under. Validated
+        /// before anything runs; an invalid model answers
+        /// [`Answer::Error`].
+        model: VariationModel,
+    },
     /// Arrival moments at one named node.
     Arrival {
         /// Target circuit name.
@@ -232,6 +253,7 @@ impl Request {
     pub fn circuit(&self) -> &str {
         match self {
             Self::Analyze { circuit, .. }
+            | Self::AnalyzeUnder { circuit, .. }
             | Self::Arrival { circuit, .. }
             | Self::Slack { circuit, .. }
             | Self::Criticality { circuit, .. }
@@ -576,6 +598,43 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Runs `kind` from scratch over the entry's netlist under an explicit
+/// engine configuration — Monte Carlo honoring the workspace's sample
+/// budget and seed. Shared by [`Request::Analyze`] (cold kinds) and
+/// [`Request::AnalyzeUnder`] so the two arms cannot drift.
+fn scratch_report(
+    library: &Arc<Library>,
+    config: &WorkspaceConfig,
+    ssta: &SstaConfig,
+    netlist: &Netlist,
+    kind: EngineKind,
+) -> vartol_ssta::TimingReport {
+    match kind {
+        EngineKind::MonteCarlo => {
+            let timer = MonteCarloTimer::new(library, ssta)
+                .with_samples(config.mc_samples)
+                .with_seed(config.mc_seed);
+            vartol_ssta::TimingEngine::analyze(&timer, netlist)
+        }
+        _ => kind.engine(library, ssta).analyze(netlist),
+    }
+}
+
+/// Packages a report as the [`Answer::Analysis`] payload (worst output
+/// resolved to its name).
+fn analysis_answer(
+    entry: &CircuitEntry,
+    kind: EngineKind,
+    report: &vartol_ssta::TimingReport,
+) -> Answer {
+    let worst = report.worst_output();
+    Answer::Analysis {
+        kind,
+        moments: report.circuit_moments(),
+        worst_output: entry.session.netlist().gate(worst).name().to_owned(),
+    }
+}
+
 /// The request dispatcher. Validation failures return [`Answer::Error`]
 /// without touching the session (malformed input must not poison the
 /// cached state — routed through the netlist's `try_*` accessors).
@@ -591,21 +650,30 @@ fn answer(
                 // The cached session *is* the FULLSSTA state: serve it
                 // incrementally instead of a from-scratch pass.
                 EngineKind::FullSsta => entry.session.current_report(),
-                // Monte Carlo honors the workspace's budget and seed.
-                EngineKind::MonteCarlo => {
-                    let timer = MonteCarloTimer::new(library, entry.session.config())
-                        .with_samples(config.mc_samples)
-                        .with_seed(config.mc_seed);
-                    vartol_ssta::TimingEngine::analyze(&timer, entry.session.netlist())
-                }
-                EngineKind::Dsta | EngineKind::Fassta => entry.session.report(*kind),
+                _ => scratch_report(
+                    library,
+                    config,
+                    &entry.session.config().clone(),
+                    entry.session.netlist(),
+                    *kind,
+                ),
             };
-            let worst = report.worst_output();
-            Answer::Analysis {
-                kind: *kind,
-                moments: report.circuit_moments(),
-                worst_output: entry.session.netlist().gate(worst).name().to_owned(),
+            analysis_answer(entry, *kind, &report)
+        }
+        Request::AnalyzeUnder { kind, model, .. } => {
+            if let Err(e) = model.validate() {
+                return Answer::error(format!("invalid variation model: {e}"));
             }
+            let mut conditioned = entry.session.config().clone();
+            conditioned.model = model.clone();
+            let report = scratch_report(
+                library,
+                config,
+                &conditioned,
+                entry.session.netlist(),
+                *kind,
+            );
+            analysis_answer(entry, *kind, &report)
         }
         Request::Arrival { node, .. } => {
             let Some(id) = entry.session.netlist().gate_by_name(node) else {
@@ -838,6 +906,86 @@ mod tests {
             "rejected resize must not mutate"
         );
         // The circuit still answers follow-up queries normally.
+        let ok = ws.query(Request::Analyze {
+            circuit: "adder_8".into(),
+            kind: EngineKind::FullSsta,
+        });
+        assert!(matches!(ok.answer, Answer::Analysis { .. }));
+    }
+
+    #[test]
+    fn analyze_under_serves_correlated_corners_without_touching_the_cache() {
+        let mut ws = workspace(1);
+        let answers = ws.submit(&[
+            Request::Analyze {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            },
+            Request::AnalyzeUnder {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+                model: VariationModel::die_to_die(0.6),
+            },
+            Request::AnalyzeUnder {
+                circuit: "adder_8".into(),
+                kind: EngineKind::MonteCarlo,
+                model: VariationModel::die_to_die(0.6),
+            },
+            // The cached independent-model session must be unaffected.
+            Request::Analyze {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            },
+        ]);
+        let Answer::Analysis {
+            moments: independent,
+            ..
+        } = answers[0].answer
+        else {
+            panic!("analysis: {:?}", answers[0].answer);
+        };
+        let Answer::Analysis {
+            moments: corner, ..
+        } = answers[1].answer
+        else {
+            panic!("corner analysis: {:?}", answers[1].answer);
+        };
+        let Answer::Analysis { moments: mc, .. } = answers[2].answer else {
+            panic!("MC corner: {:?}", answers[2].answer);
+        };
+        assert!(
+            corner.std() > independent.std(),
+            "a die-to-die source widens the circuit distribution: {} vs {}",
+            corner.std(),
+            independent.std()
+        );
+        assert!(
+            (mc.mean - corner.mean).abs() / corner.mean < 0.05,
+            "engines agree on the corner: MC {} vs FULLSSTA {}",
+            mc.mean,
+            corner.mean
+        );
+        assert_eq!(
+            answers[3].answer, answers[0].answer,
+            "corner queries must not perturb the cached session"
+        );
+    }
+
+    #[test]
+    fn analyze_under_rejects_invalid_models() {
+        let mut ws = workspace(1);
+        let mut bad = VariationModel::die_to_die(0.5);
+        bad.global[0].sigma_scale = f64::NAN;
+        let response = ws.query(Request::AnalyzeUnder {
+            circuit: "adder_8".into(),
+            kind: EngineKind::Dsta,
+            model: bad,
+        });
+        let Answer::Error { message } = &response.answer else {
+            panic!("expected error, got {:?}", response.answer);
+        };
+        assert!(message.contains("variation model"), "{message}");
+        // The circuit still answers normally afterwards.
         let ok = ws.query(Request::Analyze {
             circuit: "adder_8".into(),
             kind: EngineKind::FullSsta,

@@ -80,3 +80,44 @@ fn deterministic_engine_detailed_and_unified_views_agree() {
     assert_eq!(unified.max_delay(), detailed.max_delay());
     assert_eq!(unified.worst_output(), detailed.worst_output());
 }
+
+#[test]
+fn all_engines_are_coherent_under_a_correlated_model() {
+    // Under a die-to-die source: DSTA becomes a corner sweep (pure
+    // global spread), FASSTA and FULLSSTA condition, Monte Carlo
+    // samples per die — their circuit statistics must line up.
+    use vartol::ssta::{MonteCarloTimer, VariationModel};
+    let lib = Library::synthetic_90nm();
+    let config = SstaConfig::default().with_model(VariationModel::die_to_die(0.6));
+    let n = ripple_carry_adder(8, &lib);
+
+    let det = Dsta::new(&lib, &config).analyze(&n).circuit_moments();
+    let fast = Fassta::new(&lib, &config).analyze(&n).circuit_moments();
+    let full = FullSsta::new(&lib, &config).analyze(&n).circuit_moments();
+    let mc = MonteCarloTimer::new(&lib, &config)
+        .with_seed(31)
+        .sample_parallel(&n, 20_000)
+        .moments();
+
+    // DSTA's variance is exactly the die-to-die corner spread: nonzero,
+    // but below the statistical engines' (which add residual variance).
+    assert!(det.var > 0.0, "corner sweep must spread the nominal path");
+    assert!(det.std() < full.std());
+
+    for (name, m) in [("dsta", det), ("fassta", fast), ("fullssta", full)] {
+        assert!(
+            (m.mean - mc.mean).abs() / mc.mean < 0.05,
+            "{name} mean {} vs MC {}",
+            m.mean,
+            mc.mean
+        );
+    }
+    for (name, m) in [("fassta", fast), ("fullssta", full)] {
+        assert!(
+            (m.std() - mc.std()).abs() / mc.std() < 0.10,
+            "{name} sigma {} vs MC {}",
+            m.std(),
+            mc.std()
+        );
+    }
+}
