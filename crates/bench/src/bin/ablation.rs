@@ -18,8 +18,27 @@ use vartol_stats::fast_max::{fast_max_with_dominance, DominanceStats};
 use vartol_stats::montecarlo::mc_max_two_correlated;
 use vartol_stats::{clark_max, Moments};
 
+const SECTIONS: [&str; 8] = [
+    "erf", "fastmax", "engines", "depth", "subdepth", "samples", "paths", "exponent",
+];
+
+const USAGE: &str = "ablation: ablate the paper's design choices (E5-E9)\n\n\
+                     usage: ablation [SECTION ...]\n\n\
+                     SECTION ...   one or more of erf, fastmax, engines, depth,\n\
+                                   subdepth, samples, paths, exponent (default: all)";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for arg in &args {
+        if arg == "--help" || arg == "-h" {
+            println!("{USAGE}");
+            return;
+        }
+        if !SECTIONS.contains(&arg.as_str()) {
+            eprintln!("ablation: unknown section `{arg}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
     let want = |s: &str| args.is_empty() || args.iter().any(|a| a == s);
 
     if want("erf") {

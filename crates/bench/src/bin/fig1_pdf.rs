@@ -6,13 +6,16 @@
 //!
 //! Usage: `fig1_pdf [CIRCUIT]` (default c432).
 
-use vartol_bench::{ascii_pdf, original_circuit};
+use vartol_bench::{ascii_pdf, circuit_arg, original_circuit};
 use vartol_core::{SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
 use vartol_ssta::{FullSsta, MonteCarloTimer, SstaConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "c432".to_owned());
+    let name = circuit_arg(
+        "fig1_pdf",
+        "reproduce Fig. 1 (output-delay PDF at three design points)",
+    );
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
     // Extra PDF resolution for a smooth figure.

@@ -13,7 +13,18 @@ use vartol_stats::fast_max::{normalized_gap, DOMINANCE_THRESHOLD};
 use vartol_stats::sensitivity::dvar_dmu;
 use vartol_stats::Moments;
 
+const USAGE: &str = "fig3_wnss: reproduce Fig. 3 (WNSS path tracing on the 6-node example)\n\n\
+                     usage: fig3_wnss (takes no arguments)";
+
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        if arg == "--help" || arg == "-h" {
+            println!("{USAGE}");
+            return;
+        }
+        eprintln!("fig3_wnss: unexpected argument `{arg}`\n\n{USAGE}");
+        std::process::exit(2);
+    }
     // The figure's structure: two branches joining at X, with a side
     // branch merging one level earlier.
     let mut b = NetlistBuilder::new("fig3");

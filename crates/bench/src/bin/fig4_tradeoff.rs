@@ -5,13 +5,16 @@
 //!
 //! Usage: `fig4_tradeoff [CIRCUIT]` (default c432).
 
-use vartol_bench::original_circuit;
+use vartol_bench::{circuit_arg, original_circuit};
 use vartol_core::{SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
 use vartol_ssta::{FullSsta, SstaConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "c432".to_owned());
+    let name = circuit_arg(
+        "fig4_tradeoff",
+        "reproduce Fig. 4 (normalized mean vs sigma/mu across alpha)",
+    );
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
     let original = original_circuit(&name, &lib, &ssta);

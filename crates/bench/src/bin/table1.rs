@@ -17,20 +17,49 @@ use vartol_liberty::Library;
 use vartol_netlist::generators::{benchmark, benchmark_names};
 use vartol_ssta::SstaConfig;
 
+const USAGE: &str = "table1: reproduce Table 1 (statistical sizing at alpha = 3 and 9)\n\n\
+                     usage: table1 [--quick] [--json PATH] [CIRCUIT ...]\n\n\
+                     --quick       only circuits below 1000 gates\n\
+                     --json PATH   additionally dump the rows as JSON\n\
+                     CIRCUIT ...   run only the named benchmarks (default: all)";
+
+fn parse_args() -> Result<(bool, Option<String>, Vec<String>), String> {
+    let mut quick = false;
+    let mut json_path = None;
+    let mut requested = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(args.next().ok_or("--json needs a value")?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument `{other}`"));
+            }
+            circuit => {
+                if !benchmark_names().contains(&circuit) {
+                    return Err(format!(
+                        "unknown benchmark `{circuit}` (expected one of {})",
+                        benchmark_names().join(", ")
+                    ));
+                }
+                requested.push(circuit.to_owned());
+            }
+        }
+    }
+    Ok((quick, json_path, requested))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| json_path.as_deref() != Some(a.as_str()))
-        .map(String::as_str)
-        .collect();
+    let (quick, json_path, requested) = parse_args().unwrap_or_else(|msg| {
+        eprintln!("table1: {msg}\n\n{USAGE}");
+        std::process::exit(2);
+    });
 
     let lib = Library::synthetic_90nm();
     let ssta = SstaConfig::default();
@@ -48,7 +77,7 @@ fn main() {
             })
             .collect()
     } else {
-        requested
+        requested.iter().map(String::as_str).collect()
     };
 
     println!("# Table 1 reproduction — statistical gate sizing at alpha = 3 and 9");

@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use vartol_bench::suite::{check_json_text, run_suite_with, SuiteConfig};
 use vartol_liberty::Library;
-use vartol_netlist::generators::{preset, preset_names, small_preset_names};
+use vartol_netlist::generators::{
+    benchmark, benchmark_names, preset, preset_names, small_preset_names,
+};
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::Netlist;
 
@@ -100,7 +102,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "vartol-suite: run the engine + sizing benchmark matrix\n\n\
                      --subset small|full    preset tier to run (default small)\n\
-                     --circuits a,b,c       explicit list (presets or .bench stems)\n\
+                     --circuits a,b,c       explicit list (presets, paper benchmarks\n\
+                                            like c7552, or .bench stems)\n\
                      --data DIR             .bench directory (default data)\n\
                      --out PATH             report path (default BENCH_suite.json)\n\
                      --threads N            worker threads, 0 = all CPUs (default 0)\n\
@@ -155,13 +158,17 @@ fn collect_circuits(opts: &Options, library: &Library) -> Result<Vec<Netlist>, S
                 if let Some(n) = preset(name, library) {
                     return Ok(n);
                 }
+                if let Some(n) = benchmark(name, library) {
+                    return Ok(n);
+                }
                 let path = opts.data_dir.join(format!("{name}.bench"));
                 if path.is_file() {
                     return load_bench_file(&path);
                 }
                 Err(format!(
-                    "`{name}` is neither a preset ({}) nor {}",
+                    "`{name}` is neither a preset ({}), a benchmark ({}), nor {}",
                     preset_names().join(", "),
+                    benchmark_names().join(", "),
                     path.display()
                 ))
             })
@@ -203,12 +210,15 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let report = run_suite_with(&circuits, &library, &opts.config, |scenario, wall| {
         eprintln!(
-            "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  {:>6.2}s",
+            "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  \
+             serve {:>7.2} -> {:>5.2} ms  {:>6.2}s",
             scenario.circuit,
             scenario.gates,
             scenario.sizing.sigma_before,
             scenario.sizing.sigma_after,
             scenario.sizing.area_delta_pct,
+            scenario.serve.serve_cold_ms,
+            scenario.serve.serve_warm_ms,
             wall.as_secs_f64()
         );
     });

@@ -25,9 +25,46 @@ pub mod suite;
 use std::time::Instant;
 use vartol_core::{MeanDelaySizer, OptimizationReport, SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
-use vartol_netlist::generators::benchmark;
+use vartol_netlist::generators::{benchmark, benchmark_names};
 use vartol_netlist::Netlist;
 use vartol_ssta::{FullSsta, SstaConfig};
+
+/// Shared CLI front end for the single-circuit figure binaries
+/// (`fig1_pdf`, `fig4_tradeoff`): `NAME [CIRCUIT]` with a default of
+/// `c432`, `--help`/`-h` (usage, exit 0), and rejection of unknown
+/// flags, unknown benchmark names, and extra positionals (usage to
+/// stderr, exit 2).
+#[must_use]
+pub fn circuit_arg(binary: &str, purpose: &str) -> String {
+    let usage = format!(
+        "{binary}: {purpose}\n\n\
+         usage: {binary} [CIRCUIT]\n\n\
+         CIRCUIT   benchmark to run, one of {} (default c432)",
+        benchmark_names().join(", ")
+    );
+    let mut args = std::env::args().skip(1);
+    let name = match args.next() {
+        None => "c432".to_owned(),
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        Some(arg) if arg.starts_with('-') => {
+            eprintln!("{binary}: unknown argument `{arg}`\n\n{usage}");
+            std::process::exit(2);
+        }
+        Some(arg) if !benchmark_names().contains(&arg.as_str()) => {
+            eprintln!("{binary}: unknown benchmark `{arg}`\n\n{usage}");
+            std::process::exit(2);
+        }
+        Some(arg) => arg,
+    };
+    if let Some(extra) = args.next() {
+        eprintln!("{binary}: unexpected argument `{extra}`\n\n{usage}");
+        std::process::exit(2);
+    }
+    name
+}
 
 /// One α column of a Table-1 row.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]

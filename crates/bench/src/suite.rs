@@ -33,6 +33,15 @@
 //! conditioning lanes and the μ/σ agreement between the two engines on
 //! every circuit.
 //!
+//! `/4` adds the `serve` row: every circuit is also registered with a
+//! shared `vartol_serve::Service` (through the wire-level `Register`
+//! request, as `.bench` text) and analyzed twice under Monte Carlo —
+//! `serve_cold_ms` is the first, computed, analysis and
+//! `serve_warm_ms` its repeat, answered from the service's result
+//! cache with a payload the runner asserts byte-identical. The pair
+//! tracks the service stack's end-to-end latency and what the cache
+//! buys on re-query.
+//!
 //! The report is validated ([`SuiteReport::validate`]) before it is
 //! written: any non-finite μ/σ or wall-clock fails the run. Because the
 //! vendored `serde_json` shim renders non-finite floats as `null`, a
@@ -43,7 +52,9 @@
 use vartol::workspace::{Answer, Request, Response, Workspace, WorkspaceConfig};
 use vartol_core::SizerConfig;
 use vartol_liberty::Library;
+use vartol_netlist::iscas::write_bench;
 use vartol_netlist::Netlist;
+use vartol_serve::{ServeConfig, ServeRequest, ServeResponse, Service};
 use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig, VariationModel};
 
 /// Schema tag stamped into every report (bump on breaking layout or
@@ -51,8 +62,10 @@ use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig,
 /// `fullssta` row as warm serve latency; `/3` added the per-scenario
 /// `corners` rows — conditioned FULLSSTA and correlated Monte Carlo
 /// under named die-to-die / spatial variation models, served through
-/// the workspace's `AnalyzeUnder` request — see the module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/3";
+/// the workspace's `AnalyzeUnder` request; `/4` added the `serve` row
+/// — cold vs cached Monte-Carlo analysis latency through the
+/// `vartol-serve` service — see the module docs).
+pub const SUITE_SCHEMA: &str = "vartol-suite/4";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -111,6 +124,19 @@ pub struct EngineStat {
     pub sigma: f64,
 }
 
+/// One scenario's service-layer latency pair (schema `/4`): the same
+/// Monte-Carlo `Analyze` request through a shared
+/// [`vartol_serve::Service`], first cold (computed by the shard's
+/// workspace) then warm (answered from the shard's result cache).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeStat {
+    /// First analysis: full computation, in milliseconds (includes the
+    /// service's routing/queue hop — this is end-to-end latency).
+    pub serve_cold_ms: f64,
+    /// Repeat of the identical request: a cache hit, in milliseconds.
+    pub serve_warm_ms: f64,
+}
+
 /// The end-to-end optimization result on one scenario.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SizingStat {
@@ -156,6 +182,8 @@ pub struct ScenarioReport {
     pub corners: Vec<CornerStat>,
     /// The optimization flow's result.
     pub sizing: SizingStat,
+    /// Cold vs cached query latency through the `vartol-serve` service.
+    pub serve: ServeStat,
 }
 
 /// The whole suite run.
@@ -229,6 +257,15 @@ impl SuiteReport {
             if z.sigma_after < 0.0 || z.sigma_before < 0.0 {
                 return Err(format!("{}: negative sizing sigma", s.circuit));
             }
+            for (what, x) in [
+                ("serve_cold_ms", s.serve.serve_cold_ms),
+                ("serve_warm_ms", s.serve.serve_warm_ms),
+            ] {
+                finite(&s.circuit, what, x)?;
+                if x < 0.0 {
+                    return Err(format!("{}: negative {what}", s.circuit));
+                }
+            }
         }
         Ok(())
     }
@@ -266,6 +303,12 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
         return Err(format!(
             "report covers {covered} scenarios, need at least {min_scenarios}"
         ));
+    }
+    // Schema /4: every scenario carries the service-latency pair.
+    for key in ["\"serve_cold_ms\":", "\"serve_warm_ms\":"] {
+        if text.matches(key).count() < covered {
+            return Err(format!("a scenario is missing its {key} serve row"));
+        }
     }
     Ok(())
 }
@@ -350,6 +393,7 @@ fn assemble_scenario(
     netlist: &Netlist,
     register_wall_s: f64,
     responses: &[Response],
+    serve: ServeStat,
 ) -> ScenarioReport {
     let name = netlist.name();
     let mut engines = Vec::with_capacity(4);
@@ -407,6 +451,56 @@ fn assemble_scenario(
         engines,
         corners,
         sizing,
+        serve,
+    }
+}
+
+/// Measures one circuit's serve-latency pair against the shared
+/// service: wire-level registration (as `.bench` text), a cold
+/// Monte-Carlo analysis, and its cached repeat — asserting the warm
+/// payload is byte-identical to the cold one.
+///
+/// # Panics
+///
+/// Panics if the service answers an error or the cached payload
+/// diverges — either must fail the suite run, not leave a hole in the
+/// artifact.
+fn measure_serve(service: &Service, netlist: &Netlist) -> ServeStat {
+    let name = netlist.name();
+    let registered = service.call(ServeRequest::Register {
+        circuit: name.to_owned(),
+        preset: None,
+        bench: Some(write_bench(netlist)),
+    });
+    assert!(
+        matches!(
+            registered.first().map(|f| &f.payload),
+            Some(ServeResponse::Registered { .. })
+        ),
+        "{name}: service registration failed: {registered:?}"
+    );
+    let analyze = ServeRequest::Analyze {
+        circuit: name.to_owned(),
+        kind: EngineKind::MonteCarlo,
+    };
+    let timed = || {
+        let t0 = std::time::Instant::now();
+        let frames = service.call(analyze.clone());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match frames.first().map(|f| f.payload.clone()) {
+            Some(payload @ ServeResponse::Analysis { .. }) => (payload, wall_ms),
+            other => panic!("{name}: expected a served analysis, got {other:?}"),
+        }
+    };
+    let (cold_payload, serve_cold_ms) = timed();
+    let (warm_payload, serve_warm_ms) = timed();
+    assert_eq!(
+        cold_payload, warm_payload,
+        "{name}: cached payload must be identical to the computed one"
+    );
+    ServeStat {
+        serve_cold_ms,
+        serve_warm_ms,
     }
 }
 
@@ -443,13 +537,18 @@ pub fn run_suite_with(
     ssta.threads = config.threads;
     let sizer = SizerConfig::with_alpha(config.alpha).with_ssta(ssta.clone());
 
-    let mut workspace = Workspace::new(
+    let workspace_config = WorkspaceConfig::default()
+        .with_ssta(ssta)
+        .with_threads(config.threads)
+        .with_mc_samples(config.mc_samples)
+        .with_mc_seed(config.mc_seed);
+    let mut workspace = Workspace::new(library, workspace_config.clone());
+    // One shared service for the whole run: the `serve` rows measure
+    // the same stack a deployment talks to, and later circuits see a
+    // service already warm with earlier ones.
+    let service = Service::new(
         library,
-        WorkspaceConfig::default()
-            .with_ssta(ssta)
-            .with_threads(config.threads)
-            .with_mc_samples(config.mc_samples)
-            .with_mc_seed(config.mc_seed),
+        ServeConfig::default().with_workspace(workspace_config),
     );
     let mut report = SuiteReport {
         schema: SUITE_SCHEMA.to_owned(),
@@ -465,7 +564,8 @@ pub fn run_suite_with(
             .unwrap_or_else(|e| panic!("cannot register `{}`: {e}", circuit.name()));
         let register_wall_s = t0.elapsed().as_secs_f64();
         let responses = workspace.submit(&scenario_requests(circuit.name(), &sizer));
-        let scenario = assemble_scenario(circuit, register_wall_s, &responses);
+        let serve = measure_serve(&service, circuit);
+        let scenario = assemble_scenario(circuit, register_wall_s, &responses, serve);
         observe(&scenario, t0.elapsed());
         report.scenarios.push(scenario);
     }
@@ -537,8 +637,14 @@ mod tests {
                 );
             }
         }
+        for s in &report.scenarios {
+            // Schema /4 serve rows: both latencies measured and sane.
+            assert!(s.serve.serve_cold_ms > 0.0, "{}", s.circuit);
+            assert!(s.serve.serve_warm_ms > 0.0, "{}", s.circuit);
+        }
         let json = report.to_json();
         assert!(json.contains("adder_8") && json.contains("cmp_8"));
+        assert!(json.contains("\"serve_cold_ms\":") && json.contains("\"serve_warm_ms\":"));
         check_json_text(&json, 2).expect("text check passes");
         assert!(
             check_json_text(&json, 3).is_err(),

@@ -1,0 +1,66 @@
+//! The service-cache acceptance number: on the paper's largest circuit
+//! (c7552), a warm (cached) `Analyze` answers at least 10x faster than
+//! the cold computation it replays.
+//!
+//! `#[ignore]`d by default — the cold Monte-Carlo pass on ~4k gates is
+//! a release-build workload. The CI `serve` job runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p vartol-bench --test serve_speedup -- --ignored
+//! ```
+
+use std::time::Instant;
+
+use vartol::liberty::Library;
+use vartol::netlist::generators::benchmark;
+use vartol::netlist::iscas::write_bench;
+use vartol::ssta::EngineKind;
+use vartol_serve::{ServeConfig, ServeRequest, ServeResponse, Service};
+
+#[test]
+#[ignore = "release-build workload; run explicitly (CI serve job)"]
+fn warm_cache_analyze_is_10x_faster_than_cold_on_c7552() {
+    let library = Library::synthetic_90nm();
+    let c7552 = benchmark("c7552", &library).expect("paper benchmark");
+    let service = Service::new(library, ServeConfig::default().with_shards(2));
+
+    let registered = service.call(ServeRequest::Register {
+        circuit: "c7552".into(),
+        preset: None,
+        bench: Some(write_bench(&c7552)),
+    });
+    assert!(
+        matches!(registered[0].payload, ServeResponse::Registered { .. }),
+        "{:?}",
+        registered[0].payload
+    );
+
+    let analyze = ServeRequest::Analyze {
+        circuit: "c7552".into(),
+        kind: EngineKind::MonteCarlo,
+    };
+    let t0 = Instant::now();
+    let cold = service.call(analyze.clone());
+    let cold_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = service.call(analyze);
+    let warm_wall = t1.elapsed();
+
+    assert!(matches!(cold[0].payload, ServeResponse::Analysis { .. }));
+    assert_eq!(
+        cold[0].payload, warm[0].payload,
+        "cached payload must match"
+    );
+    assert_eq!(
+        service.stats().hits(),
+        1,
+        "warm answer must come from the cache"
+    );
+
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+    println!("c7552: cold {cold_wall:.2?}, warm {warm_wall:.2?} ({speedup:.0}x)");
+    assert!(
+        speedup >= 10.0,
+        "warm cache must be >= 10x faster: cold {cold_wall:?} vs warm {warm_wall:?}"
+    );
+}

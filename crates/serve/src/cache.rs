@@ -1,0 +1,252 @@
+//! The cross-request result cache each shard fronts its `Workspace`
+//! with.
+//!
+//! # Keying
+//!
+//! An answer to a cacheable request (see
+//! [`ServeRequest::cacheable`](crate::protocol::ServeRequest::cacheable))
+//! is a pure function of the circuit's current gate sizes, the engine
+//! configuration, and the request itself. The key captures exactly
+//! that:
+//!
+//! * `circuit` — the registered name (also the invalidation scope);
+//! * `size_fp` — [`vartol_ssta::size_fingerprint`] of the circuit's
+//!   current size vector, so any mutation (a `Resize` that slipped past
+//!   invalidation, a differently-sized registration) misses rather than
+//!   serving stale moments;
+//! * `config_fp` — the shard's service fingerprint:
+//!   [`vartol_ssta::config_fingerprint`] of the engine configuration
+//!   (which deliberately excludes the pure speed knob
+//!   `SstaConfig::threads`) folded with the Monte-Carlo budget and
+//!   seed. Two services that can disagree on any answer never share a
+//!   key; two that differ only in parallelism do;
+//! * `query_fp` — FNV-1a of the request's canonical wire line, which
+//!   distinguishes request kinds and every parameter (engine kind,
+//!   node, deadline, α, …).
+//!
+//! # Policy
+//!
+//! Bounded LRU: at `capacity` entries, inserting evicts the
+//! least-recently-used entry first. `Resize`/`Size` requests invalidate
+//! the touched circuit's entries only — other circuits stay warm.
+//! Capacity 0 disables caching entirely (every lookup is a miss and
+//! nothing is stored), which the determinism suite uses to prove cached
+//! and recomputed answers are byte-identical.
+
+use std::collections::HashMap;
+
+use crate::protocol::ServeResponse;
+
+/// The full identity of one cacheable answer (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registered circuit name.
+    pub circuit: String,
+    /// Fingerprint of the circuit's current size vector.
+    pub size_fp: u64,
+    /// Fingerprint of the shard's answer-relevant configuration.
+    pub config_fp: u64,
+    /// Fingerprint of the request's canonical wire line.
+    pub query_fp: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    payload: ServeResponse,
+    last_used: u64,
+}
+
+/// Counter snapshot of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups that returned a stored answer.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped by circuit invalidation.
+    pub invalidations: u64,
+}
+
+/// A bounded LRU result cache (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, Entry>,
+    clock: u64,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` answers (0 disables
+    /// caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks up a stored answer, bumping its recency and the hit/miss
+    /// counters.
+    pub fn get(&mut self, key: &CacheKey) -> Option<ServeResponse> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.counters.hits += 1;
+                Some(entry.payload.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer, evicting the least-recently-used entry if the
+    /// cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, key: CacheKey, payload: ServeResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.counters.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                payload,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drops every entry belonging to `circuit`, returning how many
+    /// were dropped.
+    pub fn invalidate_circuit(&mut self, circuit: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.circuit != circuit);
+        let dropped = before - self.entries.len();
+        self.counters.invalidations += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(circuit: &str, query_fp: u64) -> CacheKey {
+        CacheKey {
+            circuit: circuit.into(),
+            size_fp: 1,
+            config_fp: 2,
+            query_fp,
+        }
+    }
+
+    fn answer(tag: &str) -> ServeResponse {
+        ServeResponse::error(tag)
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters_track() {
+        let mut cache = ResultCache::new(4);
+        assert_eq!(cache.get(&key("a", 1)), None);
+        cache.insert(key("a", 1), answer("one"));
+        assert_eq!(cache.get(&key("a", 1)), Some(answer("one")));
+        // A different query fingerprint is a different identity.
+        assert_eq!(cache.get(&key("a", 2)), None);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key("a", 1), answer("1"));
+        cache.insert(key("a", 2), answer("2"));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(cache.get(&key("a", 1)).is_some());
+        cache.insert(key("a", 3), answer("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("a", 1)).is_some());
+        assert_eq!(cache.get(&key("a", 2)), None, "LRU entry must be gone");
+        assert!(cache.get(&key("a", 3)).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key("a", 1), answer("1"));
+        cache.insert(key("a", 2), answer("2"));
+        cache.insert(key("a", 1), answer("1b"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.get(&key("a", 1)), Some(answer("1b")));
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_one_circuit() {
+        let mut cache = ResultCache::new(8);
+        cache.insert(key("a", 1), answer("a1"));
+        cache.insert(key("a", 2), answer("a2"));
+        cache.insert(key("b", 1), answer("b1"));
+        assert_eq!(cache.invalidate_circuit("a"), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("b", 1)).is_some());
+        assert_eq!(cache.counters().invalidations, 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(key("a", 1), answer("1"));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key("a", 1)), None);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn size_fingerprint_changes_are_misses() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(key("a", 1), answer("old"));
+        let mut resized = key("a", 1);
+        resized.size_fp = 99;
+        assert_eq!(cache.get(&resized), None);
+    }
+}

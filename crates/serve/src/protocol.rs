@@ -1,0 +1,791 @@
+//! The wire protocol: typed requests and responses, one JSON value per
+//! line (NDJSON), shared verbatim by the TCP listener and the
+//! stdin/stdout REPL.
+//!
+//! # Framing
+//!
+//! * **Requests** are one JSON-encoded [`ServeRequest`] per line —
+//!   externally tagged, exactly as the serde shim serializes the enum
+//!   (`{"Analyze":{"circuit":"c17","kind":"FullSsta"}}`; unit variants
+//!   are bare strings: `"Stats"`). Blank lines and lines starting with
+//!   `#` are ignored, so a request script can carry comments.
+//! * **Responses** are one [`Frame`] per line:
+//!   `{"done":<bool>,"payload":<ServeResponse>,"wall_us":<int>}`.
+//!   A request produces one or more frames; every frame except
+//!   [`ServeResponse::Progress`] is terminal (`done: true`), and a long
+//!   [`ServeRequest::Size`] run yields one `Progress` frame per
+//!   optimizer pass before its final [`ServeResponse::Sized`].
+//!
+//! # Determinism
+//!
+//! Everything inside `payload` is part of the service's determinism
+//! contract: replaying the same request script serially produces
+//! **byte-identical payloads at every shard count and pool width**. The
+//! `wall_us` field is wall-clock and explicitly excluded —
+//! [`deterministic_part`] strips it for comparison. The only payloads
+//! outside the contract are [`ServeResponse::Busy`] (admission control —
+//! never emitted for a serial client, because a caller waits for each
+//! answer before sending the next request) and [`ServeResponse::Stats`]
+//! (whose per-shard rows depend on the topology by definition).
+//!
+//! # Decoding
+//!
+//! The serde shims only serialize, so the inbound direction is a
+//! hand-written strict decoder over the [`crate::json`] value tree:
+//! unknown variants, unknown fields, missing fields, and wrong types
+//! are all errors naming the offending part — a malformed request gets
+//! an [`ServeResponse::Error`] frame, never a guess and never a
+//! disconnect.
+
+use serde::Value;
+use vartol::ssta::EngineKind;
+
+use crate::json;
+
+/// One request line. Mirrors [`vartol::workspace::Request`] — every
+/// query the `Workspace` answers is addressable over the wire — plus
+/// the service-level verbs `Register`, `ListCircuits`, `Stats`, and
+/// `Shutdown`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ServeRequest {
+    /// Register a circuit on its shard: exactly one of `preset` (a
+    /// [`vartol::netlist::generators::presets`] name) or `bench`
+    /// (inline ISCAS-85 `.bench` text) must be given.
+    Register {
+        /// Name to register under (and to address later requests to).
+        circuit: String,
+        /// Generator preset name, if registering a preset.
+        preset: Option<String>,
+        /// Inline `.bench` netlist text, if registering parsed text.
+        bench: Option<String>,
+    },
+    /// List every registered circuit, across all shards, sorted.
+    ListCircuits,
+    /// Service statistics: one row per shard (queue, cache, traffic).
+    Stats,
+    /// Stop accepting requests; the server's accept loop drains and
+    /// exits.
+    Shutdown,
+    /// Full analysis under an engine (see
+    /// [`vartol::workspace::Request::Analyze`]). Cacheable.
+    Analyze {
+        /// Target circuit.
+        circuit: String,
+        /// Engine to run.
+        kind: EngineKind,
+    },
+    /// Correlated-corner analysis: the die-to-die variance share is the
+    /// wire-level model knob (the full [`vartol::ssta::VariationModel`]
+    /// surface — named sources, spatial grids — stays a library-level
+    /// API). Cacheable.
+    AnalyzeUnder {
+        /// Target circuit.
+        circuit: String,
+        /// Engine to run.
+        kind: EngineKind,
+        /// Fraction of each gate's delay variance moving with the die,
+        /// in `(0, 1)`.
+        d2d_share: f64,
+    },
+    /// Arrival moments at a named node. Cacheable.
+    Arrival {
+        /// Target circuit.
+        circuit: String,
+        /// Node name.
+        node: String,
+    },
+    /// Worst statistical slack against a required time. Cacheable.
+    Slack {
+        /// Target circuit.
+        circuit: String,
+        /// Required time (ps) at every primary output.
+        t_req: f64,
+        /// σ weight of the `μ − α·σ` ranking.
+        alpha: f64,
+    },
+    /// Most critical nodes. Cacheable.
+    Criticality {
+        /// Target circuit.
+        circuit: String,
+        /// How many top nodes (0 = all).
+        top: usize,
+    },
+    /// Monte-Carlo parametric yield at a deadline. Cacheable.
+    Yield {
+        /// Target circuit.
+        circuit: String,
+        /// Deadline (ps).
+        deadline: f64,
+    },
+    /// What-if resize of one gate; persists, and invalidates the
+    /// circuit's cache entries.
+    Resize {
+        /// Target circuit.
+        circuit: String,
+        /// Gate name.
+        gate: String,
+        /// New size index.
+        size: usize,
+    },
+    /// Full statistical sizing; persists, invalidates the circuit's
+    /// cache entries, and streams one [`ServeResponse::Progress`] frame
+    /// per optimizer pass before the final answer.
+    Size {
+        /// Target circuit.
+        circuit: String,
+        /// σ weight of the optimizer objective.
+        alpha: f64,
+        /// Optional cap on optimizer passes (`None` = optimizer
+        /// default).
+        max_passes: Option<usize>,
+    },
+}
+
+impl ServeRequest {
+    /// The circuit this request is routed by, if it addresses one
+    /// (service-level verbs return `None` and broadcast to every
+    /// shard).
+    #[must_use]
+    pub fn circuit(&self) -> Option<&str> {
+        match self {
+            Self::ListCircuits | Self::Stats | Self::Shutdown => None,
+            Self::Register { circuit, .. }
+            | Self::Analyze { circuit, .. }
+            | Self::AnalyzeUnder { circuit, .. }
+            | Self::Arrival { circuit, .. }
+            | Self::Slack { circuit, .. }
+            | Self::Criticality { circuit, .. }
+            | Self::Yield { circuit, .. }
+            | Self::Resize { circuit, .. }
+            | Self::Size { circuit, .. } => Some(circuit),
+        }
+    }
+
+    /// Whether the answer is a pure function of `(circuit sizes, engine
+    /// configuration, request)` — i.e. eligible for the result cache.
+    /// Mutating requests and service verbs are not.
+    #[must_use]
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            Self::Analyze { .. }
+                | Self::AnalyzeUnder { .. }
+                | Self::Arrival { .. }
+                | Self::Slack { .. }
+                | Self::Criticality { .. }
+                | Self::Yield { .. }
+        )
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("requests serialize")
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed part (bad JSON, unknown
+    /// variant or field, wrong type, missing field).
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let value = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        decode_request(&value)
+    }
+}
+
+/// Per-shard counters reported by [`ServeRequest::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Circuits registered on this shard.
+    pub circuits: usize,
+    /// Requests this shard has fully processed.
+    pub served: u64,
+    /// Requests rejected with [`ServeResponse::Busy`] at admission.
+    pub busy_rejections: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (among cacheable requests).
+    pub cache_misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub cache_evictions: u64,
+    /// Entries dropped by `Resize`/`Size` invalidation.
+    pub cache_invalidations: u64,
+}
+
+/// Service-wide statistics: one [`ShardStats`] row per shard.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Per-shard rows, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Total cache hits across shards.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total cache misses across shards.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_misses).sum()
+    }
+
+    /// Cache hit rate over all cacheable traffic (0 when there was
+    /// none).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits() as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// One response payload — the deterministic part of a [`Frame`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ServeResponse {
+    /// A circuit was registered (with its basic shape, so clients can
+    /// sanity-check what they loaded).
+    Registered {
+        /// Registered name.
+        circuit: String,
+        /// Cell-gate count.
+        gates: usize,
+        /// Logic depth.
+        depth: usize,
+    },
+    /// All registered circuits, sorted (shard-count independent).
+    Circuits {
+        /// Sorted circuit names.
+        circuits: Vec<String>,
+    },
+    /// Per-shard service statistics.
+    Stats {
+        /// The statistics snapshot.
+        stats: ServiceStats,
+    },
+    /// Acknowledgement of [`ServeRequest::Shutdown`].
+    ShuttingDown,
+    /// A streamed optimizer pass (non-terminal: `done` is `false`).
+    Progress {
+        /// Circuit being sized.
+        circuit: String,
+        /// 0-based pass index.
+        pass: usize,
+        /// Circuit mean (ps) at the start of the pass.
+        mu: f64,
+        /// Circuit σ (ps) at the start of the pass.
+        sigma: f64,
+        /// Total area at the start of the pass.
+        area: f64,
+        /// Gates resized in this pass.
+        resized: usize,
+    },
+    /// Answer to [`ServeRequest::Analyze`] / `AnalyzeUnder`.
+    Analysis {
+        /// Engine that ran.
+        kind: EngineKind,
+        /// Circuit mean delay (ps).
+        mu: f64,
+        /// Circuit delay σ (ps).
+        sigma: f64,
+        /// Statistically worst primary output.
+        worst_output: String,
+    },
+    /// Answer to [`ServeRequest::Arrival`].
+    Arrival {
+        /// Queried node.
+        node: String,
+        /// Arrival mean (ps).
+        mu: f64,
+        /// Arrival σ (ps).
+        sigma: f64,
+    },
+    /// Answer to [`ServeRequest::Slack`].
+    Slack {
+        /// Worst statistical slack (ps).
+        worst: f64,
+        /// Node realizing it.
+        worst_node: String,
+    },
+    /// Answer to [`ServeRequest::Criticality`].
+    Criticality {
+        /// `(node, criticality)` pairs, most critical first.
+        ranking: Vec<(String, f64)>,
+    },
+    /// Answer to [`ServeRequest::Yield`].
+    Yield {
+        /// Fraction of Monte-Carlo samples meeting the deadline.
+        fraction: f64,
+    },
+    /// Answer to [`ServeRequest::Resize`].
+    Resized {
+        /// Circuit mean after the incremental refresh (ps).
+        mu: f64,
+        /// Circuit σ after the refresh (ps).
+        sigma: f64,
+        /// Total area after the resize.
+        area: f64,
+    },
+    /// Final answer to [`ServeRequest::Size`].
+    Sized {
+        /// Circuit mean after sizing (ps).
+        mu: f64,
+        /// Circuit σ after sizing (ps).
+        sigma: f64,
+        /// Total area after sizing.
+        area: f64,
+        /// Optimizer passes executed.
+        passes: usize,
+        /// Gates moved to a new size across all kept passes.
+        resized: usize,
+    },
+    /// Admission control: the target shard's bounded queue is full.
+    /// The request was **not** enqueued and no session was touched —
+    /// retry later.
+    Busy {
+        /// The rejecting shard.
+        shard: usize,
+        /// Its configured queue depth.
+        depth: usize,
+    },
+    /// The request was malformed, addressed an unknown circuit/node,
+    /// or failed inside an engine (the circuit's session is recovered —
+    /// see [`vartol::workspace`]'s fault-isolation contract).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl ServeResponse {
+    /// Builds an error payload.
+    pub fn error(message: impl Into<String>) -> Self {
+        Self::Error {
+            message: message.into(),
+        }
+    }
+
+    /// Whether this payload terminates its request's frame stream.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Self::Progress { .. })
+    }
+}
+
+/// One response line: the deterministic `payload` plus the wall-clock
+/// `wall_us` (microseconds), which is *excluded* from the determinism
+/// contract. Field order is fixed by this struct, so `wall_us` is
+/// always the trailing field and [`deterministic_part`] can strip it
+/// textually.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Frame {
+    /// `false` only for streamed [`ServeResponse::Progress`] frames.
+    pub done: bool,
+    /// The deterministic payload.
+    pub payload: ServeResponse,
+    /// Wall-clock of the evaluation so far, in microseconds.
+    pub wall_us: u64,
+}
+
+impl Frame {
+    /// Wraps a payload, stamping `done` from
+    /// [`ServeResponse::is_terminal`].
+    #[must_use]
+    pub fn new(payload: ServeResponse, wall_us: u64) -> Self {
+        Self {
+            done: payload.is_terminal(),
+            payload,
+            wall_us,
+        }
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("frames serialize")
+    }
+}
+
+/// Strips the wall-clock suffix from a serialized [`Frame`] line,
+/// returning the deterministic prefix (`{"done":…,"payload":…`) that
+/// the shard/pool-width determinism suite compares byte-for-byte.
+#[must_use]
+pub fn deterministic_part(line: &str) -> &str {
+    match line.rfind(",\"wall_us\":") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding (requests only — the server never parses responses, and
+// clients that need typed responses decode the few payloads they use).
+// ---------------------------------------------------------------------
+
+fn decode_request(value: &Value) -> Result<ServeRequest, String> {
+    match value {
+        Value::String(tag) => match tag.as_str() {
+            "ListCircuits" => Ok(ServeRequest::ListCircuits),
+            "Stats" => Ok(ServeRequest::Stats),
+            "Shutdown" => Ok(ServeRequest::Shutdown),
+            other => Err(format!("unknown request `{other}`")),
+        },
+        Value::Object(fields) => {
+            let [(tag, body)] = fields.as_slice() else {
+                return Err(format!(
+                    "a request object must have exactly one variant key, got {}",
+                    fields.len()
+                ));
+            };
+            let f = Fields::new(tag, body)?;
+            let request = match tag.as_str() {
+                "Register" => ServeRequest::Register {
+                    circuit: f.string("circuit")?,
+                    preset: f.opt_string("preset")?,
+                    bench: f.opt_string("bench")?,
+                },
+                "Analyze" => ServeRequest::Analyze {
+                    circuit: f.string("circuit")?,
+                    kind: f.engine_kind("kind")?,
+                },
+                "AnalyzeUnder" => ServeRequest::AnalyzeUnder {
+                    circuit: f.string("circuit")?,
+                    kind: f.engine_kind("kind")?,
+                    d2d_share: f.number("d2d_share")?,
+                },
+                "Arrival" => ServeRequest::Arrival {
+                    circuit: f.string("circuit")?,
+                    node: f.string("node")?,
+                },
+                "Slack" => ServeRequest::Slack {
+                    circuit: f.string("circuit")?,
+                    t_req: f.number("t_req")?,
+                    alpha: f.number("alpha")?,
+                },
+                "Criticality" => ServeRequest::Criticality {
+                    circuit: f.string("circuit")?,
+                    top: f.index("top")?,
+                },
+                "Yield" => ServeRequest::Yield {
+                    circuit: f.string("circuit")?,
+                    deadline: f.number("deadline")?,
+                },
+                "Resize" => ServeRequest::Resize {
+                    circuit: f.string("circuit")?,
+                    gate: f.string("gate")?,
+                    size: f.index("size")?,
+                },
+                "Size" => ServeRequest::Size {
+                    circuit: f.string("circuit")?,
+                    alpha: f.number("alpha")?,
+                    max_passes: f.opt_index("max_passes")?,
+                },
+                other => return Err(format!("unknown request `{other}`")),
+            };
+            f.reject_unknown(&request)?;
+            Ok(request)
+        }
+        other => Err(format!(
+            "a request must be a string or object, got {other:?}"
+        )),
+    }
+}
+
+/// Strict field accessor over one variant body: every lookup is typed,
+/// and any field the variant does not consume is rejected.
+struct Fields<'a> {
+    tag: &'a str,
+    fields: &'a [(String, Value)],
+}
+
+impl<'a> Fields<'a> {
+    fn new(tag: &'a str, body: &'a Value) -> Result<Self, String> {
+        let Value::Object(fields) = body else {
+            return Err(format!("`{tag}` body must be an object"));
+        };
+        for (i, (name, _)) in fields.iter().enumerate() {
+            if fields.iter().take(i).any(|(n, _)| n == name) {
+                return Err(format!("`{tag}` has duplicate field `{name}`"));
+            }
+        }
+        Ok(Self { tag, fields })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn required(&self, name: &str) -> Result<&'a Value, String> {
+        self.get(name)
+            .ok_or_else(|| format!("`{}` is missing field `{name}`", self.tag))
+    }
+
+    fn string(&self, name: &str) -> Result<String, String> {
+        match self.required(name)? {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(format!("`{}.{name}` must be a string", self.tag)),
+        }
+    }
+
+    fn opt_string(&self, name: &str) -> Result<Option<String>, String> {
+        match self.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::String(s)) => Ok(Some(s.clone())),
+            Some(_) => Err(format!("`{}.{name}` must be a string or null", self.tag)),
+        }
+    }
+
+    fn number(&self, name: &str) -> Result<f64, String> {
+        match self.required(name)? {
+            Value::Number(x) => Ok(*x),
+            _ => Err(format!("`{}.{name}` must be a number", self.tag)),
+        }
+    }
+
+    fn index(&self, name: &str) -> Result<usize, String> {
+        match self.required(name)? {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Value::Number(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2u64.pow(53) as f64 => {
+                Ok(*x as usize)
+            }
+            _ => Err(format!(
+                "`{}.{name}` must be a non-negative integer",
+                self.tag
+            )),
+        }
+    }
+
+    fn opt_index(&self, name: &str) -> Result<Option<usize>, String> {
+        match self.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(_) => self.index(name).map(Some),
+        }
+    }
+
+    fn engine_kind(&self, name: &str) -> Result<EngineKind, String> {
+        match self.required(name)? {
+            Value::String(s) => match s.as_str() {
+                "Dsta" => Ok(EngineKind::Dsta),
+                "Fassta" => Ok(EngineKind::Fassta),
+                "FullSsta" => Ok(EngineKind::FullSsta),
+                "MonteCarlo" => Ok(EngineKind::MonteCarlo),
+                other => Err(format!(
+                    "`{}.{name}`: unknown engine `{other}` \
+                     (Dsta|Fassta|FullSsta|MonteCarlo)",
+                    self.tag
+                )),
+            },
+            _ => Err(format!(
+                "`{}.{name}` must be an engine-kind string",
+                self.tag
+            )),
+        }
+    }
+
+    /// Rejects fields the decoded request did not consume, by
+    /// re-serializing the request and diffing field names — keeps the
+    /// decoder strict without a per-variant allowlist to drift.
+    fn reject_unknown(&self, decoded: &ServeRequest) -> Result<(), String> {
+        let Value::Object(tagged) = serde::Serialize::to_value(decoded) else {
+            return Ok(());
+        };
+        let Some(Value::Object(known)) = tagged.first().map(|(_, v)| v) else {
+            return Ok(());
+        };
+        for (name, _) in self.fields {
+            if !known.iter().any(|(n, _)| n == name) {
+                return Err(format!("`{}` has unknown field `{name}`", self.tag));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: &ServeRequest) {
+        let line = request.to_line();
+        let back =
+            ServeRequest::from_line(&line).unwrap_or_else(|e| panic!("`{line}` must decode: {e}"));
+        assert_eq!(&back, request, "{line}");
+    }
+
+    #[test]
+    fn every_request_round_trips_through_the_wire() {
+        let requests = vec![
+            ServeRequest::Register {
+                circuit: "adder_8".into(),
+                preset: Some("adder_8".into()),
+                bench: None,
+            },
+            ServeRequest::Register {
+                circuit: "tiny".into(),
+                preset: None,
+                bench: Some("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n".into()),
+            },
+            ServeRequest::ListCircuits,
+            ServeRequest::Stats,
+            ServeRequest::Shutdown,
+            ServeRequest::Analyze {
+                circuit: "c17".into(),
+                kind: EngineKind::FullSsta,
+            },
+            ServeRequest::AnalyzeUnder {
+                circuit: "c17".into(),
+                kind: EngineKind::MonteCarlo,
+                d2d_share: 0.6,
+            },
+            ServeRequest::Arrival {
+                circuit: "c17".into(),
+                node: "n22".into(),
+            },
+            ServeRequest::Slack {
+                circuit: "c17".into(),
+                t_req: 1500.0,
+                alpha: 3.0,
+            },
+            ServeRequest::Criticality {
+                circuit: "c17".into(),
+                top: 5,
+            },
+            ServeRequest::Yield {
+                circuit: "c17".into(),
+                deadline: 2500.0,
+            },
+            ServeRequest::Resize {
+                circuit: "c17".into(),
+                gate: "n22".into(),
+                size: 3,
+            },
+            ServeRequest::Size {
+                circuit: "c17".into(),
+                alpha: 3.0,
+                max_passes: Some(2),
+            },
+            ServeRequest::Size {
+                circuit: "c17".into(),
+                alpha: 9.0,
+                max_passes: None,
+            },
+        ];
+        for request in &requests {
+            round_trip(request);
+        }
+    }
+
+    #[test]
+    fn decoder_is_strict() {
+        for (line, needle) in [
+            ("{", "bad JSON"),
+            ("\"Nope\"", "unknown request"),
+            (
+                "{\"Analyze\":{\"circuit\":\"c17\"}}",
+                "missing field `kind`",
+            ),
+            (
+                "{\"Analyze\":{\"circuit\":\"c17\",\"kind\":\"Warp\"}}",
+                "unknown engine",
+            ),
+            (
+                "{\"Analyze\":{\"circuit\":\"c17\",\"kind\":\"Dsta\",\"x\":1}}",
+                "unknown field `x`",
+            ),
+            (
+                "{\"Analyze\":{\"circuit\":7,\"kind\":\"Dsta\"}}",
+                "must be a string",
+            ),
+            (
+                "{\"Resize\":{\"circuit\":\"c\",\"gate\":\"g\",\"size\":-1}}",
+                "non-negative integer",
+            ),
+            (
+                "{\"Resize\":{\"circuit\":\"c\",\"gate\":\"g\",\"size\":1.5}}",
+                "non-negative integer",
+            ),
+            (
+                "{\"Analyze\":{\"circuit\":\"a\",\"kind\":\"Dsta\"},\"Stats\":{}}",
+                "exactly one variant",
+            ),
+            ("[1]", "must be a string or object"),
+            (
+                "{\"Slack\":{\"circuit\":\"c\",\"circuit\":\"d\",\"t_req\":1,\"alpha\":1}}",
+                "duplicate field",
+            ),
+        ] {
+            let err = ServeRequest::from_line(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}`: `{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn frames_mark_progress_non_terminal_and_strip_wall() {
+        let progress = Frame::new(
+            ServeResponse::Progress {
+                circuit: "c17".into(),
+                pass: 0,
+                mu: 1.0,
+                sigma: 0.1,
+                area: 10.0,
+                resized: 3,
+            },
+            1234,
+        );
+        assert!(!progress.done);
+        let done = Frame::new(ServeResponse::error("x"), 77);
+        assert!(done.done);
+
+        let line = done.to_line();
+        assert!(line.ends_with(",\"wall_us\":77}"), "{line}");
+        assert!(!deterministic_part(&line).contains("wall_us"));
+        // Two frames differing only in wall-clock compare equal on the
+        // deterministic part.
+        let other = Frame::new(ServeResponse::error("x"), 9999).to_line();
+        assert_eq!(deterministic_part(&line), deterministic_part(&other));
+    }
+
+    #[test]
+    fn stats_aggregate_hit_rate() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    circuits: 1,
+                    served: 10,
+                    busy_rejections: 0,
+                    cache_hits: 3,
+                    cache_misses: 1,
+                    cache_evictions: 0,
+                    cache_invalidations: 0,
+                },
+                ShardStats {
+                    shard: 1,
+                    circuits: 0,
+                    served: 0,
+                    busy_rejections: 2,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    cache_evictions: 0,
+                    cache_invalidations: 0,
+                },
+            ],
+        };
+        assert_eq!(stats.hits(), 3);
+        assert_eq!(stats.misses(), 1);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ServiceStats { shards: vec![] }.hit_rate(), 0.0);
+    }
+}

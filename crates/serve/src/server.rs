@@ -1,0 +1,224 @@
+//! Transport: the TCP listener and the stdin/stdout REPL, sharing one
+//! line-serving loop ([`serve_lines`]) so both speak byte-identical
+//! protocol.
+//!
+//! The listener is plain `std::net`: one acceptor thread (the caller of
+//! [`Server::run`]) plus one reader thread per connection. Any number
+//! of connections can be open at once — the [`Service`] routes their
+//! requests concurrently, and per-shard admission control (not the
+//! transport) is what sheds load. A processed
+//! [`ServeRequest::Shutdown`] closes the service; the accept loop
+//! notices and `run` returns. Connections still open at that point
+//! drain naturally: every further request answers an error frame, and
+//! their reader threads exit with their sockets.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use crate::protocol::{Frame, ServeRequest, ServeResponse};
+use crate::shard::Service;
+
+/// Serves newline-delimited requests from `input`, writing one frame
+/// line per response to `output` (flushed per frame, so streamed
+/// progress is visible immediately). Blank lines and lines starting
+/// with `#` are ignored — request scripts can carry comments.
+///
+/// Returns `true` if the stream processed a [`ServeRequest::Shutdown`]
+/// (the caller decides what that means: the REPL exits, a TCP
+/// connection thread pokes the acceptor awake).
+///
+/// # Errors
+///
+/// Propagates transport I/O errors only; protocol-level problems answer
+/// [`ServeResponse::Error`] frames and keep the stream alive.
+pub fn serve_lines(
+    service: &Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<bool> {
+    let mut saw_shutdown = false;
+    for line in input.lines() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let request = match ServeRequest::from_line(text) {
+            Ok(request) => request,
+            Err(message) => {
+                let frame = Frame::new(ServeResponse::Error { message }, 0);
+                writeln!(output, "{}", frame.to_line())?;
+                output.flush()?;
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, ServeRequest::Shutdown);
+        let mut write_error = None;
+        service.call_with(request, &mut |frame| {
+            if write_error.is_some() {
+                return;
+            }
+            let result = writeln!(output, "{}", frame.to_line()).and_then(|()| output.flush());
+            if let Err(e) = result {
+                write_error = Some(e);
+            }
+        });
+        if let Some(e) = write_error {
+            return Err(e);
+        }
+        if is_shutdown && service.is_closed() {
+            saw_shutdown = true;
+            break;
+        }
+    }
+    Ok(saw_shutdown)
+}
+
+/// The TCP front: a bound listener serving [`serve_lines`] per
+/// connection.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:7425`, or port 0 for an
+    /// ephemeral port — see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<Service>) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (the real port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until the service shuts down, spawning one
+    /// reader thread per connection. Returns after a
+    /// [`ServeRequest::Shutdown`] has been processed (on any
+    /// connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors; per-connection errors only
+    /// end their own connection.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        for connection in self.listener.incoming() {
+            if self.service.is_closed() {
+                break;
+            }
+            let Ok(stream) = connection else { continue };
+            let service = Arc::clone(&self.service);
+            std::thread::Builder::new()
+                .name("vartol-serve-conn".into())
+                .spawn(move || {
+                    let _ = handle_connection(&service, stream, addr);
+                })
+                .expect("spawn connection thread");
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection; after this connection processes the shutdown
+/// request, a loopback connect unblocks the acceptor so
+/// [`Server::run`] can observe the closed service and return.
+fn handle_connection(service: &Service, stream: TcpStream, addr: SocketAddr) -> io::Result<()> {
+    // One request line, one (or a few) frame lines: latency-bound
+    // traffic where Nagle + delayed ACK would add tens of ms per turn.
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let shutdown = serve_lines(service, reader, &stream)?;
+    if shutdown {
+        drop(TcpStream::connect(addr));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ServeConfig;
+    use vartol::liberty::Library;
+
+    fn service() -> Service {
+        Service::new(
+            Library::synthetic_90nm(),
+            ServeConfig::default().with_shards(2),
+        )
+    }
+
+    #[test]
+    fn repl_loop_serves_a_script_and_skips_comments() {
+        let service = service();
+        let script = "\n\
+            # warm-up\n\
+            {\"Register\":{\"circuit\":\"adder_8\",\"preset\":\"adder_8\",\"bench\":null}}\n\
+            {\"Analyze\":{\"circuit\":\"adder_8\",\"kind\":\"Dsta\"}}\n\
+            not json\n\
+            \"ListCircuits\"\n";
+        let mut out = Vec::new();
+        let shutdown = serve_lines(&service, script.as_bytes(), &mut out).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"Registered\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"Analysis\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"Error\""), "{}", lines[2]);
+        assert!(lines[3].contains("\"adder_8\""), "{}", lines[3]);
+    }
+
+    #[test]
+    fn repl_loop_stops_at_shutdown() {
+        let service = service();
+        let script = "\"Shutdown\"\n\"ListCircuits\"\n";
+        let mut out = Vec::new();
+        let shutdown = serve_lines(&service, script.as_bytes(), &mut out).unwrap();
+        assert!(shutdown);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("\"ShuttingDown\""));
+    }
+
+    #[test]
+    fn tcp_round_trip_with_shutdown_stops_the_server() {
+        let service = Arc::new(service());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let acceptor = std::thread::spawn(move || server.run().unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            writeln!(&stream, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+        let registered =
+            send("{\"Register\":{\"circuit\":\"cmp_8\",\"preset\":\"cmp_8\",\"bench\":null}}");
+        assert!(registered.contains("\"Registered\""), "{registered}");
+        let analyzed = send("{\"Analyze\":{\"circuit\":\"cmp_8\",\"kind\":\"Fassta\"}}");
+        assert!(analyzed.contains("\"Analysis\""), "{analyzed}");
+        let bye = send("\"Shutdown\"");
+        assert!(bye.contains("\"ShuttingDown\""), "{bye}");
+
+        acceptor.join().unwrap();
+        assert!(service.is_closed());
+    }
+}

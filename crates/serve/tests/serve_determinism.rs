@@ -1,0 +1,226 @@
+//! Service-level determinism and cache-correctness contracts.
+//!
+//! The headline invariant: replaying the same request script serially
+//! produces **byte-identical response payloads** at every shard count
+//! and every pool width — sharding and threading are pure throughput
+//! knobs. Only the trailing `wall_us` field is wall-clock, and
+//! [`vartol_serve::protocol::deterministic_part`] strips exactly that.
+//!
+//! The cache contracts ride along: a cached answer is byte-identical to
+//! a recomputed one (and to a cache-disabled service's), `Resize`
+//! invalidates only the touched circuit, and the LRU policy evicts at
+//! capacity.
+
+use vartol::liberty::Library;
+use vartol::ssta::EngineKind;
+use vartol::workspace::WorkspaceConfig;
+use vartol_serve::protocol::deterministic_part;
+use vartol_serve::{serve_lines, ServeConfig, ServeRequest, ServeResponse, Service};
+
+/// A tiny `.bench` circuit with known node names, so the script can
+/// exercise `Arrival` and `Resize` deterministically.
+const TINY_BENCH: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+
+/// A mixed request script covering every request kind with a
+/// deterministic answer — including error paths, cache hits (repeated
+/// lines), mutation + re-analysis, and comment/blank handling.
+/// `Stats` is deliberately absent: its per-shard rows depend on the
+/// topology by design.
+fn script() -> String {
+    let tiny = TINY_BENCH.replace('\n', "\\n");
+    let mut lines = vec![
+        "# vartol-serve determinism script".to_owned(),
+        String::new(),
+        r#"{"Register":{"circuit":"adder_8","preset":"adder_8","bench":null}}"#.to_owned(),
+        r#"{"Register":{"circuit":"cmp_8","preset":"cmp_8","bench":null}}"#.to_owned(),
+        format!(r#"{{"Register":{{"circuit":"tiny","preset":null,"bench":"{tiny}"}}}}"#),
+        // Duplicate registration: a deterministic typed error.
+        r#"{"Register":{"circuit":"adder_8","preset":"adder_8","bench":null}}"#.to_owned(),
+        r#"{"Analyze":{"circuit":"adder_8","kind":"Dsta"}}"#.to_owned(),
+        r#"{"Analyze":{"circuit":"adder_8","kind":"Fassta"}}"#.to_owned(),
+        r#"{"Analyze":{"circuit":"adder_8","kind":"FullSsta"}}"#.to_owned(),
+        r#"{"Analyze":{"circuit":"adder_8","kind":"MonteCarlo"}}"#.to_owned(),
+        // Repeat: answered from the cache, byte-identical by contract.
+        r#"{"Analyze":{"circuit":"adder_8","kind":"FullSsta"}}"#.to_owned(),
+        r#"{"AnalyzeUnder":{"circuit":"cmp_8","kind":"FullSsta","d2d_share":0.6}}"#.to_owned(),
+        r#"{"Arrival":{"circuit":"tiny","node":"y"}}"#.to_owned(),
+        r#"{"Arrival":{"circuit":"tiny","node":"ghost"}}"#.to_owned(),
+        r#"{"Slack":{"circuit":"adder_8","t_req":2500.0,"alpha":3.0}}"#.to_owned(),
+        r#"{"Criticality":{"circuit":"cmp_8","top":5}}"#.to_owned(),
+        r#"{"Yield":{"circuit":"cmp_8","deadline":2500.0}}"#.to_owned(),
+        // Mutate, then re-analyze: the new answer must reflect the new
+        // sizes at every topology.
+        r#"{"Resize":{"circuit":"tiny","gate":"y","size":3}}"#.to_owned(),
+        r#"{"Arrival":{"circuit":"tiny","node":"y"}}"#.to_owned(),
+        r#"{"Size":{"circuit":"tiny","alpha":3.0,"max_passes":2}}"#.to_owned(),
+        // Error paths: unknown circuit, malformed parameter, bad JSON.
+        r#"{"Analyze":{"circuit":"ghost","kind":"Dsta"}}"#.to_owned(),
+        r#"{"AnalyzeUnder":{"circuit":"cmp_8","kind":"Dsta","d2d_share":7.0}}"#.to_owned(),
+        "this is not json".to_owned(),
+        r#""ListCircuits""#.to_owned(),
+    ];
+    lines.push(String::new());
+    lines.join("\n")
+}
+
+fn run_script(shards: usize, width: usize) -> Vec<String> {
+    let workspace =
+        WorkspaceConfig::default()
+            .with_threads(width)
+            .with_ssta(vartol::ssta::SstaConfig {
+                threads: width,
+                ..Default::default()
+            });
+    let service = Service::new(
+        Library::synthetic_90nm(),
+        ServeConfig::default()
+            .with_shards(shards)
+            .with_workspace(workspace),
+    );
+    let mut out = Vec::new();
+    serve_lines(&service, script().as_bytes(), &mut out).expect("in-memory I/O");
+    String::from_utf8(out)
+        .expect("frames are UTF-8")
+        .lines()
+        .map(|l| deterministic_part(l).to_owned())
+        .collect()
+}
+
+#[test]
+fn payloads_are_byte_identical_at_every_shard_count_and_pool_width() {
+    let reference = run_script(1, 1);
+    assert!(
+        reference.iter().any(|l| l.contains("\"Analysis\""))
+            && reference.iter().any(|l| l.contains("\"Sized\""))
+            && reference.iter().any(|l| l.contains("\"Error\"")),
+        "script must exercise analyses, sizing, and errors: {reference:#?}"
+    );
+    for shards in [1usize, 2, 4] {
+        for width in [1usize, 2, 8] {
+            let replay = run_script(shards, width);
+            assert_eq!(
+                replay, reference,
+                "payload drift at {shards} shards, width {width}"
+            );
+        }
+    }
+}
+
+fn service_with_cache(capacity: usize) -> Service {
+    Service::new(
+        Library::synthetic_90nm(),
+        ServeConfig::default()
+            .with_shards(2)
+            .with_cache_capacity(capacity),
+    )
+}
+
+fn register_preset(service: &Service, name: &str) {
+    let frames = service.call(ServeRequest::Register {
+        circuit: name.into(),
+        preset: Some(name.into()),
+        bench: None,
+    });
+    assert!(
+        matches!(frames[0].payload, ServeResponse::Registered { .. }),
+        "{:?}",
+        frames[0].payload
+    );
+}
+
+fn analyze(circuit: &str, kind: EngineKind) -> ServeRequest {
+    ServeRequest::Analyze {
+        circuit: circuit.into(),
+        kind,
+    }
+}
+
+#[test]
+fn cached_answers_equal_recomputed_answers() {
+    let cached = service_with_cache(256);
+    let uncached = service_with_cache(0);
+    for service in [&cached, &uncached] {
+        register_preset(service, "adder_8");
+    }
+    let request = analyze("adder_8", EngineKind::FullSsta);
+    let cold = cached.call(request.clone());
+    let warm = cached.call(request.clone());
+    let recomputed = uncached.call(request);
+    // The warm answer came from the cache…
+    assert_eq!(cached.stats().hits(), 1);
+    assert_eq!(uncached.stats().hits(), 0);
+    // …and all three payloads are identical.
+    assert_eq!(cold[0].payload, warm[0].payload);
+    assert_eq!(cold[0].payload, recomputed[0].payload);
+}
+
+#[test]
+fn resize_invalidates_the_cache_and_answers_track_the_mutation() {
+    let service = service_with_cache(256);
+    let witness = service_with_cache(0);
+    for s in [&service, &witness] {
+        let frames = s.call(ServeRequest::Register {
+            circuit: "tiny".into(),
+            preset: None,
+            bench: Some(TINY_BENCH.into()),
+        });
+        assert!(matches!(
+            frames[0].payload,
+            ServeResponse::Registered { .. }
+        ));
+    }
+    let request = ServeRequest::Arrival {
+        circuit: "tiny".into(),
+        node: "y".into(),
+    };
+    let before = service.call(request.clone());
+    service.call(request.clone()); // warm the cache
+    let resize = ServeRequest::Resize {
+        circuit: "tiny".into(),
+        gate: "y".into(),
+        size: 4,
+    };
+    service.call(resize.clone());
+    witness.call(resize);
+    let after = service.call(request.clone());
+    let expected = witness.call(request);
+    assert_ne!(
+        before[0].payload, after[0].payload,
+        "resize must change the arrival"
+    );
+    assert_eq!(
+        after[0].payload, expected[0].payload,
+        "post-resize answer must be fresh"
+    );
+    let stats = service.stats();
+    assert!(
+        stats
+            .shards
+            .iter()
+            .map(|s| s.cache_invalidations)
+            .sum::<u64>()
+            >= 1,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn lru_evicts_at_capacity() {
+    // Capacity 2 on the shard holding adder_8; three distinct cacheable
+    // requests against one circuit force an eviction of the oldest.
+    let service = Service::new(
+        Library::synthetic_90nm(),
+        ServeConfig::default().with_shards(1).with_cache_capacity(2),
+    );
+    register_preset(&service, "adder_8");
+    let first = analyze("adder_8", EngineKind::Dsta);
+    service.call(first.clone());
+    service.call(analyze("adder_8", EngineKind::Fassta));
+    service.call(analyze("adder_8", EngineKind::FullSsta));
+    let stats = service.stats();
+    assert_eq!(stats.shards[0].cache_evictions, 1, "{stats:?}");
+    // The evicted (least recently used) entry misses again.
+    let misses = service.stats().misses();
+    service.call(first);
+    assert_eq!(service.stats().misses(), misses + 1);
+}

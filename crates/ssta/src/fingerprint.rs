@@ -1,0 +1,250 @@
+//! Stable fingerprints for cache keys — the primitive behind
+//! cross-request result caching in the service layer.
+//!
+//! A warm-cache timing service needs to answer "is this exactly the
+//! query I already computed?" without holding the full query around.
+//! Three ingredients identify an analysis result completely:
+//!
+//! 1. the **circuit** (structure is immutable after registration, so
+//!    its name suffices),
+//! 2. the **size vector** — the only mutable state of a registered
+//!    circuit ([`size_fingerprint`]),
+//! 3. the **engine configuration** — PDF resolution, variation model,
+//!    correlation handling, slews and loads
+//!    ([`config_fingerprint`]).
+//!
+//! The fingerprints are 64-bit [FNV-1a] hashes over a canonical byte
+//! encoding, so they are **stable across runs, platforms, and
+//! processes** (unlike `std::hash`, whose hasher is unspecified and, for
+//! `HashMap`, randomly seeded). Two configurations that compare equal
+//! modulo wall-clock knobs always fingerprint equal; any change to a
+//! field that can affect results changes the fingerprint with
+//! overwhelming probability.
+//!
+//! [`config_fingerprint`] deliberately **excludes
+//! [`SstaConfig::threads`]**: the worker-pool width is a pure speed knob
+//! — every engine is bit-identical at every width — so two services
+//! running the same model at different pool widths must share cache
+//! identity. That exclusion is what lets the service's determinism
+//! contract ("byte-identical answers at every shard/pool width") extend
+//! to its cache.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_ssta::fingerprint::{config_fingerprint, size_fingerprint};
+//! use vartol_ssta::SstaConfig;
+//!
+//! let a = SstaConfig::default().with_threads(1);
+//! let b = SstaConfig::default().with_threads(8);
+//! assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+//!
+//! let c = SstaConfig::default().with_pdf_samples(15);
+//! assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+//!
+//! assert_ne!(size_fingerprint(&[0, 1, 2]), size_fingerprint(&[0, 2, 1]));
+//! ```
+
+use crate::config::SstaConfig;
+use serde::{Serialize, Value};
+
+/// A 64-bit [FNV-1a](self) streaming hasher with a stable, documented
+/// algorithm — the workspace-wide primitive for cache keys.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the standard FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Feeds one `f64` into the hash via its IEEE-754 bit pattern, so
+    /// `0.0` and `-0.0` fingerprint differently and every NaN payload is
+    /// distinguished — bit-identity is exactly the service's contract.
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// The final hash value.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprints a raw byte string.
+#[must_use]
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Fingerprints a netlist size vector (gate index order). Primary
+/// inputs carry no size and are encoded by their fixed sentinel in
+/// [`vartol_netlist::Netlist::sizes`], so the vector identifies the
+/// complete mutable state of a registered circuit.
+#[must_use]
+pub fn size_fingerprint(sizes: &[usize]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(sizes.len() as u64);
+    for &s in sizes {
+        h.write_u64(s as u64);
+    }
+    h.finish()
+}
+
+/// Fingerprints everything in an [`SstaConfig`] that can affect a
+/// result — PDF resolution, both variation models, slews, loads, and
+/// the correlation mode — while **excluding** the `threads` pool-width
+/// knob (see the [module docs](self)).
+#[must_use]
+pub fn config_fingerprint(config: &SstaConfig) -> u64 {
+    let Value::Object(fields) = config.to_value() else {
+        unreachable!("SstaConfig serializes as an object");
+    };
+    let mut h = Fnv64::new();
+    for (name, value) in &fields {
+        if name == "threads" {
+            continue;
+        }
+        h.write(name.as_bytes());
+        hash_value(value, &mut h);
+    }
+    h.finish()
+}
+
+/// Hashes a serialized [`Value`] tree with an unambiguous tagged
+/// encoding (every node contributes a type tag, every composite its
+/// length), so structurally different trees cannot collide by
+/// concatenation accidents.
+fn hash_value(value: &Value, h: &mut Fnv64) {
+    match value {
+        Value::Null => h.write(b"n"),
+        Value::Bool(b) => {
+            h.write(b"b");
+            h.write(&[u8::from(*b)]);
+        }
+        Value::Number(x) => {
+            h.write(b"d");
+            h.write_f64(*x);
+        }
+        Value::String(s) => {
+            h.write(b"s");
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::Array(items) => {
+            h.write(b"a");
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(item, h);
+            }
+        }
+        Value::Object(fields) => {
+            h.write(b"o");
+            h.write_u64(fields.len() as u64);
+            for (name, item) in fields {
+                h.write_u64(name.len() as u64);
+                h.write(name.as_bytes());
+                hash_value(item, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn size_fingerprint_is_order_and_length_sensitive() {
+        assert_ne!(size_fingerprint(&[1, 2]), size_fingerprint(&[2, 1]));
+        assert_ne!(size_fingerprint(&[1]), size_fingerprint(&[1, 0]));
+        assert_eq!(size_fingerprint(&[3, 1, 4]), size_fingerprint(&[3, 1, 4]));
+        // A trailing zero must not be absorbed by an empty tail.
+        assert_ne!(size_fingerprint(&[]), size_fingerprint(&[0]));
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_threads_only() {
+        let base = SstaConfig::default();
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.clone().with_threads(16)),
+            "pool width is a speed knob, not a result knob"
+        );
+        let changed = [
+            base.clone().with_pdf_samples(15),
+            base.clone()
+                .with_correlation(crate::CorrelationMode::Independent),
+            base.clone()
+                .with_model(variation::VariationModel::die_to_die(0.5)),
+            base.clone()
+                .with_variation(vartol_liberty::VariationModel::new(0.1, 0.5, 1.0)),
+        ];
+        for c in &changed {
+            assert_ne!(
+                config_fingerprint(&base),
+                config_fingerprint(c),
+                "result-affecting field must move the fingerprint: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_fingerprint_is_stable_across_calls() {
+        let c = SstaConfig::default().with_model(variation::VariationModel::die_to_die(0.3));
+        assert_eq!(config_fingerprint(&c), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn value_hash_distinguishes_shapes() {
+        let mut a = Fnv64::new();
+        hash_value(&Value::Array(vec![Value::Number(1.0)]), &mut a);
+        let mut b = Fnv64::new();
+        hash_value(&Value::Number(1.0), &mut b);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut zero = Fnv64::new();
+        hash_value(&Value::Number(0.0), &mut zero);
+        let mut neg_zero = Fnv64::new();
+        hash_value(&Value::Number(-0.0), &mut neg_zero);
+        assert_ne!(zero.finish(), neg_zero.finish(), "bit-level identity");
+    }
+}

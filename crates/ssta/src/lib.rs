@@ -83,6 +83,7 @@ pub mod delay;
 pub mod dsta;
 pub mod engine;
 pub mod fassta;
+pub mod fingerprint;
 pub mod fullssta;
 pub mod montecarlo;
 pub mod pool;
@@ -98,6 +99,7 @@ pub use delay::CircuitTiming;
 pub use dsta::{Dsta, DstaResult};
 pub use engine::{EngineKind, TimingEngine, TimingReport};
 pub use fassta::Fassta;
+pub use fingerprint::{config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64};
 pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
 pub use pool::ScopedPool;

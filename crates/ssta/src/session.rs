@@ -234,6 +234,16 @@ impl TimingSession {
         self.netlist.sizes()
     }
 
+    /// Stable fingerprint of the current size vector (see
+    /// [`crate::fingerprint::size_fingerprint`]) — together with the
+    /// circuit name and [`crate::fingerprint::config_fingerprint`] it
+    /// identifies every analysis result this session can produce, which
+    /// is how the service layer keys its cross-request result cache.
+    #[must_use]
+    pub fn size_fingerprint(&self) -> u64 {
+        crate::fingerprint::size_fingerprint(&self.netlist.sizes())
+    }
+
     /// Restores a size snapshot, marking exactly the differing gates
     /// dirty.
     ///

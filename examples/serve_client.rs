@@ -1,0 +1,113 @@
+//! A real TCP round-trip against `vartol-serve`: start the service
+//! in-process on an ephemeral port, talk newline-delimited JSON over a
+//! socket exactly as an external client would, and show the result
+//! cache at work (warm repeat vs cold first analysis).
+//!
+//! Run with: `cargo run --release --example serve_client`
+//!
+//! The same conversation works against a standalone daemon:
+//!
+//! ```text
+//! $ vartol-serve --addr 127.0.0.1:7425 --shards 4 &
+//! $ printf '%s\n' '{"Register":{"circuit":"adder_16","preset":"adder_16","bench":null}}' \
+//!     | nc 127.0.0.1 7425
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vartol::liberty::Library;
+use vartol_serve::{json, ServeConfig, Server, Service};
+
+fn main() {
+    // Boot the service: 2 shards, default bounded queues and caches.
+    let service = Arc::new(Service::new(
+        Library::synthetic_90nm(),
+        ServeConfig::default().with_shards(2),
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let acceptor = std::thread::spawn(move || server.run().expect("accept loop"));
+    println!("serving on {addr}\n");
+
+    // Connect like any external client: a TCP stream and a line buffer.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut exchange = |line: &str| -> String {
+        writeln!(&stream, "{line}").expect("send request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        println!("> {line}");
+        println!("< {}", response.trim_end());
+        response
+    };
+
+    exchange(r#"{"Register":{"circuit":"adder_16","preset":"adder_16","bench":null}}"#);
+
+    // Cold: the first FULLSSTA analysis computes. Warm: the repeat is
+    // answered from the result cache with a byte-identical payload.
+    let analyze = r#"{"Analyze":{"circuit":"adder_16","kind":"FullSsta"}}"#;
+    let t0 = Instant::now();
+    let cold = exchange(analyze);
+    let cold_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = exchange(analyze);
+    let warm_wall = t1.elapsed();
+    assert_eq!(
+        vartol_serve::protocol::deterministic_part(cold.trim_end()),
+        vartol_serve::protocol::deterministic_part(warm.trim_end()),
+        "cached payload must be byte-identical"
+    );
+    println!(
+        "\ncold {:.2?} vs warm {:.2?} (round-trip, cache hit)\n",
+        cold_wall, warm_wall
+    );
+
+    // Pull the statistics and assert the cache actually hit.
+    let stats_line = exchange(r#""Stats""#);
+    let hits = sum_field(&stats_line, "cache_hits");
+    let misses = sum_field(&stats_line, "cache_misses");
+    #[allow(clippy::cast_precision_loss)]
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!("\ncache: {hits} hits / {misses} misses (hit rate {rate:.2})");
+    assert!(hits >= 1, "the warm analysis must be a cache hit");
+
+    exchange(r#""Shutdown""#);
+    acceptor.join().expect("server thread");
+    println!("\nserver stopped cleanly");
+}
+
+/// Sums an integer field across the per-shard stats rows by walking the
+/// parsed JSON tree (no typed response decoding needed client-side).
+fn sum_field(frame_line: &str, field: &str) -> u64 {
+    fn walk(value: &serde::Value, field: &str, total: &mut u64) {
+        match value {
+            serde::Value::Object(fields) => {
+                for (name, v) in fields {
+                    if name == field {
+                        if let serde::Value::Number(x) = v {
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            {
+                                *total += *x as u64;
+                            }
+                        }
+                    }
+                    walk(v, field, total);
+                }
+            }
+            serde::Value::Array(items) => {
+                for v in items {
+                    walk(v, field, total);
+                }
+            }
+            _ => {}
+        }
+    }
+    let parsed = json::parse(frame_line.trim_end()).expect("frame is valid JSON");
+    let mut total = 0;
+    walk(&parsed, field, &mut total);
+    total
+}

@@ -65,6 +65,15 @@
 //!   count, with malformed or panicking requests isolated to their own
 //!   [`Answer::Error`].
 //!
+//! One layer sits *above* this crate and is therefore not re-exported
+//! here (it depends on `vartol`): the **`vartol-serve`** crate
+//! (`crates/serve`) fronts [`Workspace`] with a wire protocol — the
+//! `vartol-serve` binary speaks newline-delimited JSON over TCP or a
+//! stdin/stdout REPL, shards circuits by name hash across independent
+//! workspaces with bounded admission queues, and serves repeat queries
+//! from a fingerprint-keyed LRU result cache. See `ARCHITECTURE.md`
+//! ("Service layer") and the `serve_client` example.
+//!
 //! # Migrating from the borrowed-session API (pre-0.2 idiom)
 //!
 //! `TimingSession` and both sizers used to borrow (`TimingSession<'l, 'n>`
