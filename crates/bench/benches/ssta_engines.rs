@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vartol_liberty::Library;
-use vartol_netlist::generators::benchmark;
+use vartol_netlist::generators::{benchmark, random_dag, ripple_carry_adder, RandomDagConfig};
 use vartol_ssta::{Dsta, EngineKind, Fassta, FullSsta, MonteCarloTimer, SstaConfig, TimingSession};
 
 fn bench_engines(c: &mut Criterion) {
@@ -88,6 +88,61 @@ fn bench_engines(c: &mut Criterion) {
             let timer = timer.with_threads(threads);
             b.iter(|| black_box(timer.sample_parallel(n, 20_000).moments()));
         });
+    }
+    group.finish();
+
+    // The level-ordered propagation arena's parallel fan-out. Two
+    // shapes bracket the design space:
+    //
+    // * a wide seeded DAG, whose levels hold hundreds of nodes — the
+    //   per-level task count clears the arena's inline threshold
+    //   (`PARALLEL_LEVEL_MIN`) and the fan-out actually spawns;
+    // * a 7-bit ripple-carry adder, whose every level (including the
+    //   15-input level — phase 1a computes electrical state for inputs
+    //   too) stays *below* the threshold — this row pins the
+    //   spawn-amortization guarantee: extra configured threads must
+    //   cost nothing on small circuits, because narrow levels run
+    //   inline on the calling thread. The assert below keeps the pin
+    //   honest if the threshold or the generator ever moves.
+    //
+    // Every width returns bit-identical reports (tests/engine_determinism.rs);
+    // this group records what the threads buy — or must not cost.
+    let mut group = c.benchmark_group("analytic_parallel");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    let wide = random_dag(
+        RandomDagConfig {
+            inputs: 64,
+            gates: 6_000,
+            window: 512,
+        },
+        0xA12E,
+        &lib,
+    );
+    let narrow = ripple_carry_adder(7, &lib);
+    {
+        let probe = TimingSession::new(&lib, config.clone(), narrow.clone());
+        assert!(
+            probe.max_level_width() < 16,
+            "narrow_inline circuit crossed the arena's inline threshold \
+             (max level width {})",
+            probe.max_level_width()
+        );
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let threaded = config.clone().with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("wide_dag", threads), &wide, |b, n| {
+            let engine = FullSsta::new(&lib, &threaded);
+            b.iter(|| black_box(engine.analyze(n).circuit_moments()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("narrow_inline", threads),
+            &narrow,
+            |b, n| {
+                let engine = FullSsta::new(&lib, &threaded);
+                b.iter(|| black_box(engine.analyze(n).circuit_moments()));
+            },
+        );
     }
     group.finish();
 }

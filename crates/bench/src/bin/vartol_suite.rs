@@ -7,28 +7,45 @@
 //! presets — and writes one validated JSON report.
 //!
 //! ```text
-//! vartol-suite [--subset small|full] [--circuits a,b,c] [--data DIR]
+//! vartol-suite [--tier small|full|large] [--circuits a,b,c] [--data DIR]
 //!              [--out PATH] [--threads N] [--samples N] [--alpha F]
+//!              [--engines dsta,fassta,fullssta]
 //! vartol-suite --check PATH [--min-scenarios N]
 //! ```
 //!
-//! The run fails (exit 1) if any scenario panics or produces a
-//! non-finite μ/σ; `--check` re-validates an already-written report
-//! from its text (schema tag present, scenario coverage, no `null` —
-//! i.e. no non-finite statistic slipped through).
+//! `--tier large` (schema `/5`) runs the production-scale presets
+//! (`dag_100k`, `mult_64`, or an explicit `--circuits` list) through
+//! the analytic engines only, timing each engine at every propagation
+//! width — no Monte Carlo, no sizing, no service hop — and writes a
+//! report whose `scenarios` list is empty and whose `large` list
+//! carries the thread-scaling rows. `--engines` narrows the analytic
+//! set (the CI smoke job runs `dsta,fassta` to stay time-boxed).
+//!
+//! The run fails (exit 1) if any scenario panics, produces a
+//! non-finite μ/σ, or — in the large tier — yields μ/σ that are not
+//! bit-identical across thread widths; `--check` re-validates an
+//! already-written report from its text (schema tag present, scenario
+//! coverage, no `null` — i.e. no non-finite statistic slipped
+//! through).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vartol_bench::suite::{check_json_text, run_suite_with, SuiteConfig};
+use vartol_bench::suite::{
+    check_json_text, large_thread_widths, large_tier_engines, run_large_tier_with, run_suite_with,
+    SuiteConfig, SuiteReport, SUITE_SCHEMA,
+};
 use vartol_liberty::Library;
 use vartol_netlist::generators::{
-    benchmark, benchmark_names, preset, preset_names, small_preset_names,
+    benchmark, benchmark_names, large_preset_names, preset, preset_names, small_preset_names,
 };
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::Netlist;
+use vartol_ssta::{EngineKind, ScopedPool};
 
 struct Options {
-    subset: String,
+    tier: String,
+    /// Large-tier engine names (`--engines`); empty = all analytic.
+    engines: Vec<String>,
     circuits: Vec<String>,
     data_dir: PathBuf,
     /// Whether `--data` was passed explicitly (a missing default
@@ -43,7 +60,8 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
-            subset: "small".into(),
+            tier: "small".into(),
+            engines: Vec::new(),
             circuits: Vec::new(),
             data_dir: "data".into(),
             data_dir_explicit: false,
@@ -64,7 +82,15 @@ fn parse_args() -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} needs a value (see --help)"))
         };
         match arg.as_str() {
-            "--subset" => opts.subset = value("--subset")?,
+            // `--subset` predates the large tier and stays as an alias.
+            "--tier" | "--subset" => opts.tier = value("--tier")?,
+            "--engines" => {
+                opts.engines = value("--engines")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
             "--circuits" => {
                 opts.circuits = value("--circuits")?
                     .split(',')
@@ -101,16 +127,21 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "vartol-suite: run the engine + sizing benchmark matrix\n\n\
-                     --subset small|full    preset tier to run (default small)\n\
-                     --circuits a,b,c       explicit list (presets, paper benchmarks\n\
-                                            like c7552, or .bench stems)\n\
-                     --data DIR             .bench directory (default data)\n\
-                     --out PATH             report path (default BENCH_suite.json)\n\
-                     --threads N            worker threads, 0 = all CPUs (default 0)\n\
-                     --samples N            Monte-Carlo samples (default 2000)\n\
-                     --alpha F              sizing sigma weight (default 3)\n\
-                     --check PATH           validate an existing report instead\n\
-                     --min-scenarios N      coverage floor for --check (default 8)"
+                     --tier small|full|large  preset tier to run (default small);\n\
+                                              `large` times the analytic engines on\n\
+                                              production-scale circuits at every\n\
+                                              propagation width (--subset is an alias)\n\
+                     --engines a,b            large-tier engine subset out of\n\
+                                              dsta,fassta,fullssta (default all)\n\
+                     --circuits a,b,c         explicit list (presets, paper benchmarks\n\
+                                              like c7552, or .bench stems)\n\
+                     --data DIR               .bench directory (default data)\n\
+                     --out PATH               report path (default BENCH_suite.json)\n\
+                     --threads N              worker threads, 0 = all CPUs (default 0)\n\
+                     --samples N              Monte-Carlo samples (default 2000)\n\
+                     --alpha F                sizing sigma weight (default 3)\n\
+                     --check PATH             validate an existing report instead\n\
+                     --min-scenarios N        coverage floor for --check (default 8)"
                 );
                 std::process::exit(0);
             }
@@ -175,16 +206,83 @@ fn collect_circuits(opts: &Options, library: &Library) -> Result<Vec<Netlist>, S
             .collect();
     }
 
-    let mut circuits = load_bench_dir(&opts.data_dir, opts.data_dir_explicit)?;
-    let tier = match opts.subset.as_str() {
+    // The large tier defaults to its own presets and skips the .bench
+    // directory — ISCAS-scale circuits have nothing to say about
+    // 100k-gate thread scaling.
+    let tier = match opts.tier.as_str() {
+        "large" => {
+            return Ok(large_preset_names()
+                .iter()
+                .map(|name| preset(name, library).expect("preset name lists are authoritative"))
+                .collect());
+        }
         "small" => small_preset_names(),
         "full" => preset_names(),
-        other => return Err(format!("unknown subset `{other}` (small|full)")),
+        other => return Err(format!("unknown tier `{other}` (small|full|large)")),
     };
+    let mut circuits = load_bench_dir(&opts.data_dir, opts.data_dir_explicit)?;
     for name in tier {
         circuits.push(preset(name, library).expect("preset name lists are authoritative"));
     }
     Ok(circuits)
+}
+
+/// Resolves `--engines` names for the large tier; an empty list means
+/// every analytic engine.
+fn parse_engines(names: &[String]) -> Result<Vec<EngineKind>, String> {
+    if names.is_empty() {
+        return Ok(large_tier_engines());
+    }
+    names
+        .iter()
+        .map(|name| match name.as_str() {
+            "dsta" => Ok(EngineKind::Dsta),
+            "fassta" => Ok(EngineKind::Fassta),
+            "fullssta" => Ok(EngineKind::FullSsta),
+            other => Err(format!(
+                "unknown engine `{other}` (dsta|fassta|fullssta — the large tier is analytic-only)"
+            )),
+        })
+        .collect()
+}
+
+/// Runs the large tier: analytic engines only, every propagation width,
+/// scenarios left empty in the written report.
+fn run_large(
+    opts: &Options,
+    library: &Library,
+    circuits: &[Netlist],
+) -> Result<SuiteReport, String> {
+    let engines = parse_engines(&opts.engines)?;
+    eprintln!(
+        "vartol-suite: large tier, {} circuits, {} engines, widths {:?}",
+        circuits.len(),
+        engines.len(),
+        large_thread_widths()
+    );
+    let large = run_large_tier_with(circuits, library, &opts.config, &engines, |block, wall| {
+        eprintln!(
+            "  {:<10} {:>6} gates  depth {:>4}  {:>7.2}s",
+            block.circuit,
+            block.gates,
+            block.depth,
+            wall.as_secs_f64()
+        );
+        for row in &block.rows {
+            eprintln!(
+                "    {:<8} {:>2}t  {:>8.3}s  mu {:>9.2} ps  sigma {:>7.2} ps",
+                row.engine, row.threads, row.wall_s, row.mu, row.sigma
+            );
+        }
+    });
+    Ok(SuiteReport {
+        schema: SUITE_SCHEMA.to_owned(),
+        threads: ScopedPool::new(opts.config.threads).threads(),
+        alpha: opts.config.alpha,
+        mc_samples: opts.config.mc_samples,
+        scenarios: Vec::new(),
+        large,
+    })
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -195,42 +293,52 @@ fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
 
+    if opts.tier != "large" && !opts.engines.is_empty() {
+        return Err("--engines only applies to --tier large".into());
+    }
+
     let library = Library::synthetic_90nm();
     let circuits = collect_circuits(opts, &library)?;
     if circuits.is_empty() {
         return Err("no circuits to run".into());
     }
-    eprintln!(
-        "vartol-suite: {} scenarios, alpha {}, {} MC samples, threads {}",
-        circuits.len(),
-        opts.config.alpha,
-        opts.config.mc_samples,
-        opts.config.threads
-    );
 
-    let report = run_suite_with(&circuits, &library, &opts.config, |scenario, wall| {
+    let report = if opts.tier == "large" {
+        run_large(opts, &library, &circuits)?
+    } else {
         eprintln!(
-            "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  \
-             serve {:>7.2} -> {:>5.2} ms  {:>6.2}s",
-            scenario.circuit,
-            scenario.gates,
-            scenario.sizing.sigma_before,
-            scenario.sizing.sigma_after,
-            scenario.sizing.area_delta_pct,
-            scenario.serve.serve_cold_ms,
-            scenario.serve.serve_warm_ms,
-            wall.as_secs_f64()
+            "vartol-suite: {} scenarios, alpha {}, {} MC samples, threads {}",
+            circuits.len(),
+            opts.config.alpha,
+            opts.config.mc_samples,
+            opts.config.threads
         );
-    });
+        run_suite_with(&circuits, &library, &opts.config, |scenario, wall| {
+            eprintln!(
+                "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  \
+                 serve {:>7.2} -> {:>5.2} ms  {:>6.2}s",
+                scenario.circuit,
+                scenario.gates,
+                scenario.sizing.sigma_before,
+                scenario.sizing.sigma_after,
+                scenario.sizing.area_delta_pct,
+                scenario.serve.serve_cold_ms,
+                scenario.serve.serve_warm_ms,
+                wall.as_secs_f64()
+            );
+        })
+    };
 
     report.validate()?;
+    let covered = report.scenarios.len() + report.large.len();
     let json = report.to_json();
     std::fs::write(&opts.out, &json).map_err(|e| format!("{}: {e}", opts.out.display()))?;
-    check_json_text(&json, report.scenarios.len().min(opts.min_scenarios))?;
+    check_json_text(&json, covered.min(opts.min_scenarios))?;
     println!(
-        "wrote {} ({} scenarios, {} threads)",
+        "wrote {} ({} scenarios, {} large blocks, {} threads)",
         opts.out.display(),
         report.scenarios.len(),
+        report.large.len(),
         report.threads
     );
     Ok(())

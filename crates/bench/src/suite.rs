@@ -42,6 +42,20 @@
 //! tracks the service stack's end-to-end latency and what the cache
 //! buys on re-query.
 //!
+//! `/5` adds the `large` tier ([`run_large_tier_with`]): production-scale
+//! circuits — the [`large_preset_names`](vartol_netlist::generators::large_preset_names)
+//! presets, ≥100k gates — run
+//! through the **analytic** engines only (DSTA/FASSTA/FULLSSTA; no
+//! Monte Carlo, no sizing, no service hop) at every propagation width
+//! in [`large_thread_widths`]. Each `large` row records the engine,
+//! the thread width, the analysis wall-clock, and μ/σ, so the artifact
+//! finally captures an analytic-engine perf-and-scaling trajectory per
+//! PR. The runner asserts the level-ordered propagation arena's
+//! headline guarantee while measuring: μ/σ must be **bit-identical**
+//! across every thread width, or the run fails. A report may carry
+//! scenarios, large rows, or both; [`SuiteReport::validate`] accepts
+//! any combination as long as at least one tier is present.
+//!
 //! The report is validated ([`SuiteReport::validate`]) before it is
 //! written: any non-finite μ/σ or wall-clock fails the run. Because the
 //! vendored `serde_json` shim renders non-finite floats as `null`, a
@@ -64,8 +78,11 @@ use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig,
 /// under named die-to-die / spatial variation models, served through
 /// the workspace's `AnalyzeUnder` request; `/4` added the `serve` row
 /// — cold vs cached Monte-Carlo analysis latency through the
-/// `vartol-serve` service — see the module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/4";
+/// `vartol-serve` service; `/5` added the `large` tier — analytic
+/// wall-clock and thread-scaling rows on production-scale circuits,
+/// with `scenarios` allowed to be empty on a large-only run — see the
+/// module docs).
+pub const SUITE_SCHEMA: &str = "vartol-suite/5";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -109,6 +126,48 @@ pub struct CornerStat {
     pub mu: f64,
     /// Circuit delay standard deviation (ps) under the corner model.
     pub sigma: f64,
+}
+
+/// One analytic engine's timed run at one propagation width on one
+/// large-tier circuit (schema `/5`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LargeStat {
+    /// Engine name (`dsta`, `fassta`, `fullssta` — the large tier is
+    /// analytic-only).
+    pub engine: String,
+    /// Propagation thread width the row was measured at
+    /// ([`SstaConfig::with_threads`]).
+    pub threads: usize,
+    /// From-scratch analysis wall-clock seconds (netlist already
+    /// built; this is pure electrical + arrival propagation).
+    pub wall_s: f64,
+    /// Circuit mean delay (ps) — asserted bit-identical across every
+    /// width of the same engine before the row is recorded.
+    pub mu: f64,
+    /// Circuit delay standard deviation (ps) — same bit-identity
+    /// guarantee as `mu`.
+    pub sigma: f64,
+}
+
+/// One large-tier circuit's thread-scaling block (schema `/5`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LargeScenario {
+    /// Circuit name (usually a `large_preset_names` entry).
+    pub circuit: String,
+    /// Cell-gate count (≥100k for the headline presets).
+    pub gates: usize,
+    /// Logic depth (levels) — the arena's serial critical path; width
+    /// per level is what the parallel fan-out exploits.
+    pub depth: usize,
+    /// One row per (engine, thread width), engines in
+    /// dsta/fassta/fullssta order, widths ascending within an engine.
+    pub rows: Vec<LargeStat>,
+}
+
+/// The propagation widths every large-tier engine is timed at.
+#[must_use]
+pub fn large_thread_widths() -> &'static [usize] {
+    &[1, 2, 4]
 }
 
 /// One engine's whole-circuit result on one scenario.
@@ -197,20 +256,26 @@ pub struct SuiteReport {
     pub alpha: f64,
     /// Monte-Carlo sample budget per circuit.
     pub mc_samples: usize,
-    /// One entry per circuit, in run order.
+    /// One entry per circuit, in run order. Empty on a large-only run
+    /// (`vartol-suite --tier large`).
     pub scenarios: Vec<ScenarioReport>,
+    /// Large-tier thread-scaling blocks (schema `/5`), one per
+    /// production-scale circuit. Empty unless the run opted into the
+    /// large tier.
+    pub large: Vec<LargeScenario>,
 }
 
 impl SuiteReport {
-    /// Checks the report for the failure modes CI must catch: an empty
-    /// scenario list, or any non-finite / negative-variance statistic.
+    /// Checks the report for the failure modes CI must catch: no
+    /// coverage at all (neither scenarios nor large-tier blocks), or
+    /// any non-finite / negative-variance statistic in either tier.
     ///
     /// # Errors
     ///
     /// Returns a message naming the first offending scenario and field.
     pub fn validate(&self) -> Result<(), String> {
-        if self.scenarios.is_empty() {
-            return Err("report contains no scenarios".into());
+        if self.scenarios.is_empty() && self.large.is_empty() {
+            return Err("report contains no scenarios and no large-tier blocks".into());
         }
         let finite = |name: &str, what: &str, x: f64| -> Result<(), String> {
             if x.is_finite() {
@@ -267,6 +332,26 @@ impl SuiteReport {
                 }
             }
         }
+        for l in &self.large {
+            if l.gates == 0 {
+                return Err(format!("{}: zero gates", l.circuit));
+            }
+            if l.rows.is_empty() {
+                return Err(format!("{}: large-tier block has no rows", l.circuit));
+            }
+            for r in &l.rows {
+                let tag = format!("{}@{}t", r.engine, r.threads);
+                finite(&l.circuit, &format!("{tag} mu"), r.mu)?;
+                finite(&l.circuit, &format!("{tag} sigma"), r.sigma)?;
+                finite(&l.circuit, &format!("{tag} wall_s"), r.wall_s)?;
+                if r.sigma < 0.0 {
+                    return Err(format!("{}: negative {tag} sigma", l.circuit));
+                }
+                if r.threads == 0 {
+                    return Err(format!("{}: {tag} zero-width row", l.circuit));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -297,16 +382,21 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
         return Err("report contains `null` — a statistic was non-finite".into());
     }
     // Count the key (with its colon), not the bare string, so a circuit
-    // literally named "circuit" can't inflate the coverage count.
+    // literally named "circuit" can't inflate the coverage count. Both
+    // tiers carry a "circuit" key, so this is total coverage.
     let covered = text.matches("\"circuit\":").count();
     if covered < min_scenarios {
         return Err(format!(
-            "report covers {covered} scenarios, need at least {min_scenarios}"
+            "report covers {covered} circuits, need at least {min_scenarios}"
         ));
     }
-    // Schema /4: every scenario carries the service-latency pair.
+    // Schema /4: every *full* scenario carries the service-latency
+    // pair. Large-tier blocks (schema /5) have no serve hop, so the
+    // scenario count is keyed on `register_wall_s` — a key only full
+    // scenarios carry — not on the shared `circuit` key.
+    let full_scenarios = text.matches("\"register_wall_s\":").count();
     for key in ["\"serve_cold_ms\":", "\"serve_warm_ms\":"] {
-        if text.matches(key).count() < covered {
+        if text.matches(key).count() < full_scenarios {
             return Err(format!("a scenario is missing its {key} serve row"));
         }
     }
@@ -556,6 +646,7 @@ pub fn run_suite_with(
         alpha: config.alpha,
         mc_samples: config.mc_samples,
         scenarios: Vec::with_capacity(circuits.len()),
+        large: Vec::new(),
     };
     for circuit in circuits {
         let t0 = std::time::Instant::now();
@@ -580,6 +671,99 @@ pub fn run_suite_with(
 #[must_use]
 pub fn run_suite(circuits: &[Netlist], library: &Library, config: &SuiteConfig) -> SuiteReport {
     run_suite_with(circuits, library, config, |_, _| {})
+}
+
+/// The engines the large tier times by default — the three analytic
+/// propagations, in report order. Monte Carlo is deliberately absent:
+/// sampling a 100k-gate circuit would dwarf everything else in a CI
+/// run, and the tier exists to track *analytic* wall-clock and
+/// thread scaling.
+#[must_use]
+pub fn large_tier_engines() -> Vec<EngineKind> {
+    vec![EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta]
+}
+
+/// Times one production-scale circuit (schema `/5`): every requested
+/// engine, from scratch, at every [`large_thread_widths`] propagation
+/// width. While measuring it asserts the propagation arena's headline
+/// guarantee — μ/σ bit-identical (raw IEEE bits) across every width of
+/// the same engine — so a scaling row can never silently ship numbers
+/// that depended on the schedule.
+///
+/// # Panics
+///
+/// Panics if `engines` contains [`EngineKind::MonteCarlo`] (the tier
+/// is analytic-only) or if two widths of one engine disagree bit for
+/// bit.
+#[must_use]
+pub fn run_large_scenario(
+    netlist: &Netlist,
+    library: &Library,
+    config: &SuiteConfig,
+    engines: &[EngineKind],
+) -> LargeScenario {
+    let mut rows = Vec::with_capacity(engines.len() * large_thread_widths().len());
+    for &kind in engines {
+        assert!(
+            !matches!(kind, EngineKind::MonteCarlo),
+            "the large tier is analytic-only"
+        );
+        let mut pinned: Option<(u64, u64)> = None;
+        for &threads in large_thread_widths() {
+            let ssta = config.ssta.clone().with_threads(threads);
+            let t0 = std::time::Instant::now();
+            let report = kind.engine(library, &ssta).analyze(netlist);
+            let wall_s = t0.elapsed().as_secs_f64();
+            let m = report.circuit_moments();
+            let bits = (m.mean.to_bits(), m.var.to_bits());
+            match pinned {
+                None => pinned = Some(bits),
+                Some(want) => assert_eq!(
+                    bits,
+                    want,
+                    "{}/{kind}: {threads}-thread propagation diverged",
+                    netlist.name()
+                ),
+            }
+            rows.push(LargeStat {
+                engine: kind.to_string(),
+                threads,
+                wall_s,
+                mu: m.mean,
+                sigma: m.std(),
+            });
+        }
+    }
+    LargeScenario {
+        circuit: netlist.name().to_owned(),
+        gates: netlist.gate_count(),
+        depth: netlist.depth(),
+        rows,
+    }
+}
+
+/// Runs the large tier over `circuits`, firing `observe` after each
+/// block with the block and its wall-clock — live progress, exactly
+/// like [`run_suite_with`] for the full matrix.
+///
+/// # Panics
+///
+/// Propagates [`run_large_scenario`]'s panics.
+pub fn run_large_tier_with(
+    circuits: &[Netlist],
+    library: &Library,
+    config: &SuiteConfig,
+    engines: &[EngineKind],
+    mut observe: impl FnMut(&LargeScenario, std::time::Duration),
+) -> Vec<LargeScenario> {
+    let mut blocks = Vec::with_capacity(circuits.len());
+    for circuit in circuits {
+        let t0 = std::time::Instant::now();
+        let block = run_large_scenario(circuit, library, config, engines);
+        observe(&block, t0.elapsed());
+        blocks.push(block);
+    }
+    blocks
 }
 
 #[cfg(test)]
@@ -672,7 +856,67 @@ mod tests {
             alpha: 3.0,
             mc_samples: 100,
             scenarios: Vec::new(),
+            large: Vec::new(),
         };
         assert!(report.validate().is_err());
+    }
+
+    #[test]
+    fn large_tier_rows_scale_over_widths_and_validate_alone() {
+        // A mid-size preset keeps the unit test fast; the 100k-gate
+        // presets run in the CI smoke job and the nightly tier.
+        let lib = Library::synthetic_90nm();
+        let circuits = vec![preset("dag_400", &lib).expect("known preset")];
+        let engines = large_tier_engines();
+        let mut observed = 0;
+        let blocks =
+            run_large_tier_with(&circuits, &lib, &tiny_config(), &engines, |block, wall| {
+                assert_eq!(block.circuit, "dag_400");
+                assert!(wall.as_secs_f64() >= 0.0);
+                observed += 1;
+            });
+        assert_eq!(observed, 1);
+        let block = &blocks[0];
+        assert_eq!(
+            block.rows.len(),
+            engines.len() * large_thread_widths().len()
+        );
+        // Row order: engines in report order, widths ascending within.
+        for (e, chunk) in engines
+            .iter()
+            .zip(block.rows.chunks(large_thread_widths().len()))
+        {
+            for (w, row) in large_thread_widths().iter().zip(chunk) {
+                assert_eq!(row.engine, e.to_string());
+                assert_eq!(row.threads, *w);
+                // run_large_scenario already asserted bit-identity of
+                // mu/sigma across widths; spot-check the recorded rows
+                // agree too.
+                assert_eq!(row.mu.to_bits(), chunk[0].mu.to_bits());
+                assert_eq!(row.sigma.to_bits(), chunk[0].sigma.to_bits());
+            }
+        }
+        // A large-only report (scenarios empty) must validate and pass
+        // the text-level check — that is what the CI smoke job writes.
+        let report = SuiteReport {
+            schema: SUITE_SCHEMA.to_owned(),
+            threads: 1,
+            alpha: 3.0,
+            mc_samples: 0,
+            scenarios: Vec::new(),
+            large: blocks,
+        };
+        report.validate().expect("large-only report is valid");
+        let json = report.to_json();
+        assert!(json.contains("\"large\":") && json.contains("dag_400"));
+        check_json_text(&json, 1).expect("text check passes without serve rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "analytic-only")]
+    fn monte_carlo_is_rejected_from_the_large_tier() {
+        let lib = Library::synthetic_90nm();
+        let n = preset("cmp_8", &lib).expect("known preset");
+        let _ = run_large_scenario(&n, &lib, &tiny_config(), &[EngineKind::MonteCarlo]);
     }
 }

@@ -32,6 +32,6 @@ pub use comparator::magnitude_comparator;
 pub use ecc::ecc_corrector;
 pub use multiplier::array_multiplier;
 pub use parity::parity_tree;
-pub use presets::{preset, preset_names, small_preset_names};
+pub use presets::{large_preset_names, preset, preset_names, small_preset_names};
 pub use priority::priority_interrupt_controller;
 pub use random_dag::{random_dag, RandomDagConfig};

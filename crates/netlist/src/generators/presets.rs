@@ -34,6 +34,22 @@ pub fn small_preset_names() -> &'static [&'static str] {
     ]
 }
 
+/// The large tier: production-scale circuits for analytic-engine
+/// wall-clock and thread-scaling measurement. Deliberately **not** part
+/// of [`preset_names`] — sampling engines and sizing sweeps over these
+/// would dwarf a CI run, so harnesses opt in explicitly
+/// (`vartol-suite --tier large`).
+///
+/// * `dag_100k` — a seeded 100 000-gate DAG with a wide locality window,
+///   so its topological levels are hundreds of nodes wide (good
+///   per-level parallelism, the shape the propagation arena targets);
+/// * `mult_64` — a 64×64 array multiplier: deep, heavily reconvergent
+///   structured arithmetic at tens of thousands of gates.
+#[must_use]
+pub fn large_preset_names() -> &'static [&'static str] {
+    &["dag_100k", "mult_64"]
+}
+
 /// Generates one preset circuit by name (named after the preset);
 /// `None` for unknown names.
 ///
@@ -72,6 +88,16 @@ pub fn preset(name: &str, library: &Library) -> Option<Netlist> {
         "cmp_16" => magnitude_comparator(16, library),
         "dag_150" => dag(150, 0xDA61),
         "dag_400" => dag(400, 0xDA62),
+        "dag_100k" => random_dag(
+            RandomDagConfig {
+                inputs: 256,
+                gates: 100_000,
+                window: 2048,
+            },
+            0xDA6C,
+            library,
+        ),
+        "mult_64" => array_multiplier(64, library),
         _ => return None,
     };
     Some(n.with_name(name))
@@ -91,6 +117,23 @@ mod tests {
             assert!(n.validate_against_library(&lib).is_ok(), "{name}");
             assert!(n.gate_count() > 0, "{name}");
         }
+    }
+
+    #[test]
+    fn large_tier_resolves_and_reaches_production_scale() {
+        let lib = Library::synthetic_90nm();
+        for name in large_preset_names() {
+            assert!(
+                !preset_names().contains(name),
+                "{name} must stay out of the default matrix"
+            );
+        }
+        let dag = preset("dag_100k", &lib).expect("large preset");
+        assert!(dag.gate_count() >= 100_000, "{}", dag.gate_count());
+        assert_eq!(dag.name(), "dag_100k");
+        let mult = preset("mult_64", &lib).expect("large preset");
+        assert!(mult.gate_count() >= 10_000, "{}", mult.gate_count());
+        assert_eq!(mult.name(), "mult_64");
     }
 
     #[test]

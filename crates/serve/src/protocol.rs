@@ -214,6 +214,17 @@ pub struct ShardStats {
     pub cache_evictions: u64,
     /// Entries dropped by `Resize`/`Size` invalidation.
     pub cache_invalidations: u64,
+    /// Resolved propagation thread width of this shard's analytic
+    /// engines (`SstaConfig::threads` after the 0-means-all-CPUs
+    /// resolution) — the width the level-ordered arena fans each
+    /// level out over. Purely informational: answers are
+    /// bit-identical at every width.
+    pub propagation_threads: usize,
+    /// Deepest propagation schedule among this shard's registered
+    /// circuits (level count of the level-ordered arena; 0 when the
+    /// shard is empty). Levels bound the serial critical path of a
+    /// propagation pass — per-level width is where the threads help.
+    pub propagation_levels: usize,
 }
 
 /// Service-wide statistics: one [`ShardStats`] row per shard.
@@ -770,6 +781,8 @@ mod tests {
                     cache_misses: 1,
                     cache_evictions: 0,
                     cache_invalidations: 0,
+                    propagation_threads: 1,
+                    propagation_levels: 12,
                 },
                 ShardStats {
                     shard: 1,
@@ -780,6 +793,8 @@ mod tests {
                     cache_misses: 0,
                     cache_evictions: 0,
                     cache_invalidations: 0,
+                    propagation_threads: 1,
+                    propagation_levels: 0,
                 },
             ],
         };

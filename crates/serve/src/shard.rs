@@ -42,7 +42,7 @@ use vartol::core::SizerConfig;
 use vartol::liberty::Library;
 use vartol::netlist::generators::{benchmark, preset};
 use vartol::ssta::{
-    config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64, VariationModel,
+    config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64, ScopedPool, VariationModel,
 };
 use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
 
@@ -622,6 +622,7 @@ impl ShardState {
 
     fn stats_row(&self) -> ShardStats {
         let counters = self.cache.counters();
+        let names: Vec<String> = self.workspace.circuit_names().map(String::from).collect();
         ShardStats {
             shard: self.id,
             circuits: self.workspace.len(),
@@ -631,6 +632,12 @@ impl ShardState {
             cache_misses: counters.misses,
             cache_evictions: counters.evictions,
             cache_invalidations: counters.invalidations,
+            propagation_threads: ScopedPool::new(self.workspace.config().ssta.threads).threads(),
+            propagation_levels: names
+                .iter()
+                .filter_map(|name| self.workspace.propagation_levels(name))
+                .max()
+                .unwrap_or(0),
         }
     }
 }
@@ -767,6 +774,16 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.hits(), 1);
         assert_eq!(stats.misses(), 1);
+        // Schema additions: the registered circuit gives its shard a
+        // non-trivial propagation schedule, and the width is resolved
+        // (never the 0 sentinel).
+        let row = stats
+            .shards
+            .iter()
+            .find(|s| s.circuits > 0)
+            .expect("one shard holds the circuit");
+        assert!(row.propagation_threads >= 1);
+        assert!(row.propagation_levels > 1);
     }
 
     #[test]

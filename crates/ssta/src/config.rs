@@ -58,11 +58,19 @@ pub struct SstaConfig {
     pub wire_cap_per_fanout: f64,
     /// Reconvergence-correlation handling in FULLSSTA.
     pub correlation: CorrelationMode,
-    /// Worker threads for sampling-based analyses (Monte Carlo). `0` means
-    /// one worker per available CPU. Results are **bit-identical for every
-    /// thread count** — chunked sampling derives each chunk's RNG stream
-    /// from `(seed, chunk_index)` and merges chunk summaries in chunk
-    /// order — so this is purely a speed knob.
+    /// Worker threads for every engine that fans out: the analytic
+    /// engines' level-ordered propagation (each level's node/lane
+    /// kernels computed in parallel, results joined serially in node
+    /// order) and Monte-Carlo sampling (chunked, each chunk's RNG
+    /// stream derived from `(seed, chunk_index)`). `0` means one
+    /// worker per available CPU. Results are **bit-identical for
+    /// every thread count** in both cases, so this is purely a speed
+    /// knob — which is also why it is excluded from
+    /// [`config_fingerprint`](crate::config_fingerprint): two runs
+    /// differing only in `threads` produce the same reports and may
+    /// share cache entries. Narrow levels run inline regardless of
+    /// the setting (see `PARALLEL_LEVEL_MIN` in the arena), so small
+    /// circuits never pay spawn overhead.
     pub threads: usize,
 }
 
@@ -101,7 +109,9 @@ impl SstaConfig {
         self
     }
 
-    /// Sets the sampling worker-thread count (`0` = all available CPUs).
+    /// Sets the propagation/sampling worker-thread count (`0` = all
+    /// available CPUs). Purely a speed knob: reports are bit-identical
+    /// at every width.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;

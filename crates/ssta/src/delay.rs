@@ -45,6 +45,19 @@ pub struct CircuitTiming {
     delay_moments: Vec<Moments>,
 }
 
+/// One node's freshly computed electrical values, produced by the pure
+/// [`CircuitTiming::compute_node`] and written back (with change
+/// detection) by [`CircuitTiming::apply_node`]. Splitting compute from
+/// write is what lets a whole topological level fan out in parallel:
+/// the compute half borrows the snapshot immutably.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NodeElectrical {
+    pub load: f64,
+    pub slew: f64,
+    pub nominal_delay: f64,
+    pub delay_moments: Moments,
+}
+
 impl CircuitTiming {
     /// Computes loads, slews, and delays for the netlist's current sizes.
     #[must_use]
@@ -88,12 +101,35 @@ impl CircuitTiming {
         config: &SstaConfig,
         id: GateId,
     ) -> (bool, bool) {
-        self.loads[id.index()] = Self::load_of(netlist, library, config, id);
+        let fresh = self.compute_node(netlist, library, config, id);
+        self.apply_node(netlist, id, fresh)
+    }
+
+    /// The pure compute half of [`CircuitTiming::refresh_node`]: derives
+    /// one node's fresh electrical values from the netlist's current
+    /// sizes and this snapshot's fanin slews **without mutating
+    /// anything**. Because a node's inputs live at strictly lower
+    /// topological levels, every node of one level can be computed
+    /// concurrently against the same `&self` — the level-parallel arena
+    /// fan-out in [`crate::state`] relies on exactly this.
+    pub(crate) fn compute_node(
+        &self,
+        netlist: &Netlist,
+        library: &Library,
+        config: &SstaConfig,
+        id: GateId,
+    ) -> NodeElectrical {
+        let load = Self::load_of(netlist, library, config, id);
         let g = netlist.gate(id);
         if g.is_input() {
             // Input slews are configuration constants and input delays are
             // identically zero; only the (unused) load can change.
-            return (false, false);
+            return NodeElectrical {
+                load,
+                slew: self.slews[id.index()],
+                nominal_delay: 0.0,
+                delay_moments: Moments::zero(),
+            };
         }
         let cell = netlist.cell(id, library);
         let in_slew = g
@@ -101,17 +137,38 @@ impl CircuitTiming {
             .iter()
             .map(|f| self.slews[f.index()])
             .fold(0.0f64, f64::max);
-        let load = self.loads[id.index()];
         let d = cell.delay(in_slew, load).max(0.0);
         let slew = cell.output_slew(in_slew, load).max(0.0);
         let moments = config.variation.delay_moments(d, cell.drive());
+        NodeElectrical {
+            load,
+            slew,
+            nominal_delay: d,
+            delay_moments: moments,
+        }
+    }
 
-        let slew_changed = slew.to_bits() != self.slews[id.index()].to_bits();
-        let delay_changed = moments != self.delay_moments[id.index()]
-            || d.to_bits() != self.nominal_delays[id.index()].to_bits();
-        self.slews[id.index()] = slew;
-        self.nominal_delays[id.index()] = d;
-        self.delay_moments[id.index()] = moments;
+    /// The write half of [`CircuitTiming::refresh_node`]: stores one
+    /// node's freshly computed values and reports
+    /// `(slew_changed, delay_changed)` via exact bit comparisons against
+    /// the previous snapshot. Inputs store their load only and never
+    /// report a change (their slew and zero delay are constants).
+    pub(crate) fn apply_node(
+        &mut self,
+        netlist: &Netlist,
+        id: GateId,
+        fresh: NodeElectrical,
+    ) -> (bool, bool) {
+        self.loads[id.index()] = fresh.load;
+        if netlist.gate(id).is_input() {
+            return (false, false);
+        }
+        let slew_changed = fresh.slew.to_bits() != self.slews[id.index()].to_bits();
+        let delay_changed = fresh.delay_moments != self.delay_moments[id.index()]
+            || fresh.nominal_delay.to_bits() != self.nominal_delays[id.index()].to_bits();
+        self.slews[id.index()] = fresh.slew;
+        self.nominal_delays[id.index()] = fresh.nominal_delay;
+        self.delay_moments[id.index()] = fresh.delay_moments;
         (slew_changed, delay_changed)
     }
 

@@ -17,6 +17,12 @@
 //! the die-to-die spread — classical multi-corner STA, derived from the
 //! same model the statistical engines condition on. [`Dsta::detailed`]
 //! stays strictly nominal.
+//!
+//! Propagation runs through the level-ordered arena
+//! (`state.rs`): wide levels fan their (node × lane) kernels
+//! out over [`SstaConfig::threads`](crate::SstaConfig) workers and
+//! join serially in node order, so reports are **bit-identical at
+//! every thread width**.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;

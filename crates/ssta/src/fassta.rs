@@ -22,6 +22,12 @@
 //! **unconditional** boundary moments — a deliberate approximation: the
 //! optimizer's candidate *ranking* runs on the cheap marginal view while
 //! every accept/reject decision is validated on the conditioned session.
+//!
+//! Whole-circuit analysis runs through the level-ordered arena
+//! (`state.rs`): wide levels fan their (node × lane) moment
+//! kernels out over [`SstaConfig::threads`](crate::SstaConfig)
+//! workers and join serially in node order, so reports are
+//! **bit-identical at every thread width**.
 
 use crate::config::SstaConfig;
 use crate::delay::CircuitTiming;

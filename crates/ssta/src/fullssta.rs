@@ -29,6 +29,15 @@
 //! the law of total variance — see [`crate::variation`] for the math and
 //! `tests/correlated_variation.rs` for the ≤2% agreement with correlated
 //! Monte Carlo. The default (empty) model skips all of it, bit for bit.
+//!
+//! Propagation runs through the level-ordered arena
+//! (`state.rs`): each level's (node × lane) PDF kernels — the
+//! Gauss–Hermite lanes are independent work items — fan out over
+//! [`SstaConfig::threads`](crate::SstaConfig) workers and join
+//! serially in node order, so reports are **bit-identical at every
+//! thread width**, and the single-lane empty-model path reproduces
+//! the pre-arena implementation bit for bit
+//! (`tests/engine_determinism.rs`).
 
 use crate::config::SstaConfig;
 use crate::engine::{EngineKind, TimingEngine, TimingReport};

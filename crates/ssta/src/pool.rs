@@ -13,6 +13,23 @@
 //! the gathered result vector — and anything folded over it in index
 //! order — is bit-identical for 1 thread and N threads.
 //!
+//! # Spawn cost and amortization
+//!
+//! Workers are *scoped threads spawned per `map` call*, not a resident
+//! pool — that is what lets borrowed data flow into jobs with no `Arc`
+//! or channel plumbing, but it prices every call at a few tens of
+//! microseconds of spawn/join overhead. Callers with many small
+//! batches must amortize: either batch the work (the Monte-Carlo
+//! engine maps over a handful of large sample chunks, not one task per
+//! sample) or gate the call on a task-count threshold and run small
+//! batches inline on the calling thread. The level-ordered propagation
+//! arena does the latter — a per-level fan-out only pays for spawns
+//! when the level holds at least `PARALLEL_LEVEL_MIN` work items
+//! (see `state.rs`), so narrow circuits like c17 never spawn at all,
+//! at any configured width. The `analytic_parallel` group in
+//! `crates/bench/benches/ssta_engines.rs` tracks both sides of that
+//! trade.
+//!
 //! # Example
 //!
 //! ```

@@ -198,6 +198,21 @@ impl TimingSession {
         self.state.visits
     }
 
+    /// Number of topological levels the propagation frontier walks — the
+    /// depth of the level-ordered arena (inputs count as level 0).
+    #[must_use]
+    pub fn propagation_levels(&self) -> usize {
+        self.state.schedule.level_count()
+    }
+
+    /// Widest topological level: the per-level parallelism ceiling of
+    /// one propagation (levels below the spawn-amortization threshold
+    /// run inline regardless of [`crate::SstaConfig::threads`]).
+    #[must_use]
+    pub fn max_level_width(&self) -> usize {
+        self.state.schedule.max_width()
+    }
+
     /// Sets the size of a cell gate. Resizing back to the last analyzed
     /// size cancels the pending work.
     ///

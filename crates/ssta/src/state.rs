@@ -1,39 +1,75 @@
-//! Shared propagation state behind the engines and the incremental
-//! session.
+//! The level-ordered propagation arena behind the analytic engines and
+//! the incremental session.
 //!
-//! [`TimingState`] holds, per node, the electrical snapshot
-//! ([`CircuitTiming`]) and the arrival state of one propagation flavor
-//! ([`EngineKind::Dsta`] nominal, [`EngineKind::Fassta`] moments,
-//! [`EngineKind::FullSsta`] discrete PDFs with optional per-level
-//! correlation buckets). A from-scratch analysis is simply
-//! [`TimingState::update`] seeded with every node; incremental
-//! re-analysis seeds only the resized gates (plus their fanins, whose
-//! loads changed) and lets the worklist chase slew and arrival changes
-//! through the transitive fanout cone. Because both paths run the same
-//! per-node kernels, an incremental refresh reproduces a from-scratch run
-//! bit for bit.
+//! [`TimingState`] holds the electrical snapshot ([`CircuitTiming`]) and
+//! the arrival state of one propagation flavor ([`EngineKind::Dsta`]
+//! nominal, [`EngineKind::Fassta`] moments, [`EngineKind::FullSsta`]
+//! discrete PDFs with optional per-level correlation buckets). Arrival
+//! state lives in a struct-of-arrays [`LaneArena`]: nodes are permuted
+//! once at levelization into **level-contiguous slots**
+//! ([`LevelSchedule`]) and each conditioning lane's moments/PDFs/bucket
+//! vectors are flat arrays indexed by `lane * nodes + slot`, so a level's
+//! kernels read their fanins from the adjacent lower-level span instead
+//! of chasing node indices across the whole array.
+//!
+//! # Level-frontier propagation
+//!
+//! [`TimingState::update`] is a per-level frontier, not a node-at-a-time
+//! worklist: seed indices are scattered into per-level buckets, and each
+//! level is processed in two phases —
+//!
+//! 1. **compute**, which evaluates the electrical values
+//!    ([`CircuitTiming::compute_node`]) and then the per-lane arrival
+//!    kernels ([`lane_nominal`]/[`lane_moments`]/[`lane_pdf`]) of every
+//!    frontier node as *pure functions* of already-finalized lower-level
+//!    state. Node kernels fan out over a [`ScopedPool`] when the level is
+//!    wide enough ([`PARALLEL_LEVEL_MIN`]); Gauss–Hermite conditioning
+//!    lanes are independent parallel work items, so a level with `w`
+//!    frontier nodes and `q` lanes exposes `w·q`-way parallelism;
+//! 2. **join**, which writes results back serially in ascending node
+//!    order, re-runs the exact legacy change comparisons (bit compares on
+//!    slew/delay, `PartialEq` on moments/PDFs/buckets), and pushes the
+//!    fanouts of changed nodes into their (strictly higher) level
+//!    buckets.
+//!
+//! # Why determinism survives parallelism
+//!
+//! The legacy worklist popped the smallest node index; node indices are
+//! topological, so it processed nodes in one particular topological
+//! order, each at most once. `(level, index)` order is *also* topological
+//! — a fanout's level always exceeds its fanin's — and every kernel is a
+//! pure function of its own electrical state plus fanin state finalized
+//! at lower levels (same-level nodes can never feed each other). Two
+//! topological schedules over the same pure per-node functions compute
+//! identical values, make identical change decisions, and therefore
+//! visit identical node sets: the arena reproduces the legacy
+//! propagation **bit for bit at every thread width**, which the
+//! engine-determinism suite and the pinned pre-refactor fixtures assert.
+//! Threads ([`SstaConfig::threads`]) are purely a speed knob — the join
+//! phase orders all writes by node index, and [`ScopedPool::map`]
+//! returns results in task order regardless of which worker ran what.
 //!
 //! # Conditioning lanes (correlated variation)
 //!
 //! When the config's [`crate::variation::VariationModel`] declares global
-//! (die-to-die) sources, the state carries one **conditioning lane** per
+//! (die-to-die) sources, the arena carries one **conditioning lane** per
 //! Gauss–Hermite node: lane `q` propagates the engine's ordinary arrival
 //! state with every gate delay conditioned on the combined global shift
-//! (`mean + σ·shift_q`, residual variance) — see
-//! [`crate::variation`] for the math. The public `arrivals`/`pdfs`
-//! arrays always hold the **unconditional** view, recombined per node by
-//! the law of total expectation/variance, so every consumer (sessions,
-//! slack, criticality, WNSS ranking) is correlation-aware without code
-//! changes. The per-node kernels are shared: the laneless (independent)
-//! path is the single lane `shift = 0, residual = 1`, whose arithmetic
-//! (`x + σ·0.0`, `var·1.0`) is IEEE-bit-identical to the legacy code —
-//! the bit-identity regression the determinism suites pin. Incremental
-//! updates visit each worklist node once and refresh all lanes for it,
-//! so a resize still only recomputes the affected fanout cone.
+//! (`mean + σ·shift_q`, residual variance) — see [`crate::variation`]
+//! for the math. The node-indexed `arrivals` mirror always holds the
+//! **unconditional** view, recombined per node by the law of total
+//! expectation/variance, so every consumer (sessions, slack,
+//! criticality, WNSS ranking) is correlation-aware without code changes.
+//! The laneless (independent) path is the single lane
+//! `shift = 0, residual = 1`, whose arithmetic (`x + σ·0.0`, `var·1.0`)
+//! is IEEE-bit-identical to the pre-arena code. An incremental update
+//! visits each frontier node once and refreshes all lanes for it, so a
+//! resize still only recomputes the affected fanout cone.
 
 use crate::config::{CorrelationMode, SstaConfig};
 use crate::delay::CircuitTiming;
 use crate::engine::{EngineKind, TimingReport};
+use crate::pool::ScopedPool;
 use crate::variation::{condition_moments, mix_conditional_moments};
 use std::collections::BTreeSet;
 use vartol_liberty::Library;
@@ -41,6 +77,21 @@ use vartol_netlist::{GateId, Netlist};
 use vartol_stats::clark::clark_max_correlated;
 use vartol_stats::fast_max::fast_max_moments;
 use vartol_stats::{DiscretePdf, Moments};
+
+/// Minimum per-level work items (frontier nodes × lanes) before the
+/// compute phase fans out over the pool; narrower levels run inline on
+/// the calling thread.
+///
+/// This is the spawn-amortization strategy: [`ScopedPool`] spawns scoped
+/// workers per call (tens of microseconds per thread), which per-level
+/// fan-out would otherwise pay at *every* level. A level below this
+/// width costs less to compute inline than to spawn for, so small
+/// circuits like c17 (max level width ≤ 5) never spawn at any configured
+/// width and are immune to per-level join overhead, while wide levels —
+/// where kernel work actually dominates — amortize one spawn over at
+/// least this many kernels. `benches/ssta_engines.rs` records the
+/// crossover (`analytic_parallel` group).
+pub(crate) const PARALLEL_LEVEL_MIN: usize = 16;
 
 /// Circuit-level summary of a propagation state.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,20 +101,237 @@ pub(crate) struct CircuitSummary {
     pub worst_output: GateId,
 }
 
-/// One Gauss–Hermite conditioning lane: the engine's arrival state under
-/// a fixed value of the combined global variation shift.
+/// The level permutation computed once per netlist: nodes sorted by
+/// `(level, index)` into contiguous **slots**, with the slot spans of
+/// each level recorded so the frontier can address "all of level `l`"
+/// as one slice.
 #[derive(Debug, Clone)]
-pub(crate) struct CondLane {
-    /// Mean displacement in per-gate σ units (`ρ·x_q`).
-    shift: f64,
-    /// Quadrature weight.
-    weight: f64,
+pub(crate) struct LevelSchedule {
+    /// Topological level per node index (inputs are level 0).
+    level_of: Vec<usize>,
+    /// Slot → node index, sorted by `(level, index)`.
+    order: Vec<u32>,
+    /// Node index → slot (the inverse permutation).
+    slot_of: Vec<u32>,
+    /// Level → first slot; `starts[level_count()]` is the node count.
+    starts: Vec<usize>,
+}
+
+impl LevelSchedule {
+    fn build(netlist: &Netlist) -> Self {
+        let level_of = netlist.levels();
+        let n = level_of.len();
+        let depth = level_of.iter().max().copied().unwrap_or(0);
+        // Counting sort by level: stable, so slots within one level stay
+        // in ascending node-index order — the join order the determinism
+        // argument leans on.
+        let mut starts = vec![0usize; depth + 2];
+        for &l in &level_of {
+            starts[l + 1] += 1;
+        }
+        for l in 1..starts.len() {
+            starts[l] += starts[l - 1];
+        }
+        let mut next = starts.clone();
+        let mut order = vec![0u32; n];
+        for (i, &l) in level_of.iter().enumerate() {
+            order[next[l]] = u32::try_from(i).expect("node counts fit in u32");
+            next[l] += 1;
+        }
+        let mut slot_of = vec![0u32; n];
+        for (s, &i) in order.iter().enumerate() {
+            slot_of[i as usize] = u32::try_from(s).expect("node counts fit in u32");
+        }
+        Self {
+            level_of,
+            order,
+            slot_of,
+            starts,
+        }
+    }
+
+    /// Number of levels (at least 1 for a non-empty netlist).
+    pub(crate) fn level_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Level of a node.
+    pub(crate) fn level(&self, id: GateId) -> usize {
+        self.level_of[id.index()]
+    }
+
+    /// Slot of a node in the level-contiguous permutation.
+    fn slot(&self, id: GateId) -> usize {
+        self.slot_of[id.index()] as usize
+    }
+
+    /// Widest level (the parallelism ceiling of one propagation).
+    pub(crate) fn max_width(&self) -> usize {
+        (0..self.level_count())
+            .map(|l| self.starts[l + 1] - self.starts[l])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Struct-of-arrays arrival storage: per lane, flat slot-indexed arrays
+/// of moments (all flavors), PDFs (`FullSsta`), and per-level variance
+/// buckets (`FullSsta` + [`CorrelationMode::LevelBuckets`]).
+///
+/// Laneless propagation is lane 0 with `shift = 0, weight = 1` — same
+/// storage, same kernels, bit-identical arithmetic to the pre-arena
+/// unconditioned code.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneArena {
+    nodes: usize,
+    /// Per-lane mean displacement in per-gate σ units (`ρ·x_q`).
+    shifts: Vec<f64>,
+    /// Per-lane quadrature weights.
+    weights: Vec<f64>,
+    /// `lane * nodes + slot` → arrival moments.
     arrivals: Vec<Moments>,
-    /// Arrival PDFs; empty unless the flavor is `FullSsta`.
+    /// `lane * nodes + slot` → arrival PDF; empty unless `FullSsta`.
     pdfs: Vec<DiscretePdf>,
-    /// Per-level variance contributions; empty unless `FullSsta` with
-    /// [`CorrelationMode::LevelBuckets`].
+    /// `lane * nodes + slot` → per-level variance contributions; empty
+    /// unless tracking level buckets.
     contribs: Vec<Vec<f64>>,
+    /// Whether the lanes are real Gauss–Hermite conditioning lanes
+    /// (true) or the single implicit laneless lane (false) — picks the
+    /// reconvergence damping and whether reports must mix lanes.
+    conditioned: bool,
+}
+
+impl LaneArena {
+    fn build(kind: EngineKind, config: &SstaConfig, nodes: usize, buckets: usize) -> Self {
+        let track =
+            kind == EngineKind::FullSsta && config.correlation == CorrelationMode::LevelBuckets;
+        let spec = config.model.conditioning_lanes();
+        let (shifts, weights, conditioned) = if spec.is_empty() {
+            (vec![0.0], vec![1.0], false)
+        } else {
+            let (s, w) = spec.iter().copied().unzip();
+            (s, w, true)
+        };
+        let lanes = shifts.len();
+        Self {
+            nodes,
+            shifts,
+            weights,
+            arrivals: vec![Moments::zero(); lanes * nodes],
+            pdfs: if kind == EngineKind::FullSsta {
+                vec![DiscretePdf::deterministic(0.0); lanes * nodes]
+            } else {
+                Vec::new()
+            },
+            contribs: if track {
+                vec![vec![0.0; buckets]; lanes * nodes]
+            } else {
+                Vec::new()
+            },
+            conditioned,
+        }
+    }
+
+    /// Number of lanes (1 when laneless).
+    fn lanes(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// Whether per-level variance buckets are tracked.
+    fn track(&self) -> bool {
+        !self.contribs.is_empty()
+    }
+
+    /// The reconvergence-overlap damping of this arena's kernels:
+    /// conditioning lanes damp, the laneless lane keeps the historical
+    /// estimator bit for bit.
+    fn damp(&self) -> f64 {
+        if self.conditioned {
+            CONDITIONED_OVERLAP_DAMPING
+        } else {
+            1.0
+        }
+    }
+
+    fn idx(&self, lane: usize, slot: usize) -> usize {
+        lane * self.nodes + slot
+    }
+
+    /// A read view of one lane, for the kernels and circuit reductions.
+    fn lane<'a>(&'a self, lane: usize, schedule: &'a LevelSchedule) -> LaneView<'a> {
+        LaneView {
+            arena: self,
+            lane,
+            schedule,
+        }
+    }
+
+    /// Writes one `(lane, slot)` kernel result and reports whether
+    /// anything observable downstream changed, using the exact legacy
+    /// comparisons (`PartialEq` on moments, PDFs, and bucket vectors).
+    fn store(&mut self, kind: EngineKind, lane: usize, slot: usize, value: LaneValue) -> bool {
+        let i = self.idx(lane, slot);
+        match kind {
+            EngineKind::Dsta | EngineKind::Fassta => {
+                let changed = value.moments != self.arrivals[i];
+                self.arrivals[i] = value.moments;
+                changed
+            }
+            EngineKind::FullSsta => {
+                let pdf = value.pdf.expect("pdf kernels always produce a pdf");
+                let track = self.track();
+                let changed = pdf != self.pdfs[i] || (track && value.contrib != self.contribs[i]);
+                self.arrivals[i] = value.moments;
+                self.pdfs[i] = pdf;
+                if track {
+                    self.contribs[i] = value.contrib;
+                }
+                changed
+            }
+            EngineKind::MonteCarlo => unreachable!("monte carlo has no propagation state"),
+        }
+    }
+}
+
+/// Slot-addressed read access to one lane's arrival state, keyed by node
+/// id — the kernels' and circuit reductions' window into the arena.
+#[derive(Clone, Copy)]
+pub(crate) struct LaneView<'a> {
+    arena: &'a LaneArena,
+    lane: usize,
+    schedule: &'a LevelSchedule,
+}
+
+impl LaneView<'_> {
+    fn arrival(&self, id: GateId) -> Moments {
+        self.arena.arrivals[self.arena.idx(self.lane, self.schedule.slot(id))]
+    }
+
+    fn pdf(&self, id: GateId) -> &DiscretePdf {
+        &self.arena.pdfs[self.arena.idx(self.lane, self.schedule.slot(id))]
+    }
+
+    fn contrib(&self, id: GateId) -> &[f64] {
+        &self.arena.contribs[self.arena.idx(self.lane, self.schedule.slot(id))]
+    }
+
+    fn shift(&self) -> f64 {
+        self.arena.shifts[self.lane]
+    }
+
+    fn weight(&self) -> f64 {
+        self.arena.weights[self.lane]
+    }
+}
+
+/// One `(node, lane)` kernel result, produced by the pure compute phase
+/// and written back by [`LaneArena::store`] in the join phase.
+struct LaneValue {
+    moments: Moments,
+    /// `Some` for `FullSsta` kernels only.
+    pdf: Option<DiscretePdf>,
+    /// Empty unless tracking level buckets.
+    contrib: Vec<f64>,
 }
 
 /// Per-node propagation state for one engine flavor.
@@ -71,21 +339,17 @@ pub(crate) struct CondLane {
 pub(crate) struct TimingState {
     pub kind: EngineKind,
     pub timing: CircuitTiming,
-    /// Unconditional arrival moments (the only storage when no lanes).
+    /// Node-indexed **unconditional** arrival moments — the mirror every
+    /// consumer (sessions, slack, criticality, WNSS) reads. Laneless it
+    /// duplicates lane 0; with lanes it holds the per-node lane mixture.
     pub arrivals: Vec<Moments>,
-    /// Unconditional arrival PDFs; empty unless `kind == FullSsta`.
-    pub pdfs: Vec<DiscretePdf>,
-    /// Per-level variance contributions; empty unless `kind == FullSsta`
-    /// with [`CorrelationMode::LevelBuckets`] **and** no lanes (in lane
-    /// mode each lane tracks its own buckets).
-    pub contribs: Vec<Vec<f64>>,
-    /// Cached levelization (bucket index per node).
-    pub levels: Vec<usize>,
     /// Cumulative number of per-node recomputations across updates (a
     /// lane-mode visit recomputes all lanes but counts once).
     pub visits: u64,
-    /// Conditioning lanes; empty without global variation sources.
-    lanes: Vec<CondLane>,
+    /// The level permutation (shared by every update on this netlist).
+    pub(crate) schedule: LevelSchedule,
+    /// The SoA arrival storage.
+    arena: LaneArena,
     /// Residual variance fraction after conditioning (1 without lanes).
     resid: f64,
 }
@@ -103,45 +367,15 @@ impl TimingState {
             "{kind} has no propagation state"
         );
         let n = netlist.node_count();
-        let levels = netlist.levels();
-        let track =
-            kind == EngineKind::FullSsta && config.correlation == CorrelationMode::LevelBuckets;
-        let buckets = levels.iter().max().copied().unwrap_or(0) + 1;
-        let lane_spec = config.model.conditioning_lanes();
-        let lanes: Vec<CondLane> = lane_spec
-            .iter()
-            .map(|&(shift, weight)| CondLane {
-                shift,
-                weight,
-                arrivals: vec![Moments::zero(); n],
-                pdfs: if kind == EngineKind::FullSsta {
-                    vec![DiscretePdf::deterministic(0.0); n]
-                } else {
-                    Vec::new()
-                },
-                contribs: if track {
-                    vec![vec![0.0; buckets]; n]
-                } else {
-                    Vec::new()
-                },
-            })
-            .collect();
+        let schedule = LevelSchedule::build(netlist);
+        let arena = LaneArena::build(kind, config, n, schedule.level_count());
         let mut state = Self {
             kind,
             timing: CircuitTiming::empty(netlist, config),
             arrivals: vec![Moments::zero(); n],
-            pdfs: if kind == EngineKind::FullSsta {
-                vec![DiscretePdf::deterministic(0.0); n]
-            } else {
-                Vec::new()
-            },
-            contribs: if track && lanes.is_empty() {
-                vec![vec![0.0; buckets]; n]
-            } else {
-                Vec::new()
-            },
-            levels,
             visits: 0,
+            schedule,
+            arena,
             // The per-gate variance multiplier the kernels apply. Empty
             // model: exactly 1.0 (the bit-identical legacy path). With a
             // model but no global source (nothing to condition on), the
@@ -154,39 +388,136 @@ impl TimingState {
             } else {
                 config.model.conditioned_residual_fraction()
             },
-            lanes,
         };
         state.update(netlist, library, config, (0..n).collect());
         state
     }
 
-    /// Processes a worklist of node indices in topological order,
-    /// recomputing electrical and arrival state and chasing changes into
-    /// the fanout cone. Returns the number of nodes visited.
+    /// Propagates a seed set level by level, recomputing electrical and
+    /// arrival state and chasing changes into the fanout cone. Returns
+    /// the number of nodes visited.
+    ///
+    /// Each level runs compute (parallel when wide, inline when narrow)
+    /// then a serial node-ordered join; see the module docs for why the
+    /// result is bit-identical to the legacy smallest-index worklist at
+    /// every [`SstaConfig::threads`] width.
     pub fn update(
         &mut self,
         netlist: &Netlist,
         library: &Library,
         config: &SstaConfig,
-        mut queue: BTreeSet<usize>,
+        queue: BTreeSet<usize>,
     ) -> u64 {
+        let pool = ScopedPool::new(config.threads);
+        let levels = self.schedule.level_count();
+        let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); levels];
+        for i in queue {
+            frontier[self.schedule.level_of[i]].push(u32::try_from(i).expect("node index"));
+        }
         let mut visited = 0u64;
-        while let Some(i) = queue.pop_first() {
-            visited += 1;
-            let id = GateId::from_index(i);
-            let g = netlist.gate(id);
-            if g.is_input() {
-                // Loads of primary inputs are bookkeeping only: they drive
-                // no delay, and input slew/arrival are constants.
-                self.timing.refresh_node(netlist, library, config, id);
+        for level in 0..levels {
+            let mut nodes = std::mem::take(&mut frontier[level]);
+            if nodes.is_empty() {
                 continue;
             }
-            let (slew_changed, delay_changed) =
-                self.timing.refresh_node(netlist, library, config, id);
-            let arrival_changed = self.recompute_arrival(netlist, config, id);
-            if slew_changed || delay_changed || arrival_changed {
-                for &f in g.fanouts() {
-                    queue.insert(f.index());
+            // Seeds arrive sorted (BTreeSet order) but fanout pushes from
+            // lower levels appended after them in discovery order.
+            nodes.sort_unstable();
+            nodes.dedup();
+            visited += nodes.len() as u64;
+
+            // Phase 1a: electrical compute — pure against the snapshot,
+            // since fanin slews live at lower levels (already applied)
+            // and loads read only the netlist's sizes.
+            let timing = &self.timing;
+            let electrical = run_level(&pool, nodes.len(), |k| {
+                timing.compute_node(
+                    netlist,
+                    library,
+                    config,
+                    GateId::from_index(nodes[k] as usize),
+                )
+            });
+            // Join 1a: bit-compare writes, ascending node order.
+            let mut elec_changed = Vec::with_capacity(nodes.len());
+            for (k, fresh) in electrical.into_iter().enumerate() {
+                let id = GateId::from_index(nodes[k] as usize);
+                let (slew_changed, delay_changed) = self.timing.apply_node(netlist, id, fresh);
+                elec_changed.push(slew_changed || delay_changed);
+            }
+
+            // Primary inputs carry no arrival state and never chase
+            // fanouts (their load is bookkeeping only) — same as the
+            // legacy worklist's early `continue`.
+            let gates: Vec<(u32, bool)> = nodes
+                .iter()
+                .zip(&elec_changed)
+                .filter(|&(&i, _)| !netlist.gate(GateId::from_index(i as usize)).is_input())
+                .map(|(&i, &c)| (i, c))
+                .collect();
+            if gates.is_empty() {
+                continue;
+            }
+
+            // Phase 1b: arrival kernels over (node × lane) work items —
+            // conditioning lanes are independent parallel work, so a
+            // w-node level with q lanes exposes w·q-way parallelism.
+            let lanes = self.arena.lanes();
+            let m = gates.len();
+            let arena = &self.arena;
+            let schedule = &self.schedule;
+            let timing = &self.timing;
+            let resid = self.resid;
+            let kind = self.kind;
+            let values = run_level(&pool, m * lanes, |t| {
+                let (lane, k) = (t / m, t % m);
+                let id = GateId::from_index(gates[k].0 as usize);
+                let view = arena.lane(lane, schedule);
+                match kind {
+                    EngineKind::Dsta => lane_nominal(netlist, timing, id, &view),
+                    EngineKind::Fassta => lane_moments(netlist, timing, id, resid, &view),
+                    EngineKind::FullSsta => {
+                        lane_pdf(netlist, config, timing, schedule, id, resid, &view)
+                    }
+                    EngineKind::MonteCarlo => {
+                        unreachable!("monte carlo has no propagation state")
+                    }
+                }
+            });
+
+            // Join 1b: store every (lane, node) result with the legacy
+            // change comparisons, then refresh the unconditional mirror
+            // and chase the fanouts of changed nodes.
+            let mut item_changed = vec![false; m * lanes];
+            for (t, value) in values.into_iter().enumerate() {
+                let (lane, k) = (t / m, t % m);
+                let slot = self.schedule.slot(GateId::from_index(gates[k].0 as usize));
+                item_changed[t] = self.arena.store(kind, lane, slot, value);
+            }
+            for (k, &(i, electrical)) in gates.iter().enumerate() {
+                let id = GateId::from_index(i as usize);
+                let slot = self.schedule.slot(id);
+                let mut changed = electrical;
+                for lane in 0..lanes {
+                    changed |= item_changed[lane * m + k];
+                }
+                if self.arena.conditioned {
+                    let mixed = mix_conditional_moments((0..lanes).map(|lane| {
+                        (
+                            self.arena.weights[lane],
+                            self.arena.arrivals[self.arena.idx(lane, slot)],
+                        )
+                    }));
+                    changed |= mixed != self.arrivals[i as usize];
+                    self.arrivals[i as usize] = mixed;
+                } else {
+                    self.arrivals[i as usize] = self.arena.arrivals[slot];
+                }
+                if changed {
+                    for &f in netlist.gate(id).fanouts() {
+                        frontier[self.schedule.level_of[f.index()]]
+                            .push(u32::try_from(f.index()).expect("node index"));
+                    }
                 }
             }
         }
@@ -194,106 +525,26 @@ impl TimingState {
         visited
     }
 
-    /// Recomputes the arrival state of one gate from its fanins — in
-    /// every conditioning lane plus the unconditional view — and returns
-    /// whether anything observable downstream changed.
-    fn recompute_arrival(&mut self, netlist: &Netlist, config: &SstaConfig, id: GateId) -> bool {
-        let kind = self.kind;
-        let resid = self.resid;
-        if self.lanes.is_empty() {
-            // One implicit lane at shift 0: `resid` is exactly 1.0 for
-            // the empty model (arithmetically bit-identical to the
-            // legacy unconditioned kernels) and the model's marginal
-            // variance scale otherwise (spatial-only / local-scaled
-            // models with nothing to condition on).
-            return match kind {
-                EngineKind::Dsta => {
-                    lane_nominal(netlist, &self.timing, id, 0.0, &mut self.arrivals)
-                }
-                EngineKind::Fassta => {
-                    lane_moments(netlist, &self.timing, id, 0.0, resid, &mut self.arrivals)
-                }
-                EngineKind::FullSsta => lane_pdf(
-                    netlist,
-                    config,
-                    &self.timing,
-                    &self.levels,
-                    id,
-                    0.0,
-                    resid,
-                    1.0,
-                    &mut self.arrivals,
-                    &mut self.pdfs,
-                    &mut self.contribs,
-                ),
-                EngineKind::MonteCarlo => unreachable!("monte carlo has no propagation state"),
-            };
-        }
-        let mut changed = false;
-        for lane in &mut self.lanes {
-            changed |= match kind {
-                EngineKind::Dsta => {
-                    lane_nominal(netlist, &self.timing, id, lane.shift, &mut lane.arrivals)
-                }
-                EngineKind::Fassta => lane_moments(
-                    netlist,
-                    &self.timing,
-                    id,
-                    lane.shift,
-                    resid,
-                    &mut lane.arrivals,
-                ),
-                EngineKind::FullSsta => lane_pdf(
-                    netlist,
-                    config,
-                    &self.timing,
-                    &self.levels,
-                    id,
-                    lane.shift,
-                    resid,
-                    CONDITIONED_OVERLAP_DAMPING,
-                    &mut lane.arrivals,
-                    &mut lane.pdfs,
-                    &mut lane.contribs,
-                ),
-                EngineKind::MonteCarlo => unreachable!("monte carlo has no propagation state"),
-            };
-        }
-        // Refresh the unconditional view of this node from the lanes.
-        let mixed = mix_conditional_moments(
-            self.lanes
-                .iter()
-                .map(|l| (l.weight, l.arrivals[id.index()])),
-        );
-        changed |= mixed != self.arrivals[id.index()];
-        self.arrivals[id.index()] = mixed;
-        if kind == EngineKind::FullSsta {
-            self.pdfs[id.index()] = mix_lane_pdfs(
-                self.lanes.iter().map(|l| (l.weight, &l.pdfs[id.index()])),
-                config.pdf_samples,
-            );
-        }
-        changed
-    }
-
     /// Reduces the primary outputs into the circuit-level RV and picks
     /// the statistically-worst output.
     pub fn circuit(&self, netlist: &Netlist, config: &SstaConfig) -> CircuitSummary {
-        if self.lanes.is_empty() {
+        if !self.arena.conditioned {
             return self.circuit_unconditioned(netlist, config);
         }
+        let lanes = self.arena.lanes();
+        let views = (0..lanes).map(|l| self.arena.lane(l, &self.schedule));
         match self.kind {
             EngineKind::Dsta => {
                 // Per lane: the deterministic longest path under that
                 // lane's global shift; mixing the lanes spreads the
                 // corners into circuit-level moments.
-                let moments = mix_conditional_moments(self.lanes.iter().map(|l| {
+                let moments = mix_conditional_moments(views.map(|v| {
                     let max = netlist
                         .outputs()
                         .iter()
-                        .map(|o| l.arrivals[o.index()].mean)
+                        .map(|&o| v.arrival(o).mean)
                         .fold(f64::NEG_INFINITY, f64::max);
-                    (l.weight, Moments::new(max, 0.0))
+                    (v.weight(), Moments::new(max, 0.0))
                 }));
                 let (&worst_output, _) = netlist
                     .outputs()
@@ -308,14 +559,14 @@ impl TimingState {
                 }
             }
             EngineKind::Fassta => {
-                let moments = mix_conditional_moments(self.lanes.iter().map(|l| {
+                let moments = mix_conditional_moments(views.map(|v| {
                     let m = netlist
                         .outputs()
                         .iter()
-                        .map(|o| l.arrivals[o.index()])
+                        .map(|&o| v.arrival(o))
                         .reduce(fast_max_moments)
                         .expect("netlists have at least one output");
-                    (l.weight, m)
+                    (v.weight(), m)
                 }));
                 CircuitSummary {
                     moments,
@@ -325,22 +576,20 @@ impl TimingState {
             }
             EngineKind::FullSsta => {
                 let n = config.pdf_samples;
-                let lane_pdfs: Vec<(f64, DiscretePdf)> = self
-                    .lanes
-                    .iter()
-                    .map(|l| {
-                        let track = !l.contribs.is_empty();
+                let track = self.arena.track();
+                let damp = self.arena.damp();
+                let lane_pdfs: Vec<(f64, DiscretePdf)> = views
+                    .map(|v| {
                         let pdf = reduce_correlated_outputs(
-                            &l.pdfs,
-                            &l.contribs,
+                            &v,
                             netlist.outputs().iter().copied(),
                             n,
                             track,
-                            CONDITIONED_OVERLAP_DAMPING,
+                            damp,
                         )
                         .expect("netlists have at least one output")
                         .0;
-                        (l.weight, pdf)
+                        (v.weight(), pdf)
                     })
                     .collect();
                 let moments =
@@ -356,7 +605,7 @@ impl TimingState {
         }
     }
 
-    /// The legacy (laneless) circuit reduction.
+    /// The legacy (laneless) circuit reduction over lane 0.
     fn circuit_unconditioned(&self, netlist: &Netlist, config: &SstaConfig) -> CircuitSummary {
         match self.kind {
             EngineKind::Dsta => {
@@ -387,10 +636,10 @@ impl TimingState {
             }
             EngineKind::FullSsta => {
                 let n = config.pdf_samples;
-                let track = !self.contribs.is_empty();
+                let view = self.arena.lane(0, &self.schedule);
+                let track = self.arena.track();
                 let pdf = reduce_correlated_outputs(
-                    &self.pdfs,
-                    &self.contribs,
+                    &view,
                     netlist.outputs().iter().copied(),
                     n,
                     track,
@@ -416,17 +665,48 @@ impl TimingState {
             .worst_output(netlist, &self.arrivals)
     }
 
+    /// Node-indexed **unconditional** arrival PDFs, materialized from the
+    /// arena at report time: laneless, lane 0 permuted back to node
+    /// order; with lanes, the weighted per-node lane mixture. Mixing at
+    /// report time instead of per visit is observationally identical —
+    /// the mixture depends only on the final lane PDFs, and the legacy
+    /// per-visit mixture never fed the change detection.
+    fn report_pdfs(&self, config: &SstaConfig) -> Vec<DiscretePdf> {
+        let n = self.arena.nodes;
+        let mut out = vec![DiscretePdf::deterministic(0.0); n];
+        if !self.arena.conditioned {
+            for (&node, pdf) in self.schedule.order.iter().zip(&self.arena.pdfs) {
+                out[node as usize] = pdf.clone();
+            }
+            return out;
+        }
+        let lanes = self.arena.lanes();
+        for (slot, &node) in self.schedule.order.iter().enumerate() {
+            out[node as usize] = mix_lane_pdfs(
+                (0..lanes).map(|lane| {
+                    (
+                        self.arena.weights[lane],
+                        &self.arena.pdfs[self.arena.idx(lane, slot)],
+                    )
+                }),
+                config.pdf_samples,
+            );
+        }
+        out
+    }
+
     /// Packages the state as a [`TimingReport`], consuming it.
     pub fn into_report(self, netlist: &Netlist, config: &SstaConfig) -> TimingReport {
         let summary = self.circuit(netlist, config);
+        let pdfs = if self.kind == EngineKind::FullSsta {
+            Some(self.report_pdfs(config))
+        } else {
+            None
+        };
         TimingReport {
             kind: self.kind,
             arrivals: self.arrivals,
-            pdfs: if self.kind == EngineKind::FullSsta {
-                Some(self.pdfs)
-            } else {
-                None
-            },
+            pdfs,
             circuit: summary.moments,
             circuit_pdf: summary.pdf,
             worst_output: summary.worst_output,
@@ -441,26 +721,41 @@ impl TimingState {
     }
 }
 
+/// Runs `job` over `0..tasks`, fanning out over the pool only when the
+/// level is wide enough to amortize the spawn cost
+/// ([`PARALLEL_LEVEL_MIN`]); narrow levels run inline.
+fn run_level<T, F>(pool: &ScopedPool, tasks: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if tasks >= PARALLEL_LEVEL_MIN && pool.threads() > 1 {
+        pool.map(tasks, job)
+    } else {
+        (0..tasks).map(job).collect()
+    }
+}
+
 /// The DSTA per-node kernel in one lane: nominal longest path with the
 /// lane's shared mean shift.
 fn lane_nominal(
     netlist: &Netlist,
     timing: &CircuitTiming,
     id: GateId,
-    shift: f64,
-    arrivals: &mut [Moments],
-) -> bool {
+    view: &LaneView<'_>,
+) -> LaneValue {
     let g = netlist.gate(id);
     let worst_in = g
         .fanins()
         .iter()
-        .map(|f| arrivals[f.index()].mean)
+        .map(|&f| view.arrival(f).mean)
         .fold(0.0f64, f64::max);
-    let delay = timing.nominal_delay(id) + timing.delay_moments(id).var.sqrt() * shift;
-    let arrival = Moments::new(worst_in + delay, 0.0);
-    let changed = arrival != arrivals[id.index()];
-    arrivals[id.index()] = arrival;
-    changed
+    let delay = timing.nominal_delay(id) + timing.delay_moments(id).var.sqrt() * view.shift();
+    LaneValue {
+        moments: Moments::new(worst_in + delay, 0.0),
+        pdf: None,
+        contrib: Vec::new(),
+    }
 }
 
 /// The FASSTA per-node kernel in one lane: moment propagation with
@@ -469,81 +764,69 @@ fn lane_moments(
     netlist: &Netlist,
     timing: &CircuitTiming,
     id: GateId,
-    shift: f64,
     resid: f64,
-    arrivals: &mut [Moments],
-) -> bool {
+    view: &LaneView<'_>,
+) -> LaneValue {
     let g = netlist.gate(id);
-    let mut arrival = Moments::zero();
-    let mut first = true;
-    for &f in g.fanins() {
-        let fa = arrivals[f.index()];
-        arrival = if first {
-            fa
-        } else {
-            fast_max_moments(arrival, fa)
-        };
-        first = false;
+    let arrival = g
+        .fanins()
+        .iter()
+        .map(|&f| view.arrival(f))
+        .reduce(fast_max_moments)
+        .unwrap_or_else(Moments::zero);
+    let moments = arrival + condition_moments(timing.delay_moments(id), view.shift(), resid);
+    LaneValue {
+        moments,
+        pdf: None,
+        contrib: Vec::new(),
     }
-    let arrival = arrival + condition_moments(timing.delay_moments(id), shift, resid);
-    let changed = arrival != arrivals[id.index()];
-    arrivals[id.index()] = arrival;
-    changed
 }
 
 /// The FULLSSTA per-node kernel in one lane: discrete-PDF propagation
 /// (with optional level-bucket correlation tracking) under conditioned
 /// delays.
-#[allow(clippy::too_many_arguments)]
 fn lane_pdf(
     netlist: &Netlist,
     config: &SstaConfig,
     timing: &CircuitTiming,
-    levels: &[usize],
+    schedule: &LevelSchedule,
     id: GateId,
-    shift: f64,
     resid: f64,
-    damp: f64,
-    arrivals: &mut [Moments],
-    pdfs: &mut [DiscretePdf],
-    contribs: &mut [Vec<f64>],
-) -> bool {
+    view: &LaneView<'_>,
+) -> LaneValue {
     let g = netlist.gate(id);
     let n = config.pdf_samples;
-    let track = !contribs.is_empty();
-    let acc = reduce_correlated_outputs(pdfs, contribs, g.fanins().iter().copied(), n, track, damp);
+    let track = view.arena.track();
+    let damp = view.arena.damp();
+    let acc = reduce_correlated_outputs(view, g.fanins().iter().copied(), n, track, damp);
     let (arrival, mut v) = acc.unwrap_or_else(|| {
         (
             DiscretePdf::deterministic(0.0),
             if track {
-                vec![0.0; levels.iter().max().copied().unwrap_or(0) + 1]
+                vec![0.0; schedule.level_count()]
             } else {
                 Vec::new()
             },
         )
     });
-    let delay_m = condition_moments(timing.delay_moments(id), shift, resid);
+    let delay_m = condition_moments(timing.delay_moments(id), view.shift(), resid);
     let delay = DiscretePdf::from_moments(delay_m, n);
     let pdf = arrival.add_rebinned(&delay, n);
     if track {
-        v[levels[id.index()]] += delay_m.var;
+        v[schedule.level(id)] += delay_m.var;
     }
-
-    let changed = pdf != pdfs[id.index()] || (track && v != contribs[id.index()]);
-    arrivals[id.index()] = pdf.moments();
-    pdfs[id.index()] = pdf;
-    if track {
-        contribs[id.index()] = v;
+    LaneValue {
+        moments: pdf.moments(),
+        pdf: Some(pdf),
+        contrib: v,
     }
-    changed
 }
 
 /// Folds the arrival PDFs (and contribution vectors) of `ids` with
 /// [`correlated_max`] — the one reduction both node propagation and the
-/// circuit-level output RV use, parametrized over the lane's storage.
+/// circuit-level output RV use, reading one lane of the arena.
 fn reduce_correlated_outputs(
-    pdfs: &[DiscretePdf],
-    contribs: &[Vec<f64>],
+    view: &LaneView<'_>,
     ids: impl Iterator<Item = GateId>,
     n: usize,
     track: bool,
@@ -551,9 +834,9 @@ fn reduce_correlated_outputs(
 ) -> Option<(DiscretePdf, Vec<f64>)> {
     let mut acc: Option<(DiscretePdf, Vec<f64>)> = None;
     for id in ids {
-        let p = &pdfs[id.index()];
+        let p = view.pdf(id);
         let v = if track {
-            contribs[id.index()].clone()
+            view.contrib(id).to_vec()
         } else {
             Vec::new()
         };
@@ -633,4 +916,118 @@ fn overlap_correlation(av: &[f64], bv: &[f64], var_a: f64, var_b: f64, damp: f64
     }
     let shared: f64 = av.iter().zip(bv).map(|(x, y)| x.min(*y)).sum();
     (damp * shared / (var_a * var_b).sqrt()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vartol_netlist::generators::{random_dag, ripple_carry_adder, RandomDagConfig};
+
+    #[test]
+    fn schedule_orders_slots_by_level_then_index() {
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(8, &lib);
+        let s = LevelSchedule::build(&n);
+        assert_eq!(s.order.len(), n.node_count());
+        for slot in 1..s.order.len() {
+            let (a, b) = (s.order[slot - 1] as usize, s.order[slot] as usize);
+            assert!(
+                (s.level_of[a], a) < (s.level_of[b], b),
+                "slots sorted by (level, index)"
+            );
+        }
+        for (i, &slot) in s.slot_of.iter().enumerate() {
+            assert_eq!(s.order[slot as usize] as usize, i, "inverse permutation");
+        }
+        for l in 0..s.level_count() {
+            for slot in s.starts[l]..s.starts[l + 1] {
+                assert_eq!(s.level_of[s.order[slot] as usize], l);
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_always_live_at_strictly_higher_levels() {
+        // The frontier invariant: processing level l only ever pushes
+        // into buckets > l, so each node is visited at most once.
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(
+            RandomDagConfig {
+                inputs: 12,
+                gates: 150,
+                window: 32,
+            },
+            0xDA61,
+            &lib,
+        );
+        let s = LevelSchedule::build(&n);
+        for id in n.node_ids() {
+            for &f in n.gate(id).fanouts() {
+                assert!(s.level(f) > s.level(id), "{id:?} -> {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_circuits_never_cross_the_parallel_threshold() {
+        // The spawn-amortization contract for tiny circuits: c17-sized
+        // netlists stay below PARALLEL_LEVEL_MIN at every level, so
+        // per-level fan-out never spawns a thread for them no matter how
+        // wide the configured pool is.
+        let lib = Library::synthetic_90nm();
+        let n = ripple_carry_adder(2, &lib);
+        let s = LevelSchedule::build(&n);
+        assert!(
+            s.max_width() < PARALLEL_LEVEL_MIN,
+            "max level width {} must run inline",
+            s.max_width()
+        );
+    }
+
+    #[test]
+    fn wide_dags_do_cross_the_parallel_threshold() {
+        // ...while the determinism suites' wide circuits genuinely
+        // exercise the parallel join path.
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(
+            RandomDagConfig {
+                inputs: 32,
+                gates: 600,
+                window: 220,
+            },
+            0xBEEF,
+            &lib,
+        );
+        let s = LevelSchedule::build(&n);
+        assert!(
+            s.max_width() >= PARALLEL_LEVEL_MIN,
+            "max level width {} should fan out",
+            s.max_width()
+        );
+    }
+
+    #[test]
+    fn arena_update_matches_for_serial_and_parallel_pools() {
+        let lib = Library::synthetic_90nm();
+        let n = random_dag(
+            RandomDagConfig {
+                inputs: 32,
+                gates: 600,
+                window: 220,
+            },
+            0xBEEF,
+            &lib,
+        );
+        for kind in [EngineKind::Dsta, EngineKind::Fassta, EngineKind::FullSsta] {
+            let serial = TimingState::full(&n, &lib, &SstaConfig::default().with_threads(1), kind);
+            let wide = TimingState::full(&n, &lib, &SstaConfig::default().with_threads(8), kind);
+            assert_eq!(serial.arrivals, wide.arrivals, "{kind}");
+            assert_eq!(serial.visits, wide.visits, "{kind}");
+            assert_eq!(
+                serial.circuit(&n, &SstaConfig::default()),
+                wide.circuit(&n, &SstaConfig::default()),
+                "{kind}"
+            );
+        }
+    }
 }

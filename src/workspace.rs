@@ -412,6 +412,16 @@ impl Workspace {
         Some(self.entries[i].session.netlist())
     }
 
+    /// The level count of a registered circuit's propagation schedule —
+    /// the serial depth of the level-ordered arena, whose per-level
+    /// width is what parallel propagation fans out over (see
+    /// [`TimingSession::propagation_levels`]).
+    #[must_use]
+    pub fn propagation_levels(&self, name: &str) -> Option<usize> {
+        let &i = self.index.get(name)?;
+        Some(self.entries[i].session.propagation_levels())
+    }
+
     /// Registers a pre-built netlist under a name. This is the expensive
     /// step — the circuit's cached session runs its initial full
     /// analysis here — so that queries against it are cheap.
