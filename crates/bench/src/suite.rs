@@ -56,6 +56,16 @@
 //! scenarios, large rows, or both; [`SuiteReport::validate`] accepts
 //! any combination as long as at least one tier is present.
 //!
+//! `/6` adds the per-scenario `branch_fanout` row: after the sizing
+//! pass, N single-gate speculative trials are evaluated as one
+//! copy-on-write `WhatIfBatch` through the workspace (`fanout_wall_ms`
+//! is the whole batch, end to end), and the row also records the total
+//! divergent-cone node recomputations the equivalent N branches cost
+//! against what N from-scratch session rebuilds would have visited —
+//! the validator requires the branch total to be **strictly smaller**,
+//! so the COW versioning layer's headline saving is re-asserted by
+//! every `--check` of every artifact.
+//!
 //! The report is validated ([`SuiteReport::validate`]) before it is
 //! written: any non-finite μ/σ or wall-clock fails the run. Because the
 //! vendored `serde_json` shim renders non-finite floats as `null`, a
@@ -63,13 +73,17 @@
 //! ([`check_json_text`]) without a JSON parser — a valid suite report
 //! contains no `null` at all.
 
-use vartol::workspace::{Answer, Request, Response, Workspace, WorkspaceConfig};
+use vartol::workspace::{
+    Answer, GateResize, Request, Response, WhatIfTrial, Workspace, WorkspaceConfig,
+};
 use vartol_core::SizerConfig;
 use vartol_liberty::Library;
 use vartol_netlist::iscas::write_bench;
-use vartol_netlist::Netlist;
+use vartol_netlist::{GateId, Netlist};
 use vartol_serve::{ServeConfig, ServeRequest, ServeResponse, Service};
-use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig, VariationModel};
+use vartol_ssta::{
+    EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig, TimingSession, VariationModel,
+};
 
 /// Schema tag stamped into every report (bump on breaking layout or
 /// semantics changes; `/2` added `register_wall_s` and redefined the
@@ -80,9 +94,11 @@ use vartol_ssta::{EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig,
 /// — cold vs cached Monte-Carlo analysis latency through the
 /// `vartol-serve` service; `/5` added the `large` tier — analytic
 /// wall-clock and thread-scaling rows on production-scale circuits,
-/// with `scenarios` allowed to be empty on a large-only run — see the
-/// module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/5";
+/// with `scenarios` allowed to be empty on a large-only run; `/6`
+/// added the per-scenario `branch_fanout` row — the N-branch
+/// copy-on-write what-if batch wall-clock plus its recompute counts
+/// against N from-scratch rebuilds — see the module docs).
+pub const SUITE_SCHEMA: &str = "vartol-suite/6";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -196,6 +212,27 @@ pub struct ServeStat {
     pub serve_warm_ms: f64,
 }
 
+/// One scenario's copy-on-write fan-out measurement (schema `/6`):
+/// [`FANOUT_BRANCHES`] single-gate speculative trials evaluated as one
+/// `WhatIfBatch` through the workspace, plus the recompute-count
+/// comparison that is the COW versioning layer's reason to exist.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BranchFanoutStat {
+    /// Number of speculative single-gate trials in the batch.
+    pub branches: usize,
+    /// Wall-clock of the whole N-trial `WhatIfBatch`, milliseconds
+    /// (end to end through the workspace, trials fanned out over its
+    /// pool).
+    pub fanout_wall_ms: f64,
+    /// Total divergent-cone node recomputations the N branches cost
+    /// (measured on a serial side session for determinism).
+    pub branch_recomputes: u64,
+    /// Node visits N independent from-scratch session rebuilds would
+    /// have cost on the same circuit. The validator requires
+    /// `branch_recomputes < rebuild_recomputes`.
+    pub rebuild_recomputes: u64,
+}
+
 /// The end-to-end optimization result on one scenario.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SizingStat {
@@ -243,6 +280,8 @@ pub struct ScenarioReport {
     pub sizing: SizingStat,
     /// Cold vs cached query latency through the `vartol-serve` service.
     pub serve: ServeStat,
+    /// The N-branch copy-on-write what-if fan-out (schema `/6`).
+    pub branch_fanout: BranchFanoutStat,
 }
 
 /// The whole suite run.
@@ -331,6 +370,18 @@ impl SuiteReport {
                     return Err(format!("{}: negative {what}", s.circuit));
                 }
             }
+            let f = &s.branch_fanout;
+            finite(&s.circuit, "fanout_wall_ms", f.fanout_wall_ms)?;
+            if f.branches == 0 {
+                return Err(format!("{}: branch_fanout covers zero branches", s.circuit));
+            }
+            if f.branch_recomputes >= f.rebuild_recomputes {
+                return Err(format!(
+                    "{}: {} branch recomputations do not beat {} rebuild visits — \
+                     the COW fan-out saving regressed",
+                    s.circuit, f.branch_recomputes, f.rebuild_recomputes
+                ));
+            }
         }
         for l in &self.large {
             if l.gates == 0 {
@@ -398,6 +449,12 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
     for key in ["\"serve_cold_ms\":", "\"serve_warm_ms\":"] {
         if text.matches(key).count() < full_scenarios {
             return Err(format!("a scenario is missing its {key} serve row"));
+        }
+    }
+    // Schema /6: every full scenario carries the branch fan-out row.
+    for key in ["\"fanout_wall_ms\":", "\"branch_recomputes\":"] {
+        if text.matches(key).count() < full_scenarios {
+            return Err(format!("a scenario is missing its {key} branch_fanout row"));
         }
     }
     Ok(())
@@ -484,6 +541,7 @@ fn assemble_scenario(
     register_wall_s: f64,
     responses: &[Response],
     serve: ServeStat,
+    branch_fanout: BranchFanoutStat,
 ) -> ScenarioReport {
     let name = netlist.name();
     let mut engines = Vec::with_capacity(4);
@@ -542,6 +600,7 @@ fn assemble_scenario(
         corners,
         sizing,
         serve,
+        branch_fanout,
     }
 }
 
@@ -591,6 +650,85 @@ fn measure_serve(service: &Service, netlist: &Netlist) -> ServeStat {
     ServeStat {
         serve_cold_ms,
         serve_warm_ms,
+    }
+}
+
+/// Speculative single-gate trials per scenario fan-out (schema `/6`).
+pub const FANOUT_BRANCHES: usize = 8;
+
+/// Measures one circuit's copy-on-write fan-out row (schema `/6`):
+/// [`FANOUT_BRANCHES`] single-gate trials as one `WhatIfBatch` through
+/// the workspace (the recorded wall-clock), then the recompute-count
+/// comparison on a serial side session — branches only revisit their
+/// divergent cones, a rebuild revisits every node, and the validator
+/// holds every artifact to that saving.
+///
+/// # Panics
+///
+/// Panics if the circuit is unregistered or any trial errors — a broken
+/// fan-out must fail the suite run, not leave a hole in the artifact.
+fn measure_branch_fanout(
+    workspace: &mut Workspace,
+    library: &Library,
+    config: &SuiteConfig,
+    name: &str,
+) -> BranchFanoutStat {
+    let netlist = workspace.netlist(name).expect("registered").clone();
+    let gates: Vec<GateId> = netlist.gate_ids().collect();
+    let branches = FANOUT_BRANCHES.min(gates.len());
+    let picks: Vec<(GateId, usize)> = (0..branches)
+        .map(|i| {
+            let id = gates[i * gates.len() / branches];
+            let current = netlist.gate(id).size().unwrap_or(0);
+            (id, if current == 2 { 3 } else { 2 })
+        })
+        .collect();
+    let trials: Vec<WhatIfTrial> = picks
+        .iter()
+        .map(|&(id, size)| WhatIfTrial {
+            resizes: vec![GateResize {
+                gate: netlist.gate(id).name().to_owned(),
+                size,
+            }],
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let response = workspace.query(Request::WhatIfBatch {
+        circuit: name.into(),
+        trials,
+    });
+    let fanout_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match &response.answer {
+        Answer::WhatIf { outcomes } => {
+            for outcome in outcomes {
+                assert!(
+                    matches!(outcome, Answer::BranchAnalysis { .. }),
+                    "{name}: what-if trial failed: {outcome:?}"
+                );
+            }
+        }
+        other => panic!("{name}: expected a what-if answer, got {other:?}"),
+    }
+
+    // Recompute counts on a serial side session: deterministic by
+    // construction, unlike the pool-raced memo adoptions inside the
+    // workspace fan-out.
+    let mut session = TimingSession::new(library, config.ssta.clone().with_threads(1), netlist);
+    session.refresh();
+    let full_build = session.recompute_count();
+    let mut branch_recomputes = 0u64;
+    for &(id, size) in &picks {
+        let mut branch = session.fork();
+        branch.try_resize(id, size).expect("valid size");
+        branch.refresh();
+        branch_recomputes += branch.recompute_count();
+    }
+    BranchFanoutStat {
+        branches,
+        fanout_wall_ms,
+        branch_recomputes,
+        rebuild_recomputes: full_build * branches as u64,
     }
 }
 
@@ -656,7 +794,9 @@ pub fn run_suite_with(
         let register_wall_s = t0.elapsed().as_secs_f64();
         let responses = workspace.submit(&scenario_requests(circuit.name(), &sizer));
         let serve = measure_serve(&service, circuit);
-        let scenario = assemble_scenario(circuit, register_wall_s, &responses, serve);
+        let branch_fanout = measure_branch_fanout(&mut workspace, library, config, circuit.name());
+        let scenario =
+            assemble_scenario(circuit, register_wall_s, &responses, serve, branch_fanout);
         observe(&scenario, t0.elapsed());
         report.scenarios.push(scenario);
     }
@@ -825,10 +965,22 @@ mod tests {
             // Schema /4 serve rows: both latencies measured and sane.
             assert!(s.serve.serve_cold_ms > 0.0, "{}", s.circuit);
             assert!(s.serve.serve_warm_ms > 0.0, "{}", s.circuit);
+            // Schema /6 fan-out row: N branches, and the COW saving.
+            let f = &s.branch_fanout;
+            assert_eq!(f.branches, FANOUT_BRANCHES, "{}", s.circuit);
+            assert!(f.fanout_wall_ms > 0.0, "{}", s.circuit);
+            assert!(
+                f.branch_recomputes < f.rebuild_recomputes,
+                "{}: {} branch recomputes vs {} rebuild visits",
+                s.circuit,
+                f.branch_recomputes,
+                f.rebuild_recomputes
+            );
         }
         let json = report.to_json();
         assert!(json.contains("adder_8") && json.contains("cmp_8"));
         assert!(json.contains("\"serve_cold_ms\":") && json.contains("\"serve_warm_ms\":"));
+        assert!(json.contains("\"fanout_wall_ms\":") && json.contains("\"branch_recomputes\":"));
         check_json_text(&json, 2).expect("text check passes");
         assert!(
             check_json_text(&json, 3).is_err(),
@@ -846,6 +998,13 @@ mod tests {
         assert!(err.contains("fullssta sigma"), "{err}");
         // And the text-level check sees the shim's `null` rendering.
         assert!(check_json_text(&report.to_json(), 1).is_err());
+        // A fan-out row whose branches stopped beating rebuilds is a
+        // regression of the COW layer itself — --check must refuse it.
+        report.scenarios[0].engines[2].sigma = 1.0;
+        report.scenarios[0].branch_fanout.branch_recomputes =
+            report.scenarios[0].branch_fanout.rebuild_recomputes;
+        let err = report.validate().expect_err("regressed saving must fail");
+        assert!(err.contains("COW fan-out saving regressed"), "{err}");
     }
 
     #[test]

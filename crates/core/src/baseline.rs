@@ -6,14 +6,17 @@
 //! usage of smaller devices". [`MeanDelaySizer`] reproduces that starting
 //! point: greedy critical-path sizing against nominal delays, followed by
 //! an optional area-recovery pass that downsizes gates wherever the delay
-//! target allows. Both run on a deterministic [`TimingSession`], so every
-//! size trial re-times only the affected fanout cone.
+//! target allows. Both run on a deterministic [`TimingSession`]; per-gate
+//! size trials happen on copy-on-write branches ([`TimingSession::fork`])
+//! so the parent stays frozen while every trial re-times only the
+//! affected fanout cone, and the winning trial is committed back —
+//! adopting the branch's memoized cone without recomputing it.
 
 use std::sync::Arc;
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist};
-use vartol_ssta::{EngineKind, SstaConfig, TimingSession};
+use vartol_ssta::{EngineKind, SessionBranch, SstaConfig, TimingSession};
 
 /// Summary of a deterministic sizing run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +155,17 @@ impl MeanDelaySizer {
         (session.circuit_moments().mean, total)
     }
 
+    /// The same objective read off a branch (which refreshes only the
+    /// branch's divergent cone, leaving the parent untouched). The
+    /// incremental-equals-scratch contract makes this bit-identical to
+    /// scoring the resize on the session itself.
+    fn branch_score(branch: &mut SessionBranch) -> (f64, f64) {
+        let mean = branch.refresh().mean;
+        let outputs: Vec<GateId> = branch.netlist().outputs().to_vec();
+        let total: f64 = outputs.iter().map(|&o| branch.arrival(o).mean).sum();
+        (mean, total)
+    }
+
     fn better(a: (f64, f64), b: (f64, f64)) -> bool {
         // Lexicographic with a tolerance band on the leading term.
         if a.0 < b.0 - 1e-9 {
@@ -163,8 +177,10 @@ impl MeanDelaySizer {
         a.1 < b.1 - 1e-9
     }
 
-    /// Tries every size of `g`, keeping the one that minimizes the
-    /// deterministic objective. Returns true if the size changed.
+    /// Tries every size of `g` on a copy-on-write branch, committing the
+    /// one that minimizes the deterministic objective (the commit adopts
+    /// the branch's memoized cone — no recomputation). Returns true if
+    /// the size changed.
     fn improve_gate(
         &self,
         session: &mut TimingSession,
@@ -184,21 +200,27 @@ impl MeanDelaySizer {
             return false;
         };
 
+        let mut branch = session.fork();
         let mut best_size = current;
         for size in 0..group.len() {
             if size == current {
                 continue;
             }
-            session.resize(g, size);
-            let s = Self::score(session);
+            branch.resize(g, size);
+            let s = Self::branch_score(&mut branch);
             if Self::better(s, *best_score) {
                 *best_score = s;
                 best_size = size;
             }
         }
-        session.resize(g, best_size);
-        session.refresh();
-        best_size != current
+        if best_size == current {
+            return false; // branch dropped; the parent never moved
+        }
+        branch.resize(g, best_size);
+        session
+            .commit(branch)
+            .expect("a same-circuit branch of a clean parent commits");
+        true
     }
 
     /// Downsizes gates wherever the nominal longest delay stays within

@@ -8,10 +8,12 @@
 //! local subcircuit, against the pass-start (frozen) FULLSSTA boundary
 //! statistics. Those per-gate scoring jobs are mutually independent —
 //! every trial reads only the frozen arrival/electrical snapshot and
-//! mutates only a private netlist clone — so they fan out across a
-//! [`ScopedPool`]: one speculative session fork
-//! ([`TimingSession::fork_for_trial`]) per worker thread, one task per
-//! path gate, results gathered in path order.
+//! mutates only its own copy-on-write size vector — so they fan out
+//! across a [`ScopedPool`]: one owned session branch
+//! ([`TimingSession::fork`]) per worker thread, one task per path gate,
+//! results gathered in path order. Sibling branches share one frozen
+//! fork base, so spawning a worker's branch is a pointer bump, not a
+//! snapshot copy.
 //!
 //! Determinism contract: each task's result depends only on its gate
 //! (every trial mutation is rolled back inside the task), and the pool
@@ -35,7 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, GateKind, Netlist, Subcircuit};
-use vartol_ssta::{EngineKind, Fassta, ScopedPool, TimingSession, TrialSession, WnssTracer};
+use vartol_ssta::{EngineKind, Fassta, ScopedPool, SessionBranch, TimingSession, WnssTracer};
 
 /// The paper's statistically-aware gain-based gate sizer.
 ///
@@ -145,12 +147,13 @@ impl StatisticalGreedy {
                     tracer.trace_all(session.netlist(), session.arrivals())
                 }
             };
-            // Score all path gates concurrently: one frozen fork per
-            // worker, one task per gate, results in path order.
+            // Score all path gates concurrently: one branch per worker
+            // (sharing one frozen fork base), one task per gate, results
+            // in path order.
             let decisions = pool.map_init(
                 path.len(),
-                || session.fork_for_trial(),
-                |fork, i| self.best_size_for(fork, path[i], &fast_engine),
+                || session.fork(),
+                |branch, i| self.best_size_for(branch, path[i], &fast_engine),
             );
             let mut scheduled: Vec<(GateId, usize)> = Vec::new();
             for (&g, decision) in path.iter().zip(&decisions) {
@@ -294,19 +297,19 @@ impl StatisticalGreedy {
     }
 
     /// Evaluates every library size of `g` over its subcircuit with the
-    /// fast engine against the fork's frozen (pass-start) boundary
+    /// fast engine against the branch's frozen (pass-start) boundary
     /// statistics; returns `(best_size, current_size)`, or `None` if the
-    /// gate has no alternatives. Trials mutate only the fork's scratch
-    /// netlist and are rolled back before returning, so the fork can be
-    /// reused for the next gate and the result depends on nothing but
-    /// `g` — the property the parallel scoring fan-out relies on.
+    /// gate has no alternatives. Trials mutate only the branch's private
+    /// size vector and are rolled back before returning, so the branch
+    /// can be reused for the next gate and the result depends on nothing
+    /// but `g` — the property the parallel scoring fan-out relies on.
     fn best_size_for(
         &self,
-        fork: &mut TrialSession<'_>,
+        branch: &mut SessionBranch,
         g: GateId,
         fast_engine: &Fassta<'_>,
     ) -> Option<(usize, usize)> {
-        let gate = fork.netlist().gate(g);
+        let gate = branch.netlist().gate(g);
         let GateKind::Cell {
             function,
             size: current,
@@ -320,16 +323,16 @@ impl StatisticalGreedy {
             return None;
         }
 
-        let sub = Subcircuit::extract(fork.netlist(), g, self.config.subcircuit_depth);
+        let sub = Subcircuit::extract(branch.netlist(), g, self.config.subcircuit_depth);
         let alpha = self.config.alpha;
 
         let mut best_size = current;
         let mut best_cost = {
             let outs = fast_engine.evaluate_subcircuit(
-                fork.netlist(),
+                branch.netlist(),
                 &sub,
-                fork.arrivals(),
-                fork.timing(),
+                branch.base_arrivals(),
+                branch.base_timing(),
             );
             subcircuit_cost(&outs, alpha)
         };
@@ -337,12 +340,12 @@ impl StatisticalGreedy {
             if size == current {
                 continue;
             }
-            fork.resize(g, size);
+            branch.resize(g, size);
             let outs = fast_engine.evaluate_subcircuit(
-                fork.netlist(),
+                branch.netlist(),
                 &sub,
-                fork.arrivals(),
-                fork.timing(),
+                branch.base_arrivals(),
+                branch.base_timing(),
             );
             let cost = subcircuit_cost(&outs, alpha);
             if cost < best_cost - f64::EPSILON * best_cost.abs() {
@@ -350,7 +353,7 @@ impl StatisticalGreedy {
                 best_size = size;
             }
         }
-        fork.resize(g, current); // trial state rolled back
+        branch.resize(g, current); // trial state rolled back
         Some((best_size, current))
     }
 }

@@ -134,8 +134,8 @@ fn main() -> ExitCode {
             Some(ServeResponse::Registered { gates, depth, .. }) => {
                 eprintln!("vartol-serve: preloaded `{name}` ({gates} gates, depth {depth})");
             }
-            Some(ServeResponse::Error { message }) => {
-                eprintln!("vartol-serve: preload `{name}` failed: {message}");
+            Some(ServeResponse::Error { code, message }) => {
+                eprintln!("vartol-serve: preload `{name}` failed ({code}): {message}");
                 return ExitCode::FAILURE;
             }
             other => {

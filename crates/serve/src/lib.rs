@@ -57,6 +57,8 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use protocol::{Frame, ServeRequest, ServeResponse, ServiceStats, ShardStats};
+pub use protocol::{
+    Frame, ServeRequest, ServeResponse, ServiceStats, ShardStats, PROTOCOL_VERSION,
+};
 pub use server::{serve_lines, Server};
 pub use shard::{shard_of, ServeConfig, Service};

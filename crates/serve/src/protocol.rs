@@ -36,11 +36,30 @@
 //! are all errors naming the offending part — a malformed request gets
 //! an [`ServeResponse::Error`] frame, never a guess and never a
 //! disconnect.
+//!
+//! # Errors
+//!
+//! Every [`ServeResponse::Error`] carries a stable machine-readable
+//! `code` next to the human message. Workspace-level failures reuse
+//! [`vartol::workspace::ErrorCode`]'s kebab-case wire forms verbatim
+//! (`"unknown-circuit"`, `"size-out-of-range"`, …); the serve layer
+//! adds exactly two of its own: `"bad-request"` for lines that fail
+//! protocol decoding or wire-level parameter validation, and
+//! `"unavailable"` for a shut-down service or a dead shard worker.
+//! Codes may be added, never renamed — clients should branch on `code`
+//! and show `message`.
 
 use serde::Value;
 use vartol::ssta::EngineKind;
 
 use crate::json;
+
+/// Wire protocol version, bumped on any request/response schema change.
+/// Version 2 added the branch verbs ([`ServeRequest::Fork`] and
+/// friends), the typed error payload (`code` + `message`), and the
+/// branch counters in [`ShardStats`]. Reported in
+/// [`ServiceStats::protocol`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One request line. Mirrors [`vartol::workspace::Request`] — every
 /// query the `Workspace` answers is addressable over the wire — plus
@@ -139,6 +158,68 @@ pub enum ServeRequest {
         /// default).
         max_passes: Option<usize>,
     },
+    /// Fork a named copy-on-write branch of the circuit (see
+    /// [`vartol::workspace::Request::Fork`]). The branch shares all
+    /// unchanged state with the circuit and persists until committed or
+    /// dropped.
+    Fork {
+        /// Target circuit.
+        circuit: String,
+        /// Name for the new branch (unique per circuit).
+        branch: String,
+    },
+    /// Resize one gate on a named branch. The circuit and every sibling
+    /// branch are untouched; no timing runs until
+    /// [`ServeRequest::BranchAnalyze`].
+    BranchResize {
+        /// Target circuit.
+        circuit: String,
+        /// Branch name (from [`ServeRequest::Fork`]).
+        branch: String,
+        /// Gate name.
+        gate: String,
+        /// New size index.
+        size: usize,
+    },
+    /// Analyze a named branch: recomputes only its divergent fanout
+    /// cone, bit-identical to a from-scratch analysis at the branch's
+    /// sizes. Cacheable — keyed by the **branch's** size fingerprint,
+    /// so speculative queries from separate connections never collide
+    /// with the parent's entries or each other's.
+    BranchAnalyze {
+        /// Target circuit.
+        circuit: String,
+        /// Branch name.
+        branch: String,
+    },
+    /// Commit a named branch back into the circuit (the session adopts
+    /// the branch's memoized analysis without recomputing); invalidates
+    /// the circuit's cache entries like [`ServeRequest::Resize`].
+    Commit {
+        /// Target circuit.
+        circuit: String,
+        /// Branch name; consumed on success.
+        branch: String,
+    },
+    /// Discard a named branch. The circuit is untouched.
+    DropBranch {
+        /// Target circuit.
+        circuit: String,
+        /// Branch name.
+        branch: String,
+    },
+    /// Evaluate N independent what-if trials as anonymous branches of
+    /// one circuit, fanned out in parallel over the shard's workspace
+    /// pool — one outcome per trial, in trial order, bit-identical at
+    /// every pool width. Each trial is a list of `[gate, size]` pairs
+    /// applied to a fresh branch of the circuit's current state; the
+    /// circuit itself is untouched. Cacheable.
+    WhatIf {
+        /// Target circuit.
+        circuit: String,
+        /// The divergent trials, each a list of `[gate, size]` pairs.
+        trials: Vec<Vec<(String, usize)>>,
+    },
 }
 
 impl ServeRequest {
@@ -157,13 +238,22 @@ impl ServeRequest {
             | Self::Criticality { circuit, .. }
             | Self::Yield { circuit, .. }
             | Self::Resize { circuit, .. }
-            | Self::Size { circuit, .. } => Some(circuit),
+            | Self::Size { circuit, .. }
+            | Self::Fork { circuit, .. }
+            | Self::BranchResize { circuit, .. }
+            | Self::BranchAnalyze { circuit, .. }
+            | Self::Commit { circuit, .. }
+            | Self::DropBranch { circuit, .. }
+            | Self::WhatIf { circuit, .. } => Some(circuit),
         }
     }
 
     /// Whether the answer is a pure function of `(circuit sizes, engine
     /// configuration, request)` — i.e. eligible for the result cache.
     /// Mutating requests and service verbs are not.
+    /// [`Self::BranchAnalyze`] qualifies because a branch's answer
+    /// depends only on the branch's own sizes (which its cache key
+    /// carries), never on the parent it forked from.
     #[must_use]
     pub fn cacheable(&self) -> bool {
         matches!(
@@ -174,6 +264,8 @@ impl ServeRequest {
                 | Self::Slack { .. }
                 | Self::Criticality { .. }
                 | Self::Yield { .. }
+                | Self::BranchAnalyze { .. }
+                | Self::WhatIf { .. }
         )
     }
 
@@ -212,8 +304,15 @@ pub struct ShardStats {
     pub cache_misses: u64,
     /// Entries evicted by the LRU policy.
     pub cache_evictions: u64,
-    /// Entries dropped by `Resize`/`Size` invalidation.
+    /// Entries dropped by `Resize`/`Size`/`Commit` invalidation.
     pub cache_invalidations: u64,
+    /// Live (uncommitted, undropped) branches across this shard's
+    /// circuits.
+    pub branches_live: u64,
+    /// Branches committed back into their circuits, lifetime.
+    pub branches_committed: u64,
+    /// Branches discarded via `DropBranch`, lifetime.
+    pub branches_dropped: u64,
     /// Resolved propagation thread width of this shard's analytic
     /// engines (`SstaConfig::threads` after the 0-means-all-CPUs
     /// resolution) — the width the level-ordered arena fans each
@@ -230,6 +329,9 @@ pub struct ShardStats {
 /// Service-wide statistics: one [`ShardStats`] row per shard.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
+    /// The wire protocol version this service speaks
+    /// ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
     /// Per-shard rows, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -362,6 +464,58 @@ pub enum ServeResponse {
         /// Gates moved to a new size across all kept passes.
         resized: usize,
     },
+    /// Answer to [`ServeRequest::Fork`].
+    Forked {
+        /// The new branch's name.
+        branch: String,
+        /// Size fingerprint of the frozen base the branch forked from,
+        /// as a 16-digit hex string (u64 fingerprints do not survive
+        /// JSON's f64 numbers).
+        fingerprint: String,
+    },
+    /// Answer to [`ServeRequest::BranchResize`].
+    BranchResized {
+        /// The branch.
+        branch: String,
+        /// How many gates now differ from the frozen base.
+        diverged: usize,
+    },
+    /// Answer to [`ServeRequest::BranchAnalyze`] (and each successful
+    /// [`ServeRequest::WhatIf`] trial, named `trial-<i>`).
+    BranchAnalysis {
+        /// The branch.
+        branch: String,
+        /// Circuit mean at the branch's sizes (ps).
+        mu: f64,
+        /// Circuit σ at the branch's sizes (ps).
+        sigma: f64,
+        /// Total area at the branch's sizes.
+        area: f64,
+    },
+    /// Answer to [`ServeRequest::Commit`].
+    Committed {
+        /// The committed (consumed) branch.
+        branch: String,
+        /// Circuit mean after adoption (ps).
+        mu: f64,
+        /// Circuit σ after adoption (ps).
+        sigma: f64,
+        /// Total area after adoption.
+        area: f64,
+    },
+    /// Answer to [`ServeRequest::DropBranch`].
+    Dropped {
+        /// The discarded branch.
+        branch: String,
+    },
+    /// Answer to [`ServeRequest::WhatIf`]: one payload per trial, in
+    /// trial order — [`ServeResponse::BranchAnalysis`] on success,
+    /// [`ServeResponse::Error`] for a trial that failed validation or
+    /// panicked (other trials are unaffected).
+    WhatIf {
+        /// Per-trial outcomes.
+        outcomes: Vec<ServeResponse>,
+    },
     /// Admission control: the target shard's bounded queue is full.
     /// The request was **not** enqueued and no session was touched —
     /// retry later.
@@ -375,17 +529,34 @@ pub enum ServeResponse {
     /// or failed inside an engine (the circuit's session is recovered —
     /// see [`vartol::workspace`]'s fault-isolation contract).
     Error {
+        /// Stable machine-readable failure code (see the
+        /// [module docs](self#errors)).
+        code: String,
         /// Human-readable cause.
         message: String,
     },
 }
 
 impl ServeResponse {
-    /// Builds an error payload.
+    /// Builds a protocol-boundary error payload (code
+    /// `"bad-request"`) — for lines that fail decoding or wire-level
+    /// parameter validation.
     pub fn error(message: impl Into<String>) -> Self {
+        Self::error_with("bad-request", message)
+    }
+
+    /// Builds an error payload with an explicit machine-readable code.
+    pub fn error_with(code: impl Into<String>, message: impl Into<String>) -> Self {
         Self::Error {
+            code: code.into(),
             message: message.into(),
         }
+    }
+
+    /// Builds a service-availability error payload (code
+    /// `"unavailable"`) — a shut-down service or a dead shard worker.
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        Self::error_with("unavailable", message)
     }
 
     /// Whether this payload terminates its request's frame stream.
@@ -503,6 +674,32 @@ fn decode_request(value: &Value) -> Result<ServeRequest, String> {
                     alpha: f.number("alpha")?,
                     max_passes: f.opt_index("max_passes")?,
                 },
+                "Fork" => ServeRequest::Fork {
+                    circuit: f.string("circuit")?,
+                    branch: f.string("branch")?,
+                },
+                "BranchResize" => ServeRequest::BranchResize {
+                    circuit: f.string("circuit")?,
+                    branch: f.string("branch")?,
+                    gate: f.string("gate")?,
+                    size: f.index("size")?,
+                },
+                "BranchAnalyze" => ServeRequest::BranchAnalyze {
+                    circuit: f.string("circuit")?,
+                    branch: f.string("branch")?,
+                },
+                "Commit" => ServeRequest::Commit {
+                    circuit: f.string("circuit")?,
+                    branch: f.string("branch")?,
+                },
+                "DropBranch" => ServeRequest::DropBranch {
+                    circuit: f.string("circuit")?,
+                    branch: f.string("branch")?,
+                },
+                "WhatIf" => ServeRequest::WhatIf {
+                    circuit: f.string("circuit")?,
+                    trials: f.trials("trials")?,
+                },
                 other => return Err(format!("unknown request `{other}`")),
             };
             f.reject_unknown(&request)?;
@@ -583,6 +780,46 @@ impl<'a> Fields<'a> {
             None | Some(Value::Null) => Ok(None),
             Some(_) => self.index(name).map(Some),
         }
+    }
+
+    /// A what-if trial list: an array of trials, each an array of
+    /// `[gate, size]` pairs (exactly how the 2-tuples serialize).
+    fn trials(&self, name: &str) -> Result<Vec<Vec<(String, usize)>>, String> {
+        let shape = || {
+            format!(
+                "`{}.{name}` must be an array of trials, \
+                 each an array of [gate, size] pairs",
+                self.tag
+            )
+        };
+        let Value::Array(trials) = self.required(name)? else {
+            return Err(shape());
+        };
+        trials
+            .iter()
+            .map(|trial| {
+                let Value::Array(pairs) = trial else {
+                    return Err(shape());
+                };
+                pairs
+                    .iter()
+                    .map(|pair| {
+                        let Value::Array(kv) = pair else {
+                            return Err(shape());
+                        };
+                        match kv.as_slice() {
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            [Value::String(gate), Value::Number(x)]
+                                if x.fract() == 0.0 && *x >= 0.0 && *x <= 2u64.pow(53) as f64 =>
+                            {
+                                Ok((gate.clone(), *x as usize))
+                            }
+                            _ => Err(shape()),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     fn engine_kind(&self, name: &str) -> Result<EngineKind, String> {
@@ -692,6 +929,40 @@ mod tests {
                 alpha: 9.0,
                 max_passes: None,
             },
+            ServeRequest::Fork {
+                circuit: "c17".into(),
+                branch: "spec".into(),
+            },
+            ServeRequest::BranchResize {
+                circuit: "c17".into(),
+                branch: "spec".into(),
+                gate: "n22".into(),
+                size: 4,
+            },
+            ServeRequest::BranchAnalyze {
+                circuit: "c17".into(),
+                branch: "spec".into(),
+            },
+            ServeRequest::Commit {
+                circuit: "c17".into(),
+                branch: "spec".into(),
+            },
+            ServeRequest::DropBranch {
+                circuit: "c17".into(),
+                branch: "spec".into(),
+            },
+            ServeRequest::WhatIf {
+                circuit: "c17".into(),
+                trials: vec![
+                    vec![("n22".into(), 3), ("n23".into(), 1)],
+                    vec![("n22".into(), 4)],
+                    vec![],
+                ],
+            },
+            ServeRequest::WhatIf {
+                circuit: "c17".into(),
+                trials: vec![],
+            },
         ];
         for request in &requests {
             round_trip(request);
@@ -736,6 +1007,23 @@ mod tests {
                 "{\"Slack\":{\"circuit\":\"c\",\"circuit\":\"d\",\"t_req\":1,\"alpha\":1}}",
                 "duplicate field",
             ),
+            ("{\"Fork\":{\"circuit\":\"c\"}}", "missing field `branch`"),
+            (
+                "{\"Fork\":{\"circuit\":\"c\",\"branch\":\"b\",\"x\":1}}",
+                "unknown field `x`",
+            ),
+            (
+                "{\"WhatIf\":{\"circuit\":\"c\",\"trials\":7}}",
+                "[gate, size] pairs",
+            ),
+            (
+                "{\"WhatIf\":{\"circuit\":\"c\",\"trials\":[[[\"g\",1.5]]]}}",
+                "[gate, size] pairs",
+            ),
+            (
+                "{\"WhatIf\":{\"circuit\":\"c\",\"trials\":[[[\"g\"]]]}}",
+                "[gate, size] pairs",
+            ),
         ] {
             let err = ServeRequest::from_line(line).expect_err(line);
             assert!(err.contains(needle), "`{line}`: `{err}` missing `{needle}`");
@@ -771,6 +1059,7 @@ mod tests {
     #[test]
     fn stats_aggregate_hit_rate() {
         let stats = ServiceStats {
+            protocol: PROTOCOL_VERSION,
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -781,6 +1070,9 @@ mod tests {
                     cache_misses: 1,
                     cache_evictions: 0,
                     cache_invalidations: 0,
+                    branches_live: 2,
+                    branches_committed: 1,
+                    branches_dropped: 0,
                     propagation_threads: 1,
                     propagation_levels: 12,
                 },
@@ -793,6 +1085,9 @@ mod tests {
                     cache_misses: 0,
                     cache_evictions: 0,
                     cache_invalidations: 0,
+                    branches_live: 0,
+                    branches_committed: 0,
+                    branches_dropped: 0,
                     propagation_threads: 1,
                     propagation_levels: 0,
                 },
@@ -801,6 +1096,28 @@ mod tests {
         assert_eq!(stats.hits(), 3);
         assert_eq!(stats.misses(), 1);
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
-        assert_eq!(ServiceStats { shards: vec![] }.hit_rate(), 0.0);
+        let empty = ServiceStats {
+            protocol: PROTOCOL_VERSION,
+            shards: vec![],
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_payloads_carry_stable_codes() {
+        let boundary = ServeResponse::error("not json");
+        assert!(
+            matches!(&boundary, ServeResponse::Error { code, .. } if code == "bad-request"),
+            "{boundary:?}"
+        );
+        let down = ServeResponse::unavailable("service is shut down");
+        assert!(
+            matches!(&down, ServeResponse::Error { code, .. } if code == "unavailable"),
+            "{down:?}"
+        );
+        let typed = ServeResponse::error_with("unknown-circuit", "unknown circuit `ghost`");
+        let line = Frame::new(typed, 0).to_line();
+        assert!(line.contains("\"code\":\"unknown-circuit\""), "{line}");
+        assert!(line.contains("\"message\":"), "{line}");
     }
 }

@@ -47,7 +47,7 @@ pub fn serve_lines(
         let request = match ServeRequest::from_line(text) {
             Ok(request) => request,
             Err(message) => {
-                let frame = Frame::new(ServeResponse::Error { message }, 0);
+                let frame = Frame::new(ServeResponse::error(message), 0);
                 writeln!(output, "{}", frame.to_line())?;
                 output.flush()?;
                 continue;

@@ -44,10 +44,14 @@ use vartol::netlist::generators::{benchmark, preset};
 use vartol::ssta::{
     config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64, ScopedPool, VariationModel,
 };
-use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
+use vartol::workspace::{
+    Answer, ErrorCode, GateResize, Request, WhatIfTrial, Workspace, WorkspaceConfig,
+};
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::protocol::{Frame, ServeRequest, ServeResponse, ServiceStats, ShardStats};
+use crate::protocol::{
+    Frame, ServeRequest, ServeResponse, ServiceStats, ShardStats, PROTOCOL_VERSION,
+};
 
 /// Knobs of a [`Service`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -222,7 +226,10 @@ impl Service {
     pub fn call_with(&self, request: ServeRequest, on_frame: &mut dyn FnMut(Frame)) {
         let start = Instant::now();
         if self.is_closed() {
-            on_frame(Frame::new(ServeResponse::error("service is shut down"), 0));
+            on_frame(Frame::new(
+                ServeResponse::unavailable("service is shut down"),
+                0,
+            ));
             return;
         }
         match request.circuit() {
@@ -254,7 +261,10 @@ impl Service {
                 return stats;
             }
         }
-        ServiceStats { shards: Vec::new() }
+        ServiceStats {
+            protocol: PROTOCOL_VERSION,
+            shards: Vec::new(),
+        }
     }
 
     /// Enqueues on one shard with admission control: a full queue
@@ -279,7 +289,7 @@ impl Service {
                 ))
             }
             Err(TrySendError::Disconnected(_)) => Err(Frame::new(
-                ServeResponse::error(format!("shard {shard} worker is gone")),
+                ServeResponse::unavailable(format!("shard {shard} worker is gone")),
                 0,
             )),
         }
@@ -306,7 +316,7 @@ impl Service {
         for (shard, reply) in replies.into_iter().enumerate() {
             let Some(frame) = reply.and_then(|rx| rx.recv().ok()) else {
                 on_frame(Frame::new(
-                    ServeResponse::error(format!("shard {shard} worker is gone")),
+                    ServeResponse::unavailable(format!("shard {shard} worker is gone")),
                     wall_us(start),
                 ));
                 return;
@@ -327,7 +337,10 @@ impl Service {
                 ServeResponse::Circuits { circuits }
             }
             ServeRequest::Stats => ServeResponse::Stats {
-                stats: ServiceStats { shards: rows },
+                stats: ServiceStats {
+                    protocol: PROTOCOL_VERSION,
+                    shards: rows,
+                },
             },
             _ => {
                 self.closed.store(true, Ordering::SeqCst);
@@ -385,7 +398,7 @@ fn drain_replies(shard: usize, replies: &Receiver<Frame>, on_frame: &mut dyn FnM
             }
             Err(_) => {
                 on_frame(Frame::new(
-                    ServeResponse::error(format!("shard {shard} worker died mid-request")),
+                    ServeResponse::unavailable(format!("shard {shard} worker died mid-request")),
                     0,
                 ));
                 return;
@@ -463,6 +476,7 @@ impl ShardState {
             }),
             ServeRequest::Stats => send(ServeResponse::Stats {
                 stats: ServiceStats {
+                    protocol: PROTOCOL_VERSION,
                     shards: vec![self.stats_row()],
                 },
             }),
@@ -490,6 +504,49 @@ impl ShardState {
                 }
                 send(answer_payload(answer));
             }
+            ServeRequest::Fork { circuit, branch } => send(answer_payload(
+                self.workspace
+                    .query(Request::Fork { circuit, branch })
+                    .answer,
+            )),
+            ServeRequest::BranchResize {
+                circuit,
+                branch,
+                gate,
+                size,
+            } => send(answer_payload(
+                self.workspace
+                    .query(Request::BranchResize {
+                        circuit,
+                        branch,
+                        gate,
+                        size,
+                    })
+                    .answer,
+            )),
+            ServeRequest::Commit { circuit, branch } => {
+                // A successful commit mutates the circuit's sizes; drop
+                // its session-keyed cache entries like `Resize` does.
+                // Sibling branches' cached answers stay valid — they
+                // are keyed by the branch's own size fingerprint and
+                // never depend on the parent.
+                let answer = self
+                    .workspace
+                    .query(Request::Commit {
+                        circuit: circuit.clone(),
+                        branch,
+                    })
+                    .answer;
+                if !matches!(answer, Answer::Error { .. }) {
+                    self.cache.invalidate_circuit(&circuit);
+                }
+                send(answer_payload(answer));
+            }
+            ServeRequest::DropBranch { circuit, branch } => send(answer_payload(
+                self.workspace
+                    .query(Request::DropBranch { circuit, branch })
+                    .answer,
+            )),
             cacheable => send(self.query_cached(cacheable)),
         }
     }
@@ -506,7 +563,10 @@ impl ShardState {
                 match preset(p, &library).or_else(|| benchmark(p, &library)) {
                     Some(netlist) => self.workspace.register(circuit, netlist),
                     None => {
-                        return ServeResponse::error(format!("unknown preset or benchmark `{p}`"))
+                        return ServeResponse::error_with(
+                            ErrorCode::UnknownPreset.as_str(),
+                            format!("unknown preset or benchmark `{p}`"),
+                        )
                     }
                 }
             }
@@ -522,20 +582,32 @@ impl ShardState {
                     depth: netlist.depth(),
                 }
             }
-            Err(e) => ServeResponse::error(e.to_string()),
+            Err(e) => ServeResponse::error_with(e.code().as_str(), e.to_string()),
         }
     }
 
     /// Answers a cacheable request: look up by `(circuit, sizes,
     /// config, request)`, forward to the workspace on a miss, and store
     /// every non-error answer.
+    ///
+    /// A `BranchAnalyze` keys on the **branch's** size fingerprint, not
+    /// the session's: a branch answer is a pure function of the
+    /// branch's own sizes, so a commit on the parent can never make a
+    /// sibling's cached answer stale (the serve-level face of the
+    /// session's fork-cache invalidation). A `WhatIf` keys on the
+    /// session's sizes — its trials diverge *from* them.
     fn query_cached(&mut self, request: ServeRequest) -> ServeResponse {
         debug_assert!(request.cacheable());
         let key = request.circuit().and_then(|name| {
-            let netlist = self.workspace.netlist(name)?;
+            let size_fp = match &request {
+                ServeRequest::BranchAnalyze { circuit, branch } => {
+                    self.workspace.branch_fingerprint(circuit, branch)?
+                }
+                _ => size_fingerprint(&self.workspace.netlist(name)?.sizes()),
+            };
             Some(CacheKey {
                 circuit: name.to_owned(),
-                size_fp: size_fingerprint(&netlist.sizes()),
+                size_fp,
                 config_fp: self.config_fp,
                 query_fp: fingerprint_bytes(request.to_line().as_bytes()),
             })
@@ -547,7 +619,7 @@ impl ShardState {
         }
         let forwarded = match to_workspace_request(request) {
             Ok(r) => r,
-            Err(message) => return ServeResponse::Error { message },
+            Err(payload) => return payload,
         };
         let payload = answer_payload(self.workspace.query(forwarded).answer);
         if let (Some(key), false) = (key, matches!(payload, ServeResponse::Error { .. })) {
@@ -569,7 +641,10 @@ impl ShardState {
     ) {
         if !(alpha.is_finite() && alpha >= 0.0) {
             let _ = reply.send(Frame::new(
-                ServeResponse::error(format!("alpha must be finite and >= 0, got {alpha}")),
+                ServeResponse::error_with(
+                    ErrorCode::InvalidParameter.as_str(),
+                    format!("alpha must be finite and >= 0, got {alpha}"),
+                ),
                 wall_us(start),
             ));
             return;
@@ -623,6 +698,8 @@ impl ShardState {
     fn stats_row(&self) -> ShardStats {
         let counters = self.cache.counters();
         let names: Vec<String> = self.workspace.circuit_names().map(String::from).collect();
+        let (branches_live, branches_committed, branches_dropped) =
+            self.workspace.branch_counters();
         ShardStats {
             shard: self.id,
             circuits: self.workspace.len(),
@@ -632,6 +709,9 @@ impl ShardState {
             cache_misses: counters.misses,
             cache_evictions: counters.evictions,
             cache_invalidations: counters.invalidations,
+            branches_live,
+            branches_committed,
+            branches_dropped,
             propagation_threads: ScopedPool::new(self.workspace.config().ssta.threads).threads(),
             propagation_levels: names
                 .iter()
@@ -645,7 +725,7 @@ impl ShardState {
 /// Lowers a cacheable wire request onto the `Workspace` request it
 /// forwards to, validating wire-level parameters that the library-level
 /// constructors would panic on.
-fn to_workspace_request(request: ServeRequest) -> Result<Request, String> {
+fn to_workspace_request(request: ServeRequest) -> Result<Request, ServeResponse> {
     Ok(match request {
         ServeRequest::Analyze { circuit, kind } => Request::Analyze { circuit, kind },
         ServeRequest::AnalyzeUnder {
@@ -654,7 +734,10 @@ fn to_workspace_request(request: ServeRequest) -> Result<Request, String> {
             d2d_share,
         } => {
             if !(d2d_share.is_finite() && (0.0..=1.0).contains(&d2d_share)) {
-                return Err(format!("d2d_share must be in [0, 1], got {d2d_share}"));
+                return Err(ServeResponse::error_with(
+                    ErrorCode::InvalidParameter.as_str(),
+                    format!("d2d_share must be in [0, 1], got {d2d_share}"),
+                ));
             }
             Request::AnalyzeUnder {
                 circuit,
@@ -674,7 +757,26 @@ fn to_workspace_request(request: ServeRequest) -> Result<Request, String> {
         },
         ServeRequest::Criticality { circuit, top } => Request::Criticality { circuit, top },
         ServeRequest::Yield { circuit, deadline } => Request::Yield { circuit, deadline },
-        other => return Err(format!("not a workspace query: {other:?}")),
+        ServeRequest::BranchAnalyze { circuit, branch } => {
+            Request::BranchAnalyze { circuit, branch }
+        }
+        ServeRequest::WhatIf { circuit, trials } => Request::WhatIfBatch {
+            circuit,
+            trials: trials
+                .into_iter()
+                .map(|resizes| WhatIfTrial {
+                    resizes: resizes
+                        .into_iter()
+                        .map(|(gate, size)| GateResize { gate, size })
+                        .collect(),
+                })
+                .collect(),
+        },
+        other => {
+            return Err(ServeResponse::error(format!(
+                "not a workspace query: {other:?}"
+            )))
+        }
     })
 }
 
@@ -716,7 +818,45 @@ fn answer_payload(answer: Answer) -> ServeResponse {
                 resized: report.passes().iter().map(|p| p.resized).sum(),
             }
         }
-        Answer::Error { message } => ServeResponse::Error { message },
+        Answer::Forked {
+            branch,
+            fingerprint,
+        } => ServeResponse::Forked {
+            branch,
+            // Hex keeps all 64 bits; JSON numbers are f64.
+            fingerprint: format!("{fingerprint:016x}"),
+        },
+        Answer::BranchResized { branch, diverged } => {
+            ServeResponse::BranchResized { branch, diverged }
+        }
+        Answer::BranchAnalysis {
+            branch,
+            moments,
+            area,
+        } => ServeResponse::BranchAnalysis {
+            branch,
+            mu: moments.mean,
+            sigma: moments.std(),
+            area,
+        },
+        Answer::Committed {
+            branch,
+            moments,
+            area,
+        } => ServeResponse::Committed {
+            branch,
+            mu: moments.mean,
+            sigma: moments.std(),
+            area,
+        },
+        Answer::Dropped { branch } => ServeResponse::Dropped { branch },
+        Answer::WhatIf { outcomes } => ServeResponse::WhatIf {
+            outcomes: outcomes.into_iter().map(answer_payload).collect(),
+        },
+        Answer::Error { code, message } => ServeResponse::Error {
+            code: code.as_str().to_owned(),
+            message,
+        },
     }
 }
 
@@ -876,9 +1016,10 @@ mod tests {
             preset: Some("adder_8".into()),
             bench: None,
         });
-        let ServeResponse::Error { message } = &frames[0].payload else {
+        let ServeResponse::Error { code, message } = &frames[0].payload else {
             panic!("{:?}", frames[0].payload);
         };
+        assert_eq!(code, "duplicate-circuit");
         assert_eq!(message, "circuit `adder_8` is already registered");
     }
 
@@ -945,9 +1086,10 @@ mod tests {
         assert!(matches!(frames[0].payload, ServeResponse::ShuttingDown));
         assert!(service.is_closed());
         let after = service.call(ServeRequest::ListCircuits);
-        let ServeResponse::Error { message } = &after[0].payload else {
+        let ServeResponse::Error { code, message } = &after[0].payload else {
             panic!("{:?}", after[0].payload);
         };
+        assert_eq!(code, "unavailable");
         assert!(message.contains("shut down"));
     }
 
@@ -974,7 +1116,7 @@ mod tests {
     fn invalid_wire_parameters_answer_errors_not_panics() {
         let service = small_service(1);
         register(&service, "adder_8");
-        for (request, needle) in [
+        for (request, needle, expected_code) in [
             (
                 ServeRequest::AnalyzeUnder {
                     circuit: "adder_8".into(),
@@ -982,6 +1124,7 @@ mod tests {
                     d2d_share: 1.5,
                 },
                 "d2d_share",
+                "invalid-parameter",
             ),
             (
                 ServeRequest::Size {
@@ -990,6 +1133,7 @@ mod tests {
                     max_passes: None,
                 },
                 "alpha",
+                "invalid-parameter",
             ),
             (
                 ServeRequest::Analyze {
@@ -997,12 +1141,14 @@ mod tests {
                     kind: EngineKind::Dsta,
                 },
                 "unknown circuit",
+                "unknown-circuit",
             ),
         ] {
             let frames = service.call(request);
-            let ServeResponse::Error { message } = &frames[0].payload else {
+            let ServeResponse::Error { code, message } = &frames[0].payload else {
                 panic!("{:?}", frames[0].payload);
             };
+            assert_eq!(code, expected_code, "{message}");
             assert!(message.contains(needle), "{message}");
         }
     }

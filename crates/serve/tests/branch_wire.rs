@@ -1,0 +1,337 @@
+//! Wire-level contracts of the branch verbs (protocol v2).
+//!
+//! * Every boundary-validation failure answers a **distinct** stable
+//!   error code next to its human message.
+//! * `BranchAnalyze` answers are cached per **branch** fingerprint, so
+//!   speculative queries never collide with the parent's entries — and
+//!   a `Commit` on the parent can never make a sibling's cached answer
+//!   stale, in any interleaving of commits and queries.
+//! * `WhatIf` fans its trials out over the shard's pool with answers
+//!   bit-identical at every pool width, and each trial's answer equals
+//!   the equivalent fork/resize/analyze sequence.
+
+use vartol::liberty::Library;
+use vartol::workspace::WorkspaceConfig;
+use vartol_serve::{ServeConfig, ServeRequest, ServeResponse, Service, PROTOCOL_VERSION};
+
+/// Two sizable gates deep so branches can diverge on different gates.
+const TWO_GATE_BENCH: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = NAND(a, b)\ny = NOR(m, a)\n";
+
+fn service_with(shards: usize, width: usize, cache: usize) -> Service {
+    let workspace =
+        WorkspaceConfig::default()
+            .with_threads(width)
+            .with_ssta(vartol::ssta::SstaConfig {
+                threads: width,
+                ..Default::default()
+            });
+    Service::new(
+        Library::synthetic_90nm(),
+        ServeConfig::default()
+            .with_shards(shards)
+            .with_cache_capacity(cache)
+            .with_workspace(workspace),
+    )
+}
+
+fn register_bench(service: &Service, name: &str) {
+    let frames = service.call(ServeRequest::Register {
+        circuit: name.into(),
+        preset: None,
+        bench: Some(TWO_GATE_BENCH.into()),
+    });
+    assert!(
+        matches!(frames[0].payload, ServeResponse::Registered { .. }),
+        "{:?}",
+        frames[0].payload
+    );
+}
+
+fn one(service: &Service, request: ServeRequest) -> ServeResponse {
+    let frames = service.call(request);
+    assert_eq!(frames.len(), 1);
+    frames.into_iter().next().unwrap().payload
+}
+
+fn fork(circuit: &str, branch: &str) -> ServeRequest {
+    ServeRequest::Fork {
+        circuit: circuit.into(),
+        branch: branch.into(),
+    }
+}
+
+fn branch_resize(circuit: &str, branch: &str, gate: &str, size: usize) -> ServeRequest {
+    ServeRequest::BranchResize {
+        circuit: circuit.into(),
+        branch: branch.into(),
+        gate: gate.into(),
+        size,
+    }
+}
+
+fn branch_analyze(circuit: &str, branch: &str) -> ServeRequest {
+    ServeRequest::BranchAnalyze {
+        circuit: circuit.into(),
+        branch: branch.into(),
+    }
+}
+
+fn error_code(payload: &ServeResponse) -> &str {
+    match payload {
+        ServeResponse::Error { code, .. } => code,
+        other => panic!("expected an error payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn branch_lifecycle_over_the_wire_and_stats_counters() {
+    let service = service_with(1, 1, 256);
+    register_bench(&service, "two");
+
+    let forked = one(&service, fork("two", "spec"));
+    let ServeResponse::Forked {
+        branch,
+        fingerprint,
+    } = &forked
+    else {
+        panic!("{forked:?}");
+    };
+    assert_eq!(branch, "spec");
+    assert_eq!(fingerprint.len(), 16, "hex u64: {fingerprint}");
+
+    let resized = one(&service, branch_resize("two", "spec", "y", 3));
+    assert!(
+        matches!(resized, ServeResponse::BranchResized { diverged: 1, .. }),
+        "{resized:?}"
+    );
+
+    let analyzed = one(&service, branch_analyze("two", "spec"));
+    let ServeResponse::BranchAnalysis { mu, .. } = analyzed else {
+        panic!("{analyzed:?}");
+    };
+
+    // Commit adopts the branch's answer: the Committed payload carries
+    // the same moments the branch analysis reported.
+    let committed = one(
+        &service,
+        ServeRequest::Commit {
+            circuit: "two".into(),
+            branch: "spec".into(),
+        },
+    );
+    let ServeResponse::Committed {
+        mu: committed_mu, ..
+    } = committed
+    else {
+        panic!("{committed:?}");
+    };
+    assert_eq!(mu.to_bits(), committed_mu.to_bits());
+
+    // Fork + drop, then check the lifetime counters.
+    one(&service, fork("two", "doomed"));
+    let dropped = one(
+        &service,
+        ServeRequest::DropBranch {
+            circuit: "two".into(),
+            branch: "doomed".into(),
+        },
+    );
+    assert!(
+        matches!(dropped, ServeResponse::Dropped { .. }),
+        "{dropped:?}"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.protocol, PROTOCOL_VERSION);
+    assert_eq!(stats.shards[0].branches_live, 0);
+    assert_eq!(stats.shards[0].branches_committed, 1);
+    assert_eq!(stats.shards[0].branches_dropped, 1);
+}
+
+#[test]
+fn every_boundary_failure_maps_to_a_distinct_code() {
+    let service = service_with(1, 1, 256);
+    register_bench(&service, "two");
+    one(&service, fork("two", "a"));
+    one(&service, fork("two", "b"));
+    // Commit `a` so sibling `b` is left with a stale frozen base.
+    one(&service, branch_resize("two", "a", "y", 2));
+    let committed = one(
+        &service,
+        ServeRequest::Commit {
+            circuit: "two".into(),
+            branch: "a".into(),
+        },
+    );
+    assert!(matches!(committed, ServeResponse::Committed { .. }));
+
+    let failures: Vec<(ServeRequest, &str)> = vec![
+        (fork("ghost", "x"), "unknown-circuit"),
+        (fork("two", "b"), "duplicate-branch"),
+        (branch_resize("two", "ghost", "y", 1), "unknown-branch"),
+        (branch_resize("two", "b", "ghost", 1), "unknown-gate"),
+        (branch_resize("two", "b", "a", 1), "input-not-sizable"),
+        (branch_resize("two", "b", "y", 999), "size-out-of-range"),
+        (
+            ServeRequest::Commit {
+                circuit: "two".into(),
+                branch: "b".into(),
+            },
+            "branch-conflict",
+        ),
+        (
+            ServeRequest::AnalyzeUnder {
+                circuit: "two".into(),
+                kind: vartol::ssta::EngineKind::Dsta,
+                d2d_share: 2.0,
+            },
+            "invalid-parameter",
+        ),
+        (
+            ServeRequest::Register {
+                circuit: "more".into(),
+                preset: Some("no-such-preset".into()),
+                bench: None,
+            },
+            "unknown-preset",
+        ),
+        (
+            ServeRequest::Register {
+                circuit: "two".into(),
+                preset: None,
+                bench: Some(TWO_GATE_BENCH.into()),
+            },
+            "duplicate-circuit",
+        ),
+        (
+            ServeRequest::Arrival {
+                circuit: "two".into(),
+                node: "ghost".into(),
+            },
+            "unknown-node",
+        ),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for (request, expected) in failures {
+        let payload = one(&service, request.clone());
+        let code = error_code(&payload).to_owned();
+        assert_eq!(code, expected, "{request:?} → {payload:?}");
+        assert!(seen.insert(code), "code `{expected}` not distinct");
+    }
+    // A rejected commit leaves the branch readable.
+    let still_there = one(&service, branch_analyze("two", "b"));
+    assert!(
+        matches!(still_there, ServeResponse::BranchAnalysis { .. }),
+        "{still_there:?}"
+    );
+    // Malformed lines get the protocol-boundary code.
+    let decoded = ServeRequest::from_line("{\"Fork\":{\"circuit\":\"two\"}}");
+    assert!(decoded.is_err());
+}
+
+/// The satellite regression: interleave commits on the parent with
+/// cached sibling queries in both orders. A sibling's answer depends
+/// only on its own sizes, so the cached service must agree byte-for-byte
+/// with a cache-disabled witness replaying the same requests.
+#[test]
+fn interleaved_commit_never_serves_a_stale_sibling_answer() {
+    for query_before_commit in [true, false] {
+        let cached = service_with(1, 1, 256);
+        let witness = service_with(1, 1, 0);
+        for service in [&cached, &witness] {
+            register_bench(service, "two");
+            one(service, fork("two", "keep"));
+            one(service, fork("two", "win"));
+            one(service, branch_resize("two", "keep", "m", 4));
+            one(service, branch_resize("two", "win", "y", 2));
+            if query_before_commit {
+                // Warm the sibling's per-branch cache entry pre-commit.
+                one(service, branch_analyze("two", "keep"));
+            }
+            let committed = one(
+                service,
+                ServeRequest::Commit {
+                    circuit: "two".into(),
+                    branch: "win".into(),
+                },
+            );
+            assert!(
+                matches!(committed, ServeResponse::Committed { .. }),
+                "{committed:?}"
+            );
+        }
+        let after_cached = one(&cached, branch_analyze("two", "keep"));
+        let after_witness = one(&witness, branch_analyze("two", "keep"));
+        assert!(
+            matches!(after_cached, ServeResponse::BranchAnalysis { .. }),
+            "{after_cached:?}"
+        );
+        assert_eq!(
+            after_cached, after_witness,
+            "stale sibling answer (query_before_commit = {query_before_commit})"
+        );
+        // Repeat query: served from the per-branch cache entry, still
+        // byte-identical. (The commit conservatively invalidated the
+        // whole circuit's entries, so the first post-commit query was a
+        // miss; this one is the hit.)
+        let hits_before = cached.stats().hits();
+        let again = one(&cached, branch_analyze("two", "keep"));
+        assert_eq!(again, after_witness);
+        assert_eq!(cached.stats().hits(), hits_before + 1);
+    }
+}
+
+#[test]
+fn what_if_batch_is_width_identical_and_matches_branch_sequences() {
+    let trials: Vec<Vec<(String, usize)>> = vec![
+        vec![("y".into(), 2)],
+        vec![("m".into(), 4), ("y".into(), 1)],
+        vec![("ghost".into(), 1)], // per-trial error, siblings unaffected
+        vec![],
+    ];
+    let what_if = |width: usize| {
+        let service = service_with(1, width, 256);
+        register_bench(&service, "two");
+        one(
+            &service,
+            ServeRequest::WhatIf {
+                circuit: "two".into(),
+                trials: trials.clone(),
+            },
+        )
+    };
+    let reference = what_if(1);
+    let ServeResponse::WhatIf { outcomes } = &reference else {
+        panic!("{reference:?}");
+    };
+    assert_eq!(outcomes.len(), trials.len());
+    assert_eq!(error_code(&outcomes[2]), "unknown-gate");
+    for width in [2usize, 8] {
+        assert_eq!(what_if(width), reference, "drift at width {width}");
+    }
+
+    // Trial 0 must answer exactly what the explicit branch dance does.
+    let service = service_with(1, 1, 256);
+    register_bench(&service, "two");
+    one(&service, fork("two", "t0"));
+    one(&service, branch_resize("two", "t0", "y", 2));
+    let explicit = one(&service, branch_analyze("two", "t0"));
+    let ServeResponse::BranchAnalysis {
+        mu, sigma, area, ..
+    } = explicit
+    else {
+        panic!("{explicit:?}");
+    };
+    let ServeResponse::BranchAnalysis {
+        mu: t_mu,
+        sigma: t_sigma,
+        area: t_area,
+        ..
+    } = outcomes[0]
+    else {
+        panic!("{:?}", outcomes[0]);
+    };
+    assert_eq!(mu.to_bits(), t_mu.to_bits());
+    assert_eq!(sigma.to_bits(), t_sigma.to_bits());
+    assert_eq!(area.to_bits(), t_area.to_bits());
+}

@@ -53,6 +53,20 @@ fn script() -> String {
         r#"{"Resize":{"circuit":"tiny","gate":"y","size":3}}"#.to_owned(),
         r#"{"Arrival":{"circuit":"tiny","node":"y"}}"#.to_owned(),
         r#"{"Size":{"circuit":"tiny","alpha":3.0,"max_passes":2}}"#.to_owned(),
+        // Branch verbs: fork, speculate, analyze (twice — the repeat is
+        // a per-branch cache hit), batch what-ifs, commit, drop.
+        r#"{"Fork":{"circuit":"tiny","branch":"spec"}}"#.to_owned(),
+        r#"{"BranchResize":{"circuit":"tiny","branch":"spec","gate":"y","size":1}}"#.to_owned(),
+        r#"{"BranchAnalyze":{"circuit":"tiny","branch":"spec"}}"#.to_owned(),
+        r#"{"BranchAnalyze":{"circuit":"tiny","branch":"spec"}}"#.to_owned(),
+        r#"{"WhatIf":{"circuit":"tiny","trials":[[["y",2]],[["y",0]],[]]}}"#.to_owned(),
+        r#"{"Commit":{"circuit":"tiny","branch":"spec"}}"#.to_owned(),
+        r#"{"Arrival":{"circuit":"tiny","node":"y"}}"#.to_owned(),
+        r#"{"Fork":{"circuit":"tiny","branch":"doomed"}}"#.to_owned(),
+        r#"{"DropBranch":{"circuit":"tiny","branch":"doomed"}}"#.to_owned(),
+        // Branch error paths: all typed, all deterministic.
+        r#"{"BranchResize":{"circuit":"tiny","branch":"ghost","gate":"y","size":1}}"#.to_owned(),
+        r#"{"Commit":{"circuit":"tiny","branch":"ghost"}}"#.to_owned(),
         // Error paths: unknown circuit, malformed parameter, bad JSON.
         r#"{"Analyze":{"circuit":"ghost","kind":"Dsta"}}"#.to_owned(),
         r#"{"AnalyzeUnder":{"circuit":"cmp_8","kind":"Dsta","d2d_share":7.0}}"#.to_owned(),
@@ -92,8 +106,11 @@ fn payloads_are_byte_identical_at_every_shard_count_and_pool_width() {
     assert!(
         reference.iter().any(|l| l.contains("\"Analysis\""))
             && reference.iter().any(|l| l.contains("\"Sized\""))
+            && reference.iter().any(|l| l.contains("\"BranchAnalysis\""))
+            && reference.iter().any(|l| l.contains("\"Committed\""))
+            && reference.iter().any(|l| l.contains("\"WhatIf\""))
             && reference.iter().any(|l| l.contains("\"Error\"")),
-        "script must exercise analyses, sizing, and errors: {reference:#?}"
+        "script must exercise analyses, sizing, branches, and errors: {reference:#?}"
     );
     for shards in [1usize, 2, 4] {
         for width in [1usize, 2, 8] {

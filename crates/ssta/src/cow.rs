@@ -1,0 +1,259 @@
+//! Chunked copy-on-write vectors — the structural-sharing substrate of
+//! circuit versioning.
+//!
+//! A [`CowVec`] stores its elements in fixed-width chunks, each behind an
+//! [`Arc`]. Cloning is O(chunks) pointer bumps; writing path-copies only
+//! the touched chunk ([`Arc::make_mut`]), so two versions that differ in
+//! a handful of elements share every other segment physically. This is
+//! what makes a [`SessionBranch`](crate::SessionBranch) cheap: the
+//! branch's size vector and its arrival/electrical snapshots are
+//! `CowVec`s derived from the fork base, and only the chunks its
+//! divergent cone actually touched are private copies.
+//!
+//! Sharing is observable (and asserted in tests) through
+//! [`CowVec::shared_chunks_with`], which counts physically shared
+//! (`Arc::ptr_eq`) segments between two versions.
+//!
+//! # Example
+//!
+//! ```
+//! use vartol_ssta::cow::CowVec;
+//!
+//! let base: CowVec<usize> = CowVec::from_slice(&[0; 256]);
+//! let mut branch = base.clone();        // O(chunks), fully shared
+//! branch.set(7, 3);                     // path-copies one chunk
+//! assert_eq!(branch.get(7), &3);
+//! assert_eq!(base.get(7), &0);          // the base is untouched
+//! assert_eq!(base.shared_chunks_with(&branch), 3); // 3 of 4 still shared
+//! ```
+
+use std::sync::Arc;
+
+/// Elements per chunk. Small enough that a single-gate divergence keeps
+/// most of a circuit shared, large enough that the chunk table stays a
+/// fraction of the payload.
+pub const COW_CHUNK: usize = 64;
+
+/// A persistent vector of `T` with chunked structural sharing (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct CowVec<T> {
+    len: usize,
+    chunks: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Clone> CowVec<T> {
+    /// Builds a fresh (unshared) vector from a slice.
+    #[must_use]
+    pub fn from_slice(values: &[T]) -> Self {
+        let chunks = values
+            .chunks(COW_CHUNK)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect();
+        Self {
+            len: values.len(),
+            chunks,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &self.chunks[i / COW_CHUNK][i % COW_CHUNK]
+    }
+
+    /// Copies the elements out into a plain `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend(c.iter().cloned());
+        }
+        out
+    }
+
+    /// Iterates the elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Number of chunks physically shared (`Arc::ptr_eq`) with another
+    /// version — the observable measure of structural sharing.
+    #[must_use]
+    pub fn shared_chunks_with(&self, other: &Self) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Total chunk count.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl<T: Clone + PartialEq> CowVec<T> {
+    /// Writes `value` at `i`, path-copying the containing chunk — unless
+    /// the element already equals `value`, in which case the chunk (and
+    /// its sharing) is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, value: T) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let chunk = &mut self.chunks[i / COW_CHUNK];
+        if chunk[i % COW_CHUNK] == value {
+            return;
+        }
+        Arc::make_mut(chunk)[i % COW_CHUNK] = value;
+    }
+
+    /// Derives a new version from `base` carrying the values of `fresh`:
+    /// chunks whose values are unchanged stay physically shared with
+    /// `base`; changed chunks are private copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh.len() != base.len()`.
+    #[must_use]
+    pub fn overlay(base: &Self, fresh: &[T]) -> Self {
+        assert_eq!(base.len, fresh.len(), "overlay length mismatch");
+        let chunks = base
+            .chunks
+            .iter()
+            .zip(fresh.chunks(COW_CHUNK))
+            .map(|(old, new)| {
+                if old.as_slice() == new {
+                    Arc::clone(old)
+                } else {
+                    Arc::new(new.to_vec())
+                }
+            })
+            .collect();
+        Self {
+            len: base.len,
+            chunks,
+        }
+    }
+
+    /// Indices whose values differ from `other`, in ascending order.
+    /// Chunks shared physically with `other` are skipped without a scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn diff_indices(&self, other: &Self) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "diff length mismatch");
+        let mut out = Vec::new();
+        for (ci, (a, b)) in self.chunks.iter().zip(&other.chunks).enumerate() {
+            if Arc::ptr_eq(a, b) {
+                continue;
+            }
+            for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                if x != y {
+                    out.push(ci * COW_CHUNK + k);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for CowVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .chunks
+                .iter()
+                .zip(&other.chunks)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a.as_slice() == b.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let v: Vec<usize> = (0..200).collect();
+        let cow = CowVec::from_slice(&v);
+        assert_eq!(cow.len(), 200);
+        assert_eq!(cow.to_vec(), v);
+        assert_eq!(cow.iter().copied().collect::<Vec<_>>(), v);
+        assert_eq!(*cow.get(131), 131);
+    }
+
+    #[test]
+    fn clone_shares_every_chunk_and_set_path_copies_one() {
+        let base = CowVec::from_slice(&vec![0usize; 4 * COW_CHUNK]);
+        let mut branch = base.clone();
+        assert_eq!(base.shared_chunks_with(&branch), 4);
+        branch.set(COW_CHUNK + 1, 9);
+        assert_eq!(base.shared_chunks_with(&branch), 3);
+        assert_eq!(*branch.get(COW_CHUNK + 1), 9);
+        assert_eq!(*base.get(COW_CHUNK + 1), 0);
+    }
+
+    #[test]
+    fn writing_an_equal_value_preserves_sharing() {
+        let base = CowVec::from_slice(&vec![7usize; 2 * COW_CHUNK]);
+        let mut branch = base.clone();
+        branch.set(3, 7); // no-op write
+        assert_eq!(base.shared_chunks_with(&branch), 2);
+    }
+
+    #[test]
+    fn overlay_shares_unchanged_chunks() {
+        let v: Vec<u64> = (0..(3 * COW_CHUNK as u64 + 5)).collect();
+        let base = CowVec::from_slice(&v);
+        let mut fresh = v.clone();
+        fresh[COW_CHUNK * 2] = 999;
+        let over = CowVec::overlay(&base, &fresh);
+        assert_eq!(over.to_vec(), fresh);
+        assert_eq!(base.shared_chunks_with(&over), 3, "one of four diverged");
+    }
+
+    #[test]
+    fn diff_indices_finds_exact_divergence() {
+        let base = CowVec::from_slice(&vec![0usize; 300]);
+        let mut branch = base.clone();
+        branch.set(5, 1);
+        branch.set(299, 2);
+        branch.set(64, 3);
+        assert_eq!(branch.diff_indices(&base), vec![5, 64, 299]);
+        assert_eq!(base.diff_indices(&base.clone()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn equality_is_by_value_not_by_sharing() {
+        let a = CowVec::from_slice(&[1u32, 2, 3]);
+        let b = CowVec::from_slice(&[1u32, 2, 3]);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.set(1, 9);
+        assert_ne!(a, c);
+    }
+}

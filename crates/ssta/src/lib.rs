@@ -77,7 +77,9 @@
 //! assert_eq!(after, scratch.circuit_moments());
 //! ```
 
+pub mod branch;
 pub mod config;
+pub mod cow;
 pub mod criticality;
 pub mod delay;
 pub mod dsta;
@@ -93,7 +95,9 @@ mod state;
 pub mod variation;
 pub mod wnss;
 
+pub use branch::{BranchError, SessionBranch};
 pub use config::{CorrelationMode, SstaConfig};
+pub use cow::CowVec;
 pub use criticality::Criticality;
 pub use delay::CircuitTiming;
 pub use dsta::{Dsta, DstaResult};
@@ -103,7 +107,9 @@ pub use fingerprint::{config_fingerprint, fingerprint_bytes, size_fingerprint, F
 pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
 pub use pool::ScopedPool;
-pub use session::{TimingSession, TrialSession};
+pub use session::TimingSession;
+#[allow(deprecated)]
+pub use session::TrialSession;
 pub use slack::StatisticalSlacks;
 pub use variation::{GlobalSource, SpatialGrid, VariationContext, VariationModel};
 pub use wnss::WnssTracer;

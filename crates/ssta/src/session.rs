@@ -63,6 +63,7 @@
 //! assert_eq!(netlist.gate(gate).size(), Some(4));
 //! ```
 
+use crate::branch::{BranchError, ForkBase, SessionBranch};
 use crate::config::SstaConfig;
 use crate::criticality::Criticality;
 use crate::delay::CircuitTiming;
@@ -70,7 +71,7 @@ use crate::engine::{EngineKind, TimingReport};
 use crate::slack::StatisticalSlacks;
 use crate::state::{CircuitSummary, TimingState};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use vartol_liberty::Library;
 use vartol_netlist::{GateId, Netlist, NetlistError};
 use vartol_stats::{DiscretePdf, Moments};
@@ -99,6 +100,10 @@ pub struct TimingSession {
     dirty: BTreeSet<usize>,
     /// Sizes as of the last refresh, for no-op resize detection.
     analyzed_sizes: Vec<usize>,
+    /// Cached frozen fork base: the first [`TimingSession::fork`] after a
+    /// refresh pays one state copy, every sibling fork is a pointer bump.
+    /// Invalidated by anything that mutates sizes or analysis state.
+    fork_cache: Mutex<Option<Arc<ForkBase>>>,
 }
 
 impl TimingSession {
@@ -143,7 +148,18 @@ impl TimingSession {
             summary,
             dirty: BTreeSet::new(),
             analyzed_sizes,
+            fork_cache: Mutex::new(None),
         }
+    }
+
+    /// Drops the cached fork base. Every mutation of sizes or analysis
+    /// state must route through here so no branch can ever fork from (or
+    /// commit against) a stale snapshot.
+    fn invalidate_fork_cache(&mut self) {
+        *self
+            .fork_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// The incremental engine flavor.
@@ -235,6 +251,7 @@ impl TimingSession {
     /// Propagates [`Netlist::try_set_size`] errors.
     pub fn try_resize(&mut self, id: GateId, size: usize) -> Result<(), NetlistError> {
         self.netlist.try_set_size(id, size)?;
+        self.invalidate_fork_cache();
         if self.analyzed_sizes[id.index()] == size {
             self.dirty.remove(&id.index());
         } else {
@@ -279,6 +296,7 @@ impl TimingSession {
     /// Propagates [`Netlist::try_restore_sizes`] errors.
     pub fn try_restore_sizes(&mut self, sizes: &[usize]) -> Result<(), NetlistError> {
         self.netlist.try_restore_sizes(sizes)?;
+        self.invalidate_fork_cache();
         for id in self.netlist.gate_ids() {
             let i = id.index();
             if sizes[i] == self.analyzed_sizes[i] {
@@ -301,6 +319,7 @@ impl TimingSession {
     /// moments. A no-op when nothing changed.
     pub fn refresh(&mut self) -> Moments {
         if !self.dirty.is_empty() {
+            self.invalidate_fork_cache();
             let mut seeds: BTreeSet<usize> = BTreeSet::new();
             for &i in &self.dirty {
                 // The resized gate's own drive and delay change, and its
@@ -339,6 +358,7 @@ impl TimingSession {
         self.summary = self.state.circuit(&self.netlist, &self.config);
         self.analyzed_sizes = self.netlist.sizes();
         self.dirty.clear();
+        self.invalidate_fork_cache();
     }
 
     /// Circuit output moments as of the last refresh.
@@ -419,6 +439,104 @@ impl TimingSession {
         )
     }
 
+    /// Forks an owned copy-on-write [`SessionBranch`] of this session.
+    ///
+    /// The first fork after a refresh snapshots the session's state once
+    /// into a shared fork base; every further fork of the same state is
+    /// a pointer bump, and sibling branches share unchanged chunks of
+    /// the size vector and the arrival/electrical snapshots physically
+    /// (see [`crate::branch`]). A branch recomputes only its own
+    /// divergent cone, memoizes cone results with its siblings, and can
+    /// be committed back through [`TimingSession::commit`] or simply
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resizes are pending ([`TimingSession::is_dirty`]): the
+    /// frozen base must be consistent with the sizes it was computed
+    /// from, so callers refresh first.
+    #[must_use]
+    pub fn fork(&self) -> SessionBranch {
+        assert!(
+            !self.is_dirty(),
+            "fork requires a refreshed session (pending resizes would \
+             make the frozen snapshot inconsistent)"
+        );
+        let mut cache = self
+            .fork_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let fp = crate::fingerprint::size_fingerprint(&self.netlist.sizes());
+        let base = match cache.as_ref() {
+            Some(b) if b.size_fp() == fp => Arc::clone(b),
+            _ => {
+                let b = Arc::new(ForkBase::new(
+                    Arc::clone(&self.library),
+                    self.config.clone(),
+                    self.netlist.clone(),
+                    self.state.clone(),
+                    self.summary.clone(),
+                ));
+                *cache = Some(Arc::clone(&b));
+                b
+            }
+        };
+        SessionBranch::from_base(base)
+    }
+
+    /// Commits a branch back into this session: the session adopts the
+    /// branch's sizes and its evaluated propagation state **without
+    /// recomputing anything** ([`TimingSession::recompute_count`] is
+    /// unchanged), and returns the committed circuit moments. The result
+    /// is bit-identical to applying the branch's resizes directly and
+    /// refreshing.
+    ///
+    /// Consumes the branch; sibling branches of the same fork base stay
+    /// valid for reads, but committing them afterwards fails with
+    /// [`BranchError::BaseMismatch`] because their frozen base no longer
+    /// matches the parent.
+    ///
+    /// # Errors
+    ///
+    /// [`BranchError::ParentDirty`] when resizes are pending here;
+    /// [`BranchError::BaseMismatch`] when this session's sizes changed
+    /// since the fork; [`BranchError::CircuitMismatch`] when the branch
+    /// belongs to a different circuit, engine kind, or configuration.
+    pub fn commit(&mut self, mut branch: SessionBranch) -> Result<Moments, BranchError> {
+        if self.is_dirty() {
+            return Err(BranchError::ParentDirty);
+        }
+        let found = self.size_fingerprint();
+        if branch.base_fingerprint() != found {
+            return Err(BranchError::BaseMismatch {
+                expected: branch.base_fingerprint(),
+                found,
+            });
+        }
+        if branch.netlist().node_count() != self.netlist.node_count()
+            || branch.kind() != self.state.kind
+            || branch.config() != &self.config
+        {
+            return Err(BranchError::CircuitMismatch);
+        }
+        let Some(eval) = branch.eval_result() else {
+            return Ok(self.summary.moments); // never diverged
+        };
+        self.netlist
+            .try_restore_sizes(&branch.sizes())
+            .map_err(|_| BranchError::CircuitMismatch)?;
+        // Adoption: clone the memoized cone state (a byte copy, zero
+        // kernel recomputations) and keep the parent's own cost meter.
+        let mut state = eval.state.clone();
+        state.visits = self.state.visits;
+        self.state = state;
+        self.summary = eval.summary.clone();
+        self.analyzed_sizes = self.netlist.sizes();
+        self.dirty.clear();
+        self.invalidate_fork_cache();
+        Ok(self.summary.moments)
+    }
+
     /// Forks the session for speculative candidate evaluation.
     ///
     /// The fork owns a private clone of the netlist (so trial resizes
@@ -438,6 +556,12 @@ impl TimingSession {
     /// frozen snapshot must be consistent with the sizes it was computed
     /// from, so callers refresh first.
     #[must_use]
+    #[deprecated(
+        since = "0.6.0",
+        note = "use TimingSession::fork() and SessionBranch; \
+                TrialSession will become private in the next release"
+    )]
+    #[allow(deprecated)]
     pub fn fork_for_trial(&self) -> TrialSession<'_> {
         assert!(
             !self.is_dirty(),
@@ -464,6 +588,11 @@ impl TimingSession {
 /// can score candidates in parallel; a fork never writes back — commit
 /// decisions go through the parent session.
 #[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.6.0",
+    note = "use TimingSession::fork() and SessionBranch; \
+            TrialSession will become private in the next release"
+)]
 pub struct TrialSession<'s> {
     library: &'s Library,
     config: &'s SstaConfig,
@@ -472,6 +601,7 @@ pub struct TrialSession<'s> {
     timing: &'s CircuitTiming,
 }
 
+#[allow(deprecated)]
 impl<'s> TrialSession<'s> {
     /// The parent session's library.
     #[must_use]
@@ -665,6 +795,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn fork_trials_never_touch_the_parent() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
@@ -689,6 +820,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn forks_score_candidates_identically_across_pool_widths() {
         use crate::pool::ScopedPool;
         let lib = Library::synthetic_90nm();
@@ -724,6 +856,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "requires a refreshed session")]
+    #[allow(deprecated)]
     fn fork_of_a_dirty_session_is_rejected() {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(4, &lib);

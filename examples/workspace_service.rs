@@ -116,8 +116,10 @@ fn main() {
                 report.delta_area_pct(),
                 report.passes().len()
             ),
-            Answer::Error { ref message } => println!(
-                "{:<9} ERROR     {message}  [{wall:.1} ms]",
+            Answer::Error {
+                code, ref message, ..
+            } => println!(
+                "{:<9} ERROR     [{code}] {message}  [{wall:.1} ms]",
                 request.circuit()
             ),
             ref other => println!("{:<9} {other:?}", request.circuit()),

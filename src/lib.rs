@@ -39,11 +39,11 @@
 //!   the weighted `μ + α·σ` objective, plus deterministic baselines. Both
 //!   sizers hold their library through a shared handle (no lifetimes).
 //!   `StatisticalGreedy`'s candidate-evaluation inner loop is parallel:
-//!   each outer pass forks the timing session
-//!   ([`TimingSession::fork_for_trial`](ssta::TimingSession::fork_for_trial))
-//!   once per worker, scores every `(gate, size)` candidate on the frozen
-//!   pass-start statistics concurrently, and merges the bids in path order —
-//!   so the chosen resizes, final moments, and area are bit-identical for
+//!   each outer pass forks one copy-on-write branch
+//!   ([`TimingSession::fork`](ssta::TimingSession::fork)) per worker,
+//!   scores every `(gate, size)` candidate against the frozen pass-start
+//!   fork base concurrently, and merges the bids in path order — so the
+//!   chosen resizes, final moments, and area are bit-identical for
 //!   every thread count (`SizerConfig::with_threads`, 0 = all CPUs), just
 //!   like the Monte-Carlo engine.
 //! * [`workspace`] — the service layer this crate adds on top:
@@ -58,8 +58,16 @@
 //!   [`Slack`](workspace::Request::Slack) /
 //!   [`Criticality`](workspace::Request::Criticality) queries,
 //!   Monte-Carlo [`Yield`](workspace::Request::Yield) at a deadline,
-//!   what-if [`Resize`](workspace::Request::Resize)s, and full
-//!   [`Size`](workspace::Request::Size) optimization runs — fanned out
+//!   what-if [`Resize`](workspace::Request::Resize)s, full
+//!   [`Size`](workspace::Request::Size) optimization runs, and named
+//!   copy-on-write circuit versions —
+//!   [`Fork`](workspace::Request::Fork) /
+//!   [`BranchResize`](workspace::Request::BranchResize) /
+//!   [`BranchAnalyze`](workspace::Request::BranchAnalyze) /
+//!   [`Commit`](workspace::Request::Commit) /
+//!   [`DropBranch`](workspace::Request::DropBranch), plus
+//!   [`WhatIfBatch`](workspace::Request::WhatIfBatch) for N speculative
+//!   trials evaluated in parallel — fanned out
 //!   over a [`ScopedPool`](ssta::ScopedPool) with one cached session per
 //!   circuit, answered in request order, bit-identical at every thread
 //!   count, with malformed or panicking requests isolated to their own
@@ -149,6 +157,60 @@
 //!   [`Workspace`], which caches one session per registered circuit and
 //!   serves concurrent batches deterministically (see the next
 //!   section).
+//!
+//! # Migrating from mutate-and-rollback to branches (0.2 → 0.3 idiom)
+//!
+//! Speculation used to mean mutating the one session and rolling back
+//! (`resize` → measure → `restore_sizes`), or borrowing a
+//! lifetime-bound `TrialSession` that could not leave the stack frame.
+//! Both are superseded by **owned copy-on-write branches**:
+//! [`TimingSession::fork`](ssta::TimingSession::fork) snapshots the
+//! session's state once into a shared base and hands back a
+//! [`SessionBranch`](ssta::SessionBranch) — cheap to create, safe to
+//! send across threads, recomputing only its own divergent fanout cone,
+//! and either committed back or simply dropped. The old
+//! `fork_for_trial`/`TrialSession` pair still compiles as a deprecated
+//! shim, but new code should read like this:
+//!
+//! ```
+//! use vartol::liberty::Library;
+//! use vartol::netlist::generators::ripple_carry_adder;
+//! use vartol::ssta::{SstaConfig, TimingSession};
+//!
+//! let lib = Library::synthetic_90nm();
+//! let mut session =
+//!     TimingSession::new(&lib, SstaConfig::default(), ripple_carry_adder(8, &lib));
+//! let baseline = session.refresh();
+//! let gates: Vec<_> = session.netlist().gate_ids().collect();
+//!
+//! // Speculate on two alternatives at once. Neither touches the
+//! // session; unchanged state is physically shared between them.
+//! let mut upsize = session.fork();
+//! upsize.resize(gates[0], 5);
+//! let mut downsize = session.fork();
+//! downsize.resize(gates[0], 1);
+//! let up = upsize.refresh();
+//! let down = downsize.refresh();
+//! assert_ne!(up.mean.to_bits(), down.mean.to_bits());
+//! assert_eq!(session.circuit_moments(), baseline); // parent untouched
+//!
+//! // Only the divergent cone was recomputed, not the whole circuit.
+//! assert!(upsize.recompute_count() > 0);
+//! assert!((upsize.recompute_count() as usize) < session.netlist().node_count());
+//!
+//! // Keep the winner: commit adopts its state without recomputing.
+//! let committed = session.commit(upsize).expect("parent unchanged since fork");
+//! assert_eq!(committed, up);
+//! assert_eq!(session.netlist().gate(gates[0]).size(), Some(5));
+//! drop(downsize); // the loser just goes away
+//! ```
+//!
+//! Through the [`Workspace`] the same lifecycle is the
+//! `Fork`/`BranchResize`/`BranchAnalyze`/`Commit`/`DropBranch` requests
+//! (branches are named, per circuit), and `WhatIfBatch` evaluates N
+//! anonymous trials in parallel with answers in trial order —
+//! bit-identical at every pool width. `vartol-serve` speaks all six
+//! verbs on the wire (protocol v2).
 //!
 //! # Correlated process variation
 //!

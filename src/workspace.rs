@@ -67,7 +67,8 @@ use vartol_netlist::generators::preset;
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::{Netlist, NetlistError};
 use vartol_ssta::{
-    EngineKind, MonteCarloTimer, ScopedPool, SstaConfig, TimingSession, VariationModel,
+    EngineKind, MonteCarloTimer, ScopedPool, SessionBranch, SstaConfig, TimingSession,
+    VariationModel,
 };
 use vartol_stats::Moments;
 
@@ -161,6 +162,124 @@ impl From<NetlistError> for WorkspaceError {
     }
 }
 
+impl WorkspaceError {
+    /// The stable machine-readable code for this error (the same code
+    /// the serve wire protocol carries).
+    #[must_use]
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Self::DuplicateCircuit(_) => ErrorCode::DuplicateCircuit,
+            Self::UnknownPreset(_) => ErrorCode::UnknownPreset,
+            Self::InvalidNetlist(_) => ErrorCode::InvalidNetlist,
+            Self::Io(_) => ErrorCode::Io,
+        }
+    }
+}
+
+/// Stable machine-readable failure codes carried by [`Answer::Error`]
+/// (and, through it, by the serve wire protocol's typed error payload).
+///
+/// Every boundary-validation failure maps to a distinct code; the
+/// human-readable message travels next to the code, never instead of it.
+/// The kebab-case wire form comes from [`ErrorCode::as_str`] and is part
+/// of the protocol contract — codes may be added, never renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request addressed a circuit name that is not registered.
+    UnknownCircuit,
+    /// The circuit has no node with the requested name.
+    UnknownNode,
+    /// The circuit has no gate with the requested name.
+    UnknownGate,
+    /// The named node is a primary input, which has no size to change.
+    InputNotSizable,
+    /// The size index falls outside the gate's library cell group.
+    SizeOutOfRange,
+    /// The library has no cell group for the gate's function/arity.
+    NoCellGroup,
+    /// A numeric parameter was non-finite or out of domain.
+    InvalidParameter,
+    /// The correlated variation model failed validation.
+    InvalidModel,
+    /// The netlist rejected the mutation (structural/library validation).
+    InvalidNetlist,
+    /// A circuit with this name is already registered.
+    DuplicateCircuit,
+    /// No generator preset with this name exists.
+    UnknownPreset,
+    /// A `.bench` file could not be read.
+    Io,
+    /// The circuit has no branch with the requested name.
+    UnknownBranch,
+    /// A branch with this name already exists on the circuit.
+    DuplicateBranch,
+    /// The branch could not be committed (parent diverged since fork,
+    /// pending parent resizes, or a foreign circuit).
+    BranchConflict,
+    /// Evaluation panicked; the circuit's session was recovered.
+    Panic,
+    /// The request itself was malformed at the protocol boundary.
+    BadRequest,
+}
+
+impl ErrorCode {
+    /// The stable kebab-case wire form of the code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::UnknownCircuit => "unknown-circuit",
+            Self::UnknownNode => "unknown-node",
+            Self::UnknownGate => "unknown-gate",
+            Self::InputNotSizable => "input-not-sizable",
+            Self::SizeOutOfRange => "size-out-of-range",
+            Self::NoCellGroup => "no-cell-group",
+            Self::InvalidParameter => "invalid-parameter",
+            Self::InvalidModel => "invalid-model",
+            Self::InvalidNetlist => "invalid-netlist",
+            Self::DuplicateCircuit => "duplicate-circuit",
+            Self::UnknownPreset => "unknown-preset",
+            Self::Io => "io",
+            Self::UnknownBranch => "unknown-branch",
+            Self::DuplicateBranch => "duplicate-branch",
+            Self::BranchConflict => "branch-conflict",
+            Self::Panic => "panic",
+            Self::BadRequest => "bad-request",
+        }
+    }
+
+    /// Parses the kebab-case wire form back into a code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "unknown-circuit" => Self::UnknownCircuit,
+            "unknown-node" => Self::UnknownNode,
+            "unknown-gate" => Self::UnknownGate,
+            "input-not-sizable" => Self::InputNotSizable,
+            "size-out-of-range" => Self::SizeOutOfRange,
+            "no-cell-group" => Self::NoCellGroup,
+            "invalid-parameter" => Self::InvalidParameter,
+            "invalid-model" => Self::InvalidModel,
+            "invalid-netlist" => Self::InvalidNetlist,
+            "duplicate-circuit" => Self::DuplicateCircuit,
+            "unknown-preset" => Self::UnknownPreset,
+            "io" => Self::Io,
+            "unknown-branch" => Self::UnknownBranch,
+            "duplicate-branch" => Self::DuplicateBranch,
+            "branch-conflict" => Self::BranchConflict,
+            "panic" => Self::Panic,
+            "bad-request" => Self::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One typed query against a registered circuit.
 ///
 /// All requests address circuits (and gates) **by name**, so a batch can
@@ -245,6 +364,81 @@ pub enum Request {
         /// Optimizer configuration (σ weight, pass budget, threads, …).
         config: SizerConfig,
     },
+    /// Fork a named copy-on-write branch of the circuit. The branch
+    /// shares all unchanged state with the circuit's cached session and
+    /// persists across batches until committed or dropped.
+    Fork {
+        /// Target circuit name.
+        circuit: String,
+        /// Name for the new branch (unique per circuit).
+        branch: String,
+    },
+    /// What-if resize of one gate **on a named branch**: the circuit's
+    /// cached session (and every other branch) is untouched.
+    BranchResize {
+        /// Target circuit name.
+        circuit: String,
+        /// Branch name (from [`Request::Fork`]).
+        branch: String,
+        /// Gate name.
+        gate: String,
+        /// New size index into the gate's library cell group.
+        size: usize,
+    },
+    /// Analyze a named branch: recomputes only the branch's divergent
+    /// fanout cone (memoized and shared with sibling branches at the
+    /// same sizes), bit-identical to a from-scratch analysis.
+    BranchAnalyze {
+        /// Target circuit name.
+        circuit: String,
+        /// Branch name.
+        branch: String,
+    },
+    /// Commit a named branch back into the circuit: the session adopts
+    /// the branch's sizes and its memoized analysis without recomputing.
+    /// Remaining sibling branches stay readable but can no longer commit
+    /// (their frozen base is stale).
+    Commit {
+        /// Target circuit name.
+        circuit: String,
+        /// Branch name; consumed on success.
+        branch: String,
+    },
+    /// Discard a named branch. The circuit is untouched.
+    DropBranch {
+        /// Target circuit name.
+        circuit: String,
+        /// Branch name.
+        branch: String,
+    },
+    /// Evaluate N independent what-if trials as anonymous branches of
+    /// one circuit, fanned out in parallel over the workspace pool —
+    /// answers in trial order, bit-identical at every pool width. The
+    /// circuit is left untouched; trials share memoized cones when they
+    /// land on the same sizes.
+    WhatIfBatch {
+        /// Target circuit name.
+        circuit: String,
+        /// The divergent trials to evaluate.
+        trials: Vec<WhatIfTrial>,
+    },
+}
+
+/// One speculative trial of [`Request::WhatIfBatch`]: a set of gate
+/// resizes applied to a fresh branch of the circuit's current state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WhatIfTrial {
+    /// Gate resizes defining the trial's divergence, applied in order.
+    pub resizes: Vec<GateResize>,
+}
+
+/// One `(gate, size)` element of a [`WhatIfTrial`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GateResize {
+    /// Gate name.
+    pub gate: String,
+    /// New size index into the gate's library cell group.
+    pub size: usize,
 }
 
 impl Request {
@@ -259,7 +453,13 @@ impl Request {
             | Self::Criticality { circuit, .. }
             | Self::Yield { circuit, .. }
             | Self::Resize { circuit, .. }
-            | Self::Size { circuit, .. } => circuit,
+            | Self::Size { circuit, .. }
+            | Self::Fork { circuit, .. }
+            | Self::BranchResize { circuit, .. }
+            | Self::BranchAnalyze { circuit, .. }
+            | Self::Commit { circuit, .. }
+            | Self::DropBranch { circuit, .. }
+            | Self::WhatIfBatch { circuit, .. } => circuit,
         }
     }
 }
@@ -318,17 +518,68 @@ pub enum Answer {
         /// Total cell area after sizing.
         area: f64,
     },
+    /// Result of [`Request::Fork`].
+    Forked {
+        /// The new branch's name.
+        branch: String,
+        /// Size fingerprint of the frozen base the branch forked from.
+        fingerprint: u64,
+    },
+    /// Result of [`Request::BranchResize`] — deliberately cheap: no
+    /// timing runs until [`Request::BranchAnalyze`].
+    BranchResized {
+        /// The branch.
+        branch: String,
+        /// How many gates now differ from the frozen base.
+        diverged: usize,
+    },
+    /// Result of [`Request::BranchAnalyze`] (and each successful
+    /// [`Request::WhatIfBatch`] trial).
+    BranchAnalysis {
+        /// The branch (or `trial-<i>` for what-if trials).
+        branch: String,
+        /// Circuit moments at the branch's sizes — bit-identical to a
+        /// from-scratch analysis of the same sizes.
+        moments: Moments,
+        /// Total cell area at the branch's sizes.
+        area: f64,
+    },
+    /// Result of [`Request::Commit`].
+    Committed {
+        /// The committed (consumed) branch.
+        branch: String,
+        /// Circuit moments after adoption.
+        moments: Moments,
+        /// Total cell area after adoption.
+        area: f64,
+    },
+    /// Result of [`Request::DropBranch`].
+    Dropped {
+        /// The discarded branch.
+        branch: String,
+    },
+    /// Result of [`Request::WhatIfBatch`]: one entry per trial, in trial
+    /// order — [`Answer::BranchAnalysis`] on success, [`Answer::Error`]
+    /// for a trial that failed validation or panicked (other trials are
+    /// unaffected).
+    WhatIf {
+        /// Per-trial outcomes.
+        outcomes: Vec<Answer>,
+    },
     /// The request was malformed or its evaluation panicked; the rest of
     /// the batch (and the circuit's session) is unaffected.
     Error {
+        /// Stable machine-readable failure code.
+        code: ErrorCode,
         /// Human-readable cause.
         message: String,
     },
 }
 
 impl Answer {
-    fn error(message: impl Into<String>) -> Self {
+    fn error(code: ErrorCode, message: impl Into<String>) -> Self {
         Self::Error {
+            code,
             message: message.into(),
         }
     }
@@ -345,11 +596,15 @@ pub struct Response {
     pub wall: Duration,
 }
 
-/// One registered circuit: its cached owned-handle session.
+/// One registered circuit: its cached owned-handle session plus its
+/// live named branches and lifetime branch counters.
 #[derive(Debug)]
 struct CircuitEntry {
     name: String,
     session: TimingSession,
+    branches: BTreeMap<String, SessionBranch>,
+    committed: u64,
+    dropped: u64,
 }
 
 /// A registry of named circuits serving concurrent timing and sizing
@@ -422,6 +677,38 @@ impl Workspace {
         Some(self.entries[i].session.propagation_levels())
     }
 
+    /// The size fingerprint of a named branch of a registered circuit —
+    /// the key speculative results are cached under (a branch's answers
+    /// depend only on library, configuration, structure, and its own
+    /// sizes, never on the parent it forked from).
+    #[must_use]
+    pub fn branch_fingerprint(&self, circuit: &str, branch: &str) -> Option<u64> {
+        let &i = self.index.get(circuit)?;
+        Some(self.entries[i].branches.get(branch)?.size_fingerprint())
+    }
+
+    /// Names of the live branches of a registered circuit, sorted.
+    #[must_use]
+    pub fn branch_names(&self, circuit: &str) -> Option<Vec<String>> {
+        let &i = self.index.get(circuit)?;
+        Some(self.entries[i].branches.keys().cloned().collect())
+    }
+
+    /// Lifetime branch counters over all circuits:
+    /// `(live, committed, dropped)`.
+    #[must_use]
+    pub fn branch_counters(&self) -> (u64, u64, u64) {
+        let mut live = 0u64;
+        let mut committed = 0u64;
+        let mut dropped = 0u64;
+        for e in &self.entries {
+            live += e.branches.len() as u64;
+            committed += e.committed;
+            dropped += e.dropped;
+        }
+        (live, committed, dropped)
+    }
+
     /// Registers a pre-built netlist under a name. This is the expensive
     /// step — the circuit's cached session runs its initial full
     /// analysis here — so that queries against it are cheap.
@@ -449,7 +736,13 @@ impl Workspace {
             EngineKind::FullSsta,
         );
         self.index.insert(name.clone(), self.entries.len());
-        self.entries.push(CircuitEntry { name, session });
+        self.entries.push(CircuitEntry {
+            name,
+            session,
+            branches: BTreeMap::new(),
+            committed: 0,
+            dropped: 0,
+        });
         Ok(())
     }
 
@@ -515,7 +808,10 @@ impl Workspace {
                 Some(&ci) => routed[ci].push(ri),
                 None => {
                     responses[ri] = Some(Response {
-                        answer: Answer::error(format!("unknown circuit `{}`", request.circuit())),
+                        answer: Answer::error(
+                            ErrorCode::UnknownCircuit,
+                            format!("unknown circuit `{}`", request.circuit()),
+                        ),
                         wall: Duration::ZERO,
                     });
                 }
@@ -586,11 +882,14 @@ fn process(
         // analyzed fine before this request, so the rebuild succeeds.
         let _ = entry.session.try_restore_sizes(&sizes_before);
         entry.session.rebuild();
-        Answer::error(format!(
-            "request panicked (circuit `{}` recovered): {}",
-            entry.name,
-            panic_message(payload.as_ref())
-        ))
+        Answer::error(
+            ErrorCode::Panic,
+            format!(
+                "request panicked (circuit `{}` recovered): {}",
+                entry.name,
+                panic_message(payload.as_ref())
+            ),
+        )
     });
     Response {
         answer,
@@ -672,7 +971,10 @@ fn answer(
         }
         Request::AnalyzeUnder { kind, model, .. } => {
             if let Err(e) = model.validate() {
-                return Answer::error(format!("invalid variation model: {e}"));
+                return Answer::error(
+                    ErrorCode::InvalidModel,
+                    format!("invalid variation model: {e}"),
+                );
             }
             let mut conditioned = entry.session.config().clone();
             conditioned.model = model.clone();
@@ -687,7 +989,10 @@ fn answer(
         }
         Request::Arrival { node, .. } => {
             let Some(id) = entry.session.netlist().gate_by_name(node) else {
-                return Answer::error(format!("circuit `{}` has no node `{node}`", entry.name));
+                return Answer::error(
+                    ErrorCode::UnknownNode,
+                    format!("circuit `{}` has no node `{node}`", entry.name),
+                );
             };
             entry.session.refresh();
             Answer::Arrival {
@@ -697,10 +1002,16 @@ fn answer(
         }
         Request::Slack { t_req, alpha, .. } => {
             if !t_req.is_finite() {
-                return Answer::error(format!("slack t_req must be finite, got {t_req}"));
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!("slack t_req must be finite, got {t_req}"),
+                );
             }
             if !alpha.is_finite() || *alpha < 0.0 {
-                return Answer::error(format!("slack alpha must be non-negative, got {alpha}"));
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!("slack alpha must be non-negative, got {alpha}"),
+                );
             }
             let slacks = entry.session.slacks(*t_req);
             let worst_node = slacks.worst_node(*alpha);
@@ -727,7 +1038,10 @@ fn answer(
         }
         Request::Yield { deadline, .. } => {
             if !deadline.is_finite() {
-                return Answer::error(format!("yield deadline must be finite, got {deadline}"));
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!("yield deadline must be finite, got {deadline}"),
+                );
             }
             let timer = MonteCarloTimer::new(library, entry.session.config())
                 .with_samples(config.mc_samples)
@@ -738,36 +1052,16 @@ fn answer(
             }
         }
         Request::Resize { gate, size, .. } => {
-            let Some(id) = entry.session.netlist().gate_by_name(gate) else {
-                return Answer::error(format!("circuit `{}` has no gate `{gate}`", entry.name));
-            };
             // Validate the size against the library *before* mutating
             // anything: an accepted-but-unanalyzable size would poison
             // the cached session.
-            let g = match entry.session.netlist().try_gate(id) {
-                Ok(g) => g,
-                Err(e) => return Answer::error(e.to_string()),
-            };
-            let Some(function) = g.function() else {
-                return Answer::error(format!("`{gate}` is a primary input, not a sizable gate"));
-            };
-            let arity = g.fanins().len();
-            match library.group(function, arity) {
-                Some(group) if *size < group.len() => {}
-                Some(group) => {
-                    return Answer::error(format!(
-                        "size {size} out of range for `{gate}` ({function}/{arity} has {} sizes)",
-                        group.len()
-                    ));
-                }
-                None => {
-                    return Answer::error(format!(
-                        "library has no cell group for `{gate}` ({function}/{arity})"
-                    ));
-                }
-            }
+            let id =
+                match validate_resize(library, &entry.name, entry.session.netlist(), gate, *size) {
+                    Ok(id) => id,
+                    Err(a) => return a,
+                };
             if let Err(e) = entry.session.try_resize(id, *size) {
-                return Answer::error(e.to_string());
+                return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
             }
             let moments = entry.session.refresh();
             Answer::Resized {
@@ -775,12 +1069,106 @@ fn answer(
                 area: entry.session.total_area(),
             }
         }
+        Request::Fork { branch, .. } => {
+            if entry.branches.contains_key(branch) {
+                return Answer::error(
+                    ErrorCode::DuplicateBranch,
+                    format!("circuit `{}` already has a branch `{branch}`", entry.name),
+                );
+            }
+            entry.session.refresh();
+            let b = entry.session.fork();
+            let fingerprint = b.size_fingerprint();
+            entry.branches.insert(branch.clone(), b);
+            Answer::Forked {
+                branch: branch.clone(),
+                fingerprint,
+            }
+        }
+        Request::BranchResize {
+            branch, gate, size, ..
+        } => {
+            let Some(b) = entry.branches.get(branch) else {
+                return unknown_branch(&entry.name, branch);
+            };
+            let id = match validate_resize(library, &entry.name, b.netlist(), gate, *size) {
+                Ok(id) => id,
+                Err(a) => return a,
+            };
+            let b = entry.branches.get_mut(branch).expect("present above");
+            if let Err(e) = b.try_resize(id, *size) {
+                return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
+            }
+            Answer::BranchResized {
+                branch: branch.clone(),
+                diverged: b.diverged_gates().len(),
+            }
+        }
+        Request::BranchAnalyze { branch, .. } => {
+            let Some(b) = entry.branches.get_mut(branch) else {
+                return unknown_branch(&entry.name, branch);
+            };
+            let moments = b.refresh();
+            Answer::BranchAnalysis {
+                branch: branch.clone(),
+                moments,
+                area: b.total_area(),
+            }
+        }
+        Request::Commit { branch, .. } => {
+            let Some(b) = entry.branches.get(branch) else {
+                return unknown_branch(&entry.name, branch);
+            };
+            // Commit a clone so a rejected commit leaves the branch
+            // readable (the clone is a chunk-shared sibling, not a copy).
+            match entry.session.commit(b.clone()) {
+                Ok(moments) => {
+                    entry.branches.remove(branch);
+                    entry.committed += 1;
+                    Answer::Committed {
+                        branch: branch.clone(),
+                        moments,
+                        area: entry.session.total_area(),
+                    }
+                }
+                Err(e) => Answer::error(
+                    ErrorCode::BranchConflict,
+                    format!("cannot commit branch `{branch}`: {e}"),
+                ),
+            }
+        }
+        Request::DropBranch { branch, .. } => {
+            if entry.branches.remove(branch).is_none() {
+                return unknown_branch(&entry.name, branch);
+            }
+            entry.dropped += 1;
+            Answer::Dropped {
+                branch: branch.clone(),
+            }
+        }
+        Request::WhatIfBatch { trials, .. } => {
+            entry.session.refresh();
+            let base_sizes = entry.session.sizes();
+            let session = &entry.session;
+            let name = entry.name.as_str();
+            // One branch per worker (all sharing one frozen fork base
+            // and one cone memo), one task per trial, outcomes in trial
+            // order — the same discipline as the parallel sizer, so the
+            // answers are bit-identical at every pool width.
+            let pool = ScopedPool::new(config.threads);
+            let outcomes = pool.map_init(
+                trials.len(),
+                || session.fork(),
+                |branch, i| what_if_trial(library, name, branch, &base_sizes, &trials[i], i),
+            );
+            Answer::WhatIf { outcomes }
+        }
         Request::Size { config: sizer, .. } => {
             if !sizer.alpha.is_finite() || sizer.alpha < 0.0 {
-                return Answer::error(format!(
-                    "sizer alpha must be non-negative, got {}",
-                    sizer.alpha
-                ));
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!("sizer alpha must be non-negative, got {}", sizer.alpha),
+                );
             }
             // The optimizer runs on a working copy; the resulting sizes
             // are committed back into the cached session through the
@@ -789,7 +1177,7 @@ fn answer(
             let report =
                 StatisticalGreedy::new(Arc::clone(library), sizer.clone()).optimize(&mut netlist);
             if let Err(e) = entry.session.try_restore_sizes(&netlist.sizes()) {
-                return Answer::error(e.to_string());
+                return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
             }
             entry.session.refresh();
             Answer::Sized {
@@ -797,6 +1185,102 @@ fn answer(
                 area: entry.session.total_area(),
             }
         }
+    }
+}
+
+fn unknown_branch(circuit: &str, branch: &str) -> Answer {
+    Answer::error(
+        ErrorCode::UnknownBranch,
+        format!("circuit `{circuit}` has no branch `{branch}`"),
+    )
+}
+
+/// Resolves a gate name and validates the requested size against the
+/// library before anything mutates — shared by [`Request::Resize`],
+/// [`Request::BranchResize`], and what-if trials so session and branch
+/// boundaries reject identically (and with the same [`ErrorCode`]s).
+fn validate_resize(
+    library: &Library,
+    circuit: &str,
+    netlist: &Netlist,
+    gate: &str,
+    size: usize,
+) -> Result<vartol_netlist::GateId, Answer> {
+    let Some(id) = netlist.gate_by_name(gate) else {
+        return Err(Answer::error(
+            ErrorCode::UnknownGate,
+            format!("circuit `{circuit}` has no gate `{gate}`"),
+        ));
+    };
+    let g = match netlist.try_gate(id) {
+        Ok(g) => g,
+        Err(e) => return Err(Answer::error(ErrorCode::InvalidNetlist, e.to_string())),
+    };
+    let Some(function) = g.function() else {
+        return Err(Answer::error(
+            ErrorCode::InputNotSizable,
+            format!("`{gate}` is a primary input, not a sizable gate"),
+        ));
+    };
+    let arity = g.fanins().len();
+    match library.group(function, arity) {
+        Some(group) if size < group.len() => Ok(id),
+        Some(group) => Err(Answer::error(
+            ErrorCode::SizeOutOfRange,
+            format!(
+                "size {size} out of range for `{gate}` ({function}/{arity} has {} sizes)",
+                group.len()
+            ),
+        )),
+        None => Err(Answer::error(
+            ErrorCode::NoCellGroup,
+            format!("library has no cell group for `{gate}` ({function}/{arity})"),
+        )),
+    }
+}
+
+/// Evaluates one [`WhatIfTrial`] on a worker's branch: rewinds the
+/// branch to the base sizes, applies the trial's resizes (validated like
+/// [`Request::Resize`]), and refreshes its divergent cone. A validation
+/// failure or panic answers [`Answer::Error`] for this trial only; the
+/// branch rewinds cleanly for the worker's next trial either way.
+fn what_if_trial(
+    library: &Library,
+    circuit: &str,
+    branch: &mut SessionBranch,
+    base_sizes: &[usize],
+    trial: &WhatIfTrial,
+    index: usize,
+) -> Answer {
+    branch
+        .try_restore_sizes(base_sizes)
+        .expect("base sizes come from the branch's own circuit");
+    for r in &trial.resizes {
+        let id = match validate_resize(library, circuit, branch.netlist(), &r.gate, r.size) {
+            Ok(id) => id,
+            Err(a) => return a,
+        };
+        if let Err(e) = branch.try_resize(id, r.size) {
+            return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let moments = branch.refresh();
+        (moments, branch.total_area())
+    }));
+    match result {
+        Ok((moments, area)) => Answer::BranchAnalysis {
+            branch: format!("trial-{index}"),
+            moments,
+            area,
+        },
+        Err(payload) => Answer::error(
+            ErrorCode::Panic,
+            format!(
+                "what-if trial {index} panicked (siblings unaffected): {}",
+                panic_message(payload.as_ref())
+            ),
+        ),
     }
 }
 
@@ -906,7 +1390,7 @@ mod tests {
             gate: gate.clone(),
             size: 999,
         });
-        let Answer::Error { message } = &response.answer else {
+        let Answer::Error { message, .. } = &response.answer else {
             panic!("expected error, got {:?}", response.answer);
         };
         assert!(message.contains("out of range"), "{message}");
@@ -991,7 +1475,7 @@ mod tests {
             kind: EngineKind::Dsta,
             model: bad,
         });
-        let Answer::Error { message } = &response.answer else {
+        let Answer::Error { message, .. } = &response.answer else {
             panic!("expected error, got {:?}", response.answer);
         };
         assert!(message.contains("variation model"), "{message}");
@@ -1046,5 +1530,236 @@ mod tests {
             Some(4),
             "mutation persists across batches"
         );
+    }
+
+    fn first_gate(ws: &Workspace, circuit: &str) -> String {
+        let netlist = ws.netlist(circuit).expect("registered");
+        let id = netlist.gate_ids().next().expect("gates");
+        netlist.gate(id).name().to_owned()
+    }
+
+    #[test]
+    fn branch_lifecycle_commits_exactly_what_a_direct_resize_would() {
+        let mut ws = workspace(1);
+        let gate = first_gate(&ws, "adder_8");
+        let answers = ws.submit(&[
+            Request::Fork {
+                circuit: "adder_8".into(),
+                branch: "spec".into(),
+            },
+            Request::BranchResize {
+                circuit: "adder_8".into(),
+                branch: "spec".into(),
+                gate: gate.clone(),
+                size: 4,
+            },
+            Request::BranchAnalyze {
+                circuit: "adder_8".into(),
+                branch: "spec".into(),
+            },
+            Request::Commit {
+                circuit: "adder_8".into(),
+                branch: "spec".into(),
+            },
+            Request::Analyze {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            },
+        ]);
+        assert!(
+            matches!(answers[0].answer, Answer::Forked { .. }),
+            "{:?}",
+            answers[0].answer
+        );
+        let Answer::BranchResized { diverged, .. } = answers[1].answer else {
+            panic!("{:?}", answers[1].answer);
+        };
+        assert_eq!(diverged, 1);
+        let Answer::BranchAnalysis {
+            moments: analyzed, ..
+        } = answers[2].answer
+        else {
+            panic!("{:?}", answers[2].answer);
+        };
+        let Answer::Committed {
+            moments: committed, ..
+        } = answers[3].answer
+        else {
+            panic!("{:?}", answers[3].answer);
+        };
+        assert_eq!(analyzed.mean.to_bits(), committed.mean.to_bits());
+
+        // The committed circuit answers exactly like one that applied
+        // the resize directly.
+        let mut control = workspace(1);
+        control.query(Request::Resize {
+            circuit: "adder_8".into(),
+            gate,
+            size: 4,
+        });
+        let direct = control.query(Request::Analyze {
+            circuit: "adder_8".into(),
+            kind: EngineKind::FullSsta,
+        });
+        assert_eq!(answers[4].answer, direct.answer);
+
+        // A dropped branch leaves no trace beyond its lifetime counter.
+        ws.query(Request::Fork {
+            circuit: "adder_8".into(),
+            branch: "doomed".into(),
+        });
+        assert_eq!(ws.branch_names("adder_8").unwrap(), vec!["doomed"]);
+        ws.query(Request::DropBranch {
+            circuit: "adder_8".into(),
+            branch: "doomed".into(),
+        });
+        assert!(ws.branch_names("adder_8").unwrap().is_empty());
+        assert_eq!(ws.branch_counters(), (0, 1, 1));
+        let after_drop = ws.query(Request::Analyze {
+            circuit: "adder_8".into(),
+            kind: EngineKind::FullSsta,
+        });
+        assert_eq!(after_drop.answer, direct.answer);
+    }
+
+    #[test]
+    fn branch_failures_answer_with_their_own_codes() {
+        let mut ws = workspace(1);
+        let gate = first_gate(&ws, "adder_8");
+        ws.query(Request::Fork {
+            circuit: "adder_8".into(),
+            branch: "a".into(),
+        });
+        ws.query(Request::Fork {
+            circuit: "adder_8".into(),
+            branch: "b".into(),
+        });
+        ws.query(Request::BranchResize {
+            circuit: "adder_8".into(),
+            branch: "a".into(),
+            gate,
+            size: 4,
+        });
+        assert!(matches!(
+            ws.query(Request::Commit {
+                circuit: "adder_8".into(),
+                branch: "a".into(),
+            })
+            .answer,
+            Answer::Committed { .. }
+        ));
+        let failures = [
+            (
+                Request::Fork {
+                    circuit: "adder_8".into(),
+                    branch: "b".into(),
+                },
+                ErrorCode::DuplicateBranch,
+            ),
+            (
+                Request::BranchAnalyze {
+                    circuit: "adder_8".into(),
+                    branch: "ghost".into(),
+                },
+                ErrorCode::UnknownBranch,
+            ),
+            // Sibling `b` forked from a base the commit of `a` replaced.
+            (
+                Request::Commit {
+                    circuit: "adder_8".into(),
+                    branch: "b".into(),
+                },
+                ErrorCode::BranchConflict,
+            ),
+        ];
+        for (request, expected) in failures {
+            let Answer::Error { code, .. } = ws.query(request.clone()).answer else {
+                panic!("{request:?} must fail");
+            };
+            assert_eq!(code, expected, "{request:?}");
+        }
+        // The conflicted sibling stays readable.
+        assert!(matches!(
+            ws.query(Request::BranchAnalyze {
+                circuit: "adder_8".into(),
+                branch: "b".into(),
+            })
+            .answer,
+            Answer::BranchAnalysis { .. }
+        ));
+    }
+
+    #[test]
+    fn what_if_batch_matches_branches_and_every_pool_width() {
+        let probe = workspace(1);
+        let gate = first_gate(&probe, "adder_8");
+        let trials = vec![
+            WhatIfTrial {
+                resizes: vec![GateResize {
+                    gate: gate.clone(),
+                    size: 4,
+                }],
+            },
+            WhatIfTrial {
+                resizes: vec![GateResize {
+                    gate: "ghost".into(),
+                    size: 1,
+                }],
+            },
+            WhatIfTrial { resizes: vec![] },
+        ];
+        let batch = Request::WhatIfBatch {
+            circuit: "adder_8".into(),
+            trials: trials.clone(),
+        };
+        let reference = workspace(1).query(batch.clone()).answer;
+        let Answer::WhatIf { outcomes } = &reference else {
+            panic!("{reference:?}");
+        };
+        assert_eq!(outcomes.len(), 3);
+        assert!(
+            matches!(
+                &outcomes[1],
+                Answer::Error {
+                    code: ErrorCode::UnknownGate,
+                    ..
+                }
+            ),
+            "a bad trial fails alone: {:?}",
+            outcomes[1]
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                workspace(threads).query(batch.clone()).answer,
+                reference,
+                "what-if drift at {threads}-wide pool"
+            );
+        }
+
+        // Trial 0 answers exactly what the explicit branch dance does.
+        let mut ws = workspace(1);
+        ws.query(Request::Fork {
+            circuit: "adder_8".into(),
+            branch: "t0".into(),
+        });
+        ws.query(Request::BranchResize {
+            circuit: "adder_8".into(),
+            branch: "t0".into(),
+            gate,
+            size: 4,
+        });
+        let explicit = ws
+            .query(Request::BranchAnalyze {
+                circuit: "adder_8".into(),
+                branch: "t0".into(),
+            })
+            .answer;
+        let (Answer::BranchAnalysis { moments: a, .. }, Answer::BranchAnalysis { moments: b, .. }) =
+            (&explicit, &outcomes[0])
+        else {
+            panic!("{explicit:?} vs {:?}", outcomes[0]);
+        };
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.var.to_bits(), b.var.to_bits());
     }
 }

@@ -229,9 +229,10 @@ fn panicking_request_is_isolated_to_its_answer() {
     let baseline_sizes = ws.netlist("adder_8").expect("registered").sizes();
     let answers = ws.submit(&batch);
 
-    let Answer::Error { message } = &answers[1].answer else {
+    let Answer::Error { code, message } = &answers[1].answer else {
         panic!("poisoned request must error, got {:?}", answers[1].answer);
     };
+    assert_eq!(*code, vartol::workspace::ErrorCode::Panic);
     assert!(message.contains("panicked"), "{message}");
     assert!(message.contains("recovered"), "{message}");
 
