@@ -316,7 +316,7 @@ fn run(opts: &Options) -> Result<(), String> {
         run_suite_with(&circuits, &library, &opts.config, |scenario, wall| {
             eprintln!(
                 "  {:<10} {:>5} gates  sigma {:>7.2} -> {:>7.2} ps  area {:>+6.1}%  \
-                 serve {:>7.2} -> {:>5.2} ms  {:>6.2}s",
+                 serve {:>7.2} -> {:>5.2} ms  wns {:>8.1} ps  {:>6.2}s",
                 scenario.circuit,
                 scenario.gates,
                 scenario.sizing.sigma_before,
@@ -324,6 +324,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 scenario.sizing.area_delta_pct,
                 scenario.serve.serve_cold_ms,
                 scenario.serve.serve_warm_ms,
+                scenario.sequential.wns,
                 wall.as_secs_f64()
             );
         })

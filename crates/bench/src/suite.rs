@@ -66,6 +66,17 @@
 //! so the COW versioning layer's headline saving is re-asserted by
 //! every `--check` of every artifact.
 //!
+//! `/7` adds the per-scenario `sequential` block: after the sizing
+//! pass, every circuit is clocked with the canonical constraint
+//! (period = 1.25 × its pre-sizing DSTA mean, uncertainty 0) and the
+//! workspace's `SetClock`/`GroupSlack`/`Wns`/`Tns` requests report
+//! setup slack per path group (in→reg, reg→reg, reg→out, in→out) plus
+//! the circuit's WNS and TNS under the warm FULLSSTA session. A
+//! combinational circuit still carries the block — its three register
+//! groups are empty and report the full clock budget — so the artifact
+//! stays `null`-free and `--check` can require the block on every
+//! scenario.
+//!
 //! The report is validated ([`SuiteReport::validate`]) before it is
 //! written: any non-finite μ/σ or wall-clock fails the run. Because the
 //! vendored `serde_json` shim renders non-finite floats as `null`, a
@@ -74,7 +85,7 @@
 //! contains no `null` at all.
 
 use vartol::workspace::{
-    Answer, GateResize, Request, Response, WhatIfTrial, Workspace, WorkspaceConfig,
+    Answer, GateResize, GroupSlackRow, Request, Response, WhatIfTrial, Workspace, WorkspaceConfig,
 };
 use vartol_core::SizerConfig;
 use vartol_liberty::Library;
@@ -97,8 +108,11 @@ use vartol_ssta::{
 /// with `scenarios` allowed to be empty on a large-only run; `/6`
 /// added the per-scenario `branch_fanout` row — the N-branch
 /// copy-on-write what-if batch wall-clock plus its recompute counts
-/// against N from-scratch rebuilds — see the module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/6";
+/// against N from-scratch rebuilds; `/7` added the per-scenario
+/// `sequential` block — per-path-group setup slack, WNS, and TNS under
+/// the canonical clock, through the workspace's sequential verbs — see
+/// the module docs).
+pub const SUITE_SCHEMA: &str = "vartol-suite/7";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -233,6 +247,31 @@ pub struct BranchFanoutStat {
     pub rebuild_recomputes: u64,
 }
 
+/// One scenario's clocked-timing block (schema `/7`): per-path-group
+/// setup slack, WNS, and TNS through the workspace's sequential verbs,
+/// measured on the post-sizing circuit against the warm FULLSSTA
+/// session. The canonical clock — period = 1.25 × the scenario's
+/// pre-sizing DSTA mean, uncertainty 0 — always exists and is always
+/// finite, so the block is present on every scenario (combinational
+/// circuits report three empty register groups at the full budget) and
+/// the artifact stays `null`-free.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SequentialStat {
+    /// The canonical clock period (ps): 1.25 × the pre-sizing DSTA mean.
+    pub clock_period: f64,
+    /// Wall-clock of the whole sequential exchange (SetClock plus the
+    /// three queries), milliseconds, end to end through the workspace.
+    pub wall_ms: f64,
+    /// Worst negative slack across all four groups (ps; positive =
+    /// every endpoint meets the clock).
+    pub wns: f64,
+    /// Total negative slack summed over failing endpoints (ps, ≤ 0).
+    pub tns: f64,
+    /// One row per path group, fixed order
+    /// in2reg/reg2reg/reg2out/in2out.
+    pub groups: Vec<GroupSlackRow>,
+}
+
 /// The end-to-end optimization result on one scenario.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SizingStat {
@@ -282,6 +321,9 @@ pub struct ScenarioReport {
     pub serve: ServeStat,
     /// The N-branch copy-on-write what-if fan-out (schema `/6`).
     pub branch_fanout: BranchFanoutStat,
+    /// Per-path-group setup slack, WNS, and TNS under the canonical
+    /// clock (schema `/7`).
+    pub sequential: SequentialStat,
 }
 
 /// The whole suite run.
@@ -382,6 +424,31 @@ impl SuiteReport {
                     s.circuit, f.branch_recomputes, f.rebuild_recomputes
                 ));
             }
+            let q = &s.sequential;
+            finite(&s.circuit, "clock_period", q.clock_period)?;
+            finite(&s.circuit, "sequential wall_ms", q.wall_ms)?;
+            finite(&s.circuit, "sequential wns", q.wns)?;
+            finite(&s.circuit, "sequential tns", q.tns)?;
+            if q.clock_period <= 0.0 {
+                return Err(format!("{}: non-positive clock_period", s.circuit));
+            }
+            if q.groups.len() != 4 {
+                return Err(format!(
+                    "{}: sequential block covers {} path groups, want 4",
+                    s.circuit,
+                    q.groups.len()
+                ));
+            }
+            for g in &q.groups {
+                finite(&s.circuit, &format!("{} wns", g.group), g.wns)?;
+                finite(&s.circuit, &format!("{} tns", g.group), g.tns)?;
+                if !(0.0..=1.0).contains(&g.prob_met) {
+                    return Err(format!(
+                        "{}: {} prob_met {} outside [0, 1]",
+                        s.circuit, g.group, g.prob_met
+                    ));
+                }
+            }
         }
         for l in &self.large {
             if l.gates == 0 {
@@ -456,6 +523,14 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
         if text.matches(key).count() < full_scenarios {
             return Err(format!("a scenario is missing its {key} branch_fanout row"));
         }
+    }
+    // Schema /7: every full scenario carries the sequential block — one
+    // clock and four path-group rows (each row has a `prob_met` key).
+    if text.matches("\"clock_period\":").count() < full_scenarios {
+        return Err("a scenario is missing its \"clock_period\": sequential block".into());
+    }
+    if text.matches("\"prob_met\":").count() < 4 * full_scenarios {
+        return Err("a scenario's sequential block covers fewer than 4 path groups".into());
     }
     Ok(())
 }
@@ -542,6 +617,7 @@ fn assemble_scenario(
     responses: &[Response],
     serve: ServeStat,
     branch_fanout: BranchFanoutStat,
+    sequential: SequentialStat,
 ) -> ScenarioReport {
     let name = netlist.name();
     let mut engines = Vec::with_capacity(4);
@@ -601,6 +677,69 @@ fn assemble_scenario(
         sizing,
         serve,
         branch_fanout,
+        sequential,
+    }
+}
+
+/// Measures one circuit's sequential block (schema `/7`): the canonical
+/// clock (period = 1.25 × the pre-sizing DSTA mean, uncertainty 0) is
+/// installed with `SetClock`, then `GroupSlack`, `Wns`, and `Tns` are
+/// answered by the warm FULLSSTA session — the same verbs and the same
+/// cached state a deployment would query. The recorded `wall_ms` covers
+/// the whole four-request exchange.
+///
+/// # Panics
+///
+/// Panics if the circuit is unregistered or any request errors — a
+/// broken sequential path must fail the suite run, not leave a hole in
+/// the artifact.
+fn measure_sequential(workspace: &mut Workspace, name: &str, dsta_mu: f64) -> SequentialStat {
+    let clock_period = 1.25 * dsta_mu;
+    let t0 = std::time::Instant::now();
+    let set = workspace.query(Request::SetClock {
+        circuit: name.into(),
+        period: clock_period,
+        uncertainty: 0.0,
+    });
+    assert!(
+        matches!(set.answer, Answer::ClockSet { .. }),
+        "{name}: SetClock failed: {:?}",
+        set.answer
+    );
+    let slack = workspace.query(Request::GroupSlack {
+        circuit: name.into(),
+        kind: EngineKind::FullSsta,
+    });
+    let groups = match slack.answer {
+        Answer::GroupSlack { groups, .. } => groups,
+        other => panic!("{name}: expected a group-slack answer, got {other:?}"),
+    };
+    let wns = match workspace
+        .query(Request::Wns {
+            circuit: name.into(),
+            kind: EngineKind::FullSsta,
+        })
+        .answer
+    {
+        Answer::Wns { wns, .. } => wns,
+        other => panic!("{name}: expected a WNS answer, got {other:?}"),
+    };
+    let tns = match workspace
+        .query(Request::Tns {
+            circuit: name.into(),
+            kind: EngineKind::FullSsta,
+        })
+        .answer
+    {
+        Answer::Tns { tns, .. } => tns,
+        other => panic!("{name}: expected a TNS answer, got {other:?}"),
+    };
+    SequentialStat {
+        clock_period,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        wns,
+        tns,
+        groups,
     }
 }
 
@@ -795,8 +934,21 @@ pub fn run_suite_with(
         let responses = workspace.submit(&scenario_requests(circuit.name(), &sizer));
         let serve = measure_serve(&service, circuit);
         let branch_fanout = measure_branch_fanout(&mut workspace, library, config, circuit.name());
-        let scenario =
-            assemble_scenario(circuit, register_wall_s, &responses, serve, branch_fanout);
+        // The canonical clock hangs off the pre-sizing DSTA mean, which
+        // is the first answer of the batch.
+        let dsta_mu = match &responses[0].answer {
+            Answer::Analysis { moments, .. } => moments.mean,
+            other => panic!("{}: expected a DSTA answer, got {other:?}", circuit.name()),
+        };
+        let sequential = measure_sequential(&mut workspace, circuit.name(), dsta_mu);
+        let scenario = assemble_scenario(
+            circuit,
+            register_wall_s,
+            &responses,
+            serve,
+            branch_fanout,
+            sequential,
+        );
         observe(&scenario, t0.elapsed());
         report.scenarios.push(scenario);
     }
@@ -965,6 +1117,23 @@ mod tests {
             // Schema /4 serve rows: both latencies measured and sane.
             assert!(s.serve.serve_cold_ms > 0.0, "{}", s.circuit);
             assert!(s.serve.serve_warm_ms > 0.0, "{}", s.circuit);
+            // Schema /7 sequential block: both test circuits are
+            // combinational, so the three register groups are empty
+            // and report the full clock budget; in2out carries every
+            // primary output.
+            let q = &s.sequential;
+            assert!(q.clock_period > 0.0, "{}", s.circuit);
+            assert_eq!(q.groups.len(), 4, "{}", s.circuit);
+            for g in &q.groups[..3] {
+                assert_eq!(g.endpoints, 0, "{}: {}", s.circuit, g.group);
+                assert_eq!(g.wns, q.clock_period, "{}: {}", s.circuit, g.group);
+                assert!(g.worst.is_empty(), "{}: {}", s.circuit, g.group);
+            }
+            assert_eq!(q.groups[3].group, "in2out", "{}", s.circuit);
+            assert!(q.groups[3].endpoints > 0, "{}", s.circuit);
+            assert!(!q.groups[3].worst.is_empty(), "{}", s.circuit);
+            let min_wns = q.groups.iter().map(|g| g.wns).fold(f64::INFINITY, f64::min);
+            assert_eq!(q.wns.to_bits(), min_wns.to_bits(), "{}", s.circuit);
             // Schema /6 fan-out row: N branches, and the COW saving.
             let f = &s.branch_fanout;
             assert_eq!(f.branches, FANOUT_BRANCHES, "{}", s.circuit);
@@ -981,11 +1150,55 @@ mod tests {
         assert!(json.contains("adder_8") && json.contains("cmp_8"));
         assert!(json.contains("\"serve_cold_ms\":") && json.contains("\"serve_warm_ms\":"));
         assert!(json.contains("\"fanout_wall_ms\":") && json.contains("\"branch_recomputes\":"));
+        assert!(json.contains("\"clock_period\":") && json.contains("\"prob_met\":"));
         check_json_text(&json, 2).expect("text check passes");
         assert!(
             check_json_text(&json, 3).is_err(),
             "coverage floor enforced"
         );
+    }
+
+    #[test]
+    fn sequential_scenario_populates_register_path_groups() {
+        // A registered (DFF-bearing) circuit through the *whole* /7
+        // scenario flow: engines, corners, sizing, serve, fan-out, and
+        // a sequential block whose register groups are populated.
+        let lib = Library::synthetic_90nm();
+        let circuit = preset("pipeline_adder_16", &lib).expect("known preset");
+        assert!(circuit.register_count() > 0);
+        let s = run_scenario(&circuit, &lib, &tiny_config());
+        let q = &s.sequential;
+        assert_eq!(q.groups.len(), 4);
+        let by_name = |name: &str| {
+            q.groups
+                .iter()
+                .find(|g| g.group == name)
+                .unwrap_or_else(|| panic!("missing group {name}"))
+        };
+        // The pipeline has registered inputs, register-to-register
+        // stages, and registered outputs feeding POs, so every clocked
+        // group carries endpoints.
+        for name in ["in2reg", "reg2reg", "reg2out"] {
+            let g = by_name(name);
+            assert!(g.endpoints > 0, "{name} should carry endpoints");
+            assert!(!g.worst.is_empty(), "{name} should name a worst endpoint");
+            assert!((0.0..=1.0).contains(&g.prob_met), "{name}");
+        }
+        // WNS is the worst group; TNS only accumulates from failures.
+        let min_wns = q.groups.iter().map(|g| g.wns).fold(f64::INFINITY, f64::min);
+        assert_eq!(q.wns.to_bits(), min_wns.to_bits());
+        assert!(q.tns <= 0.0);
+        // The full report (one scenario) validates and text-checks.
+        let report = SuiteReport {
+            schema: SUITE_SCHEMA.to_owned(),
+            threads: 1,
+            alpha: 3.0,
+            mc_samples: 200,
+            scenarios: vec![s],
+            large: Vec::new(),
+        };
+        report.validate().expect("sequential scenario is valid");
+        check_json_text(&report.to_json(), 1).expect("text check passes");
     }
 
     #[test]
@@ -1005,6 +1218,13 @@ mod tests {
             report.scenarios[0].branch_fanout.rebuild_recomputes;
         let err = report.validate().expect_err("regressed saving must fail");
         assert!(err.contains("COW fan-out saving regressed"), "{err}");
+        // Schema /7: a probability outside [0, 1] is a broken
+        // statistical-slack computation, not a unit quirk.
+        report.scenarios[0].branch_fanout.branch_recomputes =
+            report.scenarios[0].branch_fanout.rebuild_recomputes - 1;
+        report.scenarios[0].sequential.groups[0].prob_met = 1.5;
+        let err = report.validate().expect_err("bad probability must fail");
+        assert!(err.contains("prob_met"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct Cell {
     input_cap: f64,
     delay_table: LookupTable2d,
     slew_table: LookupTable2d,
+    setup: f64,
+    hold: f64,
 }
 
 impl Cell {
@@ -71,7 +73,28 @@ impl Cell {
             input_cap,
             delay_table,
             slew_table,
+            setup: 0.0,
+            hold: 0.0,
         }
+    }
+
+    /// Attaches sequential timing constraints (register cells only): the
+    /// setup and hold windows (ps) of the cell's D pin relative to the
+    /// clock edge. Combinational cells keep the zero defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either constraint is negative or non-finite.
+    #[must_use]
+    pub fn with_setup_hold(mut self, setup: f64, hold: f64) -> Self {
+        assert!(
+            setup.is_finite() && setup >= 0.0,
+            "setup must be non-negative"
+        );
+        assert!(hold.is_finite() && hold >= 0.0, "hold must be non-negative");
+        self.setup = setup;
+        self.hold = hold;
+        self
     }
 
     /// The cell name, e.g. `NAND2_X4`.
@@ -127,6 +150,20 @@ impl Cell {
     #[must_use]
     pub fn output_slew(&self, input_slew: f64, load: f64) -> f64 {
         self.slew_table.lookup(input_slew, load)
+    }
+
+    /// Setup window (ps) of the cell's D pin before the clock edge; zero
+    /// for combinational cells.
+    #[must_use]
+    pub fn setup(&self) -> f64 {
+        self.setup
+    }
+
+    /// Hold window (ps) of the cell's D pin after the clock edge; zero
+    /// for combinational cells.
+    #[must_use]
+    pub fn hold(&self) -> f64 {
+        self.hold
     }
 
     /// Evaluates the cell's boolean function.
@@ -199,6 +236,33 @@ mod tests {
         let c = cell();
         assert!(!c.eval(&[true, true]));
         assert!(c.eval(&[true, false]));
+    }
+
+    #[test]
+    fn setup_hold_default_to_zero_and_attach_via_builder() {
+        let c = cell();
+        assert_eq!(c.setup(), 0.0);
+        assert_eq!(c.hold(), 0.0);
+        let d = Cell::new(
+            "DFF_X1".into(),
+            LogicFunction::Dff,
+            1,
+            0,
+            1.0,
+            4.0,
+            1.1,
+            table(8.0),
+            table(3.0),
+        )
+        .with_setup_hold(22.0, 4.0);
+        assert_eq!(d.setup(), 22.0);
+        assert_eq!(d.hold(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "setup must be non-negative")]
+    fn negative_setup_panics() {
+        let _ = cell().with_setup_hold(-1.0, 0.0);
     }
 
     #[test]

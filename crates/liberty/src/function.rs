@@ -41,11 +41,20 @@ pub enum LogicFunction {
     Oai21,
     /// 3-input majority (the carry function of a full adder), arity 3.
     Maj3,
+    /// D flip-flop output stage (arity 1). In the flattened timing graph a
+    /// register's Q pin is a `Dff` gate whose single fanin is the clock
+    /// net, so its cell delay **is** the clk→Q delay and every engine
+    /// propagates launch offsets with no special casing. The D pin is not
+    /// a graph edge — it is recorded as a register cut on the netlist
+    /// (see `vartol_netlist::Register`). For boolean simulation the stage
+    /// is transparent (`eval` passes its input through): state-element
+    /// semantics live in the sequential view, not the gate function.
+    Dff,
 }
 
 impl LogicFunction {
     /// All functions, in a stable order.
-    pub const ALL: [Self; 11] = [
+    pub const ALL: [Self; 12] = [
         Self::Buf,
         Self::Inv,
         Self::And,
@@ -57,13 +66,14 @@ impl LogicFunction {
         Self::Aoi21,
         Self::Oai21,
         Self::Maj3,
+        Self::Dff,
     ];
 
     /// The inclusive range of input counts this function supports.
     #[must_use]
     pub fn arity_range(self) -> (usize, usize) {
         match self {
-            Self::Buf | Self::Inv => (1, 1),
+            Self::Buf | Self::Inv | Self::Dff => (1, 1),
             Self::And | Self::Nand | Self::Or | Self::Nor => (2, 4),
             Self::Xor | Self::Xnor => (2, 3),
             Self::Aoi21 | Self::Oai21 | Self::Maj3 => (3, 3),
@@ -101,7 +111,7 @@ impl LogicFunction {
             inputs.len()
         );
         match self {
-            Self::Buf => inputs[0],
+            Self::Buf | Self::Dff => inputs[0],
             Self::Inv => !inputs[0],
             Self::And => inputs.iter().all(|&b| b),
             Self::Nand => !inputs.iter().all(|&b| b),
@@ -133,6 +143,7 @@ impl LogicFunction {
             Self::Aoi21 => "AOI21",
             Self::Oai21 => "OAI21",
             Self::Maj3 => "MAJ3",
+            Self::Dff => "DFF",
         }
     }
 
@@ -152,6 +163,7 @@ impl LogicFunction {
             "AOI21" => Some(Self::Aoi21),
             "OAI21" => Some(Self::Oai21),
             "MAJ3" => Some(Self::Maj3),
+            "DFF" => Some(Self::Dff),
             _ => None,
         }
     }
@@ -249,6 +261,18 @@ mod tests {
             Some(LogicFunction::Buf)
         );
         assert_eq!(LogicFunction::parse_short_name("bogus"), None);
+    }
+
+    #[test]
+    fn dff_is_a_transparent_unary_stage() {
+        assert_eq!(LogicFunction::Dff.arity_range(), (1, 1));
+        assert!(LogicFunction::Dff.eval(&[true]));
+        assert!(!LogicFunction::Dff.eval(&[false]));
+        assert!(!LogicFunction::Dff.is_inverting());
+        assert_eq!(
+            LogicFunction::parse_short_name("dff"),
+            Some(LogicFunction::Dff)
+        );
     }
 
     #[test]

@@ -245,6 +245,10 @@ impl Library {
             (LogicFunction::Aoi21, 3, 13.0, 18.0, 1.40, 2.2),
             (LogicFunction::Oai21, 3, 13.0, 18.0, 1.40, 2.2),
             (LogicFunction::Maj3,  3, 18.0, 20.0, 1.70, 3.0),
+            // The register family: the cell delay is the clk→Q arc (the
+            // launch offset every engine propagates through the Q gate);
+            // the D-pin setup/hold windows are attached below.
+            (LogicFunction::Dff,   1, 35.0, 22.0, 1.60, 6.0),
         ];
 
         // 8 sizes for the workhorse INV/BUF, 6 for everything else —
@@ -291,12 +295,13 @@ impl Library {
                             | LogicFunction::Aoi21
                             | LogicFunction::Oai21
                             | LogicFunction::Maj3
+                            | LogicFunction::Dff
                     ) {
                         format!("{}_{}", function.short_name(), suffix)
                     } else {
                         format!("{}{}_{}", function.short_name(), arity, suffix)
                     };
-                    Cell::new(
+                    let cell = Cell::new(
                         name,
                         function,
                         arity,
@@ -306,7 +311,15 @@ impl Library {
                         c0 * drive,
                         delay_table,
                         slew_table,
-                    )
+                    );
+                    if function == LogicFunction::Dff {
+                        // A stronger register resolves its master latch
+                        // faster: the setup window shrinks as the drive
+                        // grows (hold stays a fixed race margin).
+                        cell.with_setup_hold(18.0 + 12.0 / drive, 4.0)
+                    } else {
+                        cell
+                    }
                 })
                 .collect();
             groups.push(CellGroup::new(function, arity, cells));
@@ -351,6 +364,24 @@ mod tests {
         let lib = Library::synthetic_90nm();
         assert_eq!(lib.group(LogicFunction::Inv, 1).expect("inv").len(), 8);
         assert_eq!(lib.group(LogicFunction::Nand, 2).expect("nand2").len(), 6);
+    }
+
+    #[test]
+    fn register_family_carries_setup_and_hold() {
+        let lib = Library::synthetic_90nm();
+        let g = lib.group(LogicFunction::Dff, 1).expect("dff group");
+        assert_eq!(g.len(), 6);
+        for w in g.cells().windows(2) {
+            let (small, big) = (&w[0], &w[1]);
+            assert!(small.setup() > big.setup(), "setup shrinks with drive");
+            assert_eq!(small.hold(), big.hold(), "hold is a fixed margin");
+            assert!(small.setup() > 0.0 && small.hold() > 0.0);
+        }
+        // Combinational cells keep the zero defaults.
+        let nand = lib.cell_by_name("NAND2_X1").expect("nand2 x1");
+        assert_eq!(nand.setup(), 0.0);
+        assert_eq!(nand.hold(), 0.0);
+        assert!(lib.cell_by_name("DFF_X1").is_some());
     }
 
     #[test]

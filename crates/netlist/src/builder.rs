@@ -1,7 +1,7 @@
 //! Safe incremental construction of netlists.
 
 use crate::error::NetlistError;
-use crate::graph::{Gate, GateId, GateKind, Netlist};
+use crate::graph::{Gate, GateId, GateKind, Netlist, Register};
 use std::collections::HashMap;
 use vartol_liberty::LogicFunction;
 
@@ -40,6 +40,7 @@ pub struct NetlistBuilder {
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     name_index: HashMap<String, GateId>,
+    registers: Vec<(GateId, Option<GateId>)>,
     errors: Vec<NetlistError>,
 }
 
@@ -53,6 +54,7 @@ impl NetlistBuilder {
             inputs: Vec::new(),
             outputs: Vec::new(),
             name_index: HashMap::new(),
+            registers: Vec::new(),
             errors: Vec::new(),
         }
     }
@@ -95,6 +97,45 @@ impl NetlistBuilder {
         self.add_node(name, GateKind::Cell { function, size: 0 }, fanins.to_vec())
     }
 
+    /// Adds a register's Q gate: a [`LogicFunction::Dff`] cell whose
+    /// single graph fanin is the clock input `clk`, so its cell delay is
+    /// the clk→Q launch offset. The D pin is **not** a graph edge —
+    /// bind it later with [`NetlistBuilder::bind_d`], which may point at
+    /// any node, including ones created *after* this Q gate (feedback
+    /// through a register is legal; a register-free combinational cycle
+    /// is still impossible by construction).
+    pub fn dff(&mut self, name: impl Into<String>, clk: GateId) -> GateId {
+        let q = self.add_node(
+            name.into(),
+            GateKind::Cell {
+                function: LogicFunction::Dff,
+                size: 0,
+            },
+            vec![clk],
+        );
+        self.registers.push((q, None));
+        q
+    }
+
+    /// Binds a register's D pin to its driving node. `q` must come from
+    /// [`NetlistBuilder::dff`]; binding twice or binding a non-register
+    /// accumulates an error reported by [`build`](NetlistBuilder::build).
+    pub fn bind_d(&mut self, q: GateId, d: GateId) {
+        let Some(slot) = self.registers.iter_mut().find(|(id, _)| *id == q) else {
+            self.errors.push(NetlistError::BadRegister {
+                register: self.nodes[q.index()].name().to_owned(),
+                message: "bind_d target was not created by dff()".to_owned(),
+            });
+            return;
+        };
+        if slot.1.replace(d).is_some() {
+            self.errors.push(NetlistError::BadRegister {
+                register: self.nodes[q.index()].name().to_owned(),
+                message: "D pin bound twice".to_owned(),
+            });
+        }
+    }
+
     /// Marks a node as a primary output. Marking the same node twice is
     /// idempotent.
     pub fn mark_output(&mut self, id: GateId) {
@@ -126,12 +167,21 @@ impl NetlistBuilder {
         if self.outputs.is_empty() {
             return Err(NetlistError::NoOutputs);
         }
+        let mut registers = Vec::with_capacity(self.registers.len());
+        for (q, d) in self.registers {
+            let name = self.nodes[q.index()].name().to_owned();
+            let Some(d) = d else {
+                return Err(NetlistError::UnboundRegister(name));
+            };
+            registers.push(Register::new(name, q, d));
+        }
         Ok(Netlist::from_parts(
             self.name,
             self.nodes,
             self.inputs,
             self.outputs,
             self.name_index,
+            registers,
         ))
     }
 }
@@ -219,6 +269,71 @@ mod tests {
         assert_eq!(b.node_count(), 1);
         let _ = b.gate("g", LogicFunction::Inv, &[a]);
         assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn dff_registers_round_trip_through_build() {
+        // q2 -> g -> q1 -> g2 -> (back to) q2: feedback through
+        // registers is legal because D pins are not graph edges.
+        let mut b = NetlistBuilder::new("seq");
+        let clk = b.input("clk");
+        let a = b.input("a");
+        let q1 = b.dff("q1", clk);
+        let q2 = b.dff("q2", clk);
+        let g = b.gate("g", LogicFunction::Nand, &[a, q2]);
+        let g2 = b.gate("g2", LogicFunction::Inv, &[q1]);
+        b.bind_d(q1, g);
+        b.bind_d(q2, g2);
+        b.mark_output(g2);
+        let n = b.build().expect("valid sequential netlist");
+        assert!(n.is_sequential());
+        assert_eq!(n.register_count(), 2);
+        assert_eq!(n.clock(), Some(clk));
+        assert_eq!(n.registers()[0].q(), q1);
+        assert_eq!(n.registers()[0].d(), g);
+        assert_eq!(n.registers()[1].d(), g2);
+        assert!(n.check_invariants().is_ok());
+        // Endpoints: the marked output plus both D drivers, deduped.
+        assert_eq!(n.timing_endpoints(), vec![g, g2]);
+    }
+
+    #[test]
+    fn unbound_register_rejected() {
+        let mut b = NetlistBuilder::new("seq");
+        let clk = b.input("clk");
+        let q = b.dff("q", clk);
+        let g = b.gate("g", LogicFunction::Inv, &[q]);
+        b.mark_output(g);
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::UnboundRegister("q".into())
+        );
+    }
+
+    #[test]
+    fn double_bind_and_foreign_bind_rejected() {
+        let mut b = NetlistBuilder::new("seq");
+        let clk = b.input("clk");
+        let q = b.dff("q", clk);
+        let g = b.gate("g", LogicFunction::Inv, &[q]);
+        b.bind_d(q, g);
+        b.bind_d(q, g);
+        b.mark_output(g);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::BadRegister { .. }
+        ));
+
+        let mut b = NetlistBuilder::new("seq2");
+        let clk = b.input("clk");
+        let q = b.dff("q", clk);
+        let g = b.gate("g", LogicFunction::Inv, &[q]);
+        b.bind_d(g, q); // g is not a register
+        b.mark_output(g);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::BadRegister { .. }
+        ));
     }
 
     #[test]

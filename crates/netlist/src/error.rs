@@ -58,6 +58,21 @@ pub enum NetlistError {
         /// The netlist's node count.
         expected: usize,
     },
+    /// A register was declared but its D pin was never bound to a driver.
+    UnboundRegister(String),
+    /// A register record violates the register-cut invariants (Q gate not
+    /// a single-fanin DFF, clock not a shared primary input, …).
+    BadRegister {
+        /// The offending register's name.
+        register: String,
+        /// Which invariant failed.
+        message: String,
+    },
+    /// A structural net is read by a pin or output port but nothing
+    /// drives it.
+    UndrivenNet(String),
+    /// A structural net is driven by more than one source.
+    MultiplyDrivenNet(String),
 }
 
 impl std::fmt::Display for NetlistError {
@@ -98,6 +113,16 @@ impl std::fmt::Display for NetlistError {
                     f,
                     "size snapshot has {got} entries, netlist has {expected} nodes"
                 )
+            }
+            Self::UnboundRegister(n) => {
+                write!(f, "register `{n}` has no D-pin driver bound")
+            }
+            Self::BadRegister { register, message } => {
+                write!(f, "register `{register}`: {message}")
+            }
+            Self::UndrivenNet(n) => write!(f, "net `{n}` is read but never driven"),
+            Self::MultiplyDrivenNet(n) => {
+                write!(f, "net `{n}` has more than one driver")
             }
         }
     }

@@ -24,6 +24,7 @@ pub mod parity;
 pub mod presets;
 pub mod priority;
 pub mod random_dag;
+pub mod sequential;
 
 pub use adder::{adder_comparator_datapath, ripple_carry_adder};
 pub use alu::{alu, alu_array, alu_with_flags, AluOp};
@@ -35,3 +36,4 @@ pub use parity::parity_tree;
 pub use presets::{large_preset_names, preset, preset_names, small_preset_names};
 pub use priority::priority_interrupt_controller;
 pub use random_dag::{random_dag, RandomDagConfig};
+pub use sequential::{pipeline_adder, shift_register_dag};

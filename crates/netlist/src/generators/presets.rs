@@ -9,8 +9,8 @@
 //! generates the same netlist (random DAGs use fixed seeds).
 
 use super::{
-    alu, array_multiplier, ecc_corrector, magnitude_comparator, random_dag, ripple_carry_adder,
-    RandomDagConfig,
+    alu, array_multiplier, ecc_corrector, magnitude_comparator, pipeline_adder, random_dag,
+    ripple_carry_adder, shift_register_dag, RandomDagConfig,
 };
 use crate::graph::Netlist;
 use vartol_liberty::Library;
@@ -19,8 +19,21 @@ use vartol_liberty::Library;
 #[must_use]
 pub fn preset_names() -> &'static [&'static str] {
     &[
-        "adder_8", "adder_16", "adder_32", "mult_8", "mult_12", "alu_8", "alu_16", "ecc_16",
-        "ecc_32", "cmp_8", "cmp_16", "dag_150", "dag_400",
+        "adder_8",
+        "adder_16",
+        "adder_32",
+        "mult_8",
+        "mult_12",
+        "alu_8",
+        "alu_16",
+        "ecc_16",
+        "ecc_32",
+        "cmp_8",
+        "cmp_16",
+        "dag_150",
+        "dag_400",
+        "pipeline_adder_16",
+        "shift_dag_1k",
     ]
 }
 
@@ -30,7 +43,14 @@ pub fn preset_names() -> &'static [&'static str] {
 #[must_use]
 pub fn small_preset_names() -> &'static [&'static str] {
     &[
-        "adder_8", "adder_16", "mult_8", "alu_8", "ecc_16", "cmp_8", "dag_150",
+        "adder_8",
+        "adder_16",
+        "mult_8",
+        "alu_8",
+        "ecc_16",
+        "cmp_8",
+        "dag_150",
+        "pipeline_adder_16",
     ]
 }
 
@@ -88,6 +108,8 @@ pub fn preset(name: &str, library: &Library) -> Option<Netlist> {
         "cmp_16" => magnitude_comparator(16, library),
         "dag_150" => dag(150, 0xDA61),
         "dag_400" => dag(400, 0xDA62),
+        "pipeline_adder_16" => pipeline_adder(16, library),
+        "shift_dag_1k" => shift_register_dag(500, library),
         "dag_100k" => random_dag(
             RandomDagConfig {
                 inputs: 256,
@@ -149,6 +171,22 @@ mod tests {
             );
         }
         let _ = lib;
+    }
+
+    #[test]
+    fn sequential_presets_carry_register_cuts() {
+        let lib = Library::synthetic_90nm();
+        let pipe = preset("pipeline_adder_16", &lib).expect("known preset");
+        assert!(pipe.is_sequential());
+        assert_eq!(pipe.register_count(), 42);
+        let shift = preset("shift_dag_1k", &lib).expect("known preset");
+        assert!(shift.is_sequential());
+        assert_eq!(shift.register_count(), 500);
+        assert!(shift.gate_count() >= 1000);
+        assert!(
+            small_preset_names().contains(&"pipeline_adder_16"),
+            "the default matrix must exercise a sequential circuit"
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Sequential circuit generators: pipelined datapaths and register
+//! chains for exercising the clocked-timing path groups.
+//!
+//! Both generators synthesize an explicit `clk` primary input and cut
+//! the graph at [`Register`](crate::Register) boundaries, so they emit
+//! paths in all four timing groups (in→reg, reg→reg, reg→out, in→out).
+//! They are structural-only: boolean simulation treats a DFF as
+//! transparent, so unlike the combinational generators these are not
+//! verified against a golden software model — their value is the
+//! register cut, not the function.
+
+use super::blocks::emit_tree;
+use crate::builder::NetlistBuilder;
+use crate::graph::{GateId, Netlist};
+use vartol_liberty::{Library, LogicFunction};
+
+/// Generates a two-stage pipelined ripple-carry adder.
+///
+/// Stage 1 adds the lower half of `a` and `b`; a register rank captures
+/// the low sum bits, the mid carry, and the (delayed) upper operand
+/// bits; stage 2 adds the upper half; a second register rank captures
+/// every result bit. The registered results are the primary outputs,
+/// plus one *unregistered* bypass output (the parity of all operand
+/// bits) so the circuit also carries in→out paths.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or the netlist fails library validation.
+///
+/// # Example
+///
+/// ```
+/// use vartol_liberty::Library;
+/// use vartol_netlist::generators::pipeline_adder;
+///
+/// let lib = Library::synthetic_90nm();
+/// let n = pipeline_adder(16, &lib);
+/// assert!(n.is_sequential());
+/// // Rank 1: 8 low sums + mid carry + 16 delayed operand bits;
+/// // rank 2: 16 result bits + carry-out.
+/// assert_eq!(n.register_count(), 42);
+/// ```
+#[must_use]
+pub fn pipeline_adder(width: usize, library: &Library) -> Netlist {
+    assert!(width >= 2, "pipeline adder needs at least two bits");
+    let half = width / 2;
+    let mut b = NetlistBuilder::new(format!("pipe_adder{width}"));
+    let clk = b.input("clk");
+    let a: Vec<GateId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+
+    // Stage 1: lower-half adder straight off the primary inputs.
+    let (lo_sums, lo_carry) =
+        super::blocks::emit_ripple_adder(&mut b, "lo", &a[..half], &x[..half], cin, true);
+
+    // Rank 1: capture the low sums and mid carry; delay the upper
+    // operands so both stage-2 inputs arrive in the same cycle.
+    let mut bind = Vec::new();
+    let mut dff = |b: &mut NetlistBuilder, name: String, d: GateId| {
+        let q = b.dff(name, clk);
+        bind.push((q, d));
+        q
+    };
+    let r1_sums: Vec<GateId> = lo_sums
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| dff(&mut b, format!("r1_s{i}"), s))
+        .collect();
+    let r1_carry = dff(&mut b, "r1_c".into(), lo_carry);
+    let r1_a: Vec<GateId> = a[half..]
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| dff(&mut b, format!("r1_a{i}"), g))
+        .collect();
+    let r1_b: Vec<GateId> = x[half..]
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| dff(&mut b, format!("r1_b{i}"), g))
+        .collect();
+
+    // Stage 2: upper-half adder off the register rank.
+    let (hi_sums, cout) =
+        super::blocks::emit_ripple_adder(&mut b, "hi", &r1_a, &r1_b, r1_carry, true);
+
+    // Rank 2: capture every result bit; the Q gates are the outputs.
+    for (i, &s) in r1_sums.iter().enumerate() {
+        let q = dff(&mut b, format!("r2_s{i}"), s);
+        b.mark_output(q);
+    }
+    for (i, &s) in hi_sums.iter().enumerate() {
+        let q = dff(&mut b, format!("r2_s{}", half + i), s);
+        b.mark_output(q);
+    }
+    let q = dff(&mut b, "r2_cout".into(), cout);
+    b.mark_output(q);
+
+    // Unregistered bypass: operand parity, an in→out path.
+    let operand_bits: Vec<GateId> = a.iter().chain(&x).copied().collect();
+    let par = emit_tree(&mut b, "bypass_par", LogicFunction::Xor, &operand_bits);
+    b.mark_output(par);
+
+    for (q, d) in bind {
+        b.bind_d(q, d);
+    }
+    finish(b, library)
+}
+
+/// Generates a register chain of `length` stages mixing in primary
+/// inputs: stage `i` computes `d_i = q_{i-1} ⊕ in_{i mod k}` and
+/// registers it, yielding one gate plus one register per stage (so
+/// `length = 500` is a ~1000-node circuit). An OR tree over the last
+/// four stages' Q pins is the registered output; the AND of all primary
+/// inputs is an unregistered in→out bypass.
+///
+/// # Panics
+///
+/// Panics if `length < 4` or the netlist fails library validation.
+#[must_use]
+pub fn shift_register_dag(length: usize, library: &Library) -> Netlist {
+    assert!(length >= 4, "shift chain needs at least four stages");
+    const PI_COUNT: usize = 8;
+    let mut b = NetlistBuilder::new(format!("shift_dag{length}"));
+    let clk = b.input("clk");
+    let pis: Vec<GateId> = (0..PI_COUNT).map(|i| b.input(format!("in{i}"))).collect();
+
+    let mut bind = Vec::new();
+    let mut prev = pis[0];
+    let mut qs = Vec::with_capacity(length);
+    for i in 0..length {
+        let mix = b.gate(
+            format!("m{i}"),
+            LogicFunction::Xor,
+            &[prev, pis[i % PI_COUNT]],
+        );
+        let q = b.dff(format!("r{i}"), clk);
+        bind.push((q, mix));
+        qs.push(q);
+        prev = q;
+    }
+
+    let tail = emit_tree(&mut b, "tail_or", LogicFunction::Or, &qs[length - 4..]);
+    b.mark_output(tail);
+    let bypass = emit_tree(&mut b, "bypass_and", LogicFunction::And, &pis);
+    b.mark_output(bypass);
+
+    for (q, d) in bind {
+        b.bind_d(q, d);
+    }
+    finish(b, library)
+}
+
+fn finish(b: NetlistBuilder, library: &Library) -> Netlist {
+    let n = b.build().expect("generator produced an invalid netlist");
+    n.validate_against_library(library)
+        .expect("generator used a cell missing from the library");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ripple_carry_adder;
+
+    #[test]
+    fn pipeline_adder_structure() {
+        let lib = Library::synthetic_90nm();
+        let n = pipeline_adder(16, &lib);
+        assert!(n.is_sequential());
+        // Rank 1: 8 sums + carry + 16 delayed operand bits; rank 2: 17.
+        assert_eq!(n.register_count(), 8 + 1 + 16 + 17);
+        assert_eq!(n.clock().map(|c| n.gate(c).name()), Some("clk"));
+        // 17 registered outputs plus the parity bypass.
+        assert_eq!(n.output_count(), 18);
+        assert!(n.check_invariants().is_ok());
+        assert!(n.validate_against_library(&lib).is_ok());
+    }
+
+    #[test]
+    fn pipelining_cuts_combinational_depth() {
+        let lib = Library::synthetic_90nm();
+        let flat = ripple_carry_adder(16, &lib);
+        let piped = pipeline_adder(16, &lib);
+        // Each pipeline stage only ripples half the carry chain (the
+        // XOR bypass tree is logarithmic), so the graph gets shallower.
+        assert!(
+            piped.depth() < flat.depth(),
+            "piped {} vs flat {}",
+            piped.depth(),
+            flat.depth()
+        );
+    }
+
+    #[test]
+    fn pipeline_endpoints_cover_registers_and_outputs() {
+        let lib = Library::synthetic_90nm();
+        let n = pipeline_adder(8, &lib);
+        let endpoints = n.timing_endpoints();
+        // Every register D-driver plus the bypass output; registered Q
+        // outputs are launch points, and D drivers dedup against them.
+        assert!(endpoints.len() > n.output_count());
+        for r in n.registers() {
+            assert!(endpoints.contains(&r.d()), "D pins are endpoints");
+        }
+    }
+
+    #[test]
+    fn shift_register_dag_structure() {
+        let lib = Library::synthetic_90nm();
+        let n = shift_register_dag(500, &lib);
+        assert!(n.is_sequential());
+        assert_eq!(n.register_count(), 500);
+        assert!(n.gate_count() >= 1000, "{}", n.gate_count());
+        assert_eq!(n.output_count(), 2);
+        assert!(n.check_invariants().is_ok());
+        assert!(n.validate_against_library(&lib).is_ok());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let lib = Library::synthetic_90nm();
+        assert_eq!(pipeline_adder(8, &lib), pipeline_adder(8, &lib));
+        assert_eq!(shift_register_dag(16, &lib), shift_register_dag(16, &lib));
+    }
+}

@@ -117,7 +117,52 @@ impl Gate {
     }
 }
 
-/// A combinational gate-level netlist.
+/// One register of a sequential netlist: the cut between its D (data)
+/// pin and its Q (output) gate.
+///
+/// In the flattened timing graph the register's Q pin is an ordinary
+/// [`LogicFunction::Dff`] cell whose single fanin is the shared clock
+/// input — its cell delay is the clk→Q launch offset, so every engine
+/// times it with no special casing. The D pin is **not** a graph edge
+/// (the graph stays acyclic); it is this metadata record, which makes
+/// the node driving D a timing endpoint checked against the register's
+/// setup window.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Register {
+    name: String,
+    q: GateId,
+    d: GateId,
+}
+
+impl Register {
+    pub(crate) fn new(name: String, q: GateId, d: GateId) -> Self {
+        Self { name, q, d }
+    }
+
+    /// The register's name (the name of its Q gate).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The Q-pin gate: a [`LogicFunction::Dff`] cell fed by the clock,
+    /// and the startpoint of every path the register launches.
+    #[must_use]
+    pub fn q(&self) -> GateId {
+        self.q
+    }
+
+    /// The node driving the D pin: the endpoint of every path the
+    /// register captures.
+    #[must_use]
+    pub fn d(&self) -> GateId {
+        self.d
+    }
+}
+
+/// A combinational gate-level netlist, optionally carrying a register
+/// cut (see [`Register`]) that makes it the flattened core of a
+/// sequential circuit.
 ///
 /// Nodes are stored in a topological order (guaranteed by the builder), so
 /// timing propagation is a single forward scan over [`Netlist::node_ids`].
@@ -148,6 +193,7 @@ pub struct Netlist {
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     name_index: HashMap<String, GateId>,
+    registers: Vec<Register>,
 }
 
 impl Netlist {
@@ -157,6 +203,7 @@ impl Netlist {
         inputs: Vec<GateId>,
         outputs: Vec<GateId>,
         name_index: HashMap<String, GateId>,
+        registers: Vec<Register>,
     ) -> Self {
         Self {
             name,
@@ -164,6 +211,7 @@ impl Netlist {
             inputs,
             outputs,
             name_index,
+            registers,
         }
     }
 
@@ -221,6 +269,63 @@ impl Netlist {
     #[must_use]
     pub fn is_output(&self, id: GateId) -> bool {
         self.outputs.contains(&id)
+    }
+
+    /// The register cut, in Q-gate construction order (empty for a
+    /// purely combinational netlist).
+    #[must_use]
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Whether the netlist carries a register cut.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        !self.registers.is_empty()
+    }
+
+    /// The shared clock input (the single fanin of every register's Q
+    /// gate), or `None` for a combinational netlist.
+    #[must_use]
+    pub fn clock(&self) -> Option<GateId> {
+        self.registers.first().map(|r| self.gate(r.q()).fanins()[0])
+    }
+
+    /// Every setup-timing endpoint, sorted by id: the primary outputs
+    /// plus the nodes driving register D pins. A node that is both (or
+    /// drives several D pins) appears once.
+    #[must_use]
+    pub fn timing_endpoints(&self) -> Vec<GateId> {
+        let mut endpoints: Vec<GateId> = self.outputs.clone();
+        endpoints.extend(self.registers.iter().map(Register::d));
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        endpoints
+    }
+
+    /// A clone with every register's (non-input) D driver additionally
+    /// marked as a primary output, so that the engines' max-over-outputs
+    /// objective ranges over **all** setup endpoints. This is the netlist
+    /// the clocked sizer optimizes: minimizing its circuit delay drives
+    /// the worst endpoint arrival — and with it the worst negative slack
+    /// — down. Input-driven D pins are skipped (an input arrives at 0 and
+    /// can never be the critical endpoint).
+    #[must_use]
+    pub fn endpoint_marked(&self) -> Netlist {
+        let mut marked = self.clone();
+        for r in &self.registers {
+            let d = r.d();
+            if !self.gate(d).is_input() && !marked.outputs.contains(&d) {
+                marked.outputs.push(d);
+            }
+        }
+        marked
     }
 
     /// The node for `id`.
@@ -521,6 +626,49 @@ impl Netlist {
         }
         if self.outputs.is_empty() {
             return Err(NetlistError::NoOutputs);
+        }
+        let mut clock: Option<GateId> = None;
+        let mut seen_q = vec![false; self.nodes.len()];
+        for r in &self.registers {
+            let q = self.try_gate(r.q())?;
+            self.try_gate(r.d())?;
+            let is_dff = matches!(
+                q.kind(),
+                GateKind::Cell {
+                    function: LogicFunction::Dff,
+                    ..
+                }
+            );
+            if !is_dff || q.fanins().len() != 1 {
+                return Err(NetlistError::BadRegister {
+                    register: r.name().to_owned(),
+                    message: "Q gate is not a single-fanin DFF cell".to_owned(),
+                });
+            }
+            if seen_q[r.q().index()] {
+                return Err(NetlistError::BadRegister {
+                    register: r.name().to_owned(),
+                    message: "two registers share one Q gate".to_owned(),
+                });
+            }
+            seen_q[r.q().index()] = true;
+            let clk = q.fanins()[0];
+            if !self.gate(clk).is_input() {
+                return Err(NetlistError::BadRegister {
+                    register: r.name().to_owned(),
+                    message: "clock is not a primary input".to_owned(),
+                });
+            }
+            match clock {
+                None => clock = Some(clk),
+                Some(c) if c != clk => {
+                    return Err(NetlistError::BadRegister {
+                        register: r.name().to_owned(),
+                        message: "registers disagree on the clock input".to_owned(),
+                    });
+                }
+                Some(_) => {}
+            }
         }
         Ok(())
     }

@@ -1,11 +1,13 @@
-//! Reader and writer for the ISCAS-85 `.bench` netlist format.
+//! Reader and writer for the ISCAS-85/89 `.bench` netlist format.
 //!
-//! The format the original benchmark suite (c432 … c7552) ships in:
+//! The format the original benchmark suites (combinational c432 … c7552,
+//! sequential s27 … s38584) ship in:
 //!
 //! ```text
 //! # comment
 //! INPUT(G1)
 //! OUTPUT(G17)
+//! G5 = DFF(G10)
 //! G10 = NAND(G1, G3)
 //! G17 = NOT(G10)
 //! ```
@@ -16,6 +18,15 @@
 //! reverse-ordered files), and reports cycles and undefined signals with
 //! line-level context. The writer emits gates in topological order so
 //! round-trips are stable.
+//!
+//! `DFF` statements follow the ISCAS-89 dialect: the implicit clock is
+//! synthesized as a shared primary input (named `clk` unless that name is
+//! taken), each `Q = DFF(D)` becomes a [`LogicFunction::Dff`] Q gate fed
+//! by the clock, and the D reference is recorded as a
+//! [`Register`](crate::Register) cut — never a graph edge, so feedback
+//! through registers parses while register-free combinational loops are
+//! still rejected as cycles. [`write_bench`] inverts all of this exactly
+//! (the synthetic clock is omitted, registers print as `Q = DFF(D)`).
 
 use crate::builder::NetlistBuilder;
 use crate::error::NetlistError;
@@ -32,6 +43,10 @@ enum Statement {
         name: String,
         function: LogicFunction,
         fanins: Vec<String>,
+    },
+    Dff {
+        name: String,
+        d: String,
     },
 }
 
@@ -72,7 +87,9 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
     let mut outputs: Vec<&str> = Vec::new();
     for (i, s) in statements.iter().enumerate() {
         match s {
-            Statement::Input(n) | Statement::Gate { name: n, .. } => {
+            Statement::Input(n)
+            | Statement::Gate { name: n, .. }
+            | Statement::Dff { name: n, .. } => {
                 if defs.insert(n.as_str(), i).is_some() {
                     return Err(NetlistError::DuplicateName(n.clone()));
                 }
@@ -101,17 +118,43 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
                     dependents[def_idx].push(i);
                 }
             }
+            Statement::Dff { d, .. } => {
+                // The D reference is a register cut, not a graph edge:
+                // it must resolve, but it never gates the Q emission —
+                // which is what lets feedback through a register parse
+                // while register-free loops still stall as cycles.
+                pending += 1;
+                if !defs.contains_key(d.as_str()) {
+                    return Err(NetlistError::UnknownSignal(d.clone()));
+                }
+            }
         }
     }
 
     let mut ready: VecDeque<usize> = statements
         .iter()
         .enumerate()
-        .filter(|(i, s)| matches!(s, Statement::Input(_)) && indegree[*i] == 0)
+        .filter(|(i, s)| {
+            matches!(s, Statement::Input(_) | Statement::Dff { .. }) && indegree[*i] == 0
+        })
         .map(|(i, _)| i)
         .collect();
 
     let mut b = NetlistBuilder::new(name);
+    // ISCAS-89 registers share one implicit clock; synthesize it as a
+    // primary input (dodging any colliding signal name).
+    let clock = if statements
+        .iter()
+        .any(|s| matches!(s, Statement::Dff { .. }))
+    {
+        let mut clk_name = "clk".to_owned();
+        while defs.contains_key(clk_name.as_str()) {
+            clk_name.push('_');
+        }
+        Some(b.input(clk_name))
+    } else {
+        None
+    };
     let mut ids: HashMap<&str, GateId> = HashMap::new();
     let mut emitted = vec![false; statements.len()];
     while let Some(i) = ready.pop_front() {
@@ -126,6 +169,10 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
             } => {
                 let fanin_ids: Vec<GateId> = fanins.iter().map(|f| ids[f.as_str()]).collect();
                 ids.insert(name.as_str(), b.gate(name.clone(), *function, &fanin_ids));
+            }
+            Statement::Dff { name, .. } => {
+                let clk = clock.expect("clock synthesized whenever DFFs exist");
+                ids.insert(name.as_str(), b.dff(name.clone(), clk));
             }
             Statement::Output(_) => unreachable!("outputs never enter the worklist"),
         }
@@ -151,6 +198,14 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, NetlistError> {
             })
             .unwrap_or_default();
         return Err(NetlistError::Cycle(stuck));
+    }
+
+    // Bind D pins only now that every driver has been emitted — D may
+    // reference a gate downstream of its own Q (feedback).
+    for s in &statements {
+        if let Statement::Dff { name, d } = s {
+            b.bind_d(ids[name.as_str()], ids[d.as_str()]);
+        }
     }
 
     for o in outputs {
@@ -203,11 +258,24 @@ fn tokenize(text: &str) -> Result<Vec<Statement>, NetlistError> {
             if fanins.is_empty() {
                 return Err(err("gate with no inputs".into()));
             }
-            out.push(Statement::Gate {
-                name: name.to_owned(),
-                function,
-                fanins,
-            });
+            if function == LogicFunction::Dff {
+                if fanins.len() != 1 {
+                    return Err(err(format!(
+                        "DFF takes exactly one D input, got {}",
+                        fanins.len()
+                    )));
+                }
+                out.push(Statement::Dff {
+                    name: name.to_owned(),
+                    d: fanins.into_iter().next().expect("checked len"),
+                });
+            } else {
+                out.push(Statement::Gate {
+                    name: name.to_owned(),
+                    function,
+                    fanins,
+                });
+            }
         } else {
             return Err(err(format!("unrecognized statement `{line}`")));
         }
@@ -225,12 +293,20 @@ fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 /// Serializes a netlist to `.bench` text (topological gate order).
 ///
 /// Sizes are not representable in `.bench`; the written file describes
-/// topology and functions only.
+/// topology and functions only. Registers print in the ISCAS-89 dialect
+/// (`Q = DFF(D)`), and the implicit clock input is omitted — so a parse →
+/// write → parse round-trip reconstructs the same register cut.
 #[must_use]
 pub fn write_bench(netlist: &Netlist) -> String {
+    let clock = netlist.clock();
+    let d_of_q: HashMap<GateId, GateId> =
+        netlist.registers().iter().map(|r| (r.q(), r.d())).collect();
     let mut s = String::new();
     s.push_str(&format!("# {}\n", netlist.name()));
     for &i in netlist.inputs() {
+        if Some(i) == clock {
+            continue;
+        }
         s.push_str(&format!("INPUT({})\n", netlist.gate(i).name()));
     }
     for &o in netlist.outputs() {
@@ -241,6 +317,10 @@ pub fn write_bench(netlist: &Netlist) -> String {
         let GateKind::Cell { function, .. } = g.kind() else {
             continue;
         };
+        if let Some(&d) = d_of_q.get(&id) {
+            s.push_str(&format!("{} = DFF({})\n", g.name(), netlist.gate(d).name()));
+            continue;
+        }
         let fanins: Vec<&str> = g.fanins().iter().map(|&f| netlist.gate(f).name()).collect();
         s.push_str(&format!(
             "{} = {}({})\n",
@@ -413,5 +493,125 @@ y = NOT(p)
         let text = "INPUT(a)\nOUTPUT(y)\nt = INV(a)\ny = not(t)\n";
         let n = parse_bench(text, "c").expect("valid");
         assert_eq!(n.gate_count(), 2);
+    }
+
+    const S27: &str = "\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+    #[test]
+    fn parses_s27_with_registers() {
+        let n = parse_bench(S27, "s27").expect("valid sequential bench");
+        assert!(n.is_sequential());
+        assert_eq!(n.register_count(), 3);
+        // 4 declared inputs + synthesized clock.
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.output_count(), 1);
+        // 10 combinational gates + 3 DFF Q gates.
+        assert_eq!(n.gate_count(), 13);
+        let clk = n.clock().expect("sequential circuits carry a clock");
+        assert_eq!(n.gate(clk).name(), "clk");
+        assert!(n.check_invariants().is_ok());
+        // Register cut: G5's D is G10, and the D pins are timing endpoints.
+        let g5 = n.gate_by_name("G5").expect("G5 exists");
+        let g10 = n.gate_by_name("G10").expect("G10 exists");
+        let reg = n.registers().iter().find(|r| r.q() == g5).expect("G5 reg");
+        assert_eq!(reg.d(), g10);
+        let endpoints = n.timing_endpoints();
+        assert_eq!(endpoints.len(), 4, "G17 plus three D pins");
+        assert!(endpoints.contains(&g10));
+    }
+
+    #[test]
+    fn dff_round_trip_preserves_register_cut() {
+        let n1 = parse_bench(S27, "s27").expect("valid");
+        let text = write_bench(&n1);
+        // The synthetic clock must not leak into the written file.
+        assert!(!text.contains("clk"), "clock leaked:\n{text}");
+        assert!(text.contains("G5 = DFF(G10)"), "register lost:\n{text}");
+        let n2 = parse_bench(&text, "s27rt").expect("round-trips");
+        assert_eq!(n2.register_count(), n1.register_count());
+        assert_eq!(n2.gate_count(), n1.gate_count());
+        assert_eq!(n2.input_count(), n1.input_count());
+        for r1 in n1.registers() {
+            let q2 = n2.gate_by_name(n1.gate(r1.q()).name()).expect("same Qs");
+            let r2 = n2
+                .registers()
+                .iter()
+                .find(|r| r.q() == q2)
+                .expect("register survives");
+            assert_eq!(n2.gate(r2.d()).name(), n1.gate(r1.d()).name());
+        }
+    }
+
+    #[test]
+    fn clk_name_collision_gets_suffixed() {
+        let text = "\
+INPUT(clk)
+OUTPUT(y)
+q = DFF(y)
+y = NOT(q)
+";
+        let n = parse_bench(text, "c").expect("valid");
+        let clock = n.clock().expect("has clock");
+        assert_eq!(n.gate(clock).name(), "clk_");
+        assert!(n.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn dff_arity_enforced_at_parse_time() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(a, b)\ny = NOT(q)\n";
+        match parse_bench(text, "c").unwrap_err() {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("exactly one D input"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dff_with_undefined_d_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\nq = DFF(ghost)\ny = NOT(q)\n";
+        assert_eq!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::UnknownSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn register_free_cycle_still_rejected_in_sequential_circuit() {
+        // q breaks its own loop (legal), but p/r form a combinational
+        // cycle no register cuts — that must still be a Cycle error.
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(y)
+p = NAND(q, r)
+r = NAND(a, p)
+y = NOT(p)
+";
+        assert!(matches!(
+            parse_bench(text, "c").unwrap_err(),
+            NetlistError::Cycle(_)
+        ));
     }
 }

@@ -6,8 +6,11 @@
 //!   outputs, with sizes mutable in place (the optimizer's state).
 //! * [`NetlistBuilder`] — safe construction; a netlist is topologically
 //!   ordered by construction and validated on [`NetlistBuilder::build`].
-//! * [`iscas`] — reader/writer for the ISCAS-85 `.bench` format, so real
-//!   benchmark files can be used where available.
+//! * [`iscas`] — reader/writer for the ISCAS-85/89 `.bench` format
+//!   (including `DFF` register cuts), so real benchmark files can be used
+//!   where available.
+//! * [`edif`] — reader for an EDIF-lite structural dialect: cell
+//!   instances joined by nets, hierarchy flattened onto [`Netlist`].
 //! * [`sim`] — boolean simulation, used to verify that generated circuits
 //!   compute what they claim (adders add, multipliers multiply).
 //! * [`subcircuit`] — extraction of the k-level transitive fanin/fanout
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod builder;
+pub mod edif;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -46,6 +50,6 @@ pub mod subcircuit;
 
 pub use builder::NetlistBuilder;
 pub use error::NetlistError;
-pub use graph::{Gate, GateId, GateKind, Netlist};
+pub use graph::{Gate, GateId, GateKind, Netlist, Register};
 pub use stats::NetlistStats;
 pub use subcircuit::Subcircuit;

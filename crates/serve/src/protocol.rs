@@ -51,15 +51,19 @@
 
 use serde::Value;
 use vartol::ssta::EngineKind;
+use vartol::workspace::GroupSlackRow;
 
 use crate::json;
 
 /// Wire protocol version, bumped on any request/response schema change.
 /// Version 2 added the branch verbs ([`ServeRequest::Fork`] and
 /// friends), the typed error payload (`code` + `message`), and the
-/// branch counters in [`ShardStats`]. Reported in
-/// [`ServiceStats::protocol`].
-pub const PROTOCOL_VERSION: u32 = 2;
+/// branch counters in [`ShardStats`]. Version 3 added the sequential
+/// verbs: [`ServeRequest::RegisterSequential`] (EDIF-lite or `.bench`
+/// text with `DFF` statements), [`ServeRequest::SetClock`], and the
+/// clocked queries [`ServeRequest::GroupSlack`], [`ServeRequest::Wns`],
+/// and [`ServeRequest::Tns`]. Reported in [`ServiceStats::protocol`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// One request line. Mirrors [`vartol::workspace::Request`] — every
 /// query the `Workspace` answers is addressable over the wire — plus
@@ -220,6 +224,55 @@ pub enum ServeRequest {
         /// The divergent trials, each a list of `[gate, size]` pairs.
         trials: Vec<Vec<(String, usize)>>,
     },
+    /// Register a sequential circuit from structural source text:
+    /// exactly one of `edif` (EDIF-lite, see [`vartol::netlist::edif`])
+    /// or `bench` (ISCAS-89-style `.bench` with `DFF` statements) must
+    /// be given. Purely combinational sources register fine too — this
+    /// verb differs from [`ServeRequest::Register`] only in accepting
+    /// the EDIF front end and reporting the register count.
+    RegisterSequential {
+        /// Name to register under (and to address later requests to).
+        circuit: String,
+        /// Inline EDIF-lite netlist text, if registering EDIF.
+        edif: Option<String>,
+        /// Inline `.bench` netlist text, if registering parsed text.
+        bench: Option<String>,
+    },
+    /// Constrain a circuit under a clock; persists and replaces any
+    /// earlier constraint. Required before the clocked queries. Like
+    /// `Resize`, this invalidates the circuit's cache entries (the
+    /// clock is not part of the cache key).
+    SetClock {
+        /// Target circuit.
+        circuit: String,
+        /// Clock period (ps); finite and positive.
+        period: f64,
+        /// Clock uncertainty (ps); finite, `0 <= uncertainty < period`.
+        uncertainty: f64,
+    },
+    /// Per-path-group setup slack (in→reg, reg→reg, reg→out, in→out)
+    /// under the circuit's clock. Cacheable.
+    GroupSlack {
+        /// Target circuit.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
+    /// Worst negative setup slack over every endpoint under the
+    /// circuit's clock. Cacheable.
+    Wns {
+        /// Target circuit.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
+    /// Total negative setup slack under the circuit's clock. Cacheable.
+    Tns {
+        /// Target circuit.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
 }
 
 impl ServeRequest {
@@ -244,7 +297,12 @@ impl ServeRequest {
             | Self::BranchAnalyze { circuit, .. }
             | Self::Commit { circuit, .. }
             | Self::DropBranch { circuit, .. }
-            | Self::WhatIf { circuit, .. } => Some(circuit),
+            | Self::WhatIf { circuit, .. }
+            | Self::RegisterSequential { circuit, .. }
+            | Self::SetClock { circuit, .. }
+            | Self::GroupSlack { circuit, .. }
+            | Self::Wns { circuit, .. }
+            | Self::Tns { circuit, .. } => Some(circuit),
         }
     }
 
@@ -266,6 +324,9 @@ impl ServeRequest {
                 | Self::Yield { .. }
                 | Self::BranchAnalyze { .. }
                 | Self::WhatIf { .. }
+                | Self::GroupSlack { .. }
+                | Self::Wns { .. }
+                | Self::Tns { .. }
         )
     }
 
@@ -377,6 +438,8 @@ pub enum ServeResponse {
         gates: usize,
         /// Logic depth.
         depth: usize,
+        /// Register (DFF) count — 0 for purely combinational circuits.
+        registers: usize,
     },
     /// All registered circuits, sorted (shard-count independent).
     Circuits {
@@ -515,6 +578,35 @@ pub enum ServeResponse {
     WhatIf {
         /// Per-trial outcomes.
         outcomes: Vec<ServeResponse>,
+    },
+    /// Answer to [`ServeRequest::SetClock`].
+    ClockSet {
+        /// The accepted clock period (ps).
+        period: f64,
+        /// The accepted clock uncertainty (ps).
+        uncertainty: f64,
+    },
+    /// Answer to [`ServeRequest::GroupSlack`]: one row per path group,
+    /// in the canonical in2reg/reg2reg/reg2out/in2out order.
+    GroupSlack {
+        /// Engine that produced the arrival report.
+        kind: EngineKind,
+        /// Per-group setup-slack rows (always all four groups).
+        groups: Vec<GroupSlackRow>,
+    },
+    /// Answer to [`ServeRequest::Wns`].
+    Wns {
+        /// Engine that produced the arrival report.
+        kind: EngineKind,
+        /// Worst (minimum) mean setup slack over every endpoint (ps).
+        wns: f64,
+    },
+    /// Answer to [`ServeRequest::Tns`].
+    Tns {
+        /// Engine that produced the arrival report.
+        kind: EngineKind,
+        /// Sum of negative mean endpoint slacks (ps, `<= 0`).
+        tns: f64,
     },
     /// Admission control: the target shard's bounded queue is full.
     /// The request was **not** enqueued and no session was touched —
@@ -699,6 +791,28 @@ fn decode_request(value: &Value) -> Result<ServeRequest, String> {
                 "WhatIf" => ServeRequest::WhatIf {
                     circuit: f.string("circuit")?,
                     trials: f.trials("trials")?,
+                },
+                "RegisterSequential" => ServeRequest::RegisterSequential {
+                    circuit: f.string("circuit")?,
+                    edif: f.opt_string("edif")?,
+                    bench: f.opt_string("bench")?,
+                },
+                "SetClock" => ServeRequest::SetClock {
+                    circuit: f.string("circuit")?,
+                    period: f.number("period")?,
+                    uncertainty: f.number("uncertainty")?,
+                },
+                "GroupSlack" => ServeRequest::GroupSlack {
+                    circuit: f.string("circuit")?,
+                    kind: f.engine_kind("kind")?,
+                },
+                "Wns" => ServeRequest::Wns {
+                    circuit: f.string("circuit")?,
+                    kind: f.engine_kind("kind")?,
+                },
+                "Tns" => ServeRequest::Tns {
+                    circuit: f.string("circuit")?,
+                    kind: f.engine_kind("kind")?,
                 },
                 other => return Err(format!("unknown request `{other}`")),
             };
@@ -963,6 +1077,33 @@ mod tests {
                 circuit: "c17".into(),
                 trials: vec![],
             },
+            ServeRequest::RegisterSequential {
+                circuit: "s27".into(),
+                edif: None,
+                bench: Some("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n".into()),
+            },
+            ServeRequest::RegisterSequential {
+                circuit: "toggler".into(),
+                edif: Some("(edif t (cell t (interface (output q))))".into()),
+                bench: None,
+            },
+            ServeRequest::SetClock {
+                circuit: "s27".into(),
+                period: 750.0,
+                uncertainty: 25.0,
+            },
+            ServeRequest::GroupSlack {
+                circuit: "s27".into(),
+                kind: EngineKind::FullSsta,
+            },
+            ServeRequest::Wns {
+                circuit: "s27".into(),
+                kind: EngineKind::Dsta,
+            },
+            ServeRequest::Tns {
+                circuit: "s27".into(),
+                kind: EngineKind::MonteCarlo,
+            },
         ];
         for request in &requests {
             round_trip(request);
@@ -1023,6 +1164,18 @@ mod tests {
             (
                 "{\"WhatIf\":{\"circuit\":\"c\",\"trials\":[[[\"g\"]]]}}",
                 "[gate, size] pairs",
+            ),
+            (
+                "{\"SetClock\":{\"circuit\":\"c\",\"period\":100}}",
+                "missing field `uncertainty`",
+            ),
+            (
+                "{\"GroupSlack\":{\"circuit\":\"c\",\"kind\":\"Warp\"}}",
+                "unknown engine",
+            ),
+            (
+                "{\"Wns\":{\"circuit\":\"c\",\"kind\":\"Dsta\",\"period\":5}}",
+                "unknown field `period`",
             ),
         ] {
             let err = ServeRequest::from_line(line).expect_err(line);

@@ -547,6 +547,32 @@ impl ShardState {
                     .query(Request::DropBranch { circuit, branch })
                     .answer,
             )),
+            ServeRequest::RegisterSequential {
+                circuit,
+                edif,
+                bench,
+            } => send(self.register_sequential(&circuit, edif.as_deref(), bench.as_deref())),
+            ServeRequest::SetClock {
+                circuit,
+                period,
+                uncertainty,
+            } => {
+                // The clock is not part of the cache key, so cached
+                // sequential answers under the old constraint must go —
+                // the same discipline as `Resize`.
+                let answer = self
+                    .workspace
+                    .query(Request::SetClock {
+                        circuit: circuit.clone(),
+                        period,
+                        uncertainty,
+                    })
+                    .answer;
+                if !matches!(answer, Answer::Error { .. }) {
+                    self.cache.invalidate_circuit(&circuit);
+                }
+                send(answer_payload(answer));
+            }
             cacheable => send(self.query_cached(cacheable)),
         }
     }
@@ -574,15 +600,39 @@ impl ShardState {
             _ => return ServeResponse::error("Register needs exactly one of `preset` or `bench`"),
         };
         match result {
-            Ok(()) => {
-                let netlist = self.workspace.netlist(circuit).expect("just registered");
-                ServeResponse::Registered {
-                    circuit: circuit.to_owned(),
-                    gates: netlist.gate_count(),
-                    depth: netlist.depth(),
-                }
-            }
+            Ok(()) => self.registered(circuit),
             Err(e) => ServeResponse::error_with(e.code().as_str(), e.to_string()),
+        }
+    }
+
+    fn register_sequential(
+        &mut self,
+        circuit: &str,
+        edif: Option<&str>,
+        bench: Option<&str>,
+    ) -> ServeResponse {
+        let result = match (edif, bench) {
+            (Some(text), None) => self.workspace.register_edif_str(circuit, text),
+            (None, Some(text)) => self.workspace.register_bench_str(circuit, text),
+            _ => {
+                return ServeResponse::error(
+                    "RegisterSequential needs exactly one of `edif` or `bench`",
+                )
+            }
+        };
+        match result {
+            Ok(()) => self.registered(circuit),
+            Err(e) => ServeResponse::error_with(e.code().as_str(), e.to_string()),
+        }
+    }
+
+    fn registered(&self, circuit: &str) -> ServeResponse {
+        let netlist = self.workspace.netlist(circuit).expect("just registered");
+        ServeResponse::Registered {
+            circuit: circuit.to_owned(),
+            gates: netlist.gate_count(),
+            depth: netlist.depth(),
+            registers: netlist.register_count(),
         }
     }
 
@@ -760,6 +810,9 @@ fn to_workspace_request(request: ServeRequest) -> Result<Request, ServeResponse>
         ServeRequest::BranchAnalyze { circuit, branch } => {
             Request::BranchAnalyze { circuit, branch }
         }
+        ServeRequest::GroupSlack { circuit, kind } => Request::GroupSlack { circuit, kind },
+        ServeRequest::Wns { circuit, kind } => Request::Wns { circuit, kind },
+        ServeRequest::Tns { circuit, kind } => Request::Tns { circuit, kind },
         ServeRequest::WhatIf { circuit, trials } => Request::WhatIfBatch {
             circuit,
             trials: trials
@@ -853,6 +906,16 @@ fn answer_payload(answer: Answer) -> ServeResponse {
         Answer::WhatIf { outcomes } => ServeResponse::WhatIf {
             outcomes: outcomes.into_iter().map(answer_payload).collect(),
         },
+        Answer::ClockSet {
+            period,
+            uncertainty,
+        } => ServeResponse::ClockSet {
+            period,
+            uncertainty,
+        },
+        Answer::GroupSlack { kind, groups } => ServeResponse::GroupSlack { kind, groups },
+        Answer::Wns { kind, wns } => ServeResponse::Wns { kind, wns },
+        Answer::Tns { kind, tns } => ServeResponse::Tns { kind, tns },
         Answer::Error { code, message } => ServeResponse::Error {
             code: code.as_str().to_owned(),
             message,
@@ -1110,6 +1173,96 @@ mod tests {
         let last = frames.last().unwrap();
         assert!(last.done);
         assert!(matches!(last.payload, ServeResponse::Sized { .. }));
+    }
+
+    #[test]
+    fn sequential_verbs_round_trip_and_set_clock_invalidates() {
+        let service = small_service(2);
+        let frames = service.call(ServeRequest::RegisterSequential {
+            circuit: "seq".into(),
+            edif: None,
+            bench: Some(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, q)\ny = OR(q, b)\n".into(),
+            ),
+        });
+        let ServeResponse::Registered {
+            registers, gates, ..
+        } = frames[0].payload
+        else {
+            panic!("{:?}", frames[0].payload);
+        };
+        assert_eq!(registers, 1);
+        assert!(gates >= 3);
+
+        // Clocked queries without a clock are a typed error.
+        let frames = service.call(ServeRequest::Wns {
+            circuit: "seq".into(),
+            kind: EngineKind::FullSsta,
+        });
+        let ServeResponse::Error { code, .. } = &frames[0].payload else {
+            panic!("{:?}", frames[0].payload);
+        };
+        assert_eq!(code, "no-clock");
+
+        let frames = service.call(ServeRequest::SetClock {
+            circuit: "seq".into(),
+            period: 500.0,
+            uncertainty: 0.0,
+        });
+        assert!(
+            matches!(frames[0].payload, ServeResponse::ClockSet { period, .. } if period == 500.0),
+            "{:?}",
+            frames[0].payload
+        );
+
+        // The feedback circuit has endpoints in all four groups.
+        let group_slack = ServeRequest::GroupSlack {
+            circuit: "seq".into(),
+            kind: EngineKind::FullSsta,
+        };
+        let cold = service.call(group_slack.clone());
+        let ServeResponse::GroupSlack { groups, .. } = &cold[0].payload else {
+            panic!("{:?}", cold[0].payload);
+        };
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.endpoints >= 1), "{groups:?}");
+        let reg2reg_at_500 = groups.iter().find(|g| g.group == "reg2reg").unwrap().wns;
+
+        // Second call hits the cache with an identical payload.
+        let hits_before = service.stats().hits();
+        let warm = service.call(group_slack.clone());
+        assert_eq!(cold[0].payload, warm[0].payload);
+        assert_eq!(service.stats().hits(), hits_before + 1);
+
+        // Re-clocking invalidates: the next query recomputes under the
+        // new period, shifting reg→reg slack by exactly the delta.
+        let invalidations_before: u64 = service
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.cache_invalidations)
+            .sum();
+        service.call(ServeRequest::SetClock {
+            circuit: "seq".into(),
+            period: 800.0,
+            uncertainty: 0.0,
+        });
+        let after: u64 = service
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.cache_invalidations)
+            .sum();
+        assert!(after > invalidations_before);
+        let reclocked = service.call(group_slack);
+        let ServeResponse::GroupSlack { groups, .. } = &reclocked[0].payload else {
+            panic!("{:?}", reclocked[0].payload);
+        };
+        let reg2reg_at_800 = groups.iter().find(|g| g.group == "reg2reg").unwrap().wns;
+        assert!(
+            (reg2reg_at_800 - reg2reg_at_500 - 300.0).abs() < 1e-9,
+            "{reg2reg_at_500} -> {reg2reg_at_800}"
+        );
     }
 
     #[test]

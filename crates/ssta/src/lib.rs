@@ -35,6 +35,12 @@
 //! * [`wnss`] — the Worst Negative Statistical Slack path tracer (§4.4):
 //!   walks back from the statistically-worst output choosing the dominant
 //!   input by the dominance test or finite-difference variance sensitivity.
+//! * [`sequential`] — clocked timing on top of any engine's report:
+//!   registers cut the graph into startpoints (Q pins, launched at the
+//!   DFF's clk→Q delay) and endpoints (D pins and primary outputs),
+//!   classified into the four path groups (in→reg, reg→reg, reg→out,
+//!   in→out) with per-group setup slack, WNS, and TNS under a
+//!   [`ClockConstraint`].
 //!
 //! All engines share the electrical model in [`delay`]: NLDM table delays
 //! driven by fanout loads and nominal slews, widened into random variables
@@ -89,6 +95,7 @@ pub mod fingerprint;
 pub mod fullssta;
 pub mod montecarlo;
 pub mod pool;
+pub mod sequential;
 pub mod session;
 pub mod slack;
 mod state;
@@ -107,6 +114,7 @@ pub use fingerprint::{config_fingerprint, fingerprint_bytes, size_fingerprint, F
 pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
 pub use pool::ScopedPool;
+pub use sequential::{ClockConstraint, GroupTiming, PathGroup, SequentialTiming};
 pub use session::TimingSession;
 #[allow(deprecated)]
 pub use session::TrialSession;

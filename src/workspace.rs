@@ -63,12 +63,13 @@ use std::time::{Duration, Instant};
 
 use vartol_core::{OptimizationReport, SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
+use vartol_netlist::edif::parse_edif;
 use vartol_netlist::generators::preset;
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::{Netlist, NetlistError};
 use vartol_ssta::{
-    EngineKind, MonteCarloTimer, ScopedPool, SessionBranch, SstaConfig, TimingSession,
-    VariationModel,
+    ClockConstraint, EngineKind, MonteCarloTimer, ScopedPool, SequentialTiming, SessionBranch,
+    SstaConfig, TimingSession, VariationModel,
 };
 use vartol_stats::Moments;
 
@@ -221,6 +222,8 @@ pub enum ErrorCode {
     Panic,
     /// The request itself was malformed at the protocol boundary.
     BadRequest,
+    /// A sequential query needs a clock, but the circuit has none set.
+    NoClock,
 }
 
 impl ErrorCode {
@@ -245,6 +248,7 @@ impl ErrorCode {
             Self::BranchConflict => "branch-conflict",
             Self::Panic => "panic",
             Self::BadRequest => "bad-request",
+            Self::NoClock => "no-clock",
         }
     }
 
@@ -269,6 +273,7 @@ impl ErrorCode {
             "branch-conflict" => Self::BranchConflict,
             "panic" => Self::Panic,
             "bad-request" => Self::BadRequest,
+            "no-clock" => Self::NoClock,
             _ => return None,
         })
     }
@@ -422,6 +427,43 @@ pub enum Request {
         /// The divergent trials to evaluate.
         trials: Vec<WhatIfTrial>,
     },
+    /// Constrain the circuit under a clock. Persists for later requests
+    /// on the same circuit (and later batches); re-issuing replaces the
+    /// constraint. Required before any [`Request::GroupSlack`],
+    /// [`Request::Wns`], or [`Request::Tns`] query.
+    SetClock {
+        /// Target circuit name.
+        circuit: String,
+        /// Clock period (ps). Must be finite and positive.
+        period: f64,
+        /// Clock uncertainty subtracted from the period (ps). Must be
+        /// finite, non-negative, and below the period.
+        uncertainty: f64,
+    },
+    /// Per-path-group setup slack (in→reg, reg→reg, reg→out, in→out)
+    /// under the circuit's clock, from any engine's report.
+    GroupSlack {
+        /// Target circuit name.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
+    /// Worst negative setup slack over every endpoint (registers' D pins
+    /// and primary outputs) under the circuit's clock.
+    Wns {
+        /// Target circuit name.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
+    /// Total negative setup slack (sum of negative endpoint slacks)
+    /// under the circuit's clock.
+    Tns {
+        /// Target circuit name.
+        circuit: String,
+        /// Engine whose arrival report the slack folds over.
+        kind: EngineKind,
+    },
 }
 
 /// One speculative trial of [`Request::WhatIfBatch`]: a set of gate
@@ -459,7 +501,11 @@ impl Request {
             | Self::BranchAnalyze { circuit, .. }
             | Self::Commit { circuit, .. }
             | Self::DropBranch { circuit, .. }
-            | Self::WhatIfBatch { circuit, .. } => circuit,
+            | Self::WhatIfBatch { circuit, .. }
+            | Self::SetClock { circuit, .. }
+            | Self::GroupSlack { circuit, .. }
+            | Self::Wns { circuit, .. }
+            | Self::Tns { circuit, .. } => circuit,
         }
     }
 }
@@ -566,6 +612,36 @@ pub enum Answer {
         /// Per-trial outcomes.
         outcomes: Vec<Answer>,
     },
+    /// Result of [`Request::SetClock`].
+    ClockSet {
+        /// The accepted clock period (ps).
+        period: f64,
+        /// The accepted clock uncertainty (ps).
+        uncertainty: f64,
+    },
+    /// Result of [`Request::GroupSlack`]: one row per path group, in
+    /// the canonical [`PathGroup::ALL`](vartol_ssta::PathGroup::ALL)
+    /// order.
+    GroupSlack {
+        /// The engine that produced the arrival report.
+        kind: EngineKind,
+        /// Per-group setup-slack rows (always all four groups).
+        groups: Vec<GroupSlackRow>,
+    },
+    /// Result of [`Request::Wns`].
+    Wns {
+        /// The engine that produced the arrival report.
+        kind: EngineKind,
+        /// Worst (minimum) mean setup slack over every endpoint (ps).
+        wns: f64,
+    },
+    /// Result of [`Request::Tns`].
+    Tns {
+        /// The engine that produced the arrival report.
+        kind: EngineKind,
+        /// Sum of negative mean endpoint slacks (ps, `<= 0`).
+        tns: f64,
+    },
     /// The request was malformed or its evaluation panicked; the rest of
     /// the batch (and the circuit's session) is unaffected.
     Error {
@@ -574,6 +650,27 @@ pub enum Answer {
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// One path group's setup-slack summary inside [`Answer::GroupSlack`] —
+/// the wire-friendly (name-resolved, null-free) projection of
+/// [`vartol_ssta::GroupTiming`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupSlackRow {
+    /// Stable group name (`in2reg`, `reg2reg`, `reg2out`, `in2out`).
+    pub group: String,
+    /// Number of endpoints classified into the group.
+    pub endpoints: usize,
+    /// Worst (minimum) mean setup slack over the group's endpoints; an
+    /// empty group reports the full clock budget.
+    pub wns: f64,
+    /// Sum of negative mean slacks (0 when every endpoint meets timing).
+    pub tns: f64,
+    /// Minimum over endpoints of `P(arrival ≤ required)`; deterministic
+    /// engines degrade to a 0/1 step, empty groups report 1.
+    pub prob_met: f64,
+    /// Name of the endpoint realizing `wns` (empty for an empty group).
+    pub worst: String,
 }
 
 impl Answer {
@@ -605,6 +702,7 @@ struct CircuitEntry {
     branches: BTreeMap<String, SessionBranch>,
     committed: u64,
     dropped: u64,
+    clock: Option<ClockConstraint>,
 }
 
 /// A registry of named circuits serving concurrent timing and sizing
@@ -742,6 +840,7 @@ impl Workspace {
             branches: BTreeMap::new(),
             committed: 0,
             dropped: 0,
+            clock: None,
         });
         Ok(())
     }
@@ -766,6 +865,26 @@ impl Workspace {
     pub fn register_bench_str(&mut self, name: &str, text: &str) -> Result<(), WorkspaceError> {
         let netlist = parse_bench(text, name)?;
         self.register(name, netlist)
+    }
+
+    /// Parses EDIF-lite text (see [`vartol_netlist::edif`]), flattens
+    /// it, and registers the result under `name` (the design's own name
+    /// is replaced, mirroring [`Workspace::register_bench_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects parse failures, validation failures, and duplicates.
+    pub fn register_edif_str(&mut self, name: &str, text: &str) -> Result<(), WorkspaceError> {
+        let netlist = parse_edif(text)?;
+        self.register(name, netlist.with_name(name))
+    }
+
+    /// The clock constraint of a registered circuit, if one has been
+    /// set via [`Request::SetClock`].
+    #[must_use]
+    pub fn clock(&self, circuit: &str) -> Option<ClockConstraint> {
+        let &i = self.index.get(circuit)?;
+        self.entries[i].clock
     }
 
     /// Loads a `.bench` file and registers it under its file stem.
@@ -1173,9 +1292,12 @@ fn answer(
             // The optimizer runs on a working copy; the resulting sizes
             // are committed back into the cached session through the
             // non-panicking restore path and an incremental refresh.
+            // Sequential circuits optimize against every timing endpoint
+            // (register D pins as well as primary outputs), so a sizing
+            // run improves WNS under whatever clock is later queried.
             let mut netlist = entry.session.netlist().clone();
-            let report =
-                StatisticalGreedy::new(Arc::clone(library), sizer.clone()).optimize(&mut netlist);
+            let report = StatisticalGreedy::new(Arc::clone(library), sizer.clone())
+                .optimize_clocked(&mut netlist);
             if let Err(e) = entry.session.try_restore_sizes(&netlist.sizes()) {
                 return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
             }
@@ -1185,7 +1307,109 @@ fn answer(
                 area: entry.session.total_area(),
             }
         }
+        Request::SetClock {
+            period,
+            uncertainty,
+            ..
+        } => {
+            if !period.is_finite() || *period <= 0.0 {
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!("clock period must be finite and positive, got {period}"),
+                );
+            }
+            if !uncertainty.is_finite() || *uncertainty < 0.0 || *uncertainty >= *period {
+                return Answer::error(
+                    ErrorCode::InvalidParameter,
+                    format!(
+                        "clock uncertainty must be in [0, period), got {uncertainty} \
+                         against period {period}"
+                    ),
+                );
+            }
+            entry.clock = Some(ClockConstraint::new(*period, *uncertainty));
+            Answer::ClockSet {
+                period: *period,
+                uncertainty: *uncertainty,
+            }
+        }
+        Request::GroupSlack { kind, .. } => {
+            match sequential_timing(library, config, entry, *kind) {
+                Err(a) => a,
+                Ok(seq) => Answer::GroupSlack {
+                    kind: *kind,
+                    groups: seq
+                        .groups()
+                        .iter()
+                        .map(|g| GroupSlackRow {
+                            group: g.group().name().to_owned(),
+                            endpoints: g.endpoints(),
+                            wns: g.wns(),
+                            tns: g.tns(),
+                            prob_met: g.prob_met(),
+                            worst: g
+                                .worst_endpoint()
+                                .map(|id| entry.session.netlist().gate(id).name().to_owned())
+                                .unwrap_or_default(),
+                        })
+                        .collect(),
+                },
+            }
+        }
+        Request::Wns { kind, .. } => match sequential_timing(library, config, entry, *kind) {
+            Err(a) => a,
+            Ok(seq) => Answer::Wns {
+                kind: *kind,
+                wns: seq.wns(),
+            },
+        },
+        Request::Tns { kind, .. } => match sequential_timing(library, config, entry, *kind) {
+            Err(a) => a,
+            Ok(seq) => Answer::Tns {
+                kind: *kind,
+                tns: seq.tns(),
+            },
+        },
     }
+}
+
+/// Folds one engine's arrival report into per-group setup slack under
+/// the entry's clock — shared by [`Request::GroupSlack`],
+/// [`Request::Wns`], and [`Request::Tns`] so the three queries cannot
+/// drift. FULLSSTA serves from the cached incremental session (the
+/// warm path the determinism tests pin against a from-scratch run);
+/// other engines run from scratch like [`Request::Analyze`].
+fn sequential_timing(
+    library: &Arc<Library>,
+    config: &WorkspaceConfig,
+    entry: &mut CircuitEntry,
+    kind: EngineKind,
+) -> Result<SequentialTiming, Answer> {
+    let Some(clock) = entry.clock else {
+        return Err(Answer::error(
+            ErrorCode::NoClock,
+            format!(
+                "circuit `{}` has no clock constraint; send SetClock first",
+                entry.name
+            ),
+        ));
+    };
+    let report = match kind {
+        EngineKind::FullSsta => entry.session.current_report(),
+        _ => scratch_report(
+            library,
+            config,
+            &entry.session.config().clone(),
+            entry.session.netlist(),
+            kind,
+        ),
+    };
+    Ok(SequentialTiming::analyze(
+        entry.session.netlist(),
+        library,
+        clock,
+        &report,
+    ))
 }
 
 fn unknown_branch(circuit: &str, branch: &str) -> Answer {
@@ -1761,5 +1985,280 @@ mod tests {
         };
         assert_eq!(a.mean.to_bits(), b.mean.to_bits());
         assert_eq!(a.var.to_bits(), b.var.to_bits());
+    }
+
+    fn sequential_workspace(threads: usize) -> Workspace {
+        let mut ws = Workspace::new(
+            Library::synthetic_90nm(),
+            WorkspaceConfig::default()
+                .with_threads(threads)
+                .with_mc_samples(400),
+        );
+        ws.register_preset("pipeline_adder_16").expect("preset");
+        ws
+    }
+
+    #[test]
+    fn sequential_queries_require_a_clock_and_validate_it() {
+        let mut ws = sequential_workspace(1);
+        let Answer::Error { code, .. } = ws
+            .query(Request::Wns {
+                circuit: "pipeline_adder_16".into(),
+                kind: EngineKind::Dsta,
+            })
+            .answer
+        else {
+            panic!("WNS without a clock must fail");
+        };
+        assert_eq!(code, ErrorCode::NoClock);
+        for (period, uncertainty) in [(0.0, 0.0), (-5.0, 0.0), (f64::NAN, 0.0), (100.0, 100.0)] {
+            let Answer::Error { code, .. } = ws
+                .query(Request::SetClock {
+                    circuit: "pipeline_adder_16".into(),
+                    period,
+                    uncertainty,
+                })
+                .answer
+            else {
+                panic!("clock ({period}, {uncertainty}) must be rejected");
+            };
+            assert_eq!(code, ErrorCode::InvalidParameter);
+        }
+        assert_eq!(ws.clock("pipeline_adder_16"), None);
+        assert!(matches!(
+            ws.query(Request::SetClock {
+                circuit: "pipeline_adder_16".into(),
+                period: 900.0,
+                uncertainty: 25.0,
+            })
+            .answer,
+            Answer::ClockSet { .. }
+        ));
+        assert_eq!(
+            ws.clock("pipeline_adder_16"),
+            Some(ClockConstraint::new(900.0, 25.0))
+        );
+    }
+
+    #[test]
+    fn group_slack_populates_all_four_groups_under_every_engine() {
+        let mut ws = sequential_workspace(1);
+        ws.query(Request::SetClock {
+            circuit: "pipeline_adder_16".into(),
+            period: 900.0,
+            uncertainty: 0.0,
+        });
+        for kind in EngineKind::ALL {
+            let response = ws.query(Request::GroupSlack {
+                circuit: "pipeline_adder_16".into(),
+                kind,
+            });
+            let Answer::GroupSlack { groups, .. } = &response.answer else {
+                panic!("{kind:?}: {:?}", response.answer);
+            };
+            assert_eq!(groups.len(), 4);
+            for row in groups {
+                assert!(
+                    row.endpoints > 0,
+                    "{kind:?}: the pipeline has paths in every group, {row:?}"
+                );
+                assert!(row.wns.is_finite() && !row.worst.is_empty(), "{row:?}");
+                assert!((0.0..=1.0).contains(&row.prob_met), "{row:?}");
+            }
+            let Answer::Wns { wns, .. } = ws
+                .query(Request::Wns {
+                    circuit: "pipeline_adder_16".into(),
+                    kind,
+                })
+                .answer
+            else {
+                panic!("wns under {kind:?}");
+            };
+            let group_min = groups.iter().map(|g| g.wns).fold(f64::INFINITY, f64::min);
+            assert_eq!(wns.to_bits(), group_min.to_bits(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn set_clock_shifts_reg2reg_slack_by_exactly_the_period_delta() {
+        let mut ws = sequential_workspace(1);
+        let slack_at = |ws: &mut Workspace, period: f64| {
+            ws.query(Request::SetClock {
+                circuit: "pipeline_adder_16".into(),
+                period,
+                uncertainty: 0.0,
+            });
+            let Answer::GroupSlack { groups, .. } = ws
+                .query(Request::GroupSlack {
+                    circuit: "pipeline_adder_16".into(),
+                    kind: EngineKind::FullSsta,
+                })
+                .answer
+            else {
+                panic!("group slack");
+            };
+            groups
+                .iter()
+                .find(|g| g.group == "reg2reg")
+                .expect("reg2reg row")
+                .wns
+        };
+        let tight = slack_at(&mut ws, 700.0);
+        let loose = slack_at(&mut ws, 950.0);
+        assert!(
+            (loose - tight - 250.0).abs() < 1e-9,
+            "arrival and setup are clock-independent, so Δwns == Δperiod: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn warm_sequential_answers_match_a_fresh_workspace() {
+        // A workspace that has analyzed, resized, and re-analyzed must
+        // answer sequential queries bit-identically to one that starts
+        // from scratch at the same sizes.
+        let mut warm = sequential_workspace(1);
+        let gate = first_gate(&warm, "pipeline_adder_16");
+        warm.submit(&[
+            Request::Analyze {
+                circuit: "pipeline_adder_16".into(),
+                kind: EngineKind::FullSsta,
+            },
+            Request::Resize {
+                circuit: "pipeline_adder_16".into(),
+                gate: gate.clone(),
+                size: 4,
+            },
+            Request::SetClock {
+                circuit: "pipeline_adder_16".into(),
+                period: 800.0,
+                uncertainty: 10.0,
+            },
+        ]);
+        let warm_answer = warm
+            .query(Request::GroupSlack {
+                circuit: "pipeline_adder_16".into(),
+                kind: EngineKind::FullSsta,
+            })
+            .answer;
+
+        let mut fresh = sequential_workspace(1);
+        fresh.submit(&[
+            Request::Resize {
+                circuit: "pipeline_adder_16".into(),
+                gate,
+                size: 4,
+            },
+            Request::SetClock {
+                circuit: "pipeline_adder_16".into(),
+                period: 800.0,
+                uncertainty: 10.0,
+            },
+        ]);
+        let fresh_answer = fresh
+            .query(Request::GroupSlack {
+                circuit: "pipeline_adder_16".into(),
+                kind: EngineKind::FullSsta,
+            })
+            .answer;
+        assert_eq!(warm_answer, fresh_answer);
+    }
+
+    #[test]
+    fn sizing_a_sequential_circuit_improves_wns() {
+        let mut ws = sequential_workspace(1);
+        ws.query(Request::SetClock {
+            circuit: "pipeline_adder_16".into(),
+            period: 800.0,
+            uncertainty: 0.0,
+        });
+        let wns = |ws: &mut Workspace| {
+            let Answer::Wns { wns, .. } = ws
+                .query(Request::Wns {
+                    circuit: "pipeline_adder_16".into(),
+                    kind: EngineKind::FullSsta,
+                })
+                .answer
+            else {
+                panic!("wns");
+            };
+            wns
+        };
+        let before = wns(&mut ws);
+        let response = ws.query(Request::Size {
+            circuit: "pipeline_adder_16".into(),
+            config: SizerConfig::default(),
+        });
+        assert!(matches!(response.answer, Answer::Sized { .. }));
+        let after = wns(&mut ws);
+        assert!(
+            after > before,
+            "sizing must improve sequential WNS: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn combinational_circuits_answer_sequential_queries_with_empty_reg_groups() {
+        let mut ws = workspace(1);
+        ws.query(Request::SetClock {
+            circuit: "adder_8".into(),
+            period: 2000.0,
+            uncertainty: 0.0,
+        });
+        let Answer::GroupSlack { groups, .. } = ws
+            .query(Request::GroupSlack {
+                circuit: "adder_8".into(),
+                kind: EngineKind::FullSsta,
+            })
+            .answer
+        else {
+            panic!("group slack");
+        };
+        for row in &groups {
+            if row.group == "in2out" {
+                assert!(row.endpoints > 0 && !row.worst.is_empty(), "{row:?}");
+            } else {
+                assert_eq!(row.endpoints, 0, "{row:?}");
+                assert_eq!(row.wns, 2000.0, "empty groups report the clock budget");
+                assert!(row.worst.is_empty(), "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edif_registration_flattens_and_serves_sequential_queries() {
+        let mut ws = workspace(1);
+        ws.register_edif_str(
+            "toggler",
+            "(edif toggler\n\
+             \x20 (cell toggler\n\
+             \x20   (interface (input d) (output q))\n\
+             \x20   (contents\n\
+             \x20     (instance ff (cellref DFF))\n\
+             \x20     (instance inv (cellref NOT))\n\
+             \x20     (net nd (joined (port d) (portref ff d)))\n\
+             \x20     (net nq (joined (portref ff q) (portref inv i0)))\n\
+             \x20     (net ny (joined (portref inv o) (port q))))))",
+        )
+        .expect("EDIF parses and registers");
+        assert!(ws.netlist("toggler").expect("registered").is_sequential());
+        ws.query(Request::SetClock {
+            circuit: "toggler".into(),
+            period: 200.0,
+            uncertainty: 0.0,
+        });
+        let Answer::GroupSlack { groups, .. } = ws
+            .query(Request::GroupSlack {
+                circuit: "toggler".into(),
+                kind: EngineKind::Dsta,
+            })
+            .answer
+        else {
+            panic!("group slack");
+        };
+        let by_name = |n: &str| groups.iter().find(|g| g.group == n).expect("row");
+        assert_eq!(by_name("in2reg").endpoints, 1, "d -> ff");
+        assert_eq!(by_name("reg2out").endpoints, 1, "ff -> q");
+        assert_eq!(by_name("reg2reg").endpoints, 0);
+        assert_eq!(by_name("in2out").endpoints, 0);
     }
 }
