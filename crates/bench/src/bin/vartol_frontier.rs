@@ -1,0 +1,248 @@
+//! `vartol-frontier` — the optimizer quality/runtime Pareto-frontier
+//! runner behind the CI quality gate.
+//!
+//! Runs every global sizer — greedy, Lagrangian, annealing, plus the
+//! yield-targeted modes — over the small suite matrix (every `.bench`
+//! circuit in the data directory plus the small generator presets) and
+//! writes one validated schema-`/8` report whose `frontier` list
+//! carries the per-circuit rows.
+//!
+//! ```text
+//! vartol-frontier [--tier small|full] [--circuits a,b,c] [--data DIR]
+//!                 [--out PATH] [--threads N] [--alpha F]
+//! vartol-frontier --check PATH [--min-scenarios N]
+//! ```
+//!
+//! A generation run fails (exit 1) if any row is non-finite **or** the
+//! Pareto gate trips: a new optimizer dominated by the greedy baseline
+//! anywhere, or a new optimizer with no strict win anywhere (see
+//! [`vartol_bench::frontier::check_frontier`]). `--check` re-applies
+//! the same gate to an already-written report from its text alone.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vartol_bench::frontier::{check_frontier, check_frontier_text, run_frontier, FrontierConfig};
+use vartol_bench::suite::{check_json_text, SuiteReport, SUITE_SCHEMA};
+use vartol_liberty::Library;
+use vartol_netlist::generators::{
+    benchmark, benchmark_names, preset, preset_names, small_preset_names,
+};
+use vartol_netlist::iscas::parse_bench;
+use vartol_netlist::Netlist;
+use vartol_ssta::ScopedPool;
+
+struct Options {
+    tier: String,
+    circuits: Vec<String>,
+    data_dir: PathBuf,
+    data_dir_explicit: bool,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    min_scenarios: usize,
+    config: FrontierConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            tier: "small".into(),
+            circuits: Vec::new(),
+            data_dir: "data".into(),
+            data_dir_explicit: false,
+            out: "BENCH_suite_frontier.json".into(),
+            check: None,
+            min_scenarios: 8,
+            config: FrontierConfig::default(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--tier" => opts.tier = value("--tier")?,
+            "--circuits" => {
+                opts.circuits = value("--circuits")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--data" => {
+                opts.data_dir = value("--data")?.into();
+                opts.data_dir_explicit = true;
+            }
+            "--out" => opts.out = value("--out")?.into(),
+            "--check" => opts.check = Some(value("--check")?.into()),
+            "--min-scenarios" => {
+                opts.min_scenarios = value("--min-scenarios")?
+                    .parse()
+                    .map_err(|e| format!("--min-scenarios: {e}"))?;
+            }
+            "--threads" => {
+                opts.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--alpha" => {
+                opts.config.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "vartol-frontier: run every global sizer over the circuit matrix\n\
+                     and gate the quality/runtime Pareto frontier\n\n\
+                     --tier small|full        preset tier to run (default small)\n\
+                     --circuits a,b,c         explicit list (presets, paper benchmarks,\n\
+                                              or .bench stems)\n\
+                     --data DIR               .bench directory (default data)\n\
+                     --out PATH               report path (default BENCH_suite_frontier.json)\n\
+                     --threads N              worker threads, 0 = all CPUs (default 0)\n\
+                     --alpha F                statistical objective sigma weight (default 3)\n\
+                     --check PATH             re-apply the Pareto gate to a written report\n\
+                     --min-scenarios N        coverage floor for --check (default 8)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_bench_file(path: &Path) -> Result<Netlist, String> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| format!("{}: unreadable file name", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_bench(&text, stem).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_bench_dir(dir: &Path, must_exist: bool) -> Result<Vec<Netlist>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if must_exist => return Err(format!("--data {}: {e}", dir.display())),
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bench"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_bench_file(p)).collect()
+}
+
+fn collect_circuits(opts: &Options, library: &Library) -> Result<Vec<Netlist>, String> {
+    if !opts.circuits.is_empty() {
+        return opts
+            .circuits
+            .iter()
+            .map(|name| {
+                if let Some(n) = preset(name, library) {
+                    return Ok(n);
+                }
+                if let Some(n) = benchmark(name, library) {
+                    return Ok(n);
+                }
+                let path = opts.data_dir.join(format!("{name}.bench"));
+                if path.is_file() {
+                    return load_bench_file(&path);
+                }
+                Err(format!(
+                    "`{name}` is neither a preset ({}), a benchmark ({}), nor {}",
+                    preset_names().join(", "),
+                    benchmark_names().join(", "),
+                    path.display()
+                ))
+            })
+            .collect();
+    }
+    let tier = match opts.tier.as_str() {
+        "small" => small_preset_names(),
+        "full" => preset_names(),
+        other => return Err(format!("unknown tier `{other}` (small|full)")),
+    };
+    let mut circuits = load_bench_dir(&opts.data_dir, opts.data_dir_explicit)?;
+    for name in tier {
+        circuits.push(preset(name, library).expect("preset name lists are authoritative"));
+    }
+    Ok(circuits)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        check_json_text(&text, opts.min_scenarios)?;
+        check_frontier_text(&text)?;
+        eprintln!(
+            "vartol-frontier: {} passes the Pareto gate ({SUITE_SCHEMA})",
+            path.display()
+        );
+        return Ok(());
+    }
+
+    let library = Library::synthetic_90nm();
+    let circuits = collect_circuits(opts, &library)?;
+    if circuits.is_empty() {
+        return Err("no circuits to run (empty data dir and tier?)".into());
+    }
+    eprintln!(
+        "vartol-frontier: {} circuits, alpha {}, {} threads",
+        circuits.len(),
+        opts.config.alpha,
+        ScopedPool::new(opts.config.threads).threads(),
+    );
+    let frontier = run_frontier(&circuits, &library, &opts.config);
+    for s in &frontier {
+        for row in &s.rows {
+            eprintln!(
+                "  {:<16} {:<16} area {:>8.1}  mu+3s {:>9.2} ps  P(meet) {:.3}  {:>7.2}s",
+                s.circuit, row.optimizer, row.area, row.mu_plus_3sigma, row.prob_met, row.wall_s
+            );
+        }
+    }
+    let report = SuiteReport {
+        schema: SUITE_SCHEMA.to_owned(),
+        threads: ScopedPool::new(opts.config.threads).threads(),
+        alpha: opts.config.alpha,
+        mc_samples: 0,
+        scenarios: Vec::new(),
+        large: Vec::new(),
+        frontier,
+    };
+    report.validate()?;
+    let json = report.to_json();
+    std::fs::write(&opts.out, &json).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+    eprintln!("vartol-frontier: wrote {}", opts.out.display());
+    // The artifact is written before the gate runs so a tripped gate
+    // still leaves the rows on disk for inspection.
+    check_frontier(&report.frontier)?;
+    eprintln!("vartol-frontier: Pareto gate passed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("vartol-frontier: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vartol-frontier: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

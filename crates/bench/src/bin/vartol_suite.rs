@@ -282,6 +282,7 @@ fn run_large(
         mc_samples: opts.config.mc_samples,
         scenarios: Vec::new(),
         large,
+        frontier: Vec::new(),
     })
 }
 

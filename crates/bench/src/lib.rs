@@ -20,6 +20,7 @@
 //! circuit, mean-optimize it (the paper's "original" point), then run
 //! StatisticalGreedy at each α and collect Table-1 columns.
 
+pub mod frontier;
 pub mod suite;
 
 use std::time::Instant;

@@ -93,7 +93,8 @@ use vartol_netlist::iscas::write_bench;
 use vartol_netlist::{GateId, Netlist};
 use vartol_serve::{ServeConfig, ServeRequest, ServeResponse, Service};
 use vartol_ssta::{
-    EngineKind, GlobalSource, ScopedPool, SpatialGrid, SstaConfig, TimingSession, VariationModel,
+    EngineKind, GlobalSource, OptimizerKind, ScopedPool, SpatialGrid, SstaConfig, TimingSession,
+    VariationModel,
 };
 
 /// Schema tag stamped into every report (bump on breaking layout or
@@ -110,9 +111,12 @@ use vartol_ssta::{
 /// copy-on-write what-if batch wall-clock plus its recompute counts
 /// against N from-scratch rebuilds; `/7` added the per-scenario
 /// `sequential` block — per-path-group setup slack, WNS, and TNS under
-/// the canonical clock, through the workspace's sequential verbs — see
-/// the module docs).
-pub const SUITE_SCHEMA: &str = "vartol-suite/7";
+/// the canonical clock, through the workspace's sequential verbs; `/8`
+/// added the top-level `frontier` list — the optimizer quality/runtime
+/// Pareto frontier, one scenario per circuit with one row per global
+/// sizer, written by `vartol-frontier` and gated by its `--check` — see
+/// the module docs and [`crate::frontier`]).
+pub const SUITE_SCHEMA: &str = "vartol-suite/8";
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -344,6 +348,10 @@ pub struct SuiteReport {
     /// production-scale circuit. Empty unless the run opted into the
     /// large tier.
     pub large: Vec<LargeScenario>,
+    /// Optimizer Pareto-frontier scenarios (schema `/8`), one per
+    /// circuit with one row per global sizer. Empty unless the report
+    /// was written by `vartol-frontier`.
+    pub frontier: Vec<crate::frontier::FrontierScenario>,
 }
 
 impl SuiteReport {
@@ -355,8 +363,8 @@ impl SuiteReport {
     ///
     /// Returns a message naming the first offending scenario and field.
     pub fn validate(&self) -> Result<(), String> {
-        if self.scenarios.is_empty() && self.large.is_empty() {
-            return Err("report contains no scenarios and no large-tier blocks".into());
+        if self.scenarios.is_empty() && self.large.is_empty() && self.frontier.is_empty() {
+            return Err("report contains no scenarios, large-tier blocks, or frontier".into());
         }
         let finite = |name: &str, what: &str, x: f64| -> Result<(), String> {
             if x.is_finite() {
@@ -470,6 +478,33 @@ impl SuiteReport {
                 }
             }
         }
+        for f in &self.frontier {
+            if f.rows.is_empty() {
+                return Err(format!("{}: frontier scenario has no rows", f.circuit));
+            }
+            finite(&f.circuit, "deadline", f.deadline)?;
+            finite(&f.circuit, "initial_area", f.initial_area)?;
+            finite(
+                &f.circuit,
+                "initial_mu_plus_3sigma",
+                f.initial_mu_plus_3sigma,
+            )?;
+            for r in &f.rows {
+                for (what, x) in [
+                    ("area", r.area),
+                    ("mu", r.mu),
+                    ("sigma", r.sigma),
+                    ("mu_plus_3sigma", r.mu_plus_3sigma),
+                    ("prob_met", r.prob_met),
+                    ("wall_s", r.wall_s),
+                ] {
+                    finite(&f.circuit, &format!("{} {what}", r.optimizer), x)?;
+                }
+                if r.sigma < 0.0 {
+                    return Err(format!("{}: negative {} sigma", f.circuit, r.optimizer));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -531,6 +566,13 @@ pub fn check_json_text(text: &str, min_scenarios: usize) -> Result<(), String> {
     }
     if text.matches("\"prob_met\":").count() < 4 * full_scenarios {
         return Err("a scenario's sequential block covers fewer than 4 path groups".into());
+    }
+    // Schema /8: every frontier row carries its quality metric; the two
+    // keys appear exactly once per row, so a mismatch means a truncated
+    // or hand-edited row.
+    let optimizer_rows = text.matches("\"optimizer\":").count();
+    if text.matches("\"mu_plus_3sigma\":").count() < optimizer_rows {
+        return Err("a frontier row is missing its \"mu_plus_3sigma\": metric".into());
     }
     Ok(())
 }
@@ -600,6 +642,8 @@ fn scenario_requests(circuit: &str, sizer: &SizerConfig) -> Vec<Request> {
     requests.push(Request::Size {
         circuit: circuit.into(),
         config: sizer.clone(),
+        optimizer: OptimizerKind::Greedy,
+        yield_deadline: None,
     });
     assert_eq!(requests.len(), requests_per_scenario());
     requests
@@ -924,6 +968,7 @@ pub fn run_suite_with(
         mc_samples: config.mc_samples,
         scenarios: Vec::with_capacity(circuits.len()),
         large: Vec::new(),
+        frontier: Vec::new(),
     };
     for circuit in circuits {
         let t0 = std::time::Instant::now();
@@ -1196,6 +1241,7 @@ mod tests {
             mc_samples: 200,
             scenarios: vec![s],
             large: Vec::new(),
+            frontier: Vec::new(),
         };
         report.validate().expect("sequential scenario is valid");
         check_json_text(&report.to_json(), 1).expect("text check passes");
@@ -1236,6 +1282,7 @@ mod tests {
             mc_samples: 100,
             scenarios: Vec::new(),
             large: Vec::new(),
+            frontier: Vec::new(),
         };
         assert!(report.validate().is_err());
     }
@@ -1284,6 +1331,7 @@ mod tests {
             mc_samples: 0,
             scenarios: Vec::new(),
             large: blocks,
+            frontier: Vec::new(),
         };
         report.validate().expect("large-only report is valid");
         let json = report.to_json();

@@ -389,6 +389,41 @@ impl StatisticalGreedy {
     }
 }
 
+/// [`StatisticalGreedy`] speaks the shared optimizer vocabulary: its
+/// [`OptimizationReport`] maps 1:1 onto a [`vartol_ssta::SizingOutcome`] with the
+/// statistical `μ + α·σ` objective, so it can be swept on the same
+/// frontier as the global methods in [`vartol_ssta::optimize`].
+impl vartol_ssta::Sizer for StatisticalGreedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn size(&self, netlist: &mut Netlist) -> vartol_ssta::SizingOutcome {
+        let report = self.optimize(netlist);
+        let alpha = self.config.alpha;
+        vartol_ssta::SizingOutcome {
+            optimizer: "greedy",
+            objective: vartol_ssta::Objective::Statistical { alpha },
+            initial_moments: report.initial_moments(),
+            final_moments: report.final_moments(),
+            initial_area: report.initial_area(),
+            final_area: report.final_area(),
+            passes: report
+                .passes()
+                .iter()
+                .map(|p| vartol_ssta::SizingPass {
+                    pass: p.pass + 1,
+                    moments: p.circuit,
+                    objective: p.cost,
+                    area: p.area,
+                    resized: p.resized,
+                })
+                .collect(),
+            runtime: report.runtime(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,8 +62,12 @@ use crate::json;
 /// verbs: [`ServeRequest::RegisterSequential`] (EDIF-lite or `.bench`
 /// text with `DFF` statements), [`ServeRequest::SetClock`], and the
 /// clocked queries [`ServeRequest::GroupSlack`], [`ServeRequest::Wns`],
-/// and [`ServeRequest::Tns`]. Reported in [`ServiceStats::protocol`].
-pub const PROTOCOL_VERSION: u32 = 3;
+/// and [`ServeRequest::Tns`]. Version 4 added the optimizer selector:
+/// [`ServeRequest::Size`] takes optional `optimizer` (`greedy`,
+/// `mean_delay`, `lagrangian`, `annealing`) and `yield_deadline`
+/// fields, and [`ServeResponse::Sized`] names the optimizer that ran.
+/// Reported in [`ServiceStats::protocol`].
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// One request line. Mirrors [`vartol::workspace::Request`] — every
 /// query the `Workspace` answers is addressable over the wire — plus
@@ -152,7 +156,8 @@ pub enum ServeRequest {
     },
     /// Full statistical sizing; persists, invalidates the circuit's
     /// cache entries, and streams one [`ServeResponse::Progress`] frame
-    /// per optimizer pass before the final answer.
+    /// per optimizer pass (one per restart for the annealing optimizer)
+    /// before the final answer.
     Size {
         /// Target circuit.
         circuit: String,
@@ -161,6 +166,12 @@ pub enum ServeRequest {
         /// Optional cap on optimizer passes (`None` = optimizer
         /// default).
         max_passes: Option<usize>,
+        /// Optimizer wire name — `greedy` (default when absent),
+        /// `mean_delay`, `lagrangian`, or `annealing`.
+        optimizer: Option<String>,
+        /// Optimize `P(delay ≤ deadline)` instead of `μ + α·σ`; only
+        /// the global optimizers accept this.
+        yield_deadline: Option<f64>,
     },
     /// Fork a named copy-on-write branch of the circuit (see
     /// [`vartol::workspace::Request::Fork`]). The branch shares all
@@ -526,6 +537,8 @@ pub enum ServeResponse {
         passes: usize,
         /// Gates moved to a new size across all kept passes.
         resized: usize,
+        /// Wire name of the optimizer that ran.
+        optimizer: String,
     },
     /// Answer to [`ServeRequest::Fork`].
     Forked {
@@ -765,6 +778,8 @@ fn decode_request(value: &Value) -> Result<ServeRequest, String> {
                     circuit: f.string("circuit")?,
                     alpha: f.number("alpha")?,
                     max_passes: f.opt_index("max_passes")?,
+                    optimizer: f.opt_string("optimizer")?,
+                    yield_deadline: f.opt_number("yield_deadline")?,
                 },
                 "Fork" => ServeRequest::Fork {
                     circuit: f.string("circuit")?,
@@ -893,6 +908,13 @@ impl<'a> Fields<'a> {
         match self.get(name) {
             None | Some(Value::Null) => Ok(None),
             Some(_) => self.index(name).map(Some),
+        }
+    }
+
+    fn opt_number(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(_) => self.number(name).map(Some),
         }
     }
 
@@ -1037,11 +1059,24 @@ mod tests {
                 circuit: "c17".into(),
                 alpha: 3.0,
                 max_passes: Some(2),
+                optimizer: None,
+                yield_deadline: None,
             },
             ServeRequest::Size {
                 circuit: "c17".into(),
                 alpha: 9.0,
                 max_passes: None,
+                optimizer: None,
+                yield_deadline: None,
+            },
+            // Protocol v4: the optimizer selector and yield-deadline
+            // fields round-trip when populated.
+            ServeRequest::Size {
+                circuit: "c17".into(),
+                alpha: 3.0,
+                max_passes: Some(8),
+                optimizer: Some("lagrangian".into()),
+                yield_deadline: Some(2500.0),
             },
             ServeRequest::Fork {
                 circuit: "c17".into(),
@@ -1108,6 +1143,25 @@ mod tests {
         for request in &requests {
             round_trip(request);
         }
+    }
+
+    #[test]
+    fn a_v3_size_line_decodes_with_default_optimizer_fields() {
+        // Clients that predate protocol v4 omit the selector fields;
+        // the decoder must fill both with `None` (greedy, no yield
+        // target) rather than reject the line.
+        let line = "{\"Size\":{\"circuit\":\"c17\",\"alpha\":3.0,\"max_passes\":2}}";
+        let back = ServeRequest::from_line(line).expect("v3 line decodes");
+        assert_eq!(
+            back,
+            ServeRequest::Size {
+                circuit: "c17".into(),
+                alpha: 3.0,
+                max_passes: Some(2),
+                optimizer: None,
+                yield_deadline: None,
+            }
+        );
     }
 
     #[test]

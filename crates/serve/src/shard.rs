@@ -42,7 +42,8 @@ use vartol::core::SizerConfig;
 use vartol::liberty::Library;
 use vartol::netlist::generators::{benchmark, preset};
 use vartol::ssta::{
-    config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64, ScopedPool, VariationModel,
+    config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64, OptimizerKind, ScopedPool,
+    VariationModel,
 };
 use vartol::workspace::{
     Answer, ErrorCode, GateResize, Request, WhatIfTrial, Workspace, WorkspaceConfig,
@@ -485,7 +486,17 @@ impl ShardState {
                 circuit,
                 alpha,
                 max_passes,
-            } => self.size(&circuit, alpha, max_passes, reply, start),
+                optimizer,
+                yield_deadline,
+            } => self.size(
+                &circuit,
+                alpha,
+                max_passes,
+                optimizer.as_deref(),
+                yield_deadline,
+                reply,
+                start,
+            ),
             ServeRequest::Resize {
                 circuit,
                 gate,
@@ -679,16 +690,39 @@ impl ShardState {
     }
 
     /// Runs a full sizing pass, streaming one progress frame per
-    /// optimizer pass before the terminal answer, then invalidates the
-    /// circuit's cache entries (its sizes changed).
+    /// optimizer pass (one per restart for the annealing optimizer)
+    /// before the terminal answer, then invalidates the circuit's cache
+    /// entries (its sizes changed).
+    #[allow(clippy::too_many_arguments)]
     fn size(
         &mut self,
         circuit: &str,
         alpha: f64,
         max_passes: Option<usize>,
+        optimizer: Option<&str>,
+        yield_deadline: Option<f64>,
         reply: &Sender<Frame>,
         start: Instant,
     ) {
+        let optimizer = match optimizer {
+            None => OptimizerKind::Greedy,
+            Some(name) => match OptimizerKind::parse(name) {
+                Some(kind) => kind,
+                None => {
+                    let _ = reply.send(Frame::new(
+                        ServeResponse::error_with(
+                            ErrorCode::InvalidParameter.as_str(),
+                            format!(
+                                "unknown optimizer `{name}`; expected one of \
+                                 greedy, mean_delay, lagrangian, annealing"
+                            ),
+                        ),
+                        wall_us(start),
+                    ));
+                    return;
+                }
+            },
+        };
         if !(alpha.is_finite() && alpha >= 0.0) {
             let _ = reply.send(Frame::new(
                 ServeResponse::error_with(
@@ -709,10 +743,16 @@ impl ShardState {
             .query(Request::Size {
                 circuit: circuit.to_owned(),
                 config,
+                optimizer,
+                yield_deadline,
             })
             .answer;
         match answer {
-            Answer::Sized { report, area } => {
+            Answer::Sized {
+                report,
+                area,
+                optimizer,
+            } => {
                 self.cache.invalidate_circuit(circuit);
                 for pass in report.passes() {
                     let _ = reply.send(Frame::new(
@@ -735,6 +775,7 @@ impl ShardState {
                         area,
                         passes: report.passes().len(),
                         resized: report.passes().iter().map(|p| p.resized).sum(),
+                        optimizer: optimizer.to_string(),
                     },
                     wall_us(start),
                 ));
@@ -859,7 +900,11 @@ fn answer_payload(answer: Answer) -> ServeResponse {
             sigma: moments.std(),
             area,
         },
-        Answer::Sized { report, area } => {
+        Answer::Sized {
+            report,
+            area,
+            optimizer,
+        } => {
             // `Size` streams its passes in `ShardState::size`; this arm
             // only fires if a sized answer arrives through another path.
             let final_moments = report.final_moments();
@@ -869,6 +914,7 @@ fn answer_payload(answer: Answer) -> ServeResponse {
                 area,
                 passes: report.passes().len(),
                 resized: report.passes().iter().map(|p| p.resized).sum(),
+                optimizer: optimizer.to_string(),
             }
         }
         Answer::Forked {
@@ -1164,6 +1210,8 @@ mod tests {
             circuit: "cmp_8".into(),
             alpha: 3.0,
             max_passes: Some(1),
+            optimizer: None,
+            yield_deadline: None,
         });
         assert!(frames.len() >= 2, "progress + final, got {}", frames.len());
         for frame in &frames[..frames.len() - 1] {
@@ -1173,6 +1221,68 @@ mod tests {
         let last = frames.last().unwrap();
         assert!(last.done);
         assert!(matches!(last.payload, ServeResponse::Sized { .. }));
+    }
+
+    #[test]
+    fn size_selects_the_named_optimizer_and_reports_it_back() {
+        let service = small_service(1);
+        register(&service, "cmp_8");
+        // Annealing streams one progress frame per restart; the final
+        // frame echoes the optimizer that actually ran.
+        let frames = service.call(ServeRequest::Size {
+            circuit: "cmp_8".into(),
+            alpha: 3.0,
+            max_passes: Some(2),
+            optimizer: Some("annealing".into()),
+            yield_deadline: None,
+        });
+        let last = frames.last().unwrap();
+        let ServeResponse::Sized {
+            optimizer, passes, ..
+        } = &last.payload
+        else {
+            panic!("{:?}", last.payload);
+        };
+        assert_eq!(optimizer, "annealing");
+        // One restart = one pass row = one progress frame.
+        assert_eq!(frames.len() - 1, *passes);
+    }
+
+    #[test]
+    fn size_rejects_an_unknown_optimizer() {
+        let service = small_service(1);
+        register(&service, "cmp_8");
+        let frames = service.call(ServeRequest::Size {
+            circuit: "cmp_8".into(),
+            alpha: 3.0,
+            max_passes: None,
+            optimizer: Some("gradient_descent".into()),
+            yield_deadline: None,
+        });
+        let ServeResponse::Error { code, message } = &frames[0].payload else {
+            panic!("{:?}", frames[0].payload);
+        };
+        assert_eq!(code, "invalid-parameter");
+        assert!(message.contains("gradient_descent"), "{message}");
+        assert!(message.contains("lagrangian"), "{message}");
+    }
+
+    #[test]
+    fn size_rejects_a_yield_deadline_on_the_greedy_optimizer() {
+        let service = small_service(1);
+        register(&service, "cmp_8");
+        let frames = service.call(ServeRequest::Size {
+            circuit: "cmp_8".into(),
+            alpha: 3.0,
+            max_passes: None,
+            optimizer: None,
+            yield_deadline: Some(2500.0),
+        });
+        let ServeResponse::Error { code, message } = &frames[0].payload else {
+            panic!("{:?}", frames[0].payload);
+        };
+        assert_eq!(code, "invalid-parameter");
+        assert!(message.contains("yield"), "{message}");
     }
 
     #[test]
@@ -1284,6 +1394,8 @@ mod tests {
                     circuit: "adder_8".into(),
                     alpha: -1.0,
                     max_passes: None,
+                    optimizer: None,
+                    yield_deadline: None,
                 },
                 "alpha",
                 "invalid-parameter",

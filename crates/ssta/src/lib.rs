@@ -94,6 +94,7 @@ pub mod fassta;
 pub mod fingerprint;
 pub mod fullssta;
 pub mod montecarlo;
+pub mod optimize;
 pub mod pool;
 pub mod sequential;
 pub mod session;
@@ -113,11 +114,13 @@ pub use fassta::Fassta;
 pub use fingerprint::{config_fingerprint, fingerprint_bytes, size_fingerprint, Fnv64};
 pub use fullssta::FullSsta;
 pub use montecarlo::{MonteCarloResult, MonteCarloTimer, DEFAULT_MC_SAMPLES, MC_CHUNK_SAMPLES};
+pub use optimize::{
+    AnnealingConfig, AnnealingSizer, LagrangianConfig, LagrangianSizer, Objective, OptimizerKind,
+    Sizer, SizingOutcome, SizingPass,
+};
 pub use pool::ScopedPool;
 pub use sequential::{ClockConstraint, GroupTiming, PathGroup, SequentialTiming};
 pub use session::TimingSession;
-#[allow(deprecated)]
-pub use session::TrialSession;
 pub use slack::StatisticalSlacks;
 pub use variation::{GlobalSource, SpatialGrid, VariationContext, VariationModel};
 pub use wnss::WnssTracer;

@@ -23,11 +23,12 @@
 //! nodes where a from-scratch pass would touch thousands.
 //!
 //! For speculative work — scoring many independent `(gate, size)`
-//! candidates against one frozen analysis — a session can be forked with
-//! [`TimingSession::fork_for_trial`]: each [`TrialSession`] owns a
-//! scratch netlist clone and borrows the parent's refreshed arrival and
-//! electrical state, so forks on different worker threads can trial
-//! resizes concurrently without ever touching the session or each other.
+//! candidates against one frozen analysis — a session is forked with
+//! [`TimingSession::fork`]: each [`crate::branch::SessionBranch`] owns a
+//! copy-on-write view of the circuit and serves the parent's refreshed
+//! arrival and electrical state as its frozen base, so branches on
+//! different worker threads can trial resizes concurrently without ever
+//! touching the session or each other.
 //!
 //! Dirty-flag contract (audited for the parallel optimizer): `resize`
 //! and `restore_sizes` mark exactly the gates whose current size differs
@@ -536,112 +537,6 @@ impl TimingSession {
         self.invalidate_fork_cache();
         Ok(self.summary.moments)
     }
-
-    /// Forks the session for speculative candidate evaluation.
-    ///
-    /// The fork owns a private clone of the netlist (so trial resizes
-    /// never touch the session) and borrows the session's refreshed
-    /// arrival and electrical state as a **frozen boundary snapshot** —
-    /// exactly the stored pass-start statistics the paper's inner engine
-    /// evaluates subcircuits against (§4.3). Because forks share no
-    /// mutable state, independent `(gate, size)` candidates can be scored
-    /// concurrently (one fork per [`ScopedPool`](crate::ScopedPool)
-    /// worker via
-    /// [`ScopedPool::map_init`](crate::ScopedPool::map_init)) with
-    /// results that are bit-identical to serial evaluation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if resizes are pending ([`TimingSession::is_dirty`]): the
-    /// frozen snapshot must be consistent with the sizes it was computed
-    /// from, so callers refresh first.
-    #[must_use]
-    #[deprecated(
-        since = "0.6.0",
-        note = "use TimingSession::fork() and SessionBranch; \
-                TrialSession will become private in the next release"
-    )]
-    #[allow(deprecated)]
-    pub fn fork_for_trial(&self) -> TrialSession<'_> {
-        assert!(
-            !self.is_dirty(),
-            "fork_for_trial requires a refreshed session (pending resizes would \
-             make the frozen arrival snapshot inconsistent)"
-        );
-        TrialSession {
-            library: &self.library,
-            config: &self.config,
-            netlist: self.netlist.clone(),
-            arrivals: &self.state.arrivals,
-            timing: &self.state.timing,
-        }
-    }
-}
-
-/// A speculative-evaluation fork of a [`TimingSession`].
-///
-/// Created by [`TimingSession::fork_for_trial`]. The fork owns a scratch
-/// netlist clone whose sizes can be mutated freely through
-/// [`TrialSession::resize`], while [`TrialSession::arrivals`] and
-/// [`TrialSession::timing`] keep serving the parent session's frozen
-/// (pass-start) statistics. It is `Send`, so one fork per worker thread
-/// can score candidates in parallel; a fork never writes back — commit
-/// decisions go through the parent session.
-#[derive(Debug, Clone)]
-#[deprecated(
-    since = "0.6.0",
-    note = "use TimingSession::fork() and SessionBranch; \
-            TrialSession will become private in the next release"
-)]
-pub struct TrialSession<'s> {
-    library: &'s Library,
-    config: &'s SstaConfig,
-    netlist: Netlist,
-    arrivals: &'s [Moments],
-    timing: &'s CircuitTiming,
-}
-
-#[allow(deprecated)]
-impl<'s> TrialSession<'s> {
-    /// The parent session's library.
-    #[must_use]
-    pub fn library(&self) -> &'s Library {
-        self.library
-    }
-
-    /// The parent session's timing configuration.
-    #[must_use]
-    pub fn config(&self) -> &'s SstaConfig {
-        self.config
-    }
-
-    /// The fork's scratch netlist (current trial sizes).
-    #[must_use]
-    pub fn netlist(&self) -> &Netlist {
-        &self.netlist
-    }
-
-    /// Sets the size of a cell gate in the scratch netlist only.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is a primary input.
-    pub fn resize(&mut self, id: GateId, size: usize) {
-        self.netlist.set_size(id, size);
-    }
-
-    /// The frozen arrival moments captured at fork time, indexed by
-    /// [`GateId::index`] — boundary statistics for subcircuit trials.
-    #[must_use]
-    pub fn arrivals(&self) -> &'s [Moments] {
-        self.arrivals
-    }
-
-    /// The frozen electrical snapshot captured at fork time.
-    #[must_use]
-    pub fn timing(&self) -> &'s CircuitTiming {
-        self.timing
-    }
 }
 
 #[cfg(test)]
@@ -795,7 +690,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn fork_trials_never_touch_the_parent() {
         let lib = Library::synthetic_90nm();
         let config = SstaConfig::default();
@@ -806,11 +700,11 @@ mod tests {
         let arrivals_before = session.arrivals().to_vec();
 
         let g = session.netlist().gate_ids().nth(4).expect("gates");
-        let mut fork = session.fork_for_trial();
-        fork.resize(g, 5);
-        assert_eq!(fork.netlist().gate(g).size(), Some(5));
-        // Frozen boundary: the fork still serves pass-start arrivals.
-        assert_eq!(fork.arrivals(), arrivals_before.as_slice());
+        let mut branch = session.fork();
+        branch.resize(g, 5);
+        assert_eq!(branch.netlist().gate(g).size(), Some(5));
+        // Frozen boundary: the branch still serves pass-start arrivals.
+        assert_eq!(branch.base_arrivals(), arrivals_before.as_slice());
 
         // The parent saw none of it.
         assert!(!session.is_dirty());
@@ -820,7 +714,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn forks_score_candidates_identically_across_pool_widths() {
         use crate::pool::ScopedPool;
         let lib = Library::synthetic_90nm();
@@ -830,40 +723,42 @@ mod tests {
         session.refresh();
         let gates: Vec<GateId> = session.netlist().gate_ids().take(24).collect();
 
-        // Score "upsize by one" for each gate in a fork; the trial is
+        // Score "upsize by one" for each gate in a branch; the trial is
         // rolled back before the next task, so results depend only on
         // the task index.
-        let score = |fork: &mut TrialSession<'_>, i: usize| -> (u64, u64) {
+        let score = |branch: &mut SessionBranch, i: usize| -> (u64, u64) {
             let g = gates[i];
-            let current = fork.netlist().gate(g).size().expect("cell");
-            fork.resize(g, current + 1);
-            let fast = crate::Fassta::new(fork.library(), fork.config());
-            let sub = vartol_netlist::Subcircuit::extract(fork.netlist(), g, 2);
-            let outs =
-                fast.evaluate_subcircuit(fork.netlist(), &sub, fork.arrivals(), fork.timing());
-            fork.resize(g, current);
+            let current = branch.netlist().gate(g).size().expect("cell");
+            branch.resize(g, current + 1);
+            let fast = crate::Fassta::new(branch.library(), branch.config());
+            let sub = vartol_netlist::Subcircuit::extract(branch.netlist(), g, 2);
+            let outs = fast.evaluate_subcircuit(
+                branch.netlist(),
+                &sub,
+                branch.base_arrivals(),
+                branch.base_timing(),
+            );
+            branch.resize(g, current);
             let m = outs.iter().copied().reduce(|a, b| a + b).expect("outputs");
             (m.mean.to_bits(), m.var.to_bits())
         };
 
-        let serial = ScopedPool::new(1).map_init(gates.len(), || session.fork_for_trial(), score);
+        let serial = ScopedPool::new(1).map_init(gates.len(), || session.fork(), score);
         for threads in [2, 8] {
-            let parallel =
-                ScopedPool::new(threads).map_init(gates.len(), || session.fork_for_trial(), score);
+            let parallel = ScopedPool::new(threads).map_init(gates.len(), || session.fork(), score);
             assert_eq!(serial, parallel, "{threads}-thread pool");
         }
     }
 
     #[test]
     #[should_panic(expected = "requires a refreshed session")]
-    #[allow(deprecated)]
     fn fork_of_a_dirty_session_is_rejected() {
         let lib = Library::synthetic_90nm();
         let n = ripple_carry_adder(4, &lib);
         let mut session = TimingSession::new(&lib, SstaConfig::default(), n);
         let g = session.netlist().gate_ids().next().expect("gates");
         session.resize(g, 3);
-        let _ = session.fork_for_trial();
+        let _ = session.fork();
     }
 
     #[test]

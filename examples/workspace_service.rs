@@ -13,7 +13,7 @@
 use vartol::core::SizerConfig;
 use vartol::liberty::Library;
 use vartol::netlist::generators::preset;
-use vartol::ssta::EngineKind;
+use vartol::ssta::{EngineKind, OptimizerKind};
 use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
 
 fn main() {
@@ -71,6 +71,8 @@ fn main() {
         Request::Size {
             circuit: "ecc_16".into(),
             config: SizerConfig::with_alpha(3.0),
+            optimizer: OptimizerKind::Greedy,
+            yield_deadline: None,
         },
         Request::Analyze {
             circuit: "mux_tree".into(),

@@ -169,8 +169,8 @@
 //! [`SessionBranch`](ssta::SessionBranch) — cheap to create, safe to
 //! send across threads, recomputing only its own divergent fanout cone,
 //! and either committed back or simply dropped. The old
-//! `fork_for_trial`/`TrialSession` pair still compiles as a deprecated
-//! shim, but new code should read like this:
+//! `fork_for_trial`/`TrialSession` shim is gone as of 0.7; branch code
+//! reads like this:
 //!
 //! ```
 //! use vartol::liberty::Library;

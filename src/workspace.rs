@@ -61,15 +61,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vartol_core::{OptimizationReport, SizerConfig, StatisticalGreedy};
+use vartol_core::{MeanDelaySizer, OptimizationReport, PassStats, SizerConfig, StatisticalGreedy};
 use vartol_liberty::Library;
 use vartol_netlist::edif::parse_edif;
 use vartol_netlist::generators::preset;
 use vartol_netlist::iscas::parse_bench;
 use vartol_netlist::{Netlist, NetlistError};
 use vartol_ssta::{
-    ClockConstraint, EngineKind, MonteCarloTimer, ScopedPool, SequentialTiming, SessionBranch,
-    SstaConfig, TimingSession, VariationModel,
+    AnnealingConfig, AnnealingSizer, ClockConstraint, EngineKind, LagrangianConfig,
+    LagrangianSizer, MonteCarloTimer, Objective, OptimizerKind, ScopedPool, SequentialTiming,
+    SessionBranch, Sizer, SizingOutcome, SstaConfig, TimingSession, VariationModel,
 };
 use vartol_stats::Moments;
 
@@ -368,6 +369,16 @@ pub enum Request {
         circuit: String,
         /// Optimizer configuration (σ weight, pass budget, threads, …).
         config: SizerConfig,
+        /// Which sizing method runs the request
+        /// ([`OptimizerKind::Greedy`] reproduces the pre-selector
+        /// behavior). `config.max_passes` bounds the greedy and
+        /// Lagrangian outer loops; the annealing schedule comes from
+        /// [`vartol_ssta::AnnealingConfig`] defaults.
+        optimizer: OptimizerKind,
+        /// Optimize the timing yield `P(delay ≤ deadline)` under the
+        /// configured variation model instead of `μ + α·σ`. Only the
+        /// global optimizers (`lagrangian`, `annealing`) accept this.
+        yield_deadline: Option<f64>,
     },
     /// Fork a named copy-on-write branch of the circuit. The branch
     /// shares all unchanged state with the circuit's cached session and
@@ -560,9 +571,14 @@ pub enum Answer {
     /// Result of [`Request::Size`].
     Sized {
         /// The optimizer's full report (equality ignores its runtime).
+        /// For the global optimizers each pass row is one outer
+        /// iteration (Lagrangian) or one restart (annealing), and its
+        /// `cost` column is the optimizer's own objective value.
         report: OptimizationReport,
         /// Total cell area after sizing.
         area: f64,
+        /// The optimizer that ran.
+        optimizer: OptimizerKind,
     },
     /// Result of [`Request::Fork`].
     Forked {
@@ -1282,12 +1298,34 @@ fn answer(
             );
             Answer::WhatIf { outcomes }
         }
-        Request::Size { config: sizer, .. } => {
+        Request::Size {
+            config: sizer,
+            optimizer,
+            yield_deadline,
+            ..
+        } => {
             if !sizer.alpha.is_finite() || sizer.alpha < 0.0 {
                 return Answer::error(
                     ErrorCode::InvalidParameter,
                     format!("sizer alpha must be non-negative, got {}", sizer.alpha),
                 );
+            }
+            if let Some(deadline) = yield_deadline {
+                if !deadline.is_finite() || *deadline <= 0.0 {
+                    return Answer::error(
+                        ErrorCode::InvalidParameter,
+                        format!("yield deadline must be finite and positive, got {deadline}"),
+                    );
+                }
+                if matches!(optimizer, OptimizerKind::Greedy | OptimizerKind::MeanDelay) {
+                    return Answer::error(
+                        ErrorCode::InvalidParameter,
+                        format!(
+                            "optimizer '{optimizer}' sizes against its own objective; \
+                             a yield deadline needs 'lagrangian' or 'annealing'"
+                        ),
+                    );
+                }
             }
             // The optimizer runs on a working copy; the resulting sizes
             // are committed back into the cached session through the
@@ -1296,8 +1334,45 @@ fn answer(
             // (register D pins as well as primary outputs), so a sizing
             // run improves WNS under whatever clock is later queried.
             let mut netlist = entry.session.netlist().clone();
-            let report = StatisticalGreedy::new(Arc::clone(library), sizer.clone())
-                .optimize_clocked(&mut netlist);
+            let objective = match yield_deadline {
+                Some(deadline) => Objective::Yield {
+                    deadline: *deadline,
+                },
+                None => Objective::Statistical { alpha: sizer.alpha },
+            };
+            let report = match optimizer {
+                OptimizerKind::Greedy => StatisticalGreedy::new(Arc::clone(library), sizer.clone())
+                    .optimize_clocked(&mut netlist),
+                OptimizerKind::MeanDelay => outcome_to_report(
+                    MeanDelaySizer::new(Arc::clone(library), &sizer.ssta)
+                        .with_max_passes(sizer.max_passes)
+                        .size_clocked(&mut netlist),
+                ),
+                OptimizerKind::Lagrangian => outcome_to_report(
+                    LagrangianSizer::new(
+                        Arc::clone(library),
+                        LagrangianConfig {
+                            objective,
+                            max_iters: sizer.max_passes,
+                            subcircuit_depth: sizer.subcircuit_depth,
+                            ssta: sizer.ssta.clone(),
+                            ..LagrangianConfig::default()
+                        },
+                    )
+                    .size_clocked(&mut netlist),
+                ),
+                OptimizerKind::Annealing => outcome_to_report(
+                    AnnealingSizer::new(
+                        Arc::clone(library),
+                        AnnealingConfig {
+                            objective,
+                            ssta: sizer.ssta.clone(),
+                            ..AnnealingConfig::default()
+                        },
+                    )
+                    .size_clocked(&mut netlist),
+                ),
+            };
             if let Err(e) = entry.session.try_restore_sizes(&netlist.sizes()) {
                 return Answer::error(ErrorCode::InvalidNetlist, e.to_string());
             }
@@ -1305,6 +1380,7 @@ fn answer(
             Answer::Sized {
                 report,
                 area: entry.session.total_area(),
+                optimizer: *optimizer,
             }
         }
         Request::SetClock {
@@ -1468,6 +1544,38 @@ fn validate_resize(
 /// [`Request::Resize`]), and refreshes its divergent cone. A validation
 /// failure or panic answers [`Answer::Error`] for this trial only; the
 /// branch rewinds cleanly for the worker's next trial either way.
+/// Maps a [`SizingOutcome`] from the shared optimizer vocabulary onto
+/// the [`OptimizationReport`] the `Sized` answer has always carried, so
+/// every optimizer speaks the same wire shape. The report's `alpha` is
+/// the statistical σ weight when that is what the run minimized and
+/// `0.0` for yield-targeted runs (their pass `cost` column is the
+/// negated yield).
+fn outcome_to_report(outcome: SizingOutcome) -> OptimizationReport {
+    let alpha = match outcome.objective {
+        Objective::Statistical { alpha } => alpha,
+        Objective::Yield { .. } => 0.0,
+    };
+    OptimizationReport::new(
+        alpha,
+        outcome.initial_moments,
+        outcome.final_moments,
+        outcome.initial_area,
+        outcome.final_area,
+        outcome
+            .passes
+            .iter()
+            .map(|p| PassStats {
+                pass: p.pass,
+                circuit: p.moments,
+                cost: p.objective,
+                area: p.area,
+                resized: p.resized,
+            })
+            .collect(),
+        outcome.runtime,
+    )
+}
+
 fn what_if_trial(
     library: &Library,
     circuit: &str,
@@ -2187,6 +2295,8 @@ mod tests {
         let response = ws.query(Request::Size {
             circuit: "pipeline_adder_16".into(),
             config: SizerConfig::default(),
+            optimizer: OptimizerKind::Greedy,
+            yield_deadline: None,
         });
         assert!(matches!(response.answer, Answer::Sized { .. }));
         let after = wns(&mut ws);

@@ -1,0 +1,365 @@
+//! The global-optimizer determinism contract.
+//!
+//! Every optimizer behind the `Sizer` trait — greedy, mean-delay,
+//! Lagrangian relaxation, and multi-start annealing — scores, probes,
+//! or walks on session forks over a `ScopedPool`; the contract is that
+//! the final sizes, moments, area, and the whole pass history are
+//! **bit-identical at every pool width**. CI runs this suite with
+//! `--test-threads=1` so the pool, not the test harness, owns all
+//! parallelism; `VARTOL_SIZER_THREADS` widens the compared set beyond
+//! the built-in 1/2/8/16.
+//!
+//! Two further contracts ride along:
+//!
+//! * **Restart chunking.** Annealing restarts are keyed by
+//!   `restart_offset + r`, so a 4-restart run must equal the
+//!   concatenation of two 2-restart runs at offsets 0 and 2 — the
+//!   distribution story for the search.
+//! * **No drift.** Every optimizer's reported final moments must equal
+//!   a from-scratch conditioned FULLSSTA analysis of the final netlist,
+//!   bit for bit — the incremental repairs inside the optimizers may
+//!   not leave the session in a state a clean rebuild wouldn't reach.
+
+use vartol::core::{SizerConfig, StatisticalGreedy};
+use vartol::liberty::Library;
+use vartol::netlist::generators::preset;
+use vartol::netlist::iscas::parse_bench;
+use vartol::netlist::Netlist;
+use vartol::ssta::{
+    AnnealingConfig, AnnealingSizer, FullSsta, LagrangianConfig, LagrangianSizer, Objective, Sizer,
+    SizingOutcome, SstaConfig, VariationModel,
+};
+
+fn data_bench(name: &str) -> Netlist {
+    let path = format!("{}/data/{name}.bench", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_bench(&text, name).expect("shipped bench parses")
+}
+
+/// The compared pool widths: 1 (serial reference), 2, 8, 16, plus any
+/// extra width from `VARTOL_SIZER_THREADS` (the same knob CI uses).
+fn widths() -> Vec<usize> {
+    let mut widths = vec![1, 2, 8, 16];
+    if let Ok(extra) = std::env::var("VARTOL_SIZER_THREADS") {
+        widths.push(
+            extra
+                .parse()
+                .expect("VARTOL_SIZER_THREADS must be a thread count"),
+        );
+    }
+    widths
+}
+
+/// The conditioned engine configuration every run here uses: a 60%
+/// die-to-die variation share, so the revalidation leg exercises the
+/// Gauss–Hermite conditioned FULLSSTA path, not just the independent
+/// one.
+fn ssta_at(threads: usize) -> SstaConfig {
+    SstaConfig::default()
+        .with_model(VariationModel::die_to_die(0.6))
+        .with_threads(threads)
+}
+
+/// Light but non-trivial configurations: enough iterations/moves that
+/// the parallel stages (gradient probes, restarts, candidate scoring)
+/// all run with real work, small enough for CI.
+fn lagrangian_at(threads: usize) -> LagrangianSizer {
+    let config = LagrangianConfig::default()
+        .with_max_iters(6)
+        .with_ssta(ssta_at(threads));
+    LagrangianSizer::new(Library::synthetic_90nm(), config)
+}
+
+fn annealing_at(threads: usize) -> AnnealingSizer {
+    let config = AnnealingConfig::default()
+        .with_restarts(4)
+        .with_moves(60)
+        .with_ssta(ssta_at(threads));
+    AnnealingSizer::new(Library::synthetic_90nm(), config)
+}
+
+/// Runs one sizer over a fresh copy and returns the outcome plus the
+/// final size vector.
+fn run_sizer(sizer: &dyn Sizer, base: &Netlist) -> (SizingOutcome, Vec<usize>) {
+    let mut netlist = base.clone();
+    let outcome = sizer.size_clocked(&mut netlist);
+    let sizes = netlist.sizes();
+    (outcome, sizes)
+}
+
+/// Asserts two outcomes are bit-identical (moments compared on their
+/// bit patterns — determinism means *equal floats*, not close ones).
+fn assert_outcomes_identical(
+    tag: &str,
+    a: &(SizingOutcome, Vec<usize>),
+    b: &(SizingOutcome, Vec<usize>),
+) {
+    assert_eq!(a.1, b.1, "{tag}: final sizes diverged");
+    let (a, b) = (&a.0, &b.0);
+    assert_eq!(
+        a.final_moments.mean.to_bits(),
+        b.final_moments.mean.to_bits(),
+        "{tag}: final mean diverged"
+    );
+    assert_eq!(
+        a.final_moments.var.to_bits(),
+        b.final_moments.var.to_bits(),
+        "{tag}: final variance diverged"
+    );
+    assert_eq!(
+        a.final_area.to_bits(),
+        b.final_area.to_bits(),
+        "{tag}: final area diverged"
+    );
+    assert_eq!(
+        a.passes.len(),
+        b.passes.len(),
+        "{tag}: pass counts diverged"
+    );
+    for (pa, pb) in a.passes.iter().zip(&b.passes) {
+        assert_eq!(pa.pass, pb.pass, "{tag}: pass numbering diverged");
+        assert_eq!(
+            pa.objective.to_bits(),
+            pb.objective.to_bits(),
+            "{tag}: pass {} objective diverged",
+            pa.pass
+        );
+        assert_eq!(
+            pa.area.to_bits(),
+            pb.area.to_bits(),
+            "{tag}: pass {} area diverged",
+            pa.pass
+        );
+        assert_eq!(
+            pa.resized, pb.resized,
+            "{tag}: pass {} resized diverged",
+            pa.pass
+        );
+    }
+}
+
+/// Re-analyzes the final netlist from scratch under the same
+/// conditioned configuration and asserts the optimizer's reported final
+/// moments match bit for bit.
+fn assert_revalidates(tag: &str, base: &Netlist, sizes: &[usize], outcome: &SizingOutcome) {
+    let library = Library::synthetic_90nm();
+    let mut final_netlist = base.clone();
+    final_netlist.restore_sizes(sizes);
+    let marked = if final_netlist.is_sequential() {
+        final_netlist.endpoint_marked()
+    } else {
+        final_netlist
+    };
+    let config = ssta_at(1);
+    let fresh = FullSsta::new(&library, &config)
+        .analyze(&marked)
+        .circuit_moments();
+    assert_eq!(
+        fresh.mean.to_bits(),
+        outcome.final_moments.mean.to_bits(),
+        "{tag}: reported mean drifted from a from-scratch FULLSSTA rebuild"
+    );
+    assert_eq!(
+        fresh.var.to_bits(),
+        outcome.final_moments.var.to_bits(),
+        "{tag}: reported variance drifted from a from-scratch FULLSSTA rebuild"
+    );
+}
+
+/// The circuit matrix: a combinational preset, a file-shipped
+/// combinational circuit, and the two ISCAS-89-shaped sequential
+/// stand-ins (small and mid) so `size_clocked`'s endpoint-marked path
+/// is covered at every width.
+fn matrix() -> Vec<Netlist> {
+    let library = Library::synthetic_90nm();
+    vec![
+        preset("cmp_8", &library).expect("known preset"),
+        data_bench("c17"),
+        data_bench("s27"),
+        data_bench("s386_like"),
+    ]
+}
+
+#[test]
+fn greedy_is_bit_identical_at_every_width() {
+    for base in matrix() {
+        let reference = run_sizer(
+            &StatisticalGreedy::new(
+                Library::synthetic_90nm(),
+                SizerConfig::with_alpha(3.0).with_ssta(ssta_at(1)),
+            ),
+            &base,
+        );
+        assert_revalidates(base.name(), &base, &reference.1, &reference.0);
+        for threads in widths() {
+            let candidate = run_sizer(
+                &StatisticalGreedy::new(
+                    Library::synthetic_90nm(),
+                    SizerConfig::with_alpha(3.0).with_ssta(ssta_at(threads)),
+                ),
+                &base,
+            );
+            assert_outcomes_identical(
+                &format!("greedy/{}/{threads}t", base.name()),
+                &reference,
+                &candidate,
+            );
+        }
+    }
+}
+
+#[test]
+fn lagrangian_is_bit_identical_at_every_width() {
+    for base in matrix() {
+        let reference = run_sizer(&lagrangian_at(1), &base);
+        assert_revalidates(base.name(), &base, &reference.1, &reference.0);
+        for threads in widths() {
+            let candidate = run_sizer(&lagrangian_at(threads), &base);
+            assert_outcomes_identical(
+                &format!("lagrangian/{}/{threads}t", base.name()),
+                &reference,
+                &candidate,
+            );
+        }
+    }
+}
+
+#[test]
+fn annealing_is_bit_identical_at_every_width() {
+    for base in matrix() {
+        let reference = run_sizer(&annealing_at(1), &base);
+        assert_revalidates(base.name(), &base, &reference.1, &reference.0);
+        for threads in widths() {
+            let candidate = run_sizer(&annealing_at(threads), &base);
+            assert_outcomes_identical(
+                &format!("annealing/{}/{threads}t", base.name()),
+                &reference,
+                &candidate,
+            );
+        }
+    }
+}
+
+#[test]
+fn yield_objective_is_bit_identical_at_every_width() {
+    // One representative per optimizer family on the mid-size
+    // sequential circuit, optimizing P(meet deadline) instead of μ+3σ.
+    let base = data_bench("s386_like");
+    let deadline = {
+        let library = Library::synthetic_90nm();
+        let m = FullSsta::new(&library, &ssta_at(1))
+            .analyze(&base.endpoint_marked())
+            .circuit_moments();
+        m.mean + m.std()
+    };
+    let lagr = |threads: usize| {
+        LagrangianSizer::new(
+            Library::synthetic_90nm(),
+            LagrangianConfig::default()
+                .with_objective(Objective::Yield { deadline })
+                .with_max_iters(4)
+                .with_ssta(ssta_at(threads)),
+        )
+    };
+    let anneal = |threads: usize| {
+        AnnealingSizer::new(
+            Library::synthetic_90nm(),
+            AnnealingConfig::default()
+                .with_objective(Objective::Yield { deadline })
+                .with_restarts(2)
+                .with_moves(40)
+                .with_ssta(ssta_at(threads)),
+        )
+    };
+    let lagr_reference = run_sizer(&lagr(1), &base);
+    let anneal_reference = run_sizer(&anneal(1), &base);
+    assert_revalidates(
+        "lagrangian_yield",
+        &base,
+        &lagr_reference.1,
+        &lagr_reference.0,
+    );
+    assert_revalidates(
+        "annealing_yield",
+        &base,
+        &anneal_reference.1,
+        &anneal_reference.0,
+    );
+    for threads in widths() {
+        assert_outcomes_identical(
+            &format!("lagrangian_yield/{threads}t"),
+            &lagr_reference,
+            &run_sizer(&lagr(threads), &base),
+        );
+        assert_outcomes_identical(
+            &format!("annealing_yield/{threads}t"),
+            &anneal_reference,
+            &run_sizer(&anneal(threads), &base),
+        );
+    }
+}
+
+#[test]
+fn annealing_restarts_are_chunk_invariant() {
+    // A 4-restart run must decompose into two 2-restart runs at
+    // offsets 0 and 2: identical per-restart pass rows, and a final
+    // netlist equal to the better chunk's (energy-min, earliest-restart
+    // tie-break — recomputed here from the recorded rows).
+    let base = data_bench("s27");
+    let config = |restarts: usize, offset: u64, threads: usize| {
+        AnnealingConfig::default()
+            .with_restarts(restarts)
+            .with_moves(60)
+            .with_restart_offset(offset)
+            .with_ssta(ssta_at(threads))
+    };
+    for threads in [1, 8] {
+        let full = run_sizer(
+            &AnnealingSizer::new(Library::synthetic_90nm(), config(4, 0, threads)),
+            &base,
+        );
+        let lo = run_sizer(
+            &AnnealingSizer::new(Library::synthetic_90nm(), config(2, 0, threads)),
+            &base,
+        );
+        let hi = run_sizer(
+            &AnnealingSizer::new(Library::synthetic_90nm(), config(2, 2, threads)),
+            &base,
+        );
+        // Pass rows (one per restart, numbered by offset + r) must
+        // concatenate exactly.
+        let mut chunked: Vec<_> = lo.0.passes.iter().chain(&hi.0.passes).collect();
+        chunked.sort_by_key(|p| p.pass);
+        assert_eq!(
+            full.0.passes.len(),
+            chunked.len(),
+            "{threads}t: restart count"
+        );
+        for (f, c) in full.0.passes.iter().zip(chunked) {
+            assert_eq!(f.pass, c.pass, "{threads}t: restart numbering");
+            assert_eq!(
+                f.objective.to_bits(),
+                c.objective.to_bits(),
+                "{threads}t: restart {} objective diverged across chunking",
+                f.pass
+            );
+            assert_eq!(
+                f.area.to_bits(),
+                c.area.to_bits(),
+                "{threads}t: restart {} area diverged across chunking",
+                f.pass
+            );
+            assert_eq!(
+                f.resized, c.resized,
+                "{threads}t: restart {} resized",
+                f.pass
+            );
+        }
+        // The full run's winner must be one of the chunk winners: its
+        // final sizes equal the lo-chunk's or the hi-chunk's.
+        assert!(
+            full.1 == lo.1 || full.1 == hi.1,
+            "{threads}t: the 4-restart winner matches neither 2-restart chunk winner"
+        );
+    }
+}

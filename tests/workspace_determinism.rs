@@ -16,7 +16,7 @@
 
 use vartol::core::SizerConfig;
 use vartol::liberty::Library;
-use vartol::ssta::{EngineKind, SstaConfig};
+use vartol::ssta::{EngineKind, OptimizerKind, SstaConfig};
 use vartol::workspace::{Answer, Request, Workspace, WorkspaceConfig};
 
 /// The compared pool widths: 1 (serial reference), 2, 8, plus any extra
@@ -115,6 +115,8 @@ fn mixed_batch() -> Vec<Request> {
     requests.push(Request::Size {
         circuit: "c17".into(),
         config: SizerConfig::with_alpha(3.0).with_threads(1),
+        optimizer: OptimizerKind::Greedy,
+        yield_deadline: None,
     });
     requests.push(Request::Analyze {
         circuit: "c17".into(),
@@ -208,6 +210,8 @@ fn panicking_request_is_isolated_to_its_answer() {
                 pdf_samples: 0,
                 ..SstaConfig::default()
             }),
+        optimizer: OptimizerKind::Greedy,
+        yield_deadline: None,
     };
     let batch = [
         Request::Analyze {
